@@ -1,0 +1,74 @@
+"""Ablations — the paper's finiteness devices, switched off.
+
+DESIGN.md calls out the load-bearing design choices inherited from the
+paper. Each ablation removes one and demonstrates the cost on a system the
+real construction handles instantly:
+
+* no recycling preference in RCYCL (Appendix C.3's eventually-recycling
+  requirement) — diverges on Example 4.3-as-nondet, which the real RCYCL
+  saturates in 6 states;
+* equality commitments replaced by brute-force enumeration over an explicit
+  value pool — the pool-restricted system keeps growing with the pool size
+  while the commitment abstraction is a fixed 10-state system that is
+  bounded-bisimilar to every one of them.
+"""
+
+import pytest
+
+from repro.bisim import BisimMode, bounded_bisimilar
+from repro.core import ServiceSemantics
+from repro.gallery import example_41, example_43
+from repro.relational.values import Fresh
+from repro.semantics import build_det_abstraction, explore_concrete, rcycl
+from repro.semantics.ablations import AblationExhausted, rcycl_fresh_only
+
+
+class TestRecyclingAblation:
+    def test_real_rcycl_saturates(self, benchmark):
+        dcds = example_43(ServiceSemantics.NONDETERMINISTIC)
+        ts = benchmark(rcycl, dcds)
+        assert len(ts) == 6
+
+    def test_fresh_only_diverges(self, benchmark):
+        dcds = example_43(ServiceSemantics.NONDETERMINISTIC)
+
+        def run_ablated():
+            try:
+                rcycl_fresh_only(dcds, max_states=200)
+            except AblationExhausted as exhausted:
+                return exhausted
+            raise AssertionError("ablation unexpectedly saturated")
+
+        exhausted = benchmark(run_ablated)
+        assert exhausted.states_reached > 200
+
+
+class TestCommitmentsVsPoolEnumeration:
+    def test_commitment_abstraction_fixed_size(self, benchmark):
+        ts = benchmark(build_det_abstraction, example_41())
+        assert len(ts) == 10
+
+    @pytest.mark.parametrize("pool_size", [2, 3, 4, 5])
+    def test_pool_enumeration_grows(self, benchmark, pool_size):
+        dcds = example_41()
+        pool = ["a"] + [Fresh(200 + i) for i in range(pool_size - 1)]
+        ts = benchmark(explore_concrete, dcds, pool, 3)
+        # Brute force: quadratic-ish growth in the pool, where the
+        # commitment abstraction stays at 10 states.
+        assert len(ts) >= 4 * (pool_size - 1)
+
+    def test_all_pools_bisimilar_to_abstraction(self, benchmark):
+        dcds = example_41()
+        abstraction = build_det_abstraction(dcds)
+
+        def check_pools():
+            for pool_size in (3, 4):
+                pool = ["a"] + [Fresh(200 + i)
+                                for i in range(pool_size - 1)]
+                concrete = explore_concrete(dcds, pool, depth=3)
+                if not bounded_bisimilar(concrete, abstraction, depth=2,
+                                         mode=BisimMode.HISTORY):
+                    return False
+            return True
+
+        assert benchmark(check_pools)

@@ -1,0 +1,58 @@
+"""Appendix E — the travel-reimbursement properties, verified end to end.
+
+Paper: the request system satisfies (i) the µLP liveness property "once
+initiated, a request persists until the monitor decides, and the decision
+is readyToUpdate or requestConfirmed" and (ii) the safety property "a
+request without cost data is never accepted"; the audit system satisfies
+the µLA property "a failed check eventually fails the travel record".
+"""
+
+import pytest
+
+from repro import verify
+from repro.gallery import audit_system, request_system, student_registry
+from repro.gallery.student import (
+    property_eventual_graduation_mu_lp, property_no_student_while_idle)
+from repro.gallery.travel import (
+    property_audit_failure_propagates_slim,
+    property_no_unpriced_acceptance_slim,
+    property_request_eventually_decided)
+from repro.mucalc import Fragment, ModelChecker, classify
+from repro.semantics import rcycl
+
+
+@pytest.fixture(scope="module")
+def request_ts():
+    return rcycl(request_system(slim=True), max_states=3000)
+
+
+def test_request_liveness(benchmark, request_ts):
+    formula = property_request_eventually_decided()
+    assert classify(formula) is Fragment.MU_LP
+    checker = ModelChecker(request_ts)
+    assert benchmark(checker.models, formula)
+
+
+def test_request_safety(benchmark, request_ts):
+    formula = property_no_unpriced_acceptance_slim()
+    checker = ModelChecker(request_ts)
+    assert benchmark(checker.models, formula)
+
+
+def test_audit_muLA_property(benchmark):
+    report = benchmark(verify, audit_system(slim=True),
+                       property_audit_failure_propagates_slim(), 4000)
+    assert report.holds
+    assert report.fragment in (Fragment.MU_LA, Fragment.MU_LP)
+
+
+def test_student_liveness_muLP(benchmark):
+    report = benchmark(verify, student_registry(),
+                       property_eventual_graduation_mu_lp())
+    assert report.holds
+
+
+def test_student_safety(benchmark):
+    report = benchmark(verify, student_registry(),
+                       property_no_student_while_idle())
+    assert report.holds

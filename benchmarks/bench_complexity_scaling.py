@@ -1,0 +1,87 @@
+"""Section 6 complexity — abstraction size and model-checking cost.
+
+Paper: "our construction generates a finite transition system whose number
+of states is exponential in the size of the DCDS" and model checking a
+formula of size l with k alternating fixpoints costs O((2^n · n^l)^k).
+
+We regenerate both shapes:
+
+* the commitment-blowup family: one action with ``n`` independent fresh
+  service calls — the first abstraction level is the full equality-
+  commitment lattice, super-exponential in ``n``;
+* the chain family: abstraction size grows with pipeline depth;
+* model-checking time as a function of fixpoint nesting depth ``k``.
+"""
+
+import pytest
+
+from repro.mucalc import ModelChecker, parse_mu
+from repro.mucalc.ast import Box, Diamond, MAnd, MOr, Mu, Nu, PredVar, QF
+from repro.semantics import build_det_abstraction
+from repro.semantics.commitments import count_commitments
+from repro.workloads import chain_dcds, commitment_blowup_dcds
+
+
+class TestAbstractionBlowup:
+    @pytest.mark.parametrize("n_calls", [1, 2, 3])
+    def test_first_level_is_commitment_lattice(self, benchmark, n_calls):
+        dcds = commitment_blowup_dcds(n_calls)
+        ts = benchmark(build_det_abstraction, dcds, 100000)
+        level1 = len(ts.depth_levels()[1])
+        assert level1 == count_commitments(n_calls, 1)
+
+    def test_growth_is_superexponential(self, benchmark):
+        sizes = benchmark(
+            lambda: [count_commitments(n, 1) for n in range(1, 7)])
+        ratios = [later / earlier
+                  for earlier, later in zip(sizes, sizes[1:])]
+        assert all(r2 > r1 for r1, r2 in zip(ratios, ratios[1:]))
+
+
+class TestChainScaling:
+    @pytest.mark.parametrize("length", [1, 2, 3])
+    def test_chain_abstraction(self, benchmark, length):
+        dcds = chain_dcds(length)
+        ts = benchmark(build_det_abstraction, dcds, 100000)
+        # Weakly acyclic: position ranks equal chain depth, so this always
+        # terminates; deeper chains give strictly larger systems.
+        assert len(ts) >= length
+
+    def test_monotone_in_length(self, benchmark):
+        sizes = benchmark(
+            lambda: [len(build_det_abstraction(chain_dcds(n), 100000))
+                     for n in (1, 2, 3)])
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestModelCheckingCost:
+    @pytest.fixture(scope="class")
+    def arena(self):
+        return build_det_abstraction(commitment_blowup_dcds(3), 100000)
+
+    def _nested_formula(self, k):
+        """k alternating fixpoints: nu X1. mu X2. nu X3. ... body."""
+        body = QF(parse_mu("Seed('c')").query)
+        formula = body
+        for index in range(k, 0, -1):
+            var = f"X{index}"
+            if index % 2 == 1:
+                formula = Nu(var, MAnd.of(formula, Box(PredVar(var))))
+            else:
+                formula = Mu(var, MOr.of(formula, Diamond(PredVar(var))))
+        return formula
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_nesting_depth(self, benchmark, arena, k):
+        formula = self._nested_formula(k)
+        checker = ModelChecker(arena)
+        result = benchmark(checker.evaluate, formula)
+        assert arena.initial in result  # Seed('c') persists everywhere
+
+    def test_quantifier_expansion_cost(self, benchmark, arena):
+        # Each quantified variable multiplies work by |domain|.
+        formula = parse_mu(
+            "E x, y. live(x) & live(y) & mu Z. (Seed(x) | <-> Z)")
+        checker = ModelChecker(arena)
+        result = benchmark(checker.evaluate, formula)
+        assert arena.initial in result

@@ -1,0 +1,36 @@
+"""Figure 10 — the Appendix E audit system's dependency graph.
+
+Paper: 18 positions (Status/1, Travel/3, Hotel/7, Flight/7), special edges
+only into the ``passed`` positions (from the convertAndCheck arguments),
+and the graph is weakly acyclic — so the audit system is run-bounded and
+µLA-verifiable with deterministic services (Theorem 4.8).
+"""
+
+import pytest
+
+from repro.analysis import dependency_graph
+from repro.gallery import audit_system
+from repro.gallery.travel import property_audit_failure_propagates_slim
+from repro.pipeline import verify
+
+
+def test_fig10_dependency_graph(benchmark):
+    graph = benchmark(dependency_graph, audit_system())
+    assert len(graph.nodes) == 18
+    assert graph.is_weakly_acyclic()
+    special_targets = {target for _, target in graph.special_edges()}
+    assert special_targets == {("Hotel", 6), ("Flight", 6)}
+
+
+def test_fig10_ranks_bounded(benchmark):
+    graph = dependency_graph(audit_system())
+    ranks = benchmark(graph.ranks)
+    assert max(ranks.values()) == 1           # one service hop at most
+
+
+def test_fig10_verification_route(benchmark):
+    report = benchmark(verify, audit_system(slim=True),
+                       property_audit_failure_propagates_slim(), 4000)
+    assert report.holds
+    assert report.route == "det-abstraction"
+    assert report.static_condition == "weakly-acyclic"

@@ -1,0 +1,37 @@
+"""Figure 2 — Example 4.2: concrete (pool-restricted) and abstract TS.
+
+Paper: the abstract transition system has 4 states; the equality constraint
+``P(x) & Q(y,z) -> x = y`` pins ``f(a) = a``, so the initial state has two
+successors (``g(a) = a`` or fresh).
+"""
+
+import pytest
+
+from repro.gallery import example_42
+from repro.relational.values import Fresh
+from repro.semantics import build_det_abstraction, explore_concrete
+
+
+@pytest.fixture(scope="module")
+def dcds():
+    return example_42()
+
+
+def test_fig2b_abstract_transition_system(benchmark, dcds):
+    ts = benchmark(build_det_abstraction, dcds)
+    assert len(ts) == 4                       # Figure 2(b)
+    levels = [len(level) for level in ts.depth_levels()]
+    assert levels == [1, 2, 1]
+    # f(a) = a in every state that has resolved f.
+    for state in ts.states:
+        for call, value in state.call_map:
+            if call.function == "f":
+                assert value == "a"
+
+
+def test_fig2a_concrete_prefix(benchmark, dcds):
+    pool = ["a", Fresh(90), Fresh(91), Fresh(92)]
+    ts = benchmark(explore_concrete, dcds, pool, 2)
+    # The constraint filters all evaluations with f(a) != a: per level-1
+    # state only the g(a) choice varies (|pool| successors of s0).
+    assert len(ts.depth_levels()[1]) == len(pool)

@@ -1,0 +1,34 @@
+"""Figure 3 — Example 4.1: concrete (pool-restricted) and abstract TS.
+
+Paper: the abstract system has 10 states — the initial state, five
+equality-commitment successors (Fig 3(b) level 1), and four level-2 states
+that lost ``R`` because ``Q(a,a)`` no longer holds.
+"""
+
+import pytest
+
+from repro.gallery import example_41
+from repro.relational import Instance, fact
+from repro.relational.values import Fresh
+from repro.semantics import build_det_abstraction, explore_concrete
+
+
+@pytest.fixture(scope="module")
+def dcds():
+    return example_41()
+
+
+def test_fig3b_abstract_transition_system(benchmark, dcds):
+    ts = benchmark(build_det_abstraction, dcds)
+    assert len(ts) == 10                      # Figure 3(b)
+    assert [len(level) for level in ts.depth_levels()] == [1, 5, 4]
+    level1_dbs = {ts.db(state) for state in ts.depth_levels()[1]}
+    assert Instance([fact("P", "a"), fact("R", "a"),
+                     fact("Q", Fresh(0), Fresh(1))]) in level1_dbs
+
+
+def test_fig3a_concrete_prefix(benchmark, dcds):
+    pool = ["a", Fresh(90), Fresh(91)]
+    ts = benchmark(explore_concrete, dcds, pool, 2)
+    # Unconstrained: all |pool|^2 (f(a), g(a)) evaluations exist.
+    assert len(ts.depth_levels()[1]) == len(pool) ** 2

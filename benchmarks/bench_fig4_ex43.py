@@ -1,0 +1,37 @@
+"""Figure 4 — Example 4.3 (deterministic): run-unbounded divergence.
+
+Paper: the chain ``a, f(a), f(f(a)), ...`` makes every finite abstraction
+attempt fail; the abstract state count keeps growing with depth. We
+regenerate the growth trace and time bounded-depth construction.
+"""
+
+import pytest
+
+from repro.errors import AbstractionDiverged
+from repro.gallery import example_43
+from repro.semantics import build_det_abstraction, det_growth_trace
+
+
+@pytest.fixture(scope="module")
+def dcds():
+    return example_43()
+
+
+def test_fig4_growth_trace(benchmark, dcds):
+    trace = benchmark(det_growth_trace, dcds, 8)
+    # New states appear at every level and keep increasing overall.
+    assert len(trace) == 9
+    assert all(count > 0 for count in trace)
+    assert trace[-1] >= trace[1]
+
+
+def test_fig4_fuse_trips(benchmark, dcds):
+    def diverge():
+        try:
+            build_det_abstraction(dcds, max_states=300)
+        except AbstractionDiverged as diverged:
+            return diverged
+        raise AssertionError("expected divergence")
+
+    diverged = benchmark(diverge)
+    assert diverged.partial_states > 300

@@ -1,0 +1,31 @@
+"""Figure 5 — dependency graphs and weak-acyclicity verdicts.
+
+Paper: Examples 4.1/4.2 share the weakly acyclic graph of Fig 5(a) (special
+edges P,1 -> Q,1 and P,1 -> Q,2); Example 4.3's graph (Fig 5(b)) has the
+special edge R,1 -> Q,1 closed by the ordinary edge Q,1 -> R,1.
+"""
+
+import pytest
+
+from repro.analysis import dependency_graph
+from repro.gallery import example_41, example_42, example_43
+
+
+def test_fig5a_ex41(benchmark):
+    graph = benchmark(dependency_graph, example_41())
+    assert graph.is_weakly_acyclic()
+    assert set(graph.special_edges()) == {
+        (("P", 0), ("Q", 0)), (("P", 0), ("Q", 1))}
+
+
+def test_fig5a_ex42_same_graph(benchmark):
+    graph = benchmark(dependency_graph, example_42())
+    assert graph.is_weakly_acyclic()
+    assert set(graph.edges()) == set(dependency_graph(example_41()).edges())
+
+
+def test_fig5b_ex43(benchmark):
+    graph = benchmark(dependency_graph, example_43())
+    assert not graph.is_weakly_acyclic()
+    assert graph.violating_special_edge() == (("R", 0), ("Q", 0))
+    assert set(graph.ordinary_edges()) == {(("Q", 0), ("R", 0))}

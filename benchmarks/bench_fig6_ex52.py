@@ -1,0 +1,40 @@
+"""Figure 6 — Example 5.2: state-unbounded accumulation under nondet services.
+
+Paper: fresh values returned by ``f`` are recalled by the Q self-loop, so
+states grow without bound; the abstraction is finitely branching but has
+infinitely many, growing states. We regenerate the growth evidence.
+"""
+
+import pytest
+
+from repro.errors import AbstractionDiverged
+from repro.gallery import example_52
+from repro.semantics import rcycl, rcycl_partial, state_size_trace
+
+
+@pytest.fixture(scope="module")
+def dcds():
+    return example_52()
+
+
+def test_fig6_state_growth(benchmark, dcds):
+    sizes = benchmark(state_size_trace, dcds, 150)
+    assert max(sizes) >= 3          # Q facts accumulate
+    assert sizes[0] == 1            # I0 = {R(a)}
+
+
+def test_fig6_finite_branching(benchmark, dcds):
+    result = benchmark(rcycl_partial, dcds, 100)
+    assert result.diverged
+    ts = result.transition_system
+    assert all(len(ts.successors(state)) < 40 for state in ts.states)
+
+
+def test_fig6_rcycl_fuse(benchmark, dcds):
+    def diverge():
+        with pytest.raises(AbstractionDiverged) as excinfo:
+            rcycl(dcds, max_states=150)
+        return excinfo.value
+
+    diverged = benchmark(diverge)
+    assert diverged.partial_states > 150

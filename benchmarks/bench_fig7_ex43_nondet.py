@@ -1,0 +1,41 @@
+"""Figure 7 — Example 4.3 under nondeterministic services (Example 5.1).
+
+Paper: the system is state-bounded (one tuple per state); a finite
+abstraction exists with the four states R(a), Q(a), R(b), Q(b). RCYCL
+produces a (slightly larger) eventually-recycling pruning whose isomorphism
+quotient is exactly that four-state system, persistence-bisimilar to it.
+"""
+
+import pytest
+
+from repro.bisim import BisimMode, bisimilar
+from repro.core import ServiceSemantics
+from repro.gallery import example_43
+from repro.semantics import isomorphism_quotient, rcycl
+
+
+@pytest.fixture(scope="module")
+def dcds():
+    return example_43(ServiceSemantics.NONDETERMINISTIC)
+
+
+def test_fig7b_rcycl(benchmark, dcds):
+    ts = benchmark(rcycl, dcds)
+    assert len(ts) == 6
+    assert ts.max_state_size() == 1           # state bound b = 1
+    assert ts.is_total()
+
+
+def test_fig7b_quotient_is_four_states(benchmark, dcds):
+    ts = rcycl(dcds)
+    quotient, _ = benchmark(isomorphism_quotient, ts, {"a"})
+    assert len(quotient) == 4                 # Figure 7(b) exactly
+    databases = {repr(quotient.db(state)) for state in quotient.states}
+    assert databases == {"{R('a')}", "{Q('a')}", "{R(#0)}", "{Q(#0)}"}
+
+
+def test_fig7_pruning_bisimilar_to_quotient(benchmark, dcds):
+    ts = rcycl(dcds)
+    quotient, _ = isomorphism_quotient(ts, {"a"})
+    result = benchmark(bisimilar, ts, quotient, BisimMode.PERSISTENCE)
+    assert result

@@ -1,0 +1,39 @@
+"""Figure 8 — dataflow graphs and GR-acyclicity verdicts.
+
+Paper: Examples 4.1/4.2 are GR-acyclic (Fig 8(a)); Example 5.2 is not
+(Fig 8(b): R self-loop generates into the Q self-loop); Example 5.3 is not
+(Fig 8(c): two parallel special self-loops on R).
+"""
+
+import pytest
+
+from repro.analysis import dataflow_graph
+from repro.gallery import example_41, example_43, example_52, example_53
+
+
+def test_fig8a_ex41(benchmark):
+    graph = benchmark(dataflow_graph, example_41())
+    assert graph.is_gr_acyclic()
+
+
+def test_fig8a_ex43_nondet_gr_acyclic(benchmark):
+    # Example 5.1: the only cycle contains the special edge itself.
+    graph = benchmark(dataflow_graph, example_43())
+    assert graph.is_gr_acyclic()
+
+
+def test_fig8b_ex52(benchmark):
+    graph = dataflow_graph(example_52())
+    violation = benchmark(graph.gr_violation)
+    assert violation is not None
+    assert (violation.source, violation.target) == ("R", "Q")
+    assert not graph.is_gr_plus_acyclic()
+
+
+def test_fig8c_ex53_parallel_special_loops(benchmark):
+    graph = benchmark(dataflow_graph, example_53())
+    specials = graph.special_edges()
+    assert len(specials) == 2
+    assert all(edge.source == edge.target == "R" for edge in specials)
+    assert not graph.is_gr_acyclic()
+    assert not graph.is_gr_plus_acyclic()

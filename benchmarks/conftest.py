@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Every benchmark below regenerates one artifact of the paper (a figure or
+table) and *asserts the paper-shape facts* before timing, so the suite
+doubles as a reproduction regression check. Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest

@@ -1,0 +1,87 @@
+"""Artifact-centric order processing compiled to a DCDS (Section 6).
+
+The paper argues the artifact model and DCDSs are expressively equivalent
+and sketches the compilation. This example models a small order-fulfilment
+artifact system — orders are priced by an external quote service, then
+either shipped or cancelled by a human decision — compiles it to a DCDS
+with nondeterministic services, and verifies µLP properties of the result.
+
+Run: python examples/artifact_order_processing.py
+"""
+
+from repro import verify
+from repro.fol import parse_formula
+from repro.fol.ast import Atom
+from repro.mucalc import parse_mu
+from repro.reductions import (
+    ArtifactAction, ArtifactSystem, ArtifactType, ExternalInput,
+    PostTemplate, compile_to_dcds)
+from repro.relational import DatabaseSchema, Instance, fact
+from repro.relational.values import Var
+from repro.semantics import NondeterministicOracle, simulate
+
+
+def build_order_system() -> ArtifactSystem:
+    order = ArtifactType("Order", ("id", "status"))
+    quote = ArtifactType("Quote", ("id", "amount"))
+
+    price = ArtifactAction(
+        name="price",
+        params=(),
+        pre=parse_formula("exists i. Order(i, 'draft')"),
+        post=(
+            PostTemplate(
+                parse_formula("Order(i, 'draft')"),
+                (Atom("Order", (Var("i"), "priced")),
+                 Atom("Quote", (Var("i"),
+                                ExternalInput("amount", (Var("i"),)))))),
+        ),
+    )
+    decide = ArtifactAction(
+        name="decide",
+        params=(),
+        pre=parse_formula("exists i. Order(i, 'priced')"),
+        post=(
+            PostTemplate(
+                parse_formula("Order(i, 'priced')"),
+                (Atom("Order", (Var("i"),
+                                ExternalInput("verdict", (Var("i"),)))),)),
+        ),
+    )
+    return ArtifactSystem(
+        types=(order, quote),
+        database=DatabaseSchema.of("Customer/1"),
+        actions=(price, decide),
+        initial=Instance([fact("Order", "o1", "draft"),
+                          fact("Customer", "alice")]),
+        name="orders")
+
+
+def main() -> None:
+    system = build_order_system()
+    dcds = compile_to_dcds(system)
+    print("=== compiled DCDS ===")
+    print(dcds.describe())
+
+    print("\n=== a sample run ===")
+    trace = simulate(dcds, steps=2, oracle=NondeterministicOracle(seed=11))
+    for instance, label in trace:
+        print(f"  [{label or 'init'}] {instance}")
+
+    print("\n=== verification (forced: the verdict loop defeats the ")
+    print("    syntactic GR check, but the system is state-bounded) ===")
+    properties = {
+        "the order is eventually priced (somewhere)":
+            "mu Z. (Order('o1', 'priced') | <-> Z)",
+        "a quote always accompanies pricing":
+            "nu X. ((Order('o1', 'priced') -> "
+            "(E a. live(a) & Quote('o1', a))) & [-] X)",
+    }
+    for label, text in properties.items():
+        report = verify(dcds, parse_mu(text), force=True, max_states=4000)
+        verdict = "holds" if report.holds else "FAILS"
+        print(f"  [{verdict:5s}] {label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Deterministic vs. nondeterministic services: the paper's core contrast.
+
+Walks Examples 4.1–4.3 and 5.2 through both semantics:
+
+* Example 4.1/4.2 (weakly acyclic): finite abstractions, Figures 3(b)/2(b);
+* Example 4.3 deterministic: run-unbounded, the abstraction diverges
+  (Figure 4) — we print the growth trace;
+* Example 4.3 nondeterministic: state-bounded, RCYCL terminates and its
+  isomorphism quotient is exactly Figure 7(b);
+* Example 5.2: state-unbounded, RCYCL itself diverges (Figure 6) — we print
+  the growing state sizes.
+
+Run: python examples/deterministic_vs_nondeterministic.py
+"""
+
+from repro import AbstractionDiverged
+from repro.analysis import (
+    dataflow_graph, dependency_graph, probe_run_bounded,
+    probe_state_bounded)
+from repro.core import ServiceSemantics
+from repro.gallery import example_41, example_42, example_43, example_52
+from repro.semantics import (
+    build_det_abstraction, det_growth_trace, isomorphism_quotient, rcycl,
+    state_size_trace)
+
+
+def deterministic_bounded() -> None:
+    print("=== Example 4.1 (deterministic, weakly acyclic) ===")
+    dcds = example_41()
+    print(dependency_graph(dcds).describe())
+    ts = build_det_abstraction(dcds)
+    levels = [len(level) for level in ts.depth_levels()]
+    print(f"abstract TS: {len(ts)} states, levels {levels} "
+          f"(Figure 3(b): 10 states as 1/5/4)")
+
+    print("\n=== Example 4.2 (equality constraint pins f(a) = a) ===")
+    ts2 = build_det_abstraction(example_42())
+    print(f"abstract TS: {len(ts2)} states (Figure 2(b): 4 states)")
+    print(ts2.pretty())
+
+
+def deterministic_unbounded() -> None:
+    print("\n=== Example 4.3 (deterministic): run-unbounded ===")
+    dcds = example_43()
+    print(dependency_graph(dcds).describe())
+    trace = det_growth_trace(dcds, max_depth=8)
+    print(f"new abstract states per level: {trace} — no convergence "
+          f"(Figure 4)")
+    probe = probe_run_bounded(dcds, max_states=300)
+    print(f"boundedness probe: {probe!r}")
+    try:
+        build_det_abstraction(dcds, max_states=300)
+    except AbstractionDiverged as diverged:
+        print(f"fuse tripped as expected: {diverged}")
+
+
+def nondeterministic_bounded() -> None:
+    print("\n=== Example 4.3 (nondeterministic): state-bounded ===")
+    dcds = example_43(ServiceSemantics.NONDETERMINISTIC)
+    graph = dataflow_graph(dcds)
+    print(f"GR-acyclic: {graph.is_gr_acyclic()} (Example 5.1: True)")
+    ts = rcycl(dcds)
+    print(f"RCYCL pruning: {ts.stats()}")
+    quotient, _ = isomorphism_quotient(ts, fixed={"a"})
+    print(f"isomorphism quotient: {len(quotient)} states "
+          f"(Figure 7(b): 4 states)")
+    print(quotient.pretty())
+
+
+def nondeterministic_unbounded() -> None:
+    print("\n=== Example 5.2 (nondeterministic): state-unbounded ===")
+    dcds = example_52()
+    graph = dataflow_graph(dcds)
+    print(f"GR-acyclic: {graph.is_gr_acyclic()}  "
+          f"GR+-acyclic: {graph.is_gr_plus_acyclic()} (both False)")
+    sizes = state_size_trace(dcds, max_states=150)
+    print(f"max active-domain size per BFS level: {sizes} — values "
+          f"accumulate (Figure 6)")
+    probe = probe_state_bounded(dcds, max_states=150)
+    print(f"boundedness probe: {probe!r}")
+
+
+def main() -> None:
+    deterministic_bounded()
+    deterministic_unbounded()
+    nondeterministic_bounded()
+    nondeterministic_unbounded()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""repro — Verification of Relational Data-Centric Dynamic Systems.
+
+An executable reproduction of Bagheri Hariri, Calvanese, De Giacomo,
+Deutsch, Montali: *Verification of Relational Data-Centric Dynamic Systems
+with External Services* (PODS 2013).
+
+Quickstart::
+
+    from repro import DCDSBuilder, parse_mu, verify
+
+    builder = DCDSBuilder(name="demo", constants={"a"})
+    builder.schema("P/1", "Q/2", "R/1")
+    builder.initial("P(a), Q(a, a)")
+    builder.service("f/1").service("g/1")
+    builder.action("alpha",
+                   "Q(a, a) & P(x) ~> R(x)",
+                   "P(x) ~> P(x), Q(f(x), g(x))")
+    builder.rule("true", "alpha")
+    dcds = builder.build()
+
+    report = verify(dcds, parse_mu("mu Z. (R('a') | <-> Z)"))
+    assert report.holds
+
+See :mod:`repro.gallery` for every example in the paper and
+:mod:`repro.pipeline` for the Table 1 routing logic.
+"""
+
+from repro.analysis import (
+    dataflow_graph, dependency_graph, is_gr_acyclic, is_gr_plus_acyclic,
+    is_weakly_acyclic, positive_approximate, probe_run_bounded,
+    probe_state_bounded)
+from repro.bisim import BisimMode, bisimilar, bounded_bisimilar
+from repro.core import (
+    DCDS, DCDSBuilder, DataLayer, EqualityConstraint, ProcessLayer,
+    ServiceSemantics)
+from repro.errors import (
+    AbstractionDiverged, ConstraintViolation, FragmentError, ReproError,
+    UndecidableFragment)
+from repro.fol import parse_formula
+from repro.mucalc import (
+    Fragment, ModelChecker, check, classify, parse_mu)
+from repro.pipeline import VerificationReport, verify
+from repro.relational import (
+    DatabaseSchema, Fact, Instance, RelationSchema, fact)
+from repro.semantics import (
+    DeterministicOracle, NondeterministicOracle, TransitionSystem,
+    build_det_abstraction, explore_concrete, isomorphism_quotient, rcycl,
+    simulate)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractionDiverged", "BisimMode", "ConstraintViolation", "DCDS",
+    "DCDSBuilder", "DataLayer", "DatabaseSchema", "DeterministicOracle",
+    "EqualityConstraint", "Fact", "Fragment", "FragmentError", "Instance",
+    "ModelChecker", "NondeterministicOracle", "ProcessLayer",
+    "RelationSchema", "ReproError", "ServiceSemantics", "TransitionSystem",
+    "UndecidableFragment", "VerificationReport", "bisimilar",
+    "bounded_bisimilar", "build_det_abstraction", "check", "classify",
+    "dataflow_graph", "dependency_graph", "explore_concrete", "fact",
+    "is_gr_acyclic", "is_gr_plus_acyclic", "is_weakly_acyclic",
+    "isomorphism_quotient", "parse_formula", "parse_mu",
+    "positive_approximate", "probe_run_bounded", "probe_state_bounded",
+    "rcycl", "simulate", "verify",
+]

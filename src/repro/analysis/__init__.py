@@ -1,0 +1,18 @@
+"""Static analysis: acyclicity conditions and boundedness probes."""
+
+from repro.analysis.boundedness import (
+    ProbeResult, Verdict, probe_run_bounded, probe_state_bounded)
+from repro.analysis.dataflow_graph import (
+    DataflowGraph, FlowEdge, GRWitness, TRUE_NODE, dataflow_graph,
+    is_gr_acyclic, is_gr_plus_acyclic)
+from repro.analysis.dependency_graph import (
+    DependencyGraph, dependency_graph, is_weakly_acyclic)
+from repro.analysis.positive_approximate import positive_approximate
+
+__all__ = [
+    "DataflowGraph", "DependencyGraph", "FlowEdge", "GRWitness",
+    "ProbeResult", "TRUE_NODE", "Verdict", "dataflow_graph",
+    "dependency_graph", "is_gr_acyclic", "is_gr_plus_acyclic",
+    "is_weakly_acyclic", "positive_approximate", "probe_run_bounded",
+    "probe_state_bounded",
+]

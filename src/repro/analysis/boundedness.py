@@ -1,0 +1,89 @@
+"""Semantic boundedness probes.
+
+Run-boundedness (Theorem 4.6) and state-boundedness (Theorem 5.5) are
+undecidable, so no checker can exist. These probes run the corresponding
+abstraction construction under a fuse and report either a *proof* of
+boundedness (the construction saturated — the abstract system is finite, so
+the DCDS is run-/state-bounded over its reachable fragment) or *evidence* of
+unboundedness (monotone growth up to the fuse), never a definite negative.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import AbstractionDiverged
+from repro.core.dcds import DCDS, ServiceSemantics
+from repro.semantics.abstract_det import build_det_abstraction
+from repro.semantics.rcycl import rcycl_partial
+from repro.semantics.transition_system import TransitionSystem
+
+
+class Verdict(enum.Enum):
+    BOUNDED = "bounded"
+    DIVERGENCE_SUSPECTED = "divergence-suspected"
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of a boundedness probe."""
+
+    verdict: Verdict
+    bound: Optional[int]                 # witness bound when BOUNDED
+    growth_trace: Tuple[int, ...]        # per-level growth evidence
+    states_explored: int
+    transition_system: Optional[TransitionSystem] = None
+
+    @property
+    def is_bounded(self) -> bool:
+        return self.verdict is Verdict.BOUNDED
+
+    def __repr__(self) -> str:
+        if self.is_bounded:
+            return (f"ProbeResult(bounded, bound={self.bound}, "
+                    f"states={self.states_explored})")
+        return (f"ProbeResult(divergence suspected, "
+                f"states={self.states_explored}, "
+                f"growth={self.growth_trace[:8]}...)")
+
+
+def probe_run_bounded(dcds: DCDS, max_states: int = 5000) -> ProbeResult:
+    """Probe run-boundedness via the deterministic abstraction (§4.2).
+
+    Saturation of the abstraction proves the DCDS run-bounded with bound
+    equal to the largest value-history of any abstract state.
+    """
+    deterministic = dcds if dcds.semantics is ServiceSemantics.DETERMINISTIC \
+        else dcds.with_semantics(ServiceSemantics.DETERMINISTIC)
+    try:
+        ts = build_det_abstraction(deterministic, max_states=max_states)
+    except AbstractionDiverged as diverged:
+        return ProbeResult(Verdict.DIVERGENCE_SUSPECTED, None,
+                           diverged.growth_trace, diverged.partial_states)
+    bound = max((len(state.known_values()) for state in ts.states), default=0)
+    growth = tuple(len(level) for level in ts.depth_levels())
+    return ProbeResult(Verdict.BOUNDED, bound, growth, len(ts), ts)
+
+
+def probe_state_bounded(dcds: DCDS, max_states: int = 5000,
+                        max_iterations: int = 500000) -> ProbeResult:
+    """Probe state-boundedness via RCYCL (§5.3).
+
+    Saturation proves state-boundedness with bound equal to the largest
+    active domain of any reachable abstract state.
+    """
+    nondet = dcds if dcds.semantics is ServiceSemantics.NONDETERMINISTIC \
+        else dcds.with_semantics(ServiceSemantics.NONDETERMINISTIC)
+    result = rcycl_partial(nondet, max_states=max_states,
+                           max_iterations=max_iterations)
+    ts = result.transition_system
+    sizes = tuple(
+        max((len(ts.db(state).active_domain()) for state in level), default=0)
+        for level in ts.depth_levels())
+    if result.diverged:
+        return ProbeResult(Verdict.DIVERGENCE_SUSPECTED, None, sizes, len(ts),
+                           ts)
+    bound = ts.max_state_size()
+    return ProbeResult(Verdict.BOUNDED, bound, sizes, len(ts), ts)

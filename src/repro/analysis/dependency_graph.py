@@ -1,0 +1,166 @@
+"""Dependency graph and weak acyclicity (Section 4.3, deterministic services).
+
+Nodes are positions ``(relation, i)``; for every effect ``q+ ~> E`` of the
+positive approximate and every variable ``x``:
+
+* ``x`` at position ``(R1, j)`` in ``q+`` and at position ``(R2, k)`` in the
+  head yields an *ordinary* edge ``(R1,j) -> (R2,k)``;
+* ``x`` at ``(R1, j)`` in ``q+`` and inside a service call stored at
+  ``(R2, k)`` yields a *special* edge.
+
+A DCDS is weakly acyclic when no cycle goes through a special edge — the
+sufficient condition for run-boundedness (Theorem 4.7), imported from chase
+termination in data exchange [Fagin et al.].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.dcds import DCDS
+from repro.relational.values import (
+    Param, ServiceCall, Var, term_variables)
+
+Position = Tuple[str, int]
+
+
+def _normalize(term, param_map: Dict[Param, Var]):
+    """Rewrite parameters into the free variables of the positive approximate."""
+    if isinstance(term, Param):
+        return param_map.setdefault(term, Var(f"p~{term.name}"))
+    if isinstance(term, ServiceCall):
+        return ServiceCall(term.function, tuple(
+            _normalize(arg, param_map) for arg in term.args))
+    return term
+
+
+@dataclass
+class DependencyGraph:
+    """The edge-labeled position graph plus the weak-acyclicity verdict."""
+
+    graph: nx.MultiDiGraph
+    dcds_name: str = ""
+
+    @property
+    def nodes(self) -> FrozenSet[Position]:
+        return frozenset(self.graph.nodes)
+
+    def edges(self) -> List[Tuple[Position, Position, bool]]:
+        return [(source, target, bool(data["special"]))
+                for source, target, data in self.graph.edges(data=True)]
+
+    def ordinary_edges(self) -> List[Tuple[Position, Position]]:
+        return [(s, t) for s, t, special in self.edges() if not special]
+
+    def special_edges(self) -> List[Tuple[Position, Position]]:
+        return [(s, t) for s, t, special in self.edges() if special]
+
+    def is_weakly_acyclic(self) -> bool:
+        """No cycle through a special edge: for every special edge
+        ``u -> v``, ``u`` must not be reachable from ``v``."""
+        return self.violating_special_edge() is None
+
+    def violating_special_edge(self) -> Optional[Tuple[Position, Position]]:
+        for source, target in self.special_edges():
+            if target == source or nx.has_path(self.graph, target, source):
+                return (source, target)
+        return None
+
+    def ranks(self) -> Dict[Position, int]:
+        """The rank of each position: max number of special edges on any
+        incoming path (finite iff weakly acyclic; used in the proof of
+        Theorem 4.7 to bound the polynomial)."""
+        if not self.is_weakly_acyclic():
+            raise ValueError("ranks are only defined for weakly acyclic graphs")
+        # Longest path in the condensation weighted by special edges.
+        condensed = nx.condensation(self.graph)
+        member_of = condensed.graph["mapping"]
+        rank: Dict[Position, int] = {node: 0 for node in self.graph.nodes}
+        for component in nx.topological_sort(condensed):
+            members = condensed.nodes[component]["members"]
+            base = max((rank[node] for node in members), default=0)
+            for node in members:
+                rank[node] = base
+            for node in members:
+                for _, target, data in self.graph.out_edges(node, data=True):
+                    weight = 1 if data["special"] else 0
+                    candidate = rank[node] + weight
+                    if candidate > rank[target]:
+                        rank[target] = candidate
+        return rank
+
+    def describe(self) -> str:
+        lines = [f"Dependency graph of {self.dcds_name!r}: "
+                 f"{len(self.nodes)} positions, "
+                 f"{self.graph.number_of_edges()} edges"]
+        for source, target, special in sorted(
+                self.edges(), key=lambda item: (repr(item[0]), repr(item[1]),
+                                                item[2])):
+            marker = "*" if special else " "
+            lines.append(f"  {source} -{marker}-> {target}")
+        verdict = "weakly acyclic" if self.is_weakly_acyclic() \
+            else f"NOT weakly acyclic (witness {self.violating_special_edge()})"
+        lines.append(f"  verdict: {verdict}")
+        return "\n".join(lines)
+
+
+def dependency_graph(dcds: DCDS) -> DependencyGraph:
+    """Build the dependency graph of the DCDS's positive approximate.
+
+    Works directly on the original specification (parameters are treated as
+    the free variables they become in ``S+``; negative filters are ignored).
+    """
+    graph = nx.MultiDiGraph()
+    for relation in dcds.schema:
+        for position in range(relation.arity):
+            graph.add_node((relation.name, position))
+
+    for action in dcds.process.actions:
+        param_map: Dict[Param, Var] = {}
+        for effect in action.effects:
+            body_positions = _variable_positions(effect, param_map)
+            for atom_ in effect.head:
+                for position, term in enumerate(atom_.terms):
+                    normalized = _normalize(term, param_map)
+                    target = (atom_.relation, position)
+                    if isinstance(normalized, Var):
+                        for source in body_positions.get(normalized, ()):
+                            _add_edge(graph, source, target, special=False)
+                    elif isinstance(normalized, ServiceCall):
+                        argument_vars: Set[Var] = set()
+                        for argument in normalized.args:
+                            argument_vars.update(term_variables(argument))
+                        for variable in argument_vars:
+                            for source in body_positions.get(variable, ()):
+                                _add_edge(graph, source, target, special=True)
+    return DependencyGraph(graph, dcds.name)
+
+
+def _variable_positions(effect, param_map) -> Dict[Var, Set[Position]]:
+    """Positions of each variable within the atoms of ``q+`` (parameters
+    included, as their positive-approximate variables)."""
+    positions: Dict[Var, Set[Position]] = {}
+    for atom_ in effect.q_plus.atoms():
+        for index, term in enumerate(atom_.terms):
+            normalized = _normalize(term, param_map)
+            if isinstance(normalized, Var):
+                positions.setdefault(normalized, set()).add(
+                    (atom_.relation, index))
+    return positions
+
+
+def _add_edge(graph: nx.MultiDiGraph, source: Position, target: Position,
+              special: bool) -> None:
+    # Deduplicate structurally identical edges (same endpoints + kind).
+    for _, existing_target, data in graph.out_edges(source, data=True):
+        if existing_target == target and data["special"] == special:
+            return
+    graph.add_edge(source, target, special=special)
+
+
+def is_weakly_acyclic(dcds: DCDS) -> bool:
+    """Convenience: the Theorem 4.8 precondition."""
+    return dependency_graph(dcds).is_weakly_acyclic()

@@ -1,0 +1,52 @@
+"""The positive approximate ``S+`` of a DCDS (Section 4.3).
+
+``S+`` abstracts away everything that can only *restrict* behaviour:
+
+* equality constraints are dropped;
+* every condition-action rule becomes ``true |-> alpha+``;
+* every action loses its parameters (they become free variables of ``q+``)
+  and every effect loses its negative filter ``Q−``.
+
+Both acyclicity analyses are defined over the positive approximate; the key
+property (Lemma 4.1) is that run-boundedness of ``S+`` implies
+run-boundedness of ``S``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.data_layer import DataLayer
+from repro.core.dcds import DCDS
+from repro.core.process_layer import (
+    Action, CARule, EffectSpec, ProcessLayer)
+from repro.fol.ast import TRUE, Formula
+from repro.relational.values import Param, Var
+
+
+def _param_as_var(param: Param) -> Var:
+    """The free variable standing in for a dropped parameter."""
+    return Var(f"p~{param.name}")
+
+
+def positive_approximate(dcds: DCDS) -> DCDS:
+    """Build ``S+`` from ``S``."""
+    new_actions = []
+    new_rules = []
+    for action in dcds.process.actions:
+        substitution = {param: _param_as_var(param)
+                        for param in action.params}
+        new_effects = []
+        for effect in action.effects:
+            q_plus = effect.q_plus.substitute(substitution)
+            head = tuple(atom_.substitute(substitution)
+                         for atom_ in effect.head)
+            new_effects.append(EffectSpec(q_plus, TRUE, head))
+        new_actions.append(
+            Action(f"{action.name}+", (), tuple(new_effects)))
+        new_rules.append(CARule(TRUE, f"{action.name}+"))
+
+    data = dcds.data.without_constraints()
+    process = ProcessLayer(dcds.process.functions, tuple(new_actions),
+                           tuple(new_rules))
+    return DCDS(data, process, dcds.semantics, f"{dcds.name}+")

@@ -1,0 +1,5 @@
+"""Bisimulations over data-labeled transition systems."""
+
+from repro.bisim.core import BisimMode, bisimilar, bounded_bisimilar
+
+__all__ = ["BisimMode", "bisimilar", "bounded_bisimilar"]

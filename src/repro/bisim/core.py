@@ -1,0 +1,234 @@
+"""History- and persistence-preserving bisimulations (Sections 3.1–3.2).
+
+Both notions relate states *together with* a partial bijection ``h`` between
+the two systems' data domains:
+
+* **history-preserving** (µLA-invariant, Thm 3.1): ``h`` induces an
+  isomorphism of the two current databases and successor moves must extend
+  ``h`` — names of *all* values ever seen are preserved forever;
+* **persistence-preserving** (µLP-invariant, Thm 3.2): ``h`` is an
+  isomorphism of the current databases and successor moves need only agree
+  on the values that *persist* (``h`` restricted to the intersection of the
+  current and successor active domains).
+
+Two checkers are provided:
+
+* :func:`bounded_bisimilar` — the step-bounded game, usable against
+  truncated concrete explorations (states at the horizon are not expanded);
+* :func:`bisimilar` — the full greatest-fixpoint computation over finite
+  transition systems, by on-the-fly closure of the candidate-triple graph
+  followed by refinement.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import ReproError
+from repro.relational.instance import Instance
+from repro.relational.isomorphism import iter_isomorphisms
+from repro.semantics.transition_system import State, TransitionSystem
+
+HItems = FrozenSet[Tuple[object, object]]
+
+
+class BisimMode(enum.Enum):
+    HISTORY = "history"
+    PERSISTENCE = "persistence"
+
+
+def _initial_bijections(db1: Instance, db2: Instance,
+                        mode: BisimMode) -> Iterator[Dict]:
+    yield from iter_isomorphisms(db1, db2)
+
+
+def _extensions(h: Dict, db1_current: Instance, db1_next: Instance,
+                db2_next: Instance, mode: BisimMode) -> Iterator[Dict]:
+    """Candidate ``h'`` for a move, per the mode's extension discipline.
+
+    Returns full mappings for the *next* pair: in history mode the union
+    ``h ∪ iso`` (a partial bijection over everything seen so far); in
+    persistence mode just the new isomorphism (``h`` is forgotten except on
+    persisting values).
+    """
+    adom_next = db1_next.active_domain()
+    if mode is BisimMode.HISTORY:
+        partial = {value: h[value] for value in adom_next if value in h}
+        image = set(h.values())
+        for iso in iter_isomorphisms(db1_next, db2_next, partial=partial):
+            # Injectivity with the history: a value not in dom(h) must not
+            # map onto a name already used by the history.
+            collision = any(
+                source not in h and target in image
+                for source, target in iso.items())
+            if collision:
+                continue
+            extended = dict(h)
+            extended.update(iso)
+            yield extended
+    else:
+        persisting = db1_current.active_domain() & adom_next
+        partial = {value: h[value] for value in persisting if value in h}
+        yield from iter_isomorphisms(db1_next, db2_next, partial=partial)
+
+
+def _local_ok(h: Dict, db1: Instance, db2: Instance) -> bool:
+    """``h`` (restricted to the active domains) induces an isomorphism."""
+    if not (db1.active_domain() <= set(h)):
+        return False
+    return db1.rename(h) == db2
+
+
+# ---------------------------------------------------------------------------
+# Bounded game
+# ---------------------------------------------------------------------------
+
+def bounded_bisimilar(
+    ts1: TransitionSystem, ts2: TransitionSystem, depth: int,
+    mode: BisimMode = BisimMode.HISTORY,
+    s1: Optional[State] = None, s2: Optional[State] = None,
+) -> bool:
+    """Bisimilarity up to ``depth`` rounds of the game.
+
+    Sound for comparing a *truncated* concrete exploration against a full
+    abstraction: if the systems are bisimilar, they are bounded-bisimilar at
+    every depth; a bounded failure refutes full bisimilarity (provided the
+    compared region is not truncated shallower than ``depth``).
+    """
+    start1 = ts1.initial if s1 is None else s1
+    start2 = ts2.initial if s2 is None else s2
+    memo: Dict[Tuple[State, State, HItems, int], bool] = {}
+
+    def game(state1: State, state2: State, h: Dict, remaining: int) -> bool:
+        key = (state1, state2, frozenset(h.items()), remaining)
+        if key in memo:
+            return memo[key]
+        db1, db2 = ts1.db(state1), ts2.db(state2)
+        if not _local_ok(h, db1, db2):
+            memo[key] = False
+            return False
+        if remaining == 0:
+            memo[key] = True
+            return True
+        memo[key] = True  # provisional, for cyclic revisits within budget
+        result = True
+        for next1 in ts1.successors(state1):
+            if not any(
+                    game(next1, next2, h_next, remaining - 1)
+                    for next2 in ts2.successors(state2)
+                    for h_next in _extensions(h, db1, ts1.db(next1),
+                                              ts2.db(next2), mode)):
+                result = False
+                break
+        if result:
+            for next2 in ts2.successors(state2):
+                if not any(
+                        game(next1, next2, h_next, remaining - 1)
+                        for next1 in ts1.successors(state1)
+                        for h_next in _extensions(h, db1, ts1.db(next1),
+                                                  ts2.db(next2), mode)):
+                    result = False
+                    break
+        memo[key] = result
+        return result
+
+    return any(
+        game(start1, start2, h0, depth)
+        for h0 in _initial_bijections(ts1.db(start1), ts2.db(start2), mode))
+
+
+# ---------------------------------------------------------------------------
+# Full greatest fixpoint
+# ---------------------------------------------------------------------------
+
+def bisimilar(
+    ts1: TransitionSystem, ts2: TransitionSystem,
+    mode: BisimMode = BisimMode.HISTORY,
+    max_triples: int = 200000,
+) -> bool:
+    """Full bisimilarity between two *finite* transition systems.
+
+    Computes the greatest fixpoint over the candidate-triple graph
+    ``(s1, h, s2)``, discovered on the fly from the initial isomorphisms.
+    The triple space is finite (partial bijections over the two finite value
+    sets); ``max_triples`` is a safety fuse.
+    """
+    if ts1.truncated_states or ts2.truncated_states:
+        raise ReproError(
+            "full bisimilarity needs fully expanded systems; "
+            "use bounded_bisimilar for truncated explorations")
+
+    Triple = Tuple[State, HItems, State]
+    initial_triples: List[Triple] = [
+        (ts1.initial, frozenset(h.items()), ts2.initial)
+        for h in _initial_bijections(
+            ts1.db(ts1.initial), ts2.db(ts2.initial), mode)]
+    if not initial_triples:
+        return False
+
+    # Closure: discover all triples reachable through candidate moves.
+    moves_forward: Dict[Triple, Dict[State, Set[Triple]]] = {}
+    moves_backward: Dict[Triple, Dict[State, Set[Triple]]] = {}
+    discovered: Set[Triple] = set()
+    frontier: List[Triple] = []
+
+    def discover(triple: Triple) -> None:
+        if triple not in discovered:
+            if len(discovered) >= max_triples:
+                raise ReproError(
+                    f"bisimulation triple space exceeded {max_triples}")
+            discovered.add(triple)
+            frontier.append(triple)
+
+    for triple in initial_triples:
+        h = dict(triple[1])
+        if _local_ok(h, ts1.db(triple[0]), ts2.db(triple[2])):
+            discover(triple)
+
+    while frontier:
+        triple = frontier.pop()
+        state1, h_items, state2 = triple
+        h = dict(h_items)
+        db1 = ts1.db(state1)
+        forward: Dict[State, Set[Triple]] = {}
+        for next1 in ts1.successors(state1):
+            options: Set[Triple] = set()
+            for next2 in ts2.successors(state2):
+                for h_next in _extensions(h, db1, ts1.db(next1),
+                                          ts2.db(next2), mode):
+                    if _local_ok(h_next, ts1.db(next1), ts2.db(next2)):
+                        candidate = (next1, frozenset(h_next.items()), next2)
+                        options.add(candidate)
+                        discover(candidate)
+            forward[next1] = options
+        backward: Dict[State, Set[Triple]] = {}
+        for next2 in ts2.successors(state2):
+            options = set()
+            for next1 in ts1.successors(state1):
+                for h_next in _extensions(h, db1, ts1.db(next1),
+                                          ts2.db(next2), mode):
+                    if _local_ok(h_next, ts1.db(next1), ts2.db(next2)):
+                        candidate = (next1, frozenset(h_next.items()), next2)
+                        options.add(candidate)
+                        discover(candidate)
+            backward[next2] = options
+        moves_forward[triple] = forward
+        moves_backward[triple] = backward
+
+    # Refinement: kill triples whose move obligations cannot be met.
+    alive: Set[Triple] = set(discovered)
+    changed = True
+    while changed:
+        changed = False
+        for triple in list(alive):
+            forward = moves_forward[triple]
+            backward = moves_backward[triple]
+            ok = all(options & alive for options in forward.values()) and \
+                all(options & alive for options in backward.values())
+            if not ok:
+                alive.discard(triple)
+                changed = True
+
+    return any(triple in alive for triple in initial_triples
+               if triple in discovered)

@@ -1,0 +1,21 @@
+"""The DCDS core: data layer, process layer, execution engine, builder."""
+
+from repro.core.builder import (
+    DCDSBuilder, parse_constraint, parse_effect, parse_facts, split_body)
+from repro.core.data_layer import (
+    DataLayer, EqualityConstraint, functional_dependency, key_constraint)
+from repro.core.dcds import DCDS, ServiceSemantics
+from repro.core.execution import (
+    calls_of, do_action, enabled_moves, evaluate_calls, ground_effect,
+    is_legal, legal_substitutions, successor_via)
+from repro.core.process_layer import (
+    Action, CARule, EffectSpec, ProcessLayer, ServiceFunction, effect)
+
+__all__ = [
+    "Action", "CARule", "DCDS", "DCDSBuilder", "DataLayer", "EffectSpec",
+    "EqualityConstraint", "ProcessLayer", "ServiceFunction",
+    "ServiceSemantics", "calls_of", "do_action", "effect", "enabled_moves",
+    "evaluate_calls", "functional_dependency", "ground_effect", "is_legal",
+    "key_constraint", "legal_substitutions", "parse_constraint",
+    "parse_effect", "parse_facts", "split_body", "successor_via",
+]

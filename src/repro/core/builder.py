@@ -1,0 +1,253 @@
+"""Fluent builder for DCDS specifications.
+
+Lets a DCDS be written close to the paper's notation::
+
+    builder = DCDSBuilder(name="example41", constants={"a"})
+    builder.schema("P/1", "Q/2", "R/1")
+    builder.initial("P(a), Q(a, a)")
+    builder.service("f/1")
+    builder.service("g/1")
+    builder.action("alpha",
+                   "Q(a, a) & P(x) ~> R(x)",
+                   "P(x) ~> P(x), Q(f(x), g(x))")
+    builder.rule("true", "alpha")
+    dcds = builder.build()
+
+Effect syntax: ``body ~> head1, head2, ...`` where the body is an FO formula
+(positive conjuncts become ``q+``, the rest become the filter ``Q−``) and the
+heads are atoms whose terms may be service calls. Parameters are written
+``$p`` in both rule conditions and effects.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from repro.errors import ParseError, ProcessError
+from repro.core.data_layer import (
+    DataLayer, EqualityConstraint, functional_dependency, key_constraint)
+from repro.core.dcds import DCDS, ServiceSemantics
+from repro.core.process_layer import (
+    Action, CARule, EffectSpec, ProcessLayer, ServiceFunction)
+from repro.fol.ast import And, Atom, Eq, Formula, TRUE, is_positive_existential
+from repro.fol.parser import FormulaParser, parse_formula, parse_head_atom
+from repro.relational.instance import Fact, Instance
+from repro.relational.schema import DatabaseSchema, parse_relation_spec
+from repro.relational.values import Param, Var
+
+
+def _split_top_level(text: str, separator: str) -> List[str]:
+    """Split on a separator at paren depth 0, respecting quoted strings."""
+    parts: List[str] = []
+    depth = 0
+    in_string = False
+    start = 0
+    index = 0
+    while index < len(text):
+        char = text[index]
+        if in_string:
+            if char == "'":
+                in_string = False
+        elif char == "'":
+            in_string = True
+        elif char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif depth == 0 and text.startswith(separator, index):
+            parts.append(text[start:index])
+            index += len(separator)
+            start = index
+            continue
+        index += 1
+    parts.append(text[start:])
+    return parts
+
+
+def parse_facts(text: str) -> List[Fact]:
+    """Parse ``"P(a), Q(a, b), R()"`` — bare identifiers are constants."""
+    facts: List[Fact] = []
+    for chunk in _split_top_level(text, ","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        open_paren = chunk.index("(")
+        name = chunk[:open_paren].strip()
+        inner = chunk[open_paren + 1:chunk.rindex(")")].strip()
+        terms: List[Any] = []
+        if inner:
+            for raw in _split_top_level(inner, ","):
+                raw = raw.strip()
+                if raw.startswith("'") and raw.endswith("'"):
+                    terms.append(raw[1:-1])
+                elif raw.lstrip("-").isdigit():
+                    terms.append(int(raw))
+                else:
+                    terms.append(raw)
+        facts.append(Fact(name, tuple(terms)))
+    return facts
+
+
+def parse_effect(text: str, constants: Iterable[str] = ()) -> EffectSpec:
+    """Parse ``"body ~> head1, head2"`` into an :class:`EffectSpec`.
+
+    Top-level positive-existential conjuncts of the body become ``q+``; the
+    remaining conjuncts become the filter ``Q−``.
+    """
+    pieces = _split_top_level(text, "~>")
+    if len(pieces) != 2:
+        raise ParseError(f"effect must contain exactly one '~>': {text!r}")
+    body_text, head_text = pieces
+    body = parse_formula(body_text.strip(), constants)
+    q_plus, q_minus = split_body(body)
+    heads = tuple(
+        parse_head_atom(chunk.strip(), constants)
+        for chunk in _split_top_level(head_text, ",") if chunk.strip())
+    if not heads:
+        raise ParseError(f"effect has no head atoms: {text!r}")
+    return EffectSpec(q_plus, q_minus, heads)
+
+
+def split_body(body: Formula) -> Tuple[Formula, Formula]:
+    """Split an effect body into ``(q+, Q−)``.
+
+    Positive-existential top-level conjuncts go to ``q+``; everything else is
+    the filter. If the whole body is positive it becomes ``q+`` wholesale.
+    """
+    if is_positive_existential(body):
+        return body, TRUE
+    if isinstance(body, And):
+        plus = [sub for sub in body.subs if is_positive_existential(sub)]
+        minus = [sub for sub in body.subs if not is_positive_existential(sub)]
+        return And.of(*plus), And.of(*minus)
+    # Entirely non-positive body: q+ is true, the body is all filter.
+    return TRUE, body
+
+
+def parse_constraint(text: str, constants: Iterable[str] = (),
+                     name: str = "") -> EqualityConstraint:
+    """Parse ``"P(x) & Q(y, z) -> x = y"`` into an equality constraint."""
+    pieces = _split_top_level(text, "->")
+    if len(pieces) != 2:
+        raise ParseError(
+            f"constraint must contain exactly one top-level '->': {text!r}")
+    query = parse_formula(pieces[0].strip(), constants)
+    equalities: List[Tuple[Any, Any]] = []
+    for chunk in _split_top_level(pieces[1], "&"):
+        parsed = parse_formula(chunk.strip(), constants)
+        if not isinstance(parsed, Eq):
+            raise ParseError(
+                f"constraint right-hand side must be equalities: {chunk!r}")
+        equalities.append((parsed.left, parsed.right))
+    return EqualityConstraint(query, tuple(equalities), name)
+
+
+class DCDSBuilder:
+    """Accumulates the pieces of a DCDS and validates on :meth:`build`."""
+
+    def __init__(self, name: str = "dcds",
+                 constants: Iterable[str] = ()):
+        self.name = name
+        self.constants: Set[str] = set(constants)
+        self._schema_specs: List[Any] = []
+        self._initial_facts: List[Fact] = []
+        self._constraints: List[EqualityConstraint] = []
+        self._functions: List[ServiceFunction] = []
+        self._actions: List[Action] = []
+        self._rules: List[CARule] = []
+
+    # -- data layer -----------------------------------------------------------
+
+    def schema(self, *specs: Any) -> "DCDSBuilder":
+        self._schema_specs.extend(specs)
+        return self
+
+    def initial(self, facts: Union[str, Iterable[Fact]]) -> "DCDSBuilder":
+        if isinstance(facts, str):
+            self._initial_facts.extend(parse_facts(facts))
+        else:
+            self._initial_facts.extend(facts)
+        return self
+
+    def constraint(self, spec: Union[str, EqualityConstraint],
+                   name: str = "") -> "DCDSBuilder":
+        if isinstance(spec, str):
+            spec = parse_constraint(spec, self.constants, name)
+        self._constraints.append(spec)
+        return self
+
+    def key(self, relation: str, *key_positions: int) -> "DCDSBuilder":
+        """Declare key positions (0-based) for a relation."""
+        arity = self._arity_of(relation)
+        self._constraints.extend(
+            key_constraint(relation, arity, tuple(key_positions),
+                           name=f"key:{relation}"))
+        return self
+
+    def functional(self, relation: str, determinant: Tuple[int, ...],
+                   dependent: int) -> "DCDSBuilder":
+        arity = self._arity_of(relation)
+        self._constraints.append(
+            functional_dependency(relation, arity, determinant, dependent))
+        return self
+
+    def _arity_of(self, relation: str) -> int:
+        for spec in self._schema_specs:
+            parsed = spec if not isinstance(spec, str) \
+                else parse_relation_spec(spec)
+            if not isinstance(parsed, tuple) and parsed.name == relation:
+                return parsed.arity
+        raise ProcessError(f"relation {relation!r} not declared yet")
+
+    # -- process layer ----------------------------------------------------------
+
+    def service(self, spec: str,
+                deterministic: Optional[bool] = None) -> "DCDSBuilder":
+        """Declare a service function from ``"f/2"`` notation."""
+        name, _, arity = spec.partition("/")
+        self._functions.append(
+            ServiceFunction(name.strip(), int(arity), deterministic))
+        return self
+
+    def action(self, signature: str, *effects: Union[str, EffectSpec]
+               ) -> "DCDSBuilder":
+        """Declare an action. Signature: ``"alpha"`` or ``"alpha(p, q)"``."""
+        signature = signature.strip()
+        if "(" in signature:
+            name = signature[:signature.index("(")].strip()
+            inner = signature[signature.index("(") + 1:signature.rindex(")")]
+            params = tuple(Param(p.strip()) for p in inner.split(",")
+                           if p.strip())
+        else:
+            name, params = signature, ()
+        parsed_effects = tuple(
+            parse_effect(item, self.constants) if isinstance(item, str)
+            else item
+            for item in effects)
+        self._actions.append(Action(name, params, parsed_effects))
+        return self
+
+    def rule(self, condition: Union[str, Formula], action: str
+             ) -> "DCDSBuilder":
+        if isinstance(condition, str):
+            condition = parse_formula(condition, self.constants)
+        self._rules.append(CARule(condition, action))
+        return self
+
+    # -- assembly -----------------------------------------------------------------
+
+    def build(self,
+              semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC
+              ) -> DCDS:
+        schema = DatabaseSchema.of(*self._schema_specs)
+        data = DataLayer(schema, tuple(self._constraints),
+                         Instance(self._initial_facts))
+        process = ProcessLayer(tuple(self._functions), tuple(self._actions),
+                               tuple(self._rules))
+        return DCDS(data, process, semantics, self.name)
+
+    def build_deterministic(self) -> DCDS:
+        return self.build(ServiceSemantics.DETERMINISTIC)
+
+    def build_nondeterministic(self) -> DCDS:
+        return self.build(ServiceSemantics.NONDETERMINISTIC)

@@ -1,0 +1,161 @@
+"""The data layer of a DCDS (Section 2.1).
+
+A data layer ``D = <C, R, E, I0>`` bundles a relational schema, a finite set
+of equality constraints, and the initial instance. The infinite domain ``C``
+is implicit (any hashable value); what matters operationally is ``ADOM(I0)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Iterable, List, Tuple
+
+from repro.errors import ConstraintViolation, SchemaError
+from repro.fol.ast import Formula
+from repro.fol.evaluation import answers, evaluation_domain
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+from repro.relational.values import Param, Var, is_value
+
+
+@dataclass(frozen=True)
+class EqualityConstraint:
+    """An equality constraint ``Q -> z1 = y1 & ... & zk = yk``.
+
+    ``query`` is a domain-independent FO query; each pair in ``equalities``
+    relates free variables of the query and/or constants. The constraint is
+    satisfied by an instance when every answer of the query equates the
+    corresponding terms (Section 2.1).
+    """
+
+    query: Formula
+    equalities: Tuple[Tuple[Any, Any], ...]
+    name: str = ""
+
+    def __post_init__(self):
+        free = self.query.free_variables()
+        for left, right in self.equalities:
+            for term in (left, right):
+                if isinstance(term, Param):
+                    raise SchemaError(
+                        "equality constraints cannot mention parameters")
+                if isinstance(term, Var) and term not in free:
+                    raise SchemaError(
+                        f"equality term {term!r} is not a free variable "
+                        f"of the constraint query")
+
+    def __repr__(self) -> str:
+        pairs = " & ".join(f"{l!r} = {r!r}" for l, r in self.equalities)
+        label = f"{self.name}: " if self.name else ""
+        return f"{label}{self.query!r} -> {pairs}"
+
+    def satisfied_by(self, instance: Instance,
+                     extra_domain: Iterable[Any] = ()) -> bool:
+        """Check the constraint against an instance."""
+        domain = evaluation_domain(instance, self.query, extra_domain)
+        for theta in answers(self.query, instance, domain=domain):
+            for left, right in self.equalities:
+                left_value = theta.get(left, left) if isinstance(left, Var) \
+                    else left
+                right_value = theta.get(right, right) if isinstance(right, Var) \
+                    else right
+                if left_value != right_value:
+                    return False
+        return True
+
+    def violations(self, instance: Instance,
+                   extra_domain: Iterable[Any] = ()) -> List[dict]:
+        """The answers of the query that violate some equality (diagnostics)."""
+        domain = evaluation_domain(instance, self.query, extra_domain)
+        found = []
+        for theta in answers(self.query, instance, domain=domain):
+            for left, right in self.equalities:
+                left_value = theta.get(left, left) if isinstance(left, Var) \
+                    else left
+                right_value = theta.get(right, right) if isinstance(right, Var) \
+                    else right
+                if left_value != right_value:
+                    found.append(theta)
+                    break
+        return found
+
+
+def functional_dependency(relation: str, arity: int,
+                          determinant: Tuple[int, ...],
+                          dependent: int, name: str = "") -> EqualityConstraint:
+    """An FD ``determinant -> dependent`` on a relation, as an equality constraint.
+
+    Positions are 0-based. Used e.g. to declare keys (proofs of Theorems 4.1
+    and 6.1 rely on key/FD constraints).
+    """
+    from repro.fol.ast import And, Atom
+
+    left_vars = tuple(Var(f"u{i}") for i in range(arity))
+    right_vars = tuple(
+        left_vars[i] if i in determinant else Var(f"w{i}")
+        for i in range(arity))
+    query = And.of(Atom(relation, left_vars), Atom(relation, right_vars))
+    constraint_name = name or (
+        f"fd:{relation}[{','.join(map(str, determinant))}]->{dependent}")
+    return EqualityConstraint(
+        query, ((left_vars[dependent], right_vars[dependent]),),
+        constraint_name)
+
+
+def key_constraint(relation: str, arity: int, key_positions: Tuple[int, ...],
+                   name: str = "") -> List[EqualityConstraint]:
+    """Key positions determine every other position (one FD per dependent)."""
+    return [
+        functional_dependency(relation, arity, key_positions, position,
+                              name=name and f"{name}:{position}")
+        for position in range(arity) if position not in key_positions]
+
+
+@dataclass(frozen=True)
+class DataLayer:
+    """``D = <C, R, E, I0>`` — schema, equality constraints, initial instance."""
+
+    schema: DatabaseSchema
+    constraints: Tuple[EqualityConstraint, ...]
+    initial: Instance
+
+    def __post_init__(self):
+        self.initial.validate(self.schema)
+        for constraint in self.constraints:
+            for atom_ in constraint.query.atoms():
+                if atom_.relation not in self.schema:
+                    raise SchemaError(
+                        f"constraint {constraint!r} mentions undeclared "
+                        f"relation {atom_.relation!r}")
+                if len(atom_.terms) != self.schema.arity(atom_.relation):
+                    raise SchemaError(
+                        f"constraint {constraint!r} uses {atom_.relation!r} "
+                        f"with wrong arity")
+        violated = [c for c in self.constraints
+                    if not c.satisfied_by(self.initial)]
+        if violated:
+            raise ConstraintViolation(
+                f"initial instance violates constraints: {violated}")
+
+    @property
+    def initial_adom(self) -> FrozenSet[Any]:
+        return self.initial.active_domain()
+
+    def satisfies_constraints(self, instance: Instance) -> bool:
+        """True when the instance satisfies every equality constraint."""
+        extra = self.initial_adom
+        return all(constraint.satisfied_by(instance, extra)
+                   for constraint in self.constraints)
+
+    def check_constraints(self, instance: Instance) -> None:
+        """Raise :class:`ConstraintViolation` with diagnostics on failure."""
+        extra = self.initial_adom
+        for constraint in self.constraints:
+            broken = constraint.violations(instance, extra)
+            if broken:
+                raise ConstraintViolation(
+                    f"constraint {constraint!r} violated by {broken[:3]}")
+
+    def without_constraints(self) -> "DataLayer":
+        """The data layer of the positive approximate (Section 4.3)."""
+        return DataLayer(self.schema, (), self.initial)

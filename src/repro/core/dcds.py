@@ -1,0 +1,121 @@
+"""The DCDS itself: a data layer plus a process layer (Section 2).
+
+The service semantics (deterministic, Section 4, vs. nondeterministic,
+Section 5) is a property of how the transition system is constructed, so it
+is carried by the DCDS as :class:`ServiceSemantics`; individual functions may
+override it for the mixed semantics of Section 6.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+from typing import Any, FrozenSet, Iterable, Tuple
+
+from repro.errors import ProcessError, SchemaError
+from repro.core.data_layer import DataLayer
+from repro.core.process_layer import Action, CARule, ProcessLayer
+
+
+class ServiceSemantics(enum.Enum):
+    """How external services behave across invocations."""
+
+    DETERMINISTIC = "deterministic"
+    NONDETERMINISTIC = "nondeterministic"
+
+
+@dataclass(frozen=True)
+class DCDS:
+    """``S = <D, P>`` with a chosen service semantics."""
+
+    data: DataLayer
+    process: ProcessLayer
+    semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC
+    name: str = "dcds"
+
+    def __post_init__(self):
+        schema = self.data.schema
+        for action in self.process.actions:
+            for effect in action.effects:
+                for atom_ in effect.q_plus.atoms():
+                    self._check_atom(schema, atom_, action)
+                for atom_ in effect.q_minus.atoms():
+                    self._check_atom(schema, atom_, action)
+                for atom_ in effect.head:
+                    self._check_atom(schema, atom_, action)
+        for rule in self.process.rules:
+            for atom_ in rule.query.atoms():
+                if atom_.relation not in schema:
+                    raise SchemaError(
+                        f"rule {rule!r} mentions undeclared relation "
+                        f"{atom_.relation!r}")
+
+    @staticmethod
+    def _check_atom(schema, atom_, action: Action) -> None:
+        if atom_.relation not in schema:
+            raise SchemaError(
+                f"action {action.name!r} mentions undeclared relation "
+                f"{atom_.relation!r}")
+        if len(atom_.terms) != schema.arity(atom_.relation):
+            raise SchemaError(
+                f"action {action.name!r} uses {atom_.relation!r} with arity "
+                f"{len(atom_.terms)}, schema says "
+                f"{schema.arity(atom_.relation)}")
+
+    # -- accessors -------------------------------------------------------------
+
+    @property
+    def schema(self):
+        return self.data.schema
+
+    @property
+    def initial(self):
+        return self.data.initial
+
+    def known_constants(self) -> FrozenSet[Any]:
+        """``ADOM(I0)`` plus constants mentioned in the process layer.
+
+        The paper assumes wlog that all constants used in formulae appear in
+        I0 (footnote 2); in practice specifications mention fresh constants
+        (e.g. status literals), so we track the union.
+        """
+        return self.data.initial_adom | self.process.constants()
+
+    def is_deterministic(self, function_name: str) -> bool:
+        """Effective semantics of one service function (mixed semantics, §6)."""
+        function = self.process.function(function_name)
+        if function.deterministic is not None:
+            return function.deterministic
+        return self.semantics is ServiceSemantics.DETERMINISTIC
+
+    def has_mixed_semantics(self) -> bool:
+        default_det = self.semantics is ServiceSemantics.DETERMINISTIC
+        return any(function.deterministic is not None
+                   and function.deterministic != default_det
+                   for function in self.process.functions)
+
+    def with_semantics(self, semantics: ServiceSemantics) -> "DCDS":
+        return replace(self, semantics=semantics)
+
+    def size(self) -> int:
+        """A rough size measure (relations + actions + effects + rules)."""
+        effects = sum(len(action.effects) for action in self.process.actions)
+        return (len(self.schema) + len(self.process.actions) + effects
+                + len(self.process.rules))
+
+    def describe(self) -> str:
+        """Human-readable multi-line summary of the specification."""
+        lines = [f"DCDS {self.name!r} ({self.semantics.value} services)"]
+        lines.append(f"  schema: {self.schema!r}")
+        lines.append(f"  I0: {self.initial!r}")
+        for constraint in self.data.constraints:
+            lines.append(f"  constraint: {constraint!r}")
+        for function in self.process.functions:
+            lines.append(f"  service: {function!r}")
+        for action in self.process.actions:
+            lines.append(f"  action {action!r}:")
+            for effect in action.effects:
+                lines.append(f"    {effect!r}")
+        for rule in self.process.rules:
+            lines.append(f"  rule: {rule!r}")
+        return "\n".join(lines)

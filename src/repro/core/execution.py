@@ -1,0 +1,171 @@
+"""Action execution: legal parameters, ``DO()``, and service-call handling.
+
+This module implements the state-transformation primitives shared by both
+service semantics (Sections 4.1 and 5.1):
+
+* :func:`legal_substitutions` — the parameter substitutions ``sigma`` allowed
+  by a condition-action rule in a state;
+* :func:`do_action` — ``DO(I, alpha sigma)``: the instance (possibly
+  containing ground service-call terms) produced by applying all effects;
+* :func:`evaluate_calls` — apply an evaluation ``theta`` (service call ->
+  value) and check the equality constraints, yielding the successor instance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import ExecutionError, IllegalParameters
+from repro.core.dcds import DCDS
+from repro.core.process_layer import Action, CARule, EffectSpec
+from repro.fol.evaluation import answers, evaluation_domain
+from repro.relational.instance import Fact, Instance
+from repro.relational.values import (
+    Param, ServiceCall, Var, is_value, substitute_term)
+from repro.utils import value_sort_key
+
+ParamSubstitution = Dict[Param, Any]
+CallEvaluation = Dict[ServiceCall, Any]
+
+
+def _param_to_var(param: Param) -> Var:
+    """Internal variable standing for an action parameter in rule queries."""
+    return Var(f"@{param.name}")
+
+
+def legal_substitutions(
+    dcds: DCDS, instance: Instance, rule: CARule
+) -> List[ParamSubstitution]:
+    """All legal parameter substitutions for ``rule`` in ``instance``.
+
+    A substitution ``sigma`` is legal when ``<p1, ..., pm> sigma`` is an
+    answer of the rule's query over the current instance (Section 4.1).
+    """
+    action = dcds.process.action(rule.action)
+    if not action.params:
+        domain = evaluation_domain(instance, rule.query,
+                                   dcds.data.initial_adom)
+        if answers(rule.query, instance, domain=domain):
+            return [{}]
+        return []
+
+    to_var = {param: _param_to_var(param) for param in action.params}
+    query = rule.query.substitute(to_var)
+    domain = evaluation_domain(instance, query, dcds.data.initial_adom)
+    substitutions = []
+    for theta in answers(query, instance, domain=domain):
+        substitutions.append(
+            {param: theta[to_var[param]] for param in action.params})
+
+    def order(sigma: ParamSubstitution) -> tuple:
+        return tuple(value_sort_key(sigma[param]) for param in action.params)
+
+    substitutions.sort(key=order)
+    return substitutions
+
+
+def is_legal(dcds: DCDS, instance: Instance, rule: CARule,
+             sigma: ParamSubstitution) -> bool:
+    """Check one substitution for legality."""
+    return sigma in legal_substitutions(dcds, instance, rule)
+
+
+def enabled_moves(
+    dcds: DCDS, instance: Instance
+) -> Iterator[Tuple[Action, ParamSubstitution]]:
+    """All (action, sigma) pairs enabled by some rule in the current state."""
+    seen = set()
+    for rule in dcds.process.rules:
+        action = dcds.process.action(rule.action)
+        for sigma in legal_substitutions(dcds, instance, rule):
+            key = (action.name, tuple(sorted(
+                ((param.name, sigma[param]) for param in action.params),
+            )))
+            if key not in seen:
+                seen.add(key)
+                yield action, sigma
+
+
+def ground_effect(
+    dcds: DCDS, instance: Instance, effect: EffectSpec,
+    sigma: ParamSubstitution
+) -> FrozenSet[Fact]:
+    """The facts contributed by one effect: ``E sigma theta`` for every
+    answer ``theta`` of ``(q+ ∧ Q−) sigma`` over the instance."""
+    body = effect.body.substitute(sigma)
+    remaining_params = body.parameters()
+    if remaining_params:
+        raise IllegalParameters(
+            f"effect body still has parameters {sorted(remaining_params, key=repr)} "
+            f"after substitution")
+    domain = evaluation_domain(instance, body, dcds.data.initial_adom)
+    produced = set()
+    for theta in answers(body, instance, domain=domain):
+        for atom_ in effect.head:
+            terms = []
+            for term in atom_.terms:
+                grounded = substitute_term(
+                    substitute_term(term, sigma), theta)
+                if isinstance(grounded, (Var, Param)):
+                    raise ExecutionError(
+                        f"head term {term!r} not grounded by sigma/theta")
+                if isinstance(grounded, ServiceCall) and not grounded.is_ground():
+                    raise ExecutionError(
+                        f"service call {grounded!r} has non-ground arguments")
+                terms.append(grounded)
+            produced.add(Fact(atom_.relation, tuple(terms)))
+    return frozenset(produced)
+
+
+def do_action(
+    dcds: DCDS, instance: Instance, action: Action,
+    sigma: ParamSubstitution
+) -> Instance:
+    """``DO(I, alpha sigma)``: union of all grounded effects (Section 4.1).
+
+    The result may contain ground service-call terms awaiting evaluation.
+    """
+    declared = frozenset(action.params)
+    if frozenset(sigma) != declared:
+        raise IllegalParameters(
+            f"substitution binds {sorted(sigma, key=repr)}, action "
+            f"{action.name!r} declares {sorted(declared, key=repr)}")
+    produced: set = set()
+    for effect in action.effects:
+        produced.update(ground_effect(dcds, instance, effect, sigma))
+    return Instance(produced)
+
+
+def calls_of(pending: Instance) -> List[ServiceCall]:
+    """``CALLS(I)``: the ground service calls in a pending instance, sorted."""
+    return sorted(pending.service_calls(), key=repr)
+
+
+def evaluate_calls(
+    dcds: DCDS, pending: Instance, evaluation: CallEvaluation,
+    check_constraints: bool = True
+) -> Optional[Instance]:
+    """Apply a service-call evaluation and check equality constraints.
+
+    Returns the successor instance, or ``None`` when the evaluation violates
+    some equality constraint (such successors do not exist — condition 4 of
+    EXECS / N-EXECS).
+    """
+    successor = pending.apply_call_map(evaluation)
+    if check_constraints and not dcds.data.satisfies_constraints(successor):
+        return None
+    return successor
+
+
+def successor_via(
+    dcds: DCDS, instance: Instance, action: Action,
+    sigma: ParamSubstitution, evaluation: CallEvaluation,
+    check_constraints: bool = True
+) -> Optional[Instance]:
+    """One-shot: ``DO`` then evaluate calls then constraint check."""
+    pending = do_action(dcds, instance, action, sigma)
+    missing = pending.service_calls() - set(evaluation)
+    if missing:
+        raise ExecutionError(
+            f"evaluation misses calls {sorted(missing, key=repr)}")
+    return evaluate_calls(dcds, pending, evaluation, check_constraints)

@@ -1,0 +1,243 @@
+"""The process layer of a DCDS (Section 2.2).
+
+``P = <F, A, rho>``: service functions, actions, and condition-action rules.
+
+An action ``alpha(p1, ..., pn) : {e1, ..., em}`` has effect specifications
+``e = q+ ∧ Q− ~> E`` where ``q+`` is a UCQ selecting bindings, ``Q−`` an
+arbitrary FO filter over the variables of ``q+``, and ``E`` a set of facts
+whose terms may be constants, parameters, free variables of ``q+``, and
+service calls over those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterator, Optional, Tuple
+
+from repro.errors import ProcessError
+from repro.fol.ast import (
+    And, Atom, Formula, TRUE, is_positive_existential)
+from repro.relational.values import (
+    Param, ServiceCall, Var, is_value, term_parameters, term_service_calls,
+    term_values, term_variables)
+
+
+@dataclass(frozen=True)
+class ServiceFunction:
+    """Interface to an external service: a function name with an arity.
+
+    ``deterministic`` may override the DCDS-level semantics per function,
+    enabling the mixed semantics of Section 6 (``None`` = inherit).
+    """
+
+    name: str
+    arity: int
+    deterministic: Optional[bool] = None
+
+    def __repr__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+
+@dataclass(frozen=True)
+class EffectSpec:
+    """One effect specification ``q+ ∧ Q− ~> E``.
+
+    ``q_plus`` must be positive existential (UCQ); ``q_minus`` is an arbitrary
+    FO formula whose free variables are included in those of ``q_plus`` (plus
+    parameters); ``head`` is the tuple of facts to produce.
+    """
+
+    q_plus: Formula
+    q_minus: Formula
+    head: Tuple[Atom, ...]
+
+    def __post_init__(self):
+        if not is_positive_existential(self.q_plus):
+            raise ProcessError(
+                f"q+ must be a UCQ, got {self.q_plus!r}")
+        plus_vars = self.q_plus.free_variables()
+        minus_extra = self.q_minus.free_variables() - plus_vars
+        if minus_extra:
+            raise ProcessError(
+                f"Q- uses variables {sorted(v.name for v in minus_extra)} "
+                f"not free in q+")
+        for atom_ in self.head:
+            for variable in self.head_variables_of(atom_):
+                if variable not in plus_vars:
+                    raise ProcessError(
+                        f"head {atom_!r} uses variable {variable!r} "
+                        f"not free in q+ {self.q_plus!r}")
+
+    @staticmethod
+    def head_variables_of(atom_: Atom) -> Iterator[Var]:
+        for term in atom_.terms:
+            yield from term_variables(term)
+
+    @property
+    def body(self) -> Formula:
+        """``q+ ∧ Q−`` as a single formula."""
+        return And.of(self.q_plus, self.q_minus)
+
+    def __repr__(self) -> str:
+        head = ", ".join(repr(atom_) for atom_ in self.head)
+        return f"{self.body!r} ~> {{{head}}}"
+
+    def parameters(self) -> FrozenSet[Param]:
+        found = set(self.q_plus.parameters()) | set(self.q_minus.parameters())
+        for atom_ in self.head:
+            for term in atom_.terms:
+                found.update(term_parameters(term))
+        return frozenset(found)
+
+    def service_calls(self) -> FrozenSet[ServiceCall]:
+        """The (non-ground) service-call templates in the head."""
+        found = set()
+        for atom_ in self.head:
+            for term in atom_.terms:
+                found.update(term_service_calls(term))
+        return frozenset(found)
+
+    def head_relations(self) -> FrozenSet[str]:
+        return frozenset(atom_.relation for atom_ in self.head)
+
+    def constants(self) -> FrozenSet[Any]:
+        found = set(self.q_plus.constants()) | set(self.q_minus.constants())
+        for atom_ in self.head:
+            for term in atom_.terms:
+                found.update(term_values(term))
+        return frozenset(found)
+
+
+def effect(q_plus: Formula, head: Tuple[Atom, ...],
+           q_minus: Formula = TRUE) -> EffectSpec:
+    """Convenience constructor with the filter defaulting to ``true``."""
+    return EffectSpec(q_plus, q_minus, tuple(head))
+
+
+@dataclass(frozen=True)
+class Action:
+    """``alpha(p1, ..., pn) : {e1, ..., em}``."""
+
+    name: str
+    params: Tuple[Param, ...]
+    effects: Tuple[EffectSpec, ...]
+
+    def __post_init__(self):
+        if len(set(self.params)) != len(self.params):
+            raise ProcessError(f"action {self.name!r} has duplicate parameters")
+        declared = frozenset(self.params)
+        for effect_ in self.effects:
+            undeclared = effect_.parameters() - declared
+            if undeclared:
+                raise ProcessError(
+                    f"action {self.name!r} effect uses undeclared parameters "
+                    f"{sorted(p.name for p in undeclared)}")
+
+    def __repr__(self) -> str:
+        params = ", ".join(p.name for p in self.params)
+        return f"{self.name}({params})"
+
+    def service_calls(self) -> FrozenSet[ServiceCall]:
+        found = set()
+        for effect_ in self.effects:
+            found.update(effect_.service_calls())
+        return frozenset(found)
+
+    def service_functions_used(self) -> FrozenSet[Tuple[str, int]]:
+        return frozenset((call.function, call.arity)
+                         for call in self.service_calls())
+
+    def head_relations(self) -> FrozenSet[str]:
+        found = set()
+        for effect_ in self.effects:
+            found.update(effect_.head_relations())
+        return frozenset(found)
+
+    def constants(self) -> FrozenSet[Any]:
+        found = set()
+        for effect_ in self.effects:
+            found.update(effect_.constants())
+        return frozenset(found)
+
+
+@dataclass(frozen=True)
+class CARule:
+    """A condition-action rule ``Q |-> alpha``.
+
+    The free variables of ``Q`` must be exactly the parameters of the action;
+    we represent them as :class:`Param` terms inside the query.
+    """
+
+    query: Formula
+    action: str
+
+    def __post_init__(self):
+        free = self.query.free_variables()
+        if free:
+            raise ProcessError(
+                f"rule query must bind parameters via $p terms and quantify "
+                f"other variables; found free variables "
+                f"{sorted(v.name for v in free)}")
+
+    def __repr__(self) -> str:
+        return f"{self.query!r} |-> {self.action}"
+
+
+@dataclass(frozen=True)
+class ProcessLayer:
+    """``P = <F, A, rho>``."""
+
+    functions: Tuple[ServiceFunction, ...]
+    actions: Tuple[Action, ...]
+    rules: Tuple[CARule, ...]
+
+    def __post_init__(self):
+        names = [function.name for function in self.functions]
+        if len(set(names)) != len(names):
+            raise ProcessError("duplicate service function name")
+        action_names = [action.name for action in self.actions]
+        if len(set(action_names)) != len(action_names):
+            raise ProcessError("duplicate action name")
+        declared = {(f.name, f.arity) for f in self.functions}
+        for action in self.actions:
+            missing = action.service_functions_used() - declared
+            if missing:
+                raise ProcessError(
+                    f"action {action.name!r} calls undeclared services "
+                    f"{sorted(missing)}")
+        known_actions = set(action_names)
+        for rule in self.rules:
+            if rule.action not in known_actions:
+                raise ProcessError(
+                    f"rule {rule!r} refers to unknown action")
+            action = next(a for a in self.actions if a.name == rule.action)
+            rule_params = rule.query.parameters()
+            if rule_params != frozenset(action.params):
+                raise ProcessError(
+                    f"rule for {rule.action!r} binds parameters "
+                    f"{sorted(p.name for p in rule_params)}, action declares "
+                    f"{sorted(p.name for p in action.params)}")
+
+    def action(self, name: str) -> Action:
+        for candidate in self.actions:
+            if candidate.name == name:
+                return candidate
+        raise ProcessError(f"unknown action {name!r}")
+
+    def function(self, name: str) -> ServiceFunction:
+        for candidate in self.functions:
+            if candidate.name == name:
+                return candidate
+        raise ProcessError(f"unknown service function {name!r}")
+
+    def rules_for(self, action_name: str) -> Tuple[CARule, ...]:
+        return tuple(rule for rule in self.rules
+                     if rule.action == action_name)
+
+    def constants(self) -> FrozenSet[Any]:
+        found = set()
+        for action in self.actions:
+            found.update(action.constants())
+        for rule in self.rules:
+            found.update(rule.query.constants())
+        return frozenset(found)

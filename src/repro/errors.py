@@ -1,0 +1,88 @@
+"""Exception hierarchy for the DCDS verifier.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can catch a single base class. Errors that correspond to an undecidability
+theorem of the paper carry a ``theorem`` attribute naming it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class SchemaError(ReproError):
+    """A relation, arity, or attribute reference is inconsistent."""
+
+
+class InstanceError(ReproError):
+    """A database instance violates its schema."""
+
+
+class ConstraintViolation(ReproError):
+    """An instance violates an equality constraint of the data layer."""
+
+
+class FormulaError(ReproError):
+    """A first-order or mu-calculus formula is malformed."""
+
+
+class ParseError(FormulaError):
+    """Raised by the text parsers with position information."""
+
+    def __init__(self, message: str, text: str = "", pos: int = -1):
+        self.text = text
+        self.pos = pos
+        if pos >= 0:
+            context = text[max(0, pos - 20):pos + 20]
+            message = f"{message} at position {pos} (near {context!r})"
+        super().__init__(message)
+
+
+class FragmentError(FormulaError):
+    """A formula does not belong to the requested mu-calculus fragment."""
+
+
+class MonotonicityError(FormulaError):
+    """A fixpoint variable occurs under an odd number of negations."""
+
+
+class ProcessError(ReproError):
+    """An action, effect, or condition-action rule is malformed."""
+
+
+class ExecutionError(ReproError):
+    """Dynamic error while executing an action."""
+
+
+class IllegalParameters(ExecutionError):
+    """A parameter substitution is not legal for an action in a state."""
+
+
+class AbstractionDiverged(ReproError):
+    """An abstraction loop exceeded its state fuse.
+
+    For deterministic services this is the observable symptom of a
+    run-unbounded DCDS (Theorem 4.6 shows run-boundedness is undecidable, so a
+    fuse is the best possible behaviour); for nondeterministic services, of a
+    state-unbounded DCDS (Theorem 5.5).
+    """
+
+    def __init__(self, message: str, growth_trace: tuple[int, ...] = (),
+                 partial_states: int = 0):
+        super().__init__(message)
+        self.growth_trace = growth_trace
+        self.partial_states = partial_states
+
+
+class UndecidableFragment(ReproError):
+    """The requested verification task falls in an undecidable cell of Table 1."""
+
+    def __init__(self, message: str, theorem: str = ""):
+        super().__init__(message)
+        self.theorem = theorem
+
+
+class VerificationError(ReproError):
+    """Model checking failed for a structural reason (not a counterexample)."""

@@ -1,0 +1,15 @@
+"""First-order logic: AST, parser, active-domain evaluation."""
+
+from repro.fol.ast import (
+    And, Atom, Eq, FALSE, FalseF, Forall, Formula, Not, Or, TRUE, TrueF,
+    Exists, atom, exists, forall, is_positive_existential, neq)
+from repro.fol.evaluation import (
+    answers, boolean_answer, evaluation_domain, holds)
+from repro.fol.parser import parse_formula, parse_head_atom
+
+__all__ = [
+    "And", "Atom", "Eq", "Exists", "FALSE", "FalseF", "Forall", "Formula",
+    "Not", "Or", "TRUE", "TrueF", "answers", "atom", "boolean_answer",
+    "evaluation_domain", "exists", "forall", "holds",
+    "is_positive_existential", "neq", "parse_formula", "parse_head_atom",
+]

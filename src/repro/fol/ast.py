@@ -1,0 +1,333 @@
+"""First-order formulas over a relational schema.
+
+The AST covers the FO queries of the paper: relational atoms, equality,
+boolean connectives, and quantifiers, all evaluated under the active-domain
+semantics (footnote 3 of the paper). Formulas are immutable and hashable.
+
+Terms inside formulas are values (constants), :class:`~repro.relational.Var`
+variables, or :class:`~repro.relational.Param` action parameters. Service
+calls never appear inside queries (the paper only allows them in effect
+heads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterator, Mapping, Tuple
+
+from repro.errors import FormulaError
+from repro.relational.values import Param, Var, is_value, substitute_term
+
+
+class Formula:
+    """Base class for FO formulas."""
+
+    __slots__ = ()
+
+    # Connective sugar so formulas compose readably in gallery code:
+    def __and__(self, other: "Formula") -> "Formula":
+        return And.of(self, other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return Or.of(self, other)
+
+    def __invert__(self) -> "Formula":
+        return Not(self)
+
+    def implies(self, other: "Formula") -> "Formula":
+        return Or.of(Not(self), other)
+
+    # Shared API ------------------------------------------------------------
+
+    def free_variables(self) -> FrozenSet[Var]:
+        raise NotImplementedError
+
+    def parameters(self) -> FrozenSet[Param]:
+        return frozenset(
+            term for term in self._terms() if isinstance(term, Param))
+
+    def constants(self) -> FrozenSet[Any]:
+        return frozenset(term for term in self._terms() if is_value(term))
+
+    def relations(self) -> FrozenSet[str]:
+        return frozenset(
+            atom.relation for atom in self.atoms())
+
+    def atoms(self) -> Iterator["Atom"]:
+        """All relational atoms in the formula (including under negation)."""
+        for child in self._children():
+            yield from child.atoms()
+
+    def substitute(self, substitution: Mapping[Any, Any]) -> "Formula":
+        raise NotImplementedError
+
+    def _terms(self) -> Iterator[Any]:
+        for child in self._children():
+            yield from child._terms()
+
+    def _children(self) -> Tuple["Formula", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class TrueF(Formula):
+    """The always-true formula."""
+
+    def __repr__(self) -> str:
+        return "true"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset()
+
+    def substitute(self, substitution: Mapping[Any, Any]) -> "Formula":
+        return self
+
+
+@dataclass(frozen=True)
+class FalseF(Formula):
+    """The always-false formula."""
+
+    def __repr__(self) -> str:
+        return "false"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset()
+
+    def substitute(self, substitution: Mapping[Any, Any]) -> "Formula":
+        return self
+
+
+TRUE = TrueF()
+FALSE = FalseF()
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """A relational atom ``R(t1, ..., tn)``."""
+
+    relation: str
+    terms: Tuple[Any, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(term) for term in self.terms)
+        return f"{self.relation}({inner})"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset(t for t in self.terms if isinstance(t, Var))
+
+    def substitute(self, substitution: Mapping[Any, Any]) -> "Atom":
+        return Atom(self.relation, tuple(
+            substitute_term(term, substitution) for term in self.terms))
+
+    def atoms(self) -> Iterator["Atom"]:
+        yield self
+
+    def _terms(self) -> Iterator[Any]:
+        yield from self.terms
+
+
+def atom(relation: str, *terms: Any) -> Atom:
+    """Convenience constructor mirroring :func:`repro.relational.fact`."""
+    return Atom(relation, tuple(terms))
+
+
+@dataclass(frozen=True)
+class Eq(Formula):
+    """Equality between two terms."""
+
+    left: Any
+    right: Any
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} = {self.right!r}"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return frozenset(t for t in (self.left, self.right)
+                         if isinstance(t, Var))
+
+    def substitute(self, substitution: Mapping[Any, Any]) -> "Eq":
+        return Eq(substitute_term(self.left, substitution),
+                  substitute_term(self.right, substitution))
+
+    def _terms(self) -> Iterator[Any]:
+        yield self.left
+        yield self.right
+
+
+def neq(left: Any, right: Any) -> Formula:
+    """Inequality, as sugar for ``Not(Eq(...))``."""
+    return Not(Eq(left, right))
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation."""
+
+    sub: Formula
+
+    def __repr__(self) -> str:
+        return f"~({self.sub!r})"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return self.sub.free_variables()
+
+    def substitute(self, substitution: Mapping[Any, Any]) -> "Not":
+        return Not(self.sub.substitute(substitution))
+
+    def _children(self) -> Tuple[Formula, ...]:
+        return (self.sub,)
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """N-ary conjunction."""
+
+    subs: Tuple[Formula, ...]
+
+    @classmethod
+    def of(cls, *subs: Formula) -> Formula:
+        flattened = []
+        for sub in subs:
+            if isinstance(sub, And):
+                flattened.extend(sub.subs)
+            elif isinstance(sub, TrueF):
+                continue
+            else:
+                flattened.append(sub)
+        if not flattened:
+            return TRUE
+        if len(flattened) == 1:
+            return flattened[0]
+        return cls(tuple(flattened))
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(sub) for sub in self.subs) + ")"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        result: FrozenSet[Var] = frozenset()
+        for sub in self.subs:
+            result |= sub.free_variables()
+        return result
+
+    def substitute(self, substitution: Mapping[Any, Any]) -> Formula:
+        return And.of(*(sub.substitute(substitution) for sub in self.subs))
+
+    def _children(self) -> Tuple[Formula, ...]:
+        return self.subs
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """N-ary disjunction."""
+
+    subs: Tuple[Formula, ...]
+
+    @classmethod
+    def of(cls, *subs: Formula) -> Formula:
+        flattened = []
+        for sub in subs:
+            if isinstance(sub, Or):
+                flattened.extend(sub.subs)
+            elif isinstance(sub, FalseF):
+                continue
+            else:
+                flattened.append(sub)
+        if not flattened:
+            return FALSE
+        if len(flattened) == 1:
+            return flattened[0]
+        return cls(tuple(flattened))
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(sub) for sub in self.subs) + ")"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        result: FrozenSet[Var] = frozenset()
+        for sub in self.subs:
+            result |= sub.free_variables()
+        return result
+
+    def substitute(self, substitution: Mapping[Any, Any]) -> Formula:
+        return Or.of(*(sub.substitute(substitution) for sub in self.subs))
+
+    def _children(self) -> Tuple[Formula, ...]:
+        return self.subs
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification over one or more variables."""
+
+    variables: Tuple[Var, ...]
+    sub: Formula
+
+    def __post_init__(self):
+        if not self.variables:
+            raise FormulaError("Exists needs at least one variable")
+        if len(set(self.variables)) != len(self.variables):
+            raise FormulaError("duplicate quantified variable")
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"exists {names}. ({self.sub!r})"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return self.sub.free_variables() - frozenset(self.variables)
+
+    def substitute(self, substitution: Mapping[Any, Any]) -> "Exists":
+        shadowed = {key: value for key, value in substitution.items()
+                    if key not in self.variables}
+        return Exists(self.variables, self.sub.substitute(shadowed))
+
+    def _children(self) -> Tuple[Formula, ...]:
+        return (self.sub,)
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification over one or more variables."""
+
+    variables: Tuple[Var, ...]
+    sub: Formula
+
+    def __post_init__(self):
+        if not self.variables:
+            raise FormulaError("Forall needs at least one variable")
+        if len(set(self.variables)) != len(self.variables):
+            raise FormulaError("duplicate quantified variable")
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"forall {names}. ({self.sub!r})"
+
+    def free_variables(self) -> FrozenSet[Var]:
+        return self.sub.free_variables() - frozenset(self.variables)
+
+    def substitute(self, substitution: Mapping[Any, Any]) -> "Forall":
+        shadowed = {key: value for key, value in substitution.items()
+                    if key not in self.variables}
+        return Forall(self.variables, self.sub.substitute(shadowed))
+
+    def _children(self) -> Tuple[Formula, ...]:
+        return (self.sub,)
+
+
+def exists(names: str, sub: Formula) -> Exists:
+    """``exists("x y", phi)`` — variables given as a space-separated string."""
+    return Exists(tuple(Var(name) for name in names.split()), sub)
+
+
+def forall(names: str, sub: Formula) -> Forall:
+    """``forall("x y", phi)`` — variables given as a space-separated string."""
+    return Forall(tuple(Var(name) for name in names.split()), sub)
+
+
+def is_positive_existential(formula: Formula) -> bool:
+    """True for UCQ-shaped formulas: atoms/equality/true under &, |, exists."""
+    if isinstance(formula, (Atom, Eq, TrueF, FalseF)):
+        return True
+    if isinstance(formula, (And, Or)):
+        return all(is_positive_existential(sub) for sub in formula.subs)
+    if isinstance(formula, Exists):
+        return is_positive_existential(formula.sub)
+    return False

@@ -1,0 +1,287 @@
+"""Active-domain evaluation of FO queries.
+
+Implements ``ans(Q, I)`` of the paper (footnote 3): the answers to a query
+are the substitutions of its free variables by domain values under which the
+instance satisfies the query. Quantifiers and negation range over the
+*evaluation domain*: the active domain of the instance, the constants of the
+formula, and any extra values the caller supplies (typically ``ADOM(I0)``).
+
+The evaluator is a backtracking join over conjuncts: positive atoms bind
+variables by matching tuples, equalities propagate bindings, and negative or
+quantified subformulas fall back to domain enumeration for their unbound
+variables. This keeps evaluation fast for the CQ-shaped queries that drive
+action effects while remaining complete for arbitrary FO.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional
+
+from repro.errors import FormulaError
+from repro.fol.ast import (
+    And, Atom, Eq, Exists, FalseF, Forall, Formula, Not, Or, TrueF)
+from repro.relational.instance import Instance
+from repro.relational.values import Param, Var, is_value
+
+Valuation = Dict[Var, Any]
+
+
+def evaluation_domain(
+    instance: Instance,
+    formula: Optional[Formula] = None,
+    extra: Iterable[Any] = (),
+) -> FrozenSet[Any]:
+    """The set of values quantifiers and free variables range over."""
+    domain = set(instance.active_domain())
+    if formula is not None:
+        domain.update(formula.constants())
+    domain.update(extra)
+    return frozenset(domain)
+
+
+def _resolve(term: Any, valuation: Valuation) -> Any:
+    """Resolve a term to a value, or return the unbound Var itself."""
+    if isinstance(term, Var):
+        return valuation.get(term, term)
+    if isinstance(term, Param):
+        raise FormulaError(
+            f"unsubstituted action parameter {term!r} during evaluation")
+    return term
+
+
+def holds(
+    formula: Formula,
+    instance: Instance,
+    valuation: Optional[Valuation] = None,
+    domain: Optional[FrozenSet[Any]] = None,
+) -> bool:
+    """Truth of a formula whose free variables are all bound by ``valuation``."""
+    valuation = valuation or {}
+    if domain is None:
+        domain = evaluation_domain(instance, formula, valuation.values())
+
+    unbound = formula.free_variables() - set(valuation)
+    if unbound:
+        raise FormulaError(
+            f"holds() requires all free variables bound; missing {unbound}")
+    return _holds(formula, instance, valuation, domain)
+
+
+def _holds(formula: Formula, instance: Instance,
+           valuation: Valuation, domain: FrozenSet[Any]) -> bool:
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, Atom):
+        resolved = tuple(_resolve(term, valuation) for term in formula.terms)
+        return resolved in instance.tuples(formula.relation)
+    if isinstance(formula, Eq):
+        return (_resolve(formula.left, valuation)
+                == _resolve(formula.right, valuation))
+    if isinstance(formula, Not):
+        return not _holds(formula.sub, instance, valuation, domain)
+    if isinstance(formula, And):
+        return all(_holds(sub, instance, valuation, domain)
+                   for sub in formula.subs)
+    if isinstance(formula, Or):
+        return any(_holds(sub, instance, valuation, domain)
+                   for sub in formula.subs)
+    if isinstance(formula, Exists):
+        # Quantified variables shadow any outer bindings.
+        inner = {key: value for key, value in valuation.items()
+                 if key not in formula.variables}
+        for _ in _answers(formula.sub, instance, inner, domain):
+            return True
+        return False
+    if isinstance(formula, Forall):
+        negated = Exists(formula.variables, Not(formula.sub))
+        return not _holds(negated, instance, valuation, domain)
+    raise FormulaError(f"cannot evaluate formula node {formula!r}")
+
+
+def answers(
+    formula: Formula,
+    instance: Instance,
+    valuation: Optional[Valuation] = None,
+    domain: Optional[FrozenSet[Any]] = None,
+) -> List[Valuation]:
+    """``ans(Q, I)``: substitutions for the free variables satisfying ``Q``.
+
+    Each answer is a dict binding exactly the free variables of the formula
+    (plus whatever ``valuation`` already bound). Answers are deduplicated and
+    returned in deterministic order.
+    """
+    valuation = dict(valuation or {})
+    if domain is None:
+        domain = evaluation_domain(instance, formula, valuation.values())
+
+    free = formula.free_variables()
+    seen = set()
+    result: List[Valuation] = []
+    for extension in _answers(formula, instance, valuation, domain):
+        projected = {var: extension[var] for var in free}
+        projected.update(valuation)
+        key = frozenset(projected.items())
+        if key not in seen:
+            seen.add(key)
+            result.append(projected)
+
+    from repro.utils import value_sort_key
+
+    def order(binding: Valuation) -> tuple:
+        return tuple(value_sort_key(binding[var])
+                     for var in sorted(free, key=lambda v: v.name))
+
+    result.sort(key=order)
+    return result
+
+
+def boolean_answer(formula: Formula, instance: Instance,
+                   valuation: Optional[Valuation] = None,
+                   domain: Optional[FrozenSet[Any]] = None) -> bool:
+    """``ans(Qθ, I) ≡ true`` for a boolean (closed under valuation) query."""
+    return holds(formula, instance, valuation, domain)
+
+
+# ---------------------------------------------------------------------------
+# Backtracking join
+# ---------------------------------------------------------------------------
+
+def _answers(formula: Formula, instance: Instance,
+             valuation: Valuation, domain: FrozenSet[Any]
+             ) -> Iterator[Valuation]:
+    """Yield extensions of ``valuation`` binding the free variables of
+    ``formula`` under which it holds. May yield duplicates."""
+    if isinstance(formula, TrueF):
+        yield dict(valuation)
+        return
+    if isinstance(formula, FalseF):
+        return
+    if isinstance(formula, Atom):
+        yield from _match_atom(formula, instance, valuation)
+        return
+    if isinstance(formula, Eq):
+        yield from _match_eq(formula, valuation, domain)
+        return
+    if isinstance(formula, And):
+        yield from _match_conjunction(
+            list(formula.subs), instance, valuation, domain)
+        return
+    if isinstance(formula, Or):
+        for sub in formula.subs:
+            # Bind the disjunct, then pad the remaining free variables of the
+            # whole disjunction over the domain (active-domain semantics).
+            others = formula.free_variables() - sub.free_variables()
+            for extension in _answers(sub, instance, valuation, domain):
+                yield from _pad(extension, others, domain)
+        return
+    if isinstance(formula, Not):
+        # Enumerate unbound free variables over the domain, then test.
+        unbound = [var for var in formula.free_variables()
+                   if var not in valuation]
+        for padded in _pad(valuation, unbound, domain):
+            if not _holds(formula.sub, instance, padded, domain):
+                yield padded
+        return
+    if isinstance(formula, Exists):
+        inner = {key: value for key, value in valuation.items()
+                 if key not in formula.variables}
+        for extension in _answers(formula.sub, instance, inner, domain):
+            projected = dict(valuation)
+            for var in formula.sub.free_variables():
+                if var not in formula.variables:
+                    projected[var] = extension[var]
+            yield projected
+        return
+    if isinstance(formula, Forall):
+        unbound = [var for var in formula.free_variables()
+                   if var not in valuation]
+        for padded in _pad(valuation, unbound, domain):
+            if _holds(formula, instance, padded, domain):
+                yield padded
+        return
+    raise FormulaError(f"cannot evaluate formula node {formula!r}")
+
+
+def _match_atom(atom_: Atom, instance: Instance,
+                valuation: Valuation) -> Iterator[Valuation]:
+    for tuple_ in instance.tuples(atom_.relation):
+        extension = dict(valuation)
+        matched = True
+        for term, value in zip(atom_.terms, tuple_):
+            resolved = _resolve(term, extension)
+            if isinstance(resolved, Var):
+                extension[resolved] = value
+            elif resolved != value:
+                matched = False
+                break
+        if matched:
+            yield extension
+
+
+def _match_eq(eq: Eq, valuation: Valuation,
+              domain: FrozenSet[Any]) -> Iterator[Valuation]:
+    left = _resolve(eq.left, valuation)
+    right = _resolve(eq.right, valuation)
+    left_unbound = isinstance(left, Var)
+    right_unbound = isinstance(right, Var)
+    if not left_unbound and not right_unbound:
+        if left == right:
+            yield dict(valuation)
+        return
+    if left_unbound and not right_unbound:
+        extension = dict(valuation)
+        extension[left] = right
+        yield extension
+        return
+    if right_unbound and not left_unbound:
+        extension = dict(valuation)
+        extension[right] = left
+        yield extension
+        return
+    # Both unbound: enumerate the domain for one side.
+    for value in domain:
+        extension = dict(valuation)
+        extension[left] = value
+        extension[right] = value
+        yield extension
+
+
+def _match_conjunction(subs: List[Formula], instance: Instance,
+                       valuation: Valuation, domain: FrozenSet[Any]
+                       ) -> Iterator[Valuation]:
+    if not subs:
+        yield dict(valuation)
+        return
+    # Greedy ordering: prefer conjuncts that bind variables cheaply (atoms),
+    # then equalities, and leave negations/quantifiers for last so their free
+    # variables are already bound where possible.
+    def cost(sub: Formula) -> tuple:
+        unbound = len([v for v in sub.free_variables() if v not in valuation])
+        if isinstance(sub, (TrueF, FalseF)):
+            return (0, 0)
+        if isinstance(sub, Atom):
+            return (1, unbound)
+        if isinstance(sub, Eq):
+            return (2, unbound)
+        return (3, unbound)
+
+    ordered = sorted(subs, key=cost)
+    first, rest = ordered[0], ordered[1:]
+    for extension in _answers(first, instance, valuation, domain):
+        yield from _match_conjunction(rest, instance, extension, domain)
+
+
+def _pad(valuation: Valuation, variables, domain: FrozenSet[Any]
+         ) -> Iterator[Valuation]:
+    """All extensions of ``valuation`` assigning ``variables`` over ``domain``."""
+    variables = [var for var in variables if var not in valuation]
+    if not variables:
+        yield dict(valuation)
+        return
+    first, rest = variables[0], variables[1:]
+    for value in domain:
+        extension = dict(valuation)
+        extension[first] = value
+        yield from _pad(extension, rest, domain)

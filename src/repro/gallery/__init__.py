@@ -1,0 +1,33 @@
+"""Gallery: every DCDS the paper uses, as ready-made specifications.
+
+========================= ======================== ==========================
+Constructor               Paper reference          Key property
+========================= ======================== ==========================
+``example_41``            Example 4.1, Fig 3, 5(a) weakly acyclic, run-bounded
+``example_42``            Example 4.2, Fig 2, 5(a) + equality constraint
+``example_43``            Example 4.3, Fig 4, 5(b) NOT weakly acyclic;
+                                                   GR-acyclic as nondet (Fig 7)
+``example_52``            Example 5.2, Fig 6, 8(b) NOT GR(+)-acyclic,
+                                                   state-unbounded
+``example_53``            Example 5.3, Fig 8(c)    NOT GR(+)-acyclic
+``theorem_45_witness``    Theorem 4.5 proof        defeats finite µL abstraction
+``student_registry``      Examples 3.1–3.3         µLA/µLP property showcase
+``request_system``        Appendix E, Fig 9        GR+-acyclic (not GR)
+``audit_system``          Appendix E, Fig 10       weakly acyclic
+``library_system``        (original)               parametric actions,
+                                                   GR-acyclic, state-bounded
+========================= ======================== ==========================
+"""
+
+from repro.gallery.basic import (
+    example_41, example_42, example_43, example_52, example_53,
+    theorem_45_witness)
+from repro.gallery.library import library_system
+from repro.gallery.student import student_registry
+from repro.gallery.travel import audit_system, request_system
+
+__all__ = [
+    "audit_system", "example_41", "example_42", "example_43", "example_52",
+    "example_53", "library_system", "request_system", "student_registry",
+    "theorem_45_witness",
+]

@@ -1,0 +1,118 @@
+"""The running examples of Sections 4 and 5."""
+
+from __future__ import annotations
+
+from repro.core import DCDSBuilder, DCDS, ServiceSemantics
+
+
+def example_41(semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC
+               ) -> DCDS:
+    """Example 4.1: ``alpha : {Q(a,a) & P(x) ~> R(x);
+    P(x) ~> P(x), Q(f(x), g(x))}``.
+
+    Weakly acyclic (Fig 5(a)), hence run-bounded; its abstract transition
+    system is Figure 3(b) (10 states).
+    """
+    builder = DCDSBuilder(name="example41", constants={"a"})
+    builder.schema("P/1", "Q/2", "R/1")
+    builder.initial("P(a), Q(a, a)")
+    builder.service("f/1").service("g/1")
+    builder.action("alpha",
+                   "Q(a, a) & P(x) ~> R(x)",
+                   "P(x) ~> P(x), Q(f(x), g(x))")
+    builder.rule("true", "alpha")
+    return builder.build(semantics)
+
+
+def example_42(semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC
+               ) -> DCDS:
+    """Example 4.2: Example 4.1 plus the equality constraint
+    ``P(x) & Q(y,z) -> x = y``, which pins ``f(a) = a``.
+
+    Abstract transition system: Figure 2(b) (4 states).
+    """
+    builder = DCDSBuilder(name="example42", constants={"a"})
+    builder.schema("P/1", "Q/2", "R/1")
+    builder.initial("P(a), Q(a, a)")
+    builder.constraint("P(x) & Q(y, z) -> x = y")
+    builder.service("f/1").service("g/1")
+    builder.action("alpha",
+                   "Q(a, a) & P(x) ~> R(x)",
+                   "P(x) ~> P(x), Q(f(x), g(x))")
+    builder.rule("true", "alpha")
+    return builder.build(semantics)
+
+
+def example_43(semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC
+               ) -> DCDS:
+    """Example 4.3: ``alpha : {R(x) ~> Q(f(x)); Q(x) ~> R(x)}``.
+
+    NOT weakly acyclic (Fig 5(b)): under deterministic services the chain
+    ``a, f(a), f(f(a)), ...`` makes it run-unbounded and the deterministic
+    abstraction diverges (Fig 4). Under nondeterministic services it *is*
+    state-bounded and GR-acyclic; RCYCL yields the finite system of
+    Figure 7(b) (Example 5.1).
+    """
+    builder = DCDSBuilder(name="example43", constants={"a"})
+    builder.schema("R/1", "Q/1")
+    builder.initial("R(a)")
+    builder.service("f/1")
+    builder.action("alpha",
+                   "R(x) ~> Q(f(x))",
+                   "Q(x) ~> R(x)")
+    builder.rule("true", "alpha")
+    return builder.build(semantics)
+
+
+def example_52(semantics: ServiceSemantics = ServiceSemantics.NONDETERMINISTIC
+               ) -> DCDS:
+    """Example 5.2: ``alpha : {R(x) ~> R(x); R(x) ~> Q(f(x));
+    Q(x) ~> Q(x)}``.
+
+    NOT GR-acyclic (Fig 8(b)): the R self-loop generates, the Q self-loop
+    recalls, so fresh values accumulate and the system is state-unbounded
+    (Fig 6) — RCYCL diverges.
+    """
+    builder = DCDSBuilder(name="example52", constants={"a"})
+    builder.schema("R/1", "Q/1")
+    builder.initial("R(a)")
+    builder.service("f/1")
+    builder.action("alpha",
+                   "R(x) ~> R(x)",
+                   "R(x) ~> Q(f(x))",
+                   "Q(x) ~> Q(x)")
+    builder.rule("true", "alpha")
+    return builder.build(semantics)
+
+
+def example_53(semantics: ServiceSemantics = ServiceSemantics.NONDETERMINISTIC
+               ) -> DCDS:
+    """Example 5.3: ``alpha : {R(x) ~> R(f(x)), R(g(x))}``.
+
+    NOT GR-acyclic (Fig 8(c)): two special self-loops on R; the number of R
+    tuples can double at every step even though no value is recalled.
+    """
+    builder = DCDSBuilder(name="example53", constants={"a"})
+    builder.schema("R/1")
+    builder.initial("R(a)")
+    builder.service("f/1").service("g/1")
+    builder.action("alpha", "R(x) ~> R(f(x)), R(g(x))")
+    builder.rule("true", "alpha")
+    return builder.build(semantics)
+
+
+def theorem_45_witness() -> DCDS:
+    """The DCDS from the proof of Theorem 4.5.
+
+    ``rho = {R(x) |-> alpha(x)}`` with ``alpha(p) : {true ~> Q(f(p))}``.
+    Run-bounded (bound 3), but the µL properties ``Phi_n`` (there exist n
+    distinct values stored in Q across successors) defeat every finite
+    abstraction.
+    """
+    builder = DCDSBuilder(name="theorem45", constants={"a"})
+    builder.schema("R/1", "Q/1")
+    builder.initial("R(a)")
+    builder.service("f/1")
+    builder.action("alpha(p)", "true ~> Q(f($p))")
+    builder.rule("R($p)", "alpha")
+    return builder.build(ServiceSemantics.DETERMINISTIC)

@@ -1,0 +1,122 @@
+"""A student-registry DCDS illustrating the µLA/µLP properties of §3.
+
+Examples 3.1–3.3 of the paper state properties about students (``Stud``)
+eventually graduating (``Grad``) but give no process; this gallery entry
+supplies a minimal one:
+
+* ``enroll``  — a fresh student id arrives from the environment;
+* ``study``   — the enrolled student persists;
+* ``graduate``— the student receives a mark from the environment;
+* ``archive`` — the record is cleared and the registry is idle again.
+
+The system is state-bounded (at most one student and one grade at a time)
+and GR+-acyclic but not GR-acyclic: enrollment is a generate cycle through
+``true`` feeding the ``Stud`` recall cycle, but the generating action
+(``enroll``) is never simultaneously active with the recalling one
+(``study``), which is exactly the GR+ escape.
+"""
+
+from __future__ import annotations
+
+from repro.core import DCDS, DCDSBuilder, ServiceSemantics
+from repro.mucalc import (
+    MuFormula, QF, diamond_live, exists_live, forall_live, parse_mu)
+from repro.mucalc.ast import Box, Diamond, MAnd, MNot, MOr, Mu, Nu, PredVar
+from repro.fol import atom
+from repro.relational.values import Var
+
+IDLE = "idle"
+ENROLLED = "enrolled"
+GRADUATED = "graduated"
+
+
+def student_registry(
+    semantics: ServiceSemantics = ServiceSemantics.NONDETERMINISTIC) -> DCDS:
+    """Build the student-registry DCDS."""
+    builder = DCDSBuilder(name="students")
+    builder.schema("Status/1", "Stud/1", "Grad/2")
+    builder.initial(f"Status('{IDLE}')")
+    builder.service("newStud/0").service("mark/1")
+    builder.action(
+        "enroll",
+        f"true ~> Status('{ENROLLED}'), Stud(newStud())")
+    builder.action(
+        "study",
+        "Stud(x) ~> Stud(x)",
+        f"true ~> Status('{ENROLLED}')")
+    builder.action(
+        "graduate",
+        "Stud(x) ~> Grad(x, mark(x))",
+        f"true ~> Status('{GRADUATED}')")
+    builder.action(
+        "archive",
+        f"true ~> Status('{IDLE}')")
+    builder.rule(f"Status('{IDLE}')", "enroll")
+    builder.rule(f"Status('{ENROLLED}')", "study")
+    builder.rule(f"Status('{ENROLLED}')", "graduate")
+    builder.rule(f"Status('{GRADUATED}')", "archive")
+    return builder.build(semantics)
+
+
+def property_eventual_graduation_mu_la() -> MuFormula:
+    """Example 3.2 (µLA): along every path, it is always true that every
+    live student has *some* evolution eventually graduating her::
+
+        nu X. (A x. (live(x) & Stud(x) ->
+                     mu Y. ((E y. live(y) & Grad(x, y)) | <-> Y)) & [-] X)
+    """
+    return parse_mu(
+        "nu X. ((A x. (live(x) & Stud(x) -> "
+        "mu Y. ((E y. live(y) & Grad(x, y)) | <-> Y))) & [-] X)")
+
+
+def property_eventual_graduation_mu_lp() -> MuFormula:
+    """Example 3.3, first variant (µLP): ... some evolution in which the
+    student *persists* until graduating::
+
+        nu X. (A x. (live(x) & Stud(x) ->
+                     mu Y. ((E y. live(y) & Grad(x, y))
+                            | <-> (live(x) & Y))) & [-] X)
+    """
+    return parse_mu(
+        "nu X. ((A x. (live(x) & Stud(x) -> "
+        "mu Y. ((E y. live(y) & Grad(x, y)) | <-> (live(x) & Y)))) "
+        "& [-] X)")
+
+
+def property_graduation_or_dropout_mu_lp() -> MuFormula:
+    """Example 3.3, second variant: either the student is not persisted, or
+    she eventually graduates (``<->(live(x) -> Y)`` form)."""
+    return parse_mu(
+        "nu X. ((A x. (live(x) & Stud(x) -> "
+        "mu Y. ((E y. live(y) & Grad(x, y)) | <-> (live(x) -> Y)))) "
+        "& [-] X)")
+
+
+def property_n_distinct_students(n: int) -> MuFormula:
+    """Example 3.1 / Theorem 4.5 shape (full µL, *not* µLA): there exist
+    ``n`` pairwise distinct values each eventually denoting a student.
+
+    Formulas of this family defeat every finite abstraction, which is why
+    full µL verification cannot be reduced to finite-state model checking.
+    """
+    from repro.fol.ast import Eq, Not as FNot
+    from repro.mucalc.ast import MExists
+
+    variables = tuple(Var(f"x{i}") for i in range(1, n + 1))
+    distinct = [QF(FNot(Eq(variables[i], variables[j])))
+                for i in range(n) for j in range(i + 1, n)]
+    eventually_student = []
+    for variable in variables:
+        z = f"Z_{variable.name}"
+        eventually_student.append(
+            Mu(z, MOr.of(QF(atom("Stud", variable)), Diamond(PredVar(z)))))
+    body = MAnd.of(*(distinct + eventually_student)) if distinct else \
+        MAnd.of(*eventually_student)
+    return MExists(variables, body)
+
+
+def property_no_student_while_idle() -> MuFormula:
+    """A safety property: the registry never holds a student while idle."""
+    return parse_mu(
+        f"nu X. (~(Status('{IDLE}') & (E x. live(x) & Stud(x))) & [-] X)")

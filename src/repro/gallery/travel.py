@@ -1,0 +1,268 @@
+"""The Appendix E travel-reimbursement DCDS: request system and audit system.
+
+Both come in two fidelities:
+
+* ``slim=False`` (default) — the exact relational shape of the paper
+  (``Hotel/5``, ``Flight/5`` in the request system; ``Travel/3``,
+  ``Hotel/7``, ``Flight/7`` in the audit system). This is the model whose
+  dataflow/dependency graphs reproduce Figures 9 and 10. Building its
+  abstract transition system is combinatorially infeasible (eleven service
+  calls per request — the paper never materializes it either).
+
+* ``slim=True`` — a behaviourally faithful reduction (one payload field per
+  relation) with the same control-flow skeleton, few enough service calls
+  per action for RCYCL / the deterministic abstraction to run, so the
+  Appendix E properties can actually be model-checked.
+
+The request system's monitor decision (``MAKEDECISION``) is constrained to
+the four legal statuses via the Section 6 integrity-constraint trick: an
+equality constraint whose right-hand side equates two distinct constants,
+making any successor with an illegal status violate the constraint.
+"""
+
+from __future__ import annotations
+
+from repro.core import DCDS, DCDSBuilder, ServiceSemantics
+from repro.mucalc import MuFormula, parse_mu
+
+READY_FOR_REQUEST = "readyForRequest"
+READY_TO_VERIFY = "readyToVerify"
+READY_TO_UPDATE = "readyToUpdate"
+REQUEST_CONFIRMED = "requestConfirmed"
+
+_STATUSES = (READY_FOR_REQUEST, READY_TO_VERIFY, READY_TO_UPDATE,
+             REQUEST_CONFIRMED)
+
+
+def _status_domain_constraint() -> str:
+    """Every Status value is one of the four legal statuses (§6 trick)."""
+    legal = " | ".join(f"s = '{status}'" for status in _STATUSES)
+    return f"Status(s) & ~({legal}) -> 'illegal0' = 'illegal1'"
+
+
+def _decision_constraint() -> str:
+    """The monitor's decision is confirm-or-update (Appendix E: MAKEDECISION
+    "returns 'requestConfirmed' if the request is accepted, and returns
+    'readyToUpdate' if the request needs to be updated").
+
+    ``Decision`` records the fresh decision each VerifyRequest; successors
+    where the service returned anything else violate this constraint and
+    therefore do not exist.
+    """
+    return (f"Decision(d) & ~(d = '{READY_TO_UPDATE}' | "
+            f"d = '{REQUEST_CONFIRMED}') -> 'illegal0' = 'illegal1'")
+
+
+def request_system(
+    slim: bool = False,
+    semantics: ServiceSemantics = ServiceSemantics.NONDETERMINISTIC) -> DCDS:
+    """The Appendix E request system (Figure 9).
+
+    Not GR-acyclic (the input services feed the Travel/Hotel/Flight copy
+    cycles) but GR+-acyclic (``InitiateRequest``'s generating edges are
+    never active simultaneously with the copying actions), hence
+    state-bounded and µLP-verifiable (Theorem 5.7).
+    """
+    if slim:
+        return _slim_request_system(semantics)
+    builder = DCDSBuilder(name="request-system")
+    builder.schema("Status/1", "Travel/1", "Hotel/5", "Flight/5",
+                   "Decision/1")
+    builder.initial(f"Status('{READY_FOR_REQUEST}')")
+    builder.constraint(_status_domain_constraint())
+    builder.constraint(_decision_constraint())
+    for service in ("inEName/0", "inHName/0", "inHDate/0", "inHPrice/0",
+                    "inHCurrency/0", "inHPInUSD/0", "inFDate/0", "inFNum/0",
+                    "inFPrice/0", "inFCurrency/0", "inFPUSD/0",
+                    "makeDecision/0"):
+        builder.service(service)
+    builder.action(
+        "InitiateRequest",
+        f"true ~> Status('{READY_TO_VERIFY}')",
+        "true ~> Travel(inEName())",
+        "true ~> Hotel(inHName(), inHDate(), inHPrice(), inHCurrency(), "
+        "inHPInUSD())",
+        "true ~> Flight(inFDate(), inFNum(), inFPrice(), inFCurrency(), "
+        "inFPUSD())")
+    builder.action(
+        "VerifyRequest",
+        "true ~> Status(makeDecision()), Decision(makeDecision())",
+        "Travel(n) ~> Travel(n)",
+        "Hotel(x1, x2, x3, x4, x5) ~> Hotel(x1, x2, x3, x4, x5)",
+        "Flight(x1, x2, x3, x4, x5) ~> Flight(x1, x2, x3, x4, x5)")
+    builder.action(
+        "UpdateRequest",
+        f"true ~> Status('{READY_TO_VERIFY}')",
+        "Travel(n) ~> Travel(n)",
+        "true ~> Hotel(inHName(), inHDate(), inHPrice(), inHCurrency(), "
+        "inHPInUSD())",
+        "true ~> Flight(inFDate(), inFNum(), inFPrice(), inFCurrency(), "
+        "inFPUSD())")
+    builder.action(
+        "AcceptRequest",
+        f"Status('{REQUEST_CONFIRMED}') ~> Status('{READY_FOR_REQUEST}')")
+    builder.rule(f"Status('{READY_FOR_REQUEST}')", "InitiateRequest")
+    builder.rule(f"Status('{READY_TO_VERIFY}')", "VerifyRequest")
+    builder.rule(f"Status('{READY_TO_UPDATE}')", "UpdateRequest")
+    builder.rule(f"Status('{REQUEST_CONFIRMED}')", "AcceptRequest")
+    return builder.build(semantics)
+
+
+def _slim_request_system(semantics: ServiceSemantics) -> DCDS:
+    """One payload field per relation; same control skeleton."""
+    builder = DCDSBuilder(name="request-system-slim")
+    builder.schema("Status/1", "Travel/1", "Expense/1", "Decision/1")
+    builder.initial(f"Status('{READY_FOR_REQUEST}')")
+    builder.constraint(_status_domain_constraint())
+    builder.constraint(_decision_constraint())
+    builder.service("inEName/0").service("inExpense/0")
+    builder.service("makeDecision/0")
+    builder.action(
+        "InitiateRequest",
+        f"true ~> Status('{READY_TO_VERIFY}')",
+        "true ~> Travel(inEName())",
+        "true ~> Expense(inExpense())")
+    builder.action(
+        "VerifyRequest",
+        "true ~> Status(makeDecision()), Decision(makeDecision())",
+        "Travel(n) ~> Travel(n)",
+        "Expense(x) ~> Expense(x)")
+    builder.action(
+        "UpdateRequest",
+        f"true ~> Status('{READY_TO_VERIFY}')",
+        "Travel(n) ~> Travel(n)",
+        "true ~> Expense(inExpense())")
+    builder.action(
+        "AcceptRequest",
+        f"Status('{REQUEST_CONFIRMED}') ~> Status('{READY_FOR_REQUEST}')")
+    builder.rule(f"Status('{READY_FOR_REQUEST}')", "InitiateRequest")
+    builder.rule(f"Status('{READY_TO_VERIFY}')", "VerifyRequest")
+    builder.rule(f"Status('{READY_TO_UPDATE}')", "UpdateRequest")
+    builder.rule(f"Status('{REQUEST_CONFIRMED}')", "AcceptRequest")
+    return builder.build(semantics)
+
+
+PASSED = "passedTrue"
+FAILED = "passedFalse"
+PENDING = "pendingCheck"
+CHECK_PRICE = "checkPrice"
+CHECK_TRAVEL = "checkTravel"
+
+
+def audit_system(
+    slim: bool = False,
+    semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC,
+    requests: int = 1) -> DCDS:
+    """The Appendix E audit system (Figure 10): weakly acyclic, uses the
+    deterministic service ``convertAndCheck``.
+
+    ``requests`` controls how many logged travel requests populate the
+    initial instance (the output of the logging subsystem).
+    """
+    if slim:
+        return _slim_audit_system(semantics, requests)
+    builder = DCDSBuilder(name="audit-system")
+    builder.schema("Status/1", "Travel/3", "Hotel/7", "Flight/7")
+    facts = [f"Status('{CHECK_PRICE}')"]
+    for index in range(requests):
+        trip = f"t{index}"
+        facts.append(f"Travel('{trip}', 'emp{index}', '{PENDING}')")
+        facts.append(
+            f"Hotel('{trip}', 'hotel{index}', 'date{index}', 'price{index}',"
+            f" 'cur{index}', 'usd{index}', '{PENDING}')")
+        facts.append(
+            f"Flight('{trip}', 'fn{index}', 'date{index}', 'price{index}',"
+            f" 'cur{index}', 'usd{index}', '{PENDING}')")
+    builder.initial(", ".join(facts))
+    builder.service("convertAndCheck/4", deterministic=True)
+    builder.action(
+        "CheckPrice",
+        f"true ~> Status('{CHECK_TRAVEL}')",
+        "Travel(i, n, v) ~> Travel(i, n, v)",
+        "Hotel(x1, x2, date, price, currency, usd, x7) ~> "
+        "Hotel(x1, x2, date, price, currency, usd, "
+        "convertAndCheck(date, price, currency, usd))",
+        "Flight(x1, x2, date, price, currency, usd, x7) ~> "
+        "Flight(x1, x2, date, price, currency, usd, "
+        "convertAndCheck(date, price, currency, usd))")
+    builder.action(
+        "CheckTravel",
+        f"true ~> Status('{CHECK_PRICE}')",
+        "Travel(i, n, v) & Hotel(i, y1, y2, y3, y4, y5, ph) & "
+        "Flight(i, z1, z2, z3, z4, z5, pf) & ~(ph = 'ok' & pf = 'ok') "
+        f"~> Travel(i, n, '{FAILED}')",
+        "Travel(i, n, v) & Hotel(i, y1, y2, y3, y4, y5, 'ok') & "
+        f"Flight(i, z1, z2, z3, z4, z5, 'ok') ~> Travel(i, n, '{PASSED}')",
+        "Hotel(x1, x2, x3, x4, x5, x6, x7) ~> "
+        "Hotel(x1, x2, x3, x4, x5, x6, x7)",
+        "Flight(x1, x2, x3, x4, x5, x6, x7) ~> "
+        "Flight(x1, x2, x3, x4, x5, x6, x7)")
+    builder.rule(f"Status('{CHECK_PRICE}')", "CheckPrice")
+    builder.rule(f"Status('{CHECK_TRAVEL}')", "CheckTravel")
+    return builder.build(semantics)
+
+
+def _slim_audit_system(semantics: ServiceSemantics, requests: int) -> DCDS:
+    builder = DCDSBuilder(name="audit-system-slim")
+    builder.schema("Status/1", "Travel/3", "Hotel/3", "Flight/3")
+    facts = [f"Status('{CHECK_PRICE}')"]
+    for index in range(requests):
+        trip = f"t{index}"
+        facts.append(f"Travel('{trip}', 'emp{index}', '{PENDING}')")
+        facts.append(f"Hotel('{trip}', 'hprice{index}', '{PENDING}')")
+        facts.append(f"Flight('{trip}', 'fprice{index}', '{PENDING}')")
+    builder.initial(", ".join(facts))
+    builder.service("check/1", deterministic=True)
+    builder.action(
+        "CheckPrice",
+        f"true ~> Status('{CHECK_TRAVEL}')",
+        "Travel(i, n, v) ~> Travel(i, n, v)",
+        "Hotel(i, price, p) ~> Hotel(i, price, check(price))",
+        "Flight(i, price, p) ~> Flight(i, price, check(price))")
+    builder.action(
+        "CheckTravel",
+        f"true ~> Status('{CHECK_PRICE}')",
+        "Travel(i, n, v) & Hotel(i, y, ph) & Flight(i, z, pf) & "
+        f"~(ph = 'ok' & pf = 'ok') ~> Travel(i, n, '{FAILED}')",
+        "Travel(i, n, v) & Hotel(i, y, 'ok') & Flight(i, z, 'ok') "
+        f"~> Travel(i, n, '{PASSED}')",
+        "Hotel(x1, x2, x3) ~> Hotel(x1, x2, x3)",
+        "Flight(x1, x2, x3) ~> Flight(x1, x2, x3)")
+    builder.rule(f"Status('{CHECK_PRICE}')", "CheckPrice")
+    builder.rule(f"Status('{CHECK_TRAVEL}')", "CheckTravel")
+    return builder.build(semantics)
+
+
+# ---------------------------------------------------------------------------
+# Appendix E properties
+# ---------------------------------------------------------------------------
+
+def property_request_eventually_decided() -> MuFormula:
+    """Appendix E liveness (µLP): once a request is initiated, it stays
+    until the monitor decides, and the decision is readyToUpdate or
+    requestConfirmed::
+
+        AG(forall n. Travel(n) -> A(Travel(n) U decided))
+    """
+    return parse_mu(
+        "nu X. ((A n. (live(n) & Travel(n) -> "
+        f"mu Y. (Status('{READY_TO_UPDATE}') | Status('{REQUEST_CONFIRMED}')"
+        " | (<-> true & [-] (live(n) & Travel(n) & Y))))) & [-] X)")
+
+
+def property_no_unpriced_acceptance_slim() -> MuFormula:
+    """Appendix E safety (slim shape): a request without expense data is
+    never accepted — ``G ~(confirmed & Expense(bottom))``."""
+    return parse_mu(
+        f"nu X. (~(Status('{REQUEST_CONFIRMED}') & Expense('bottom')) "
+        "& [-] X)")
+
+
+def property_audit_failure_propagates_slim() -> MuFormula:
+    """Appendix E audit property (µLA, slim shape): a travel with a failed
+    hotel or flight check eventually has its ``passed`` flag set false."""
+    return parse_mu(
+        "nu X. ((A i, n. (live(i) & live(n) & "
+        "(E v, y. live(v) & live(y) & Travel(i, n, v) & "
+        "(Hotel(i, y, 'notok') | Flight(i, y, 'notok'))) -> "
+        f"mu Y. (Travel(i, n, '{FAILED}') | <-> Y))) & [-] X)")

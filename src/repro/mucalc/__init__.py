@@ -1,0 +1,26 @@
+"""µ-calculus: ASTs, parser, fragments, model checking, PROP() reduction."""
+
+from repro.mucalc.ast import (
+    Box, Diamond, Live, MAnd, MExists, MForall, MNot, MOr, Mu, MuFormula,
+    Nu, PredVar, QF, box_live, box_live_implies, diamond_live,
+    diamond_live_implies, exists_live, forall_live, live)
+from repro.mucalc.checker import ModelChecker, check, extension
+from repro.mucalc.ctl import (
+    AF, AG, AG_live, AU, AU_live, AX, EF, EF_live, EG, EU, EX)
+from repro.mucalc.parser import parse_mu
+from repro.mucalc.prop import (
+    Labeling, PropFormula, prop_check, propositionalize)
+from repro.mucalc.syntax import (
+    Fragment, check_monotone, classify, free_ivars_unfolded, is_in_fragment,
+    require_fragment)
+
+__all__ = [
+    "AF", "AG", "AG_live", "AU", "AU_live", "AX", "Box", "Diamond", "EF",
+    "EF_live", "EG", "EU", "EX", "Fragment", "Labeling", "Live", "MAnd",
+    "MExists", "MForall", "MNot", "MOr", "ModelChecker", "Mu", "MuFormula",
+    "Nu", "PredVar", "PropFormula", "QF", "box_live", "box_live_implies",
+    "check", "check_monotone", "classify", "diamond_live",
+    "diamond_live_implies", "exists_live", "extension", "forall_live",
+    "free_ivars_unfolded", "is_in_fragment", "live", "parse_mu",
+    "prop_check", "propositionalize", "require_fragment",
+]

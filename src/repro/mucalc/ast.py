@@ -1,0 +1,405 @@
+"""First-order µ-calculus ASTs: µL and its fragments µLA, µLP (Section 3).
+
+The grammar is::
+
+    Phi ::= Q | LIVE(x...) | ~Phi | Phi & Phi | Phi '|' Phi
+          | E x. Phi | A x. Phi | <-> Phi | [-] Phi | Z | mu Z. Phi | nu Z. Phi
+
+where ``Q`` is an FO query (:class:`repro.fol.Formula`). The fragments are
+*syntactic shapes* over this one AST:
+
+* µLA quantifies only via ``E x. (LIVE(x) & Phi)`` / ``A x. (LIVE(x) -> Phi)``;
+* µLP additionally guards every modality: ``<->(LIVE(x...) & Phi)`` etc.
+
+Helper constructors (:func:`exists_live`, :func:`diamond_live`, ...) produce
+exactly those shapes; :mod:`repro.mucalc.syntax` classifies arbitrary
+formulas into the fragments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Iterator, Mapping, Tuple, Union
+
+from repro.errors import FormulaError
+from repro.fol.ast import Formula
+from repro.relational.values import Var, is_value, substitute_term
+
+
+class MuFormula:
+    """Base class for µ-calculus formulas."""
+
+    __slots__ = ()
+
+    def __and__(self, other: "MuFormula") -> "MuFormula":
+        return MAnd.of(self, other)
+
+    def __or__(self, other: "MuFormula") -> "MuFormula":
+        return MOr.of(self, other)
+
+    def __invert__(self) -> "MuFormula":
+        return MNot(self)
+
+    def implies(self, other: "MuFormula") -> "MuFormula":
+        return MOr.of(MNot(self), other)
+
+    # -- shared structural API -------------------------------------------------
+
+    def children(self) -> Tuple["MuFormula", ...]:
+        return ()
+
+    def free_ivars(self) -> FrozenSet[Var]:
+        """Free individual variables (no fixpoint unfolding; see syntax.py
+        for the µLP proviso variant)."""
+        result: FrozenSet[Var] = frozenset()
+        for child in self.children():
+            result |= child.free_ivars()
+        return result
+
+    def free_pvars(self) -> FrozenSet[str]:
+        """Free predicate variables."""
+        result: FrozenSet[str] = frozenset()
+        for child in self.children():
+            result |= child.free_pvars()
+        return result
+
+    def is_closed(self) -> bool:
+        return not self.free_ivars() and not self.free_pvars()
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> "MuFormula":
+        raise NotImplementedError
+
+    def walk(self) -> Iterator["MuFormula"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class QF(MuFormula):
+    """An embedded (possibly open) FO query over the current database."""
+
+    query: Formula
+
+    def __repr__(self) -> str:
+        return repr(self.query)
+
+    def free_ivars(self) -> FrozenSet[Var]:
+        return self.query.free_variables()
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> "QF":
+        return QF(self.query.substitute(substitution))
+
+
+@dataclass(frozen=True)
+class Live(MuFormula):
+    """``LIVE(t1, ..., tn)``: every term is in the current active domain."""
+
+    terms: Tuple[Any, ...]
+
+    def __post_init__(self):
+        if not self.terms:
+            raise FormulaError("LIVE needs at least one term")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"live({inner})"
+
+    def free_ivars(self) -> FrozenSet[Var]:
+        return frozenset(t for t in self.terms if isinstance(t, Var))
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> "Live":
+        return Live(tuple(substitute_term(t, substitution)
+                          for t in self.terms))
+
+
+@dataclass(frozen=True)
+class MNot(MuFormula):
+    sub: MuFormula
+
+    def __repr__(self) -> str:
+        return f"~({self.sub!r})"
+
+    def children(self) -> Tuple[MuFormula, ...]:
+        return (self.sub,)
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> "MNot":
+        return MNot(self.sub.substitute(substitution))
+
+
+@dataclass(frozen=True)
+class MAnd(MuFormula):
+    subs: Tuple[MuFormula, ...]
+
+    @classmethod
+    def of(cls, *subs: MuFormula) -> MuFormula:
+        flattened = []
+        for sub in subs:
+            if isinstance(sub, MAnd):
+                flattened.extend(sub.subs)
+            else:
+                flattened.append(sub)
+        if len(flattened) == 1:
+            return flattened[0]
+        if not flattened:
+            raise FormulaError("empty conjunction")
+        return cls(tuple(flattened))
+
+    def __repr__(self) -> str:
+        return "(" + " & ".join(repr(sub) for sub in self.subs) + ")"
+
+    def children(self) -> Tuple[MuFormula, ...]:
+        return self.subs
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> MuFormula:
+        return MAnd.of(*(sub.substitute(substitution) for sub in self.subs))
+
+
+@dataclass(frozen=True)
+class MOr(MuFormula):
+    subs: Tuple[MuFormula, ...]
+
+    @classmethod
+    def of(cls, *subs: MuFormula) -> MuFormula:
+        flattened = []
+        for sub in subs:
+            if isinstance(sub, MOr):
+                flattened.extend(sub.subs)
+            else:
+                flattened.append(sub)
+        if len(flattened) == 1:
+            return flattened[0]
+        if not flattened:
+            raise FormulaError("empty disjunction")
+        return cls(tuple(flattened))
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(sub) for sub in self.subs) + ")"
+
+    def children(self) -> Tuple[MuFormula, ...]:
+        return self.subs
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> MuFormula:
+        return MOr.of(*(sub.substitute(substitution) for sub in self.subs))
+
+
+@dataclass(frozen=True)
+class MExists(MuFormula):
+    """First-order quantification across states (the µL primitive)."""
+
+    variables: Tuple[Var, ...]
+    sub: MuFormula
+
+    def __post_init__(self):
+        if not self.variables:
+            raise FormulaError("quantifier needs at least one variable")
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"E {names}. ({self.sub!r})"
+
+    def children(self) -> Tuple[MuFormula, ...]:
+        return (self.sub,)
+
+    def free_ivars(self) -> FrozenSet[Var]:
+        return self.sub.free_ivars() - frozenset(self.variables)
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> "MExists":
+        shadowed = {key: value for key, value in substitution.items()
+                    if key not in self.variables}
+        return MExists(self.variables, self.sub.substitute(shadowed))
+
+
+@dataclass(frozen=True)
+class MForall(MuFormula):
+    variables: Tuple[Var, ...]
+    sub: MuFormula
+
+    def __post_init__(self):
+        if not self.variables:
+            raise FormulaError("quantifier needs at least one variable")
+
+    def __repr__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"A {names}. ({self.sub!r})"
+
+    def children(self) -> Tuple[MuFormula, ...]:
+        return (self.sub,)
+
+    def free_ivars(self) -> FrozenSet[Var]:
+        return self.sub.free_ivars() - frozenset(self.variables)
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> "MForall":
+        shadowed = {key: value for key, value in substitution.items()
+                    if key not in self.variables}
+        return MForall(self.variables, self.sub.substitute(shadowed))
+
+
+@dataclass(frozen=True)
+class Diamond(MuFormula):
+    """``<->Phi``: some successor satisfies Phi."""
+
+    sub: MuFormula
+
+    def __repr__(self) -> str:
+        return f"<->({self.sub!r})"
+
+    def children(self) -> Tuple[MuFormula, ...]:
+        return (self.sub,)
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> "Diamond":
+        return Diamond(self.sub.substitute(substitution))
+
+
+@dataclass(frozen=True)
+class Box(MuFormula):
+    """``[-]Phi``: every successor satisfies Phi."""
+
+    sub: MuFormula
+
+    def __repr__(self) -> str:
+        return f"[-]({self.sub!r})"
+
+    def children(self) -> Tuple[MuFormula, ...]:
+        return (self.sub,)
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> "Box":
+        return Box(self.sub.substitute(substitution))
+
+
+@dataclass(frozen=True)
+class PredVar(MuFormula):
+    """A second-order predicate variable ``Z`` (arity 0)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def free_pvars(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> "PredVar":
+        return self
+
+
+@dataclass(frozen=True)
+class Mu(MuFormula):
+    """Least fixpoint ``mu Z. Phi``."""
+
+    var: str
+    sub: MuFormula
+
+    def __repr__(self) -> str:
+        return f"mu {self.var}. ({self.sub!r})"
+
+    def children(self) -> Tuple[MuFormula, ...]:
+        return (self.sub,)
+
+    def free_pvars(self) -> FrozenSet[str]:
+        return self.sub.free_pvars() - {self.var}
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> "Mu":
+        return Mu(self.var, self.sub.substitute(substitution))
+
+
+@dataclass(frozen=True)
+class Nu(MuFormula):
+    """Greatest fixpoint ``nu Z. Phi``."""
+
+    var: str
+    sub: MuFormula
+
+    def __repr__(self) -> str:
+        return f"nu {self.var}. ({self.sub!r})"
+
+    def children(self) -> Tuple[MuFormula, ...]:
+        return (self.sub,)
+
+    def free_pvars(self) -> FrozenSet[str]:
+        return self.sub.free_pvars() - {self.var}
+
+    def substitute(self, substitution: Mapping[Var, Any]) -> "Nu":
+        return Nu(self.var, self.sub.substitute(substitution))
+
+
+# ---------------------------------------------------------------------------
+# Fragment-shaped constructors
+# ---------------------------------------------------------------------------
+
+def _vars_of(names: Union[str, Tuple[Var, ...]]) -> Tuple[Var, ...]:
+    if isinstance(names, str):
+        return tuple(Var(name) for name in names.split())
+    return tuple(names)
+
+
+def live(names: Union[str, Tuple[Any, ...]]) -> Live:
+    """``live("x y")`` or ``live((Var("x"), "a"))``."""
+    if isinstance(names, str):
+        return Live(tuple(Var(name) for name in names.split()))
+    return Live(tuple(names))
+
+
+def exists_live(names: Union[str, Tuple[Var, ...]], sub: MuFormula
+                ) -> MExists:
+    """µLA existential: ``E x. (LIVE(x) & Phi)``."""
+    variables = _vars_of(names)
+    return MExists(variables, MAnd.of(Live(variables), sub))
+
+
+def forall_live(names: Union[str, Tuple[Var, ...]], sub: MuFormula
+                ) -> MForall:
+    """µLA universal: ``A x. (LIVE(x) -> Phi)``."""
+    variables = _vars_of(names)
+    return MForall(variables, MOr.of(MNot(Live(variables)), sub))
+
+
+def diamond_live(sub: MuFormula,
+                 guard: Union[str, Tuple[Var, ...], None] = None) -> Diamond:
+    """µLP diamond ``<->(LIVE(x...) & Phi)``.
+
+    When ``guard`` is omitted it defaults to the free individual variables of
+    ``sub`` (the µLP well-formedness requirement); a guard-free diamond over
+    a closed formula is just ``Diamond(sub)``.
+    """
+    variables = _guard_vars(sub, guard)
+    if not variables:
+        return Diamond(sub)
+    return Diamond(MAnd.of(Live(variables), sub))
+
+
+def box_live(sub: MuFormula,
+             guard: Union[str, Tuple[Var, ...], None] = None) -> Box:
+    """µLP box ``[-](LIVE(x...) & Phi)``."""
+    variables = _guard_vars(sub, guard)
+    if not variables:
+        return Box(sub)
+    return Box(MAnd.of(Live(variables), sub))
+
+
+def diamond_live_implies(sub: MuFormula,
+                         guard: Union[str, Tuple[Var, ...], None] = None
+                         ) -> Diamond:
+    """µLP diamond in implication form ``<->(LIVE(x...) -> Phi)``."""
+    variables = _guard_vars(sub, guard)
+    if not variables:
+        return Diamond(sub)
+    return Diamond(MOr.of(MNot(Live(variables)), sub))
+
+
+def box_live_implies(sub: MuFormula,
+                     guard: Union[str, Tuple[Var, ...], None] = None) -> Box:
+    """µLP box in implication form ``[-](LIVE(x...) -> Phi)``."""
+    variables = _guard_vars(sub, guard)
+    if not variables:
+        return Box(sub)
+    return Box(MOr.of(MNot(Live(variables)), sub))
+
+
+def _guard_vars(sub: MuFormula,
+                guard: Union[str, Tuple[Var, ...], None]) -> Tuple[Var, ...]:
+    if guard is not None:
+        return _vars_of(guard)
+    from repro.mucalc.syntax import free_ivars_unfolded
+
+    return tuple(sorted(free_ivars_unfolded(sub), key=lambda v: v.name))

@@ -1,0 +1,207 @@
+"""Model checker for first-order µ-calculus over finite transition systems.
+
+Implements the extension function of Figure 1 (plus ``LIVE``) directly:
+``evaluate`` maps a formula, an individual valuation ``v``, and a predicate
+valuation ``V`` to the set of states where the formula holds. Fixpoints are
+computed by Knaster–Tarski iteration, sound because of syntactic
+monotonicity (checked up front).
+
+First-order quantification ranges over the *finite* value set of the
+transition system (plus the formula's constants). Over the abstract
+transition system of a run-bounded DCDS this agrees with the PROP()
+translation of Theorem 4.4; over an arbitrary finite TS it is the natural
+finite-domain semantics of µL.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import VerificationError
+from repro.fol.evaluation import holds
+from repro.mucalc.ast import (
+    Box, Diamond, Live, MAnd, MExists, MForall, MNot, MOr, Mu, MuFormula,
+    Nu, PredVar, QF)
+from repro.mucalc.syntax import check_monotone
+from repro.relational.values import Var, is_value
+from repro.semantics.transition_system import State, TransitionSystem
+from repro.utils import sorted_values
+
+Valuation = Dict[Var, Any]
+PredValuation = Dict[str, FrozenSet[State]]
+
+
+class ModelChecker:
+    """Evaluates µL formulas over one finite transition system."""
+
+    def __init__(self, ts: TransitionSystem,
+                 extra_domain: Iterable[Any] = ()):
+        self.ts = ts
+        self.states: FrozenSet[State] = ts.states
+        self._domain = frozenset(ts.values()) | frozenset(extra_domain)
+        self._adom_cache: Dict[State, FrozenSet[Any]] = {}
+
+    # -- public API -----------------------------------------------------------
+
+    def domain(self, formula: Optional[MuFormula] = None) -> FrozenSet[Any]:
+        """Quantification domain: TS values plus the formula's constants."""
+        found = set(self._domain)
+        if formula is not None:
+            for node in formula.walk():
+                if isinstance(node, QF):
+                    found.update(node.query.constants())
+                elif isinstance(node, Live):
+                    found.update(t for t in node.terms if is_value(t))
+        return frozenset(found)
+
+    def evaluate(self, formula: MuFormula,
+                 valuation: Optional[Valuation] = None,
+                 predicates: Optional[PredValuation] = None
+                 ) -> FrozenSet[State]:
+        """The extension ``(Phi)^Upsilon_{v,V}`` (Figure 1)."""
+        check_monotone(formula)
+        return self._eval(formula, dict(valuation or {}),
+                          dict(predicates or {}),
+                          self.domain(formula))
+
+    def models(self, formula: MuFormula,
+               valuation: Optional[Valuation] = None) -> bool:
+        """``Upsilon |= Phi``: does the initial state satisfy the formula?"""
+        free_p = formula.free_pvars()
+        if free_p:
+            raise VerificationError(
+                f"formula has free predicate variables {sorted(free_p)}")
+        unbound = formula.free_ivars() - set(valuation or {})
+        if unbound:
+            raise VerificationError(
+                f"formula has unbound individual variables "
+                f"{sorted(v.name for v in unbound)}")
+        return self.ts.initial in self.evaluate(formula, valuation)
+
+    def holding_states(self, formula: MuFormula) -> FrozenSet[State]:
+        return self.evaluate(formula)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def _adom(self, state: State) -> FrozenSet[Any]:
+        if state not in self._adom_cache:
+            self._adom_cache[state] = self.ts.db(state).active_domain()
+        return self._adom_cache[state]
+
+    def _eval(self, formula: MuFormula, v: Valuation, V: PredValuation,
+              domain: FrozenSet[Any]) -> FrozenSet[State]:
+        if isinstance(formula, QF):
+            return self._eval_query(formula, v)
+        if isinstance(formula, Live):
+            return self._eval_live(formula, v)
+        if isinstance(formula, MNot):
+            return self.states - self._eval(formula.sub, v, V, domain)
+        if isinstance(formula, MAnd):
+            result = self.states
+            for sub in formula.subs:
+                result &= self._eval(sub, v, V, domain)
+                if not result:
+                    break
+            return result
+        if isinstance(formula, MOr):
+            result: FrozenSet[State] = frozenset()
+            for sub in formula.subs:
+                result |= self._eval(sub, v, V, domain)
+                if result == self.states:
+                    break
+            return result
+        if isinstance(formula, MExists):
+            return self._eval_exists(formula, v, V, domain)
+        if isinstance(formula, MForall):
+            negated = MExists(formula.variables, MNot(formula.sub))
+            return self.states - self._eval(negated, v, V, domain)
+        if isinstance(formula, Diamond):
+            target = self._eval(formula.sub, v, V, domain)
+            return frozenset(
+                state for state in self.states
+                if self.ts.successors(state) & target)
+        if isinstance(formula, Box):
+            target = self._eval(formula.sub, v, V, domain)
+            return frozenset(
+                state for state in self.states
+                if self.ts.successors(state) <= target)
+        if isinstance(formula, PredVar):
+            if formula.name not in V:
+                raise VerificationError(
+                    f"unbound predicate variable {formula.name}")
+            return V[formula.name]
+        if isinstance(formula, Mu):
+            return self._fixpoint(formula, v, V, domain, least=True)
+        if isinstance(formula, Nu):
+            return self._fixpoint(formula, v, V, domain, least=False)
+        raise VerificationError(f"cannot evaluate node {formula!r}")
+
+    def _eval_query(self, formula: QF, v: Valuation) -> FrozenSet[State]:
+        query = formula.query
+        relevant = {var: value for var, value in v.items()
+                    if var in query.free_variables()}
+        missing = query.free_variables() - set(relevant)
+        if missing:
+            raise VerificationError(
+                f"query {query!r} has unbound variables "
+                f"{sorted(var.name for var in missing)}")
+        return frozenset(
+            state for state in self.states
+            if holds(query, self.ts.db(state), relevant))
+
+    def _eval_live(self, formula: Live, v: Valuation) -> FrozenSet[State]:
+        values = []
+        for term in formula.terms:
+            if isinstance(term, Var):
+                if term not in v:
+                    raise VerificationError(
+                        f"LIVE uses unbound variable {term.name}")
+                values.append(v[term])
+            else:
+                values.append(term)
+        return frozenset(
+            state for state in self.states
+            if all(value in self._adom(state) for value in values))
+
+    def _eval_exists(self, formula: MExists, v: Valuation,
+                     V: PredValuation, domain: FrozenSet[Any]
+                     ) -> FrozenSet[State]:
+        variables = formula.variables
+        result: FrozenSet[State] = frozenset()
+        assignments = [()]
+        for _ in variables:
+            assignments = [prefix + (value,)
+                           for prefix in assignments
+                           for value in sorted_values(domain)]
+        for combo in assignments:
+            extended = dict(v)
+            extended.update(zip(variables, combo))
+            result |= self._eval(formula.sub, extended, V, domain)
+            if result == self.states:
+                break
+        return result
+
+    def _fixpoint(self, formula, v: Valuation, V: PredValuation,
+                  domain: FrozenSet[Any], least: bool) -> FrozenSet[State]:
+        current: FrozenSet[State] = frozenset() if least else self.states
+        while True:
+            extended = dict(V)
+            extended[formula.var] = current
+            updated = self._eval(formula.sub, v, extended, domain)
+            if updated == current:
+                return current
+            current = updated
+
+
+def check(ts: TransitionSystem, formula: MuFormula,
+          valuation: Optional[Valuation] = None,
+          extra_domain: Iterable[Any] = ()) -> bool:
+    """Convenience: ``ts |= formula``."""
+    return ModelChecker(ts, extra_domain).models(formula, valuation)
+
+
+def extension(ts: TransitionSystem, formula: MuFormula,
+              valuation: Optional[Valuation] = None,
+              extra_domain: Iterable[Any] = ()) -> FrozenSet[State]:
+    """Convenience: the set of states satisfying the formula."""
+    return ModelChecker(ts, extra_domain).evaluate(formula, valuation)

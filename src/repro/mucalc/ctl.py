@@ -1,0 +1,114 @@
+"""CTL-style sugar compiled into µ-calculus.
+
+µ-calculus subsumes CTL (Section 3); these helpers build the standard
+fixpoint encodings, in both the plain (µLA-compatible) form and the
+persistence-guarded (µLP-compatible) form used throughout Appendix E.
+
+Caveat on ``AF``/``AG``: the encodings use the usual semantics over total
+transition systems. DCDS transition systems can have deadlock states (no
+enabled action); on such states ``[-]Phi`` holds vacuously.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple, Union
+
+from repro.mucalc.ast import (
+    Box, Diamond, Live, MAnd, MNot, MOr, Mu, MuFormula, Nu, PredVar,
+    box_live, diamond_live)
+from repro.relational.values import Var
+
+_counter = itertools.count()
+
+
+def _fresh_pvar() -> str:
+    return f"Z{next(_counter)}"
+
+
+def EX(phi: MuFormula) -> MuFormula:
+    """Some successor satisfies ``phi``."""
+    return Diamond(phi)
+
+
+def AX(phi: MuFormula) -> MuFormula:
+    """Every successor satisfies ``phi``."""
+    return Box(phi)
+
+
+def EF(phi: MuFormula) -> MuFormula:
+    """Some path eventually reaches ``phi``: ``mu Z. phi | <->Z``."""
+    z = _fresh_pvar()
+    return Mu(z, MOr.of(phi, Diamond(PredVar(z))))
+
+
+def AF(phi: MuFormula) -> MuFormula:
+    """Every path eventually reaches ``phi``: ``mu Z. phi | (<->true & [-]Z)``.
+
+    The ``<->true`` conjunct makes deadlock states non-accepting, matching
+    the standard CTL semantics on possibly non-total systems.
+    """
+    z = _fresh_pvar()
+    return Mu(z, MOr.of(phi, MAnd.of(Diamond(_TRUE), Box(PredVar(z)))))
+
+
+def EG(phi: MuFormula) -> MuFormula:
+    """Some path always satisfies ``phi``: ``nu Z. phi & (<->Z | [-]false)``.
+
+    Finite (deadlocking) paths count as maximal paths.
+    """
+    z = _fresh_pvar()
+    return Nu(z, MAnd.of(phi, MOr.of(Diamond(PredVar(z)), Box(_FALSE))))
+
+
+def AG(phi: MuFormula) -> MuFormula:
+    """Every reachable state satisfies ``phi``: ``nu Z. phi & [-]Z``."""
+    z = _fresh_pvar()
+    return Nu(z, MAnd.of(phi, Box(PredVar(z))))
+
+
+def EU(phi: MuFormula, psi: MuFormula) -> MuFormula:
+    """Exists-until: ``mu Z. psi | (phi & <->Z)``."""
+    z = _fresh_pvar()
+    return Mu(z, MOr.of(psi, MAnd.of(phi, Diamond(PredVar(z)))))
+
+
+def AU(phi: MuFormula, psi: MuFormula) -> MuFormula:
+    """All-until (strong): ``mu Z. psi | (phi & <->true & [-]Z)``."""
+    z = _fresh_pvar()
+    return Mu(z, MOr.of(
+        psi, MAnd.of(phi, Diamond(_TRUE), Box(PredVar(z)))))
+
+
+# -- persistence-guarded variants (µLP) ------------------------------------
+
+def EF_live(phi: MuFormula,
+            guard: Union[str, Tuple[Var, ...], None] = None) -> MuFormula:
+    """Reachability along which the guarded values persist:
+    ``mu Z. phi | <->(live(x...) & Z)`` (cf. Example 3.3)."""
+    z = _fresh_pvar()
+    return Mu(z, MOr.of(phi, diamond_live(PredVar(z), guard)))
+
+
+def AG_live(phi: MuFormula,
+            guard: Union[str, Tuple[Var, ...], None] = None) -> MuFormula:
+    """Invariance with persistence-guarded steps:
+    ``nu Z. phi & [-](live(x...) & Z)``."""
+    z = _fresh_pvar()
+    return Nu(z, MAnd.of(phi, box_live(PredVar(z), guard)))
+
+
+def AU_live(phi: MuFormula, psi: MuFormula,
+            guard: Union[str, Tuple[Var, ...], None] = None) -> MuFormula:
+    """Strong until with persistence: ``mu Z. psi | (phi & <->true &
+    [-](live(x...) & Z))`` — the Appendix E request-system property shape."""
+    z = _fresh_pvar()
+    return Mu(z, MOr.of(
+        psi, MAnd.of(phi, Diamond(_TRUE), box_live(PredVar(z), guard))))
+
+
+from repro.fol.ast import FALSE as _FO_FALSE, TRUE as _FO_TRUE  # noqa: E402
+from repro.mucalc.ast import QF  # noqa: E402
+
+_TRUE = QF(_FO_TRUE)
+_FALSE = QF(_FO_FALSE)

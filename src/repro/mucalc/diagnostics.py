@@ -1,0 +1,90 @@
+"""Verification diagnostics: witnesses and counterexamples.
+
+The paper reduces verification to computing extensions over the finite
+abstract transition system; for practical use one also wants *evidence*.
+For the two most common property shapes this module extracts it:
+
+* invariants ``AG phi`` — a shortest path from the initial state to a
+  ``~phi`` state (a counterexample trace);
+* reachability ``EF phi`` — a shortest path to a ``phi`` state (a witness
+  trace).
+
+Traces are lists of ``(state, db, label)`` triples, where ``label`` is the
+action annotation of the edge taken into the state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import FrozenSet, List, Optional, Tuple
+
+from repro.mucalc.ast import MuFormula
+from repro.mucalc.checker import ModelChecker
+from repro.semantics.transition_system import State, TransitionSystem
+
+Trace = List[Tuple[State, "Instance", Optional[str]]]
+
+
+def shortest_path_to(ts: TransitionSystem,
+                     targets: FrozenSet[State]) -> Optional[Trace]:
+    """BFS path from the initial state into ``targets`` (inclusive)."""
+    if not targets:
+        return None
+    parent = {ts.initial: None}
+    labels = {ts.initial: None}
+    queue = deque([ts.initial])
+    goal = ts.initial if ts.initial in targets else None
+    while queue and goal is None:
+        current = queue.popleft()
+        for label, successor in sorted(ts.labeled_edges(current),
+                                       key=lambda item: repr(item)):
+            if successor not in parent:
+                parent[successor] = current
+                labels[successor] = label
+                if successor in targets:
+                    goal = successor
+                    break
+                queue.append(successor)
+    if goal is None:
+        return None
+    path: Trace = []
+    cursor = goal
+    while cursor is not None:
+        path.append((cursor, ts.db(cursor), labels[cursor]))
+        cursor = parent[cursor]
+    path.reverse()
+    return path
+
+
+def counterexample(ts: TransitionSystem, invariant: MuFormula,
+                   checker: Optional[ModelChecker] = None
+                   ) -> Optional[Trace]:
+    """A shortest trace to a reachable state violating ``invariant``.
+
+    ``invariant`` is the *state* property (the ``phi`` of ``AG phi``), not
+    the fixpoint formula. Returns ``None`` when the invariant holds on all
+    reachable states.
+    """
+    checker = checker or ModelChecker(ts)
+    good = checker.evaluate(invariant)
+    bad = frozenset(ts.reachable_from()) - good
+    return shortest_path_to(ts, bad)
+
+
+def witness(ts: TransitionSystem, goal: MuFormula,
+            checker: Optional[ModelChecker] = None) -> Optional[Trace]:
+    """A shortest trace reaching a state satisfying ``goal`` (EF-witness)."""
+    checker = checker or ModelChecker(ts)
+    targets = checker.evaluate(goal) & frozenset(ts.reachable_from())
+    return shortest_path_to(ts, targets)
+
+
+def render_trace(trace: Trace) -> str:
+    """Human-readable rendering of a diagnostic trace."""
+    if not trace:
+        return "(empty trace)"
+    lines = []
+    for index, (state, db, label) in enumerate(trace):
+        arrow = f" --[{label}]--> " if label else ""
+        lines.append(f"  {index}: {arrow}{db!r}")
+    return "\n".join(lines)

@@ -1,0 +1,242 @@
+"""Syntactic analysis of µ-calculus formulas: monotonicity, fragments.
+
+The fragments of Section 3 are syntactic shapes:
+
+* **µL** — anything produced by the grammar, subject only to syntactic
+  monotonicity of fixpoints;
+* **µLA** (history-preserving) — quantification only via
+  ``E x.(LIVE(x) & Phi)`` and ``A x.(LIVE(x) -> Phi)``;
+* **µLP** (persistence-preserving) — µLA where additionally every modality
+  is guarded: ``<->(LIVE(x...) & Phi)`` / ``[-](LIVE(x...) & Phi)`` (or the
+  implication forms), with ``x...`` exactly the free variables of ``Phi``
+  *after substituting each bound predicate variable by its bounding fixpoint
+  formula* (the proviso of Section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.errors import FragmentError, MonotonicityError
+from repro.mucalc.ast import (
+    Box, Diamond, Live, MAnd, MExists, MForall, MNot, MOr, Mu, MuFormula,
+    Nu, PredVar, QF)
+from repro.relational.values import Var
+
+
+class Fragment(enum.Enum):
+    """The verification logics of the paper, ordered by inclusion."""
+
+    MU_LP = "muLP"
+    MU_LA = "muLA"
+    MU_L = "muL"
+
+    def includes(self, other: "Fragment") -> bool:
+        order = {Fragment.MU_LP: 0, Fragment.MU_LA: 1, Fragment.MU_L: 2}
+        return order[other] <= order[self]
+
+
+def check_monotone(formula: MuFormula) -> None:
+    """Raise :class:`MonotonicityError` if some fixpoint variable occurs
+    under an odd number of negations within its binder."""
+
+    def walk(node: MuFormula, polarity: Dict[str, int]) -> None:
+        if isinstance(node, PredVar):
+            if node.name in polarity and polarity[node.name] % 2 == 1:
+                raise MonotonicityError(
+                    f"predicate variable {node.name} occurs negatively")
+            return
+        if isinstance(node, MNot):
+            flipped = {name: count + 1 for name, count in polarity.items()}
+            walk(node.sub, flipped)
+            return
+        if isinstance(node, (Mu, Nu)):
+            inner = dict(polarity)
+            inner[node.var] = 0
+            walk(node.sub, inner)
+            return
+        for child in node.children():
+            walk(child, polarity)
+
+    walk(formula, {})
+
+
+def free_ivars_unfolded(
+    formula: MuFormula,
+    env: Optional[Dict[str, FrozenSet[Var]]] = None,
+) -> FrozenSet[Var]:
+    """Free individual variables under the µLP proviso.
+
+    Occurrences of a bound predicate variable ``Z`` contribute the free
+    individual variables of its bounding formula (which, by unfolding, equal
+    the free variables of the binder's body with ``Z`` contributing nothing).
+    ``env`` carries that information for predicate variables bound by
+    *enclosing* binders when analyzing a subformula in context.
+    """
+    env = env or {}
+
+    def compute(node: MuFormula,
+                scope: Dict[str, FrozenSet[Var]]) -> FrozenSet[Var]:
+        if isinstance(node, PredVar):
+            return scope.get(node.name, frozenset())
+        if isinstance(node, (Mu, Nu)):
+            inner = dict(scope)
+            inner[node.var] = frozenset()
+            binder_free = compute(node.sub, inner)
+            # A second pass with the binder's own free vars is unnecessary:
+            # unfolding substitutes the same formula, adding no new variables.
+            return binder_free
+        if isinstance(node, (MExists, MForall)):
+            return compute(node.sub, scope) - frozenset(node.variables)
+        if isinstance(node, (QF, Live)):
+            return node.free_ivars()
+        result: FrozenSet[Var] = frozenset()
+        for child in node.children():
+            result |= compute(child, scope)
+        return result
+
+    return compute(formula, dict(env))
+
+
+def _live_guard(node: MuFormula) -> Optional[Tuple[FrozenSet[Var], MuFormula]]:
+    """Destructure ``LIVE(x...) & Phi`` or ``~LIVE(x...) | Phi``.
+
+    Returns ``(guarded_vars, remainder)`` or ``None`` if the node does not
+    have either guarded shape.
+    """
+    if isinstance(node, MAnd):
+        guards = [sub for sub in node.subs if isinstance(sub, Live)]
+        rest = [sub for sub in node.subs if not isinstance(sub, Live)]
+        if guards:
+            variables = frozenset(
+                v for guard in guards for v in guard.free_ivars())
+            remainder = MAnd.of(*rest) if rest else QF_TRUE
+            return variables, remainder
+        return None
+    if isinstance(node, MOr):
+        # Recognize implication shapes: ~LIVE(x) | Phi, and
+        # ~(LIVE(x) & Psi) | Phi  (i.e. LIVE(x) & Psi -> Phi, the way the
+        # paper writes guarded universals in Examples 3.2/3.3).
+        variables: set = set()
+        rest: list = []
+        found = False
+        for sub in node.subs:
+            if isinstance(sub, MNot) and isinstance(sub.sub, Live):
+                variables.update(sub.sub.free_ivars())
+                found = True
+            elif isinstance(sub, MNot) and isinstance(sub.sub, MAnd) and \
+                    any(isinstance(conjunct, Live)
+                        for conjunct in sub.sub.subs):
+                lives = [conjunct for conjunct in sub.sub.subs
+                         if isinstance(conjunct, Live)]
+                others = [conjunct for conjunct in sub.sub.subs
+                          if not isinstance(conjunct, Live)]
+                for guard in lives:
+                    variables.update(guard.free_ivars())
+                found = True
+                if others:
+                    rest.append(MNot(MAnd.of(*others)))
+            else:
+                rest.append(sub)
+        if found:
+            remainder = MOr.of(*rest) if rest else QF_TRUE
+            return frozenset(variables), remainder
+        return None
+    return None
+
+
+from repro.fol.ast import TRUE as _FO_TRUE  # noqa: E402
+
+QF_TRUE = QF(_FO_TRUE)
+
+
+def classify(formula: MuFormula) -> Fragment:
+    """The tightest fragment the formula belongs to.
+
+    Also enforces syntactic monotonicity (raising
+    :class:`MonotonicityError` otherwise).
+    """
+    check_monotone(formula)
+    if _is_muLP(formula):
+        return Fragment.MU_LP
+    if _is_muLA(formula):
+        return Fragment.MU_LA
+    return Fragment.MU_L
+
+
+def is_in_fragment(formula: MuFormula, fragment: Fragment) -> bool:
+    return fragment.includes(classify(formula))
+
+
+def require_fragment(formula: MuFormula, fragment: Fragment) -> None:
+    actual = classify(formula)
+    if not fragment.includes(actual):
+        raise FragmentError(
+            f"formula is in {actual.value}, required {fragment.value}: "
+            f"{formula!r}")
+
+
+def _quantifier_guarded(node: MuFormula) -> bool:
+    """Is a quantifier node in the µLA shape?"""
+    if isinstance(node, MExists):
+        guard = _live_guard(node.sub)
+        if guard is None:
+            return False
+        variables, _ = guard
+        return frozenset(node.variables) <= variables
+    if isinstance(node, MForall):
+        # A x. (LIVE(x) -> Phi) is represented as A x. (~LIVE(x) | Phi)
+        # or, dually, A x. (LIVE(x) & Phi) is also within the fragment
+        # (stronger than required).
+        guard = _live_guard(node.sub)
+        if guard is None:
+            return False
+        variables, _ = guard
+        return frozenset(node.variables) <= variables
+    return True
+
+
+def _is_muLA(formula: MuFormula) -> bool:
+    for node in formula.walk():
+        if isinstance(node, (MExists, MForall)) \
+                and not _quantifier_guarded(node):
+            return False
+    return True
+
+
+def _is_muLP(formula: MuFormula) -> bool:
+    if not _is_muLA(formula):
+        return False
+    verdict = [True]
+
+    def visit(node: MuFormula, env: Dict[str, FrozenSet[Var]]) -> None:
+        if not verdict[0]:
+            return
+        if isinstance(node, (Mu, Nu)):
+            inner = dict(env)
+            inner[node.var] = frozenset()
+            inner[node.var] = free_ivars_unfolded(node.sub, inner)
+            visit(node.sub, inner)
+            return
+        if isinstance(node, (Diamond, Box)):
+            sub_free = free_ivars_unfolded(node.sub, env)
+            if sub_free:
+                guard = _live_guard(node.sub)
+                if guard is None:
+                    verdict[0] = False
+                    return
+                variables, remainder = guard
+                # The proviso: the guard covers the free variables of the
+                # remainder (computed with bound predicate variables
+                # substituted by their bounding formulas).
+                if free_ivars_unfolded(remainder, env) - variables:
+                    verdict[0] = False
+                    return
+            visit(node.sub, env)
+            return
+        for child in node.children():
+            visit(child, env)
+
+    visit(formula, {})
+    return verdict[0]

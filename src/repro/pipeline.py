@@ -1,0 +1,145 @@
+"""The end-to-end verification pipeline — Table 1 made executable.
+
+:func:`verify` routes a (DCDS, µ-formula) pair through the decidable cells
+of Table 1:
+
+===================== ========== ============ ==========================
+Services              Fragment   Precondition Route
+===================== ========== ============ ==========================
+deterministic         µLA (µLP)  weakly       deterministic abstraction
+                                 acyclic      (Thm 4.3/4.4) + checker
+nondeterministic      µLP        GR(+)-       RCYCL (Thm 5.4) + checker
+                                 acyclic
+mixed (§6)            µLP        GR(+) after  det->nondet rewrite
+                                 rewrite      (Thm 6.1) + RCYCL
+===================== ========== ============ ==========================
+
+Everything else raises :class:`UndecidableFragment` citing the theorem that
+dooms it — unless ``force=True``, in which case the construction runs under
+its fuse anyway (it may succeed: the syntactic conditions are sufficient,
+not necessary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.analysis.dataflow_graph import dataflow_graph
+from repro.analysis.dependency_graph import dependency_graph
+from repro.core.dcds import DCDS, ServiceSemantics
+from repro.errors import UndecidableFragment
+from repro.mucalc.ast import MuFormula
+from repro.mucalc.checker import ModelChecker
+from repro.mucalc.syntax import Fragment, classify
+from repro.reductions.det_to_nondet import det_to_nondet
+from repro.semantics.abstract_det import build_det_abstraction
+from repro.semantics.rcycl import rcycl
+from repro.semantics.transition_system import TransitionSystem
+
+
+@dataclass
+class VerificationReport:
+    """Everything :func:`verify` learned on the way to a verdict."""
+
+    dcds_name: str
+    formula: MuFormula
+    fragment: Fragment
+    route: str
+    static_condition: str
+    abstraction_stats: Dict[str, Any]
+    holds: bool
+    transition_system: Optional[TransitionSystem] = None
+
+    def __repr__(self) -> str:
+        verdict = "HOLDS" if self.holds else "FAILS"
+        return (f"VerificationReport({self.dcds_name}: {verdict}, "
+                f"fragment={self.fragment.value}, route={self.route}, "
+                f"static={self.static_condition}, "
+                f"|Theta|={self.abstraction_stats.get('states')})")
+
+
+def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
+           force: bool = False, keep_ts: bool = True) -> VerificationReport:
+    """Verify ``dcds |= formula`` through the decidable routes of Table 1."""
+    fragment = classify(formula)
+
+    if dcds.has_mixed_semantics():
+        return _verify_mixed(dcds, formula, fragment, max_states, force,
+                             keep_ts)
+    if dcds.semantics is ServiceSemantics.DETERMINISTIC:
+        return _verify_det(dcds, formula, fragment, max_states, force,
+                           keep_ts)
+    return _verify_nondet(dcds, formula, fragment, max_states, force,
+                          keep_ts)
+
+
+def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
+                max_states: int, force: bool,
+                keep_ts: bool) -> VerificationReport:
+    if fragment is Fragment.MU_L and not force:
+        raise UndecidableFragment(
+            "full µL admits no faithful finite abstraction even for "
+            "run-bounded DCDSs with deterministic services",
+            theorem="Theorem 4.5")
+    graph = dependency_graph(dcds)
+    weakly_acyclic = graph.is_weakly_acyclic()
+    if not weakly_acyclic and not force:
+        raise UndecidableFragment(
+            f"DCDS is not weakly acyclic (witness special edge "
+            f"{graph.violating_special_edge()}); run-boundedness cannot be "
+            f"certified and is undecidable to check",
+            theorem="Theorem 4.6 / 4.8")
+    ts = build_det_abstraction(dcds, max_states=max_states)
+    checker = ModelChecker(ts, extra_domain=dcds.known_constants())
+    holds = checker.models(formula)
+    return VerificationReport(
+        dcds.name, formula, fragment, "det-abstraction",
+        "weakly-acyclic" if weakly_acyclic else "forced",
+        ts.stats(), holds, ts if keep_ts else None)
+
+
+def _verify_nondet(dcds: DCDS, formula: MuFormula, fragment: Fragment,
+                   max_states: int, force: bool,
+                   keep_ts: bool) -> VerificationReport:
+    if fragment is not Fragment.MU_LP and not force:
+        theorem = "Theorem 5.2" if fragment is Fragment.MU_LA \
+            else "Theorem 5.1"
+        raise UndecidableFragment(
+            f"verification of {fragment.value} over nondeterministic "
+            f"services is undecidable even for state-bounded DCDSs; "
+            f"restrict the property to µLP",
+            theorem=theorem)
+    graph = dataflow_graph(dcds)
+    if graph.is_gr_acyclic():
+        condition = "gr-acyclic"
+    elif graph.is_gr_plus_acyclic():
+        condition = "gr-plus-acyclic"
+    elif force:
+        condition = "forced"
+    else:
+        raise UndecidableFragment(
+            f"DCDS is not GR(+)-acyclic (witness "
+            f"{graph.gr_plus_violation()!r}); state-boundedness cannot be "
+            f"certified and is undecidable to check",
+            theorem="Theorem 5.5 / 5.7")
+    ts = rcycl(dcds, max_states=max_states)
+    checker = ModelChecker(ts, extra_domain=dcds.known_constants())
+    holds = checker.models(formula)
+    return VerificationReport(
+        dcds.name, formula, fragment, "rcycl", condition, ts.stats(),
+        holds, ts if keep_ts else None)
+
+
+def _verify_mixed(dcds: DCDS, formula: MuFormula, fragment: Fragment,
+                  max_states: int, force: bool,
+                  keep_ts: bool) -> VerificationReport:
+    deterministic_functions = [
+        function.name for function in dcds.process.functions
+        if dcds.is_deterministic(function.name)]
+    rewritten = det_to_nondet(dcds, only_functions=deterministic_functions)
+    report = _verify_nondet(rewritten, formula, fragment, max_states, force,
+                            keep_ts)
+    report.route = f"mixed->({report.route})"
+    report.dcds_name = dcds.name
+    return report

@@ -1,0 +1,16 @@
+"""Reductions between DCDS classes (Section 6)."""
+
+from repro.reductions.artifact import (
+    ArtifactAction, ArtifactSystem, ArtifactType, ExternalInput,
+    PostTemplate, compile_to_dcds)
+from repro.reductions.det_to_nondet import (
+    det_to_nondet, memory_relation_name, project_to_original)
+from repro.reductions.integrity import with_integrity_constraint
+from repro.reductions.nondet_to_det import detname, nondet_to_det
+
+__all__ = [
+    "ArtifactAction", "ArtifactSystem", "ArtifactType", "ExternalInput",
+    "PostTemplate", "compile_to_dcds", "det_to_nondet", "detname",
+    "memory_relation_name", "nondet_to_det", "project_to_original",
+    "with_integrity_constraint",
+]

@@ -1,0 +1,150 @@
+"""Artifact-centric business processes compiled into DCDSs (Section 6).
+
+The paper argues DCDSs and the artifact model are expressively equivalent
+and sketches the direction artifact -> DCDS:
+
+* each artifact type ``T`` (a tuple schema with an ``id`` attribute) becomes
+  a relation with ``id`` declared unique via an equality constraint;
+* action pre-conditions become condition-action rules;
+* post-conditions, rewritten to Skolem normal form, become effects whose
+  external inputs (the ∃FO variables over the infinite domain) are
+  nondeterministic service calls.
+
+This module implements that compilation for a structured artifact dialect:
+post-conditions are given as guarded templates (query over the current
+instance + head atoms), with :class:`ExternalInput` markers for environment
+inputs. Disjunctive post-conditions are expressed as several templates (the
+paper notes the extra expressivity can be shifted to the rules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProcessError
+from repro.core.data_layer import DataLayer, key_constraint
+from repro.core.dcds import DCDS, ServiceSemantics
+from repro.core.process_layer import (
+    Action, CARule, EffectSpec, ProcessLayer, ServiceFunction)
+from repro.fol.ast import Atom, Formula, TRUE
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import Param, ServiceCall, Var
+
+
+@dataclass(frozen=True)
+class ExternalInput:
+    """A placeholder for a value supplied by the environment.
+
+    ``ExternalInput("price")`` in a post-condition head compiles to a
+    nondeterministic service call ``in_price(...)`` whose arguments are the
+    ``depends_on`` terms (so inputs may be correlated with artifact data).
+    """
+
+    name: str
+    depends_on: Tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class ArtifactType:
+    """An artifact type: named tuple schema whose first attribute is the id."""
+
+    name: str
+    attributes: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.attributes or self.attributes[0] != "id":
+            raise ProcessError(
+                f"artifact type {self.name!r} must have 'id' as its first "
+                f"attribute")
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+
+@dataclass(frozen=True)
+class PostTemplate:
+    """One conjunct of a post-condition: guard over the current instance,
+    head atoms over the successor (with possible external inputs)."""
+
+    guard: Formula
+    head: Tuple[Atom, ...]
+
+
+@dataclass(frozen=True)
+class ArtifactAction:
+    """An artifact action with FO pre-condition and template post-condition."""
+
+    name: str
+    params: Tuple[Param, ...]
+    pre: Formula
+    post: Tuple[PostTemplate, ...]
+
+
+@dataclass(frozen=True)
+class ArtifactSystem:
+    """An artifact system: types, an underlying database, and actions."""
+
+    types: Tuple[ArtifactType, ...]
+    database: DatabaseSchema
+    actions: Tuple[ArtifactAction, ...]
+    initial: Instance
+    name: str = "artifact-system"
+
+
+def compile_to_dcds(system: ArtifactSystem) -> DCDS:
+    """Compile an artifact system to a DCDS with nondeterministic services."""
+    relations = tuple(
+        RelationSchema(artifact.name, artifact.arity, artifact.attributes)
+        for artifact in system.types) + system.database.relations
+    schema = DatabaseSchema(relations)
+
+    constraints = []
+    for artifact in system.types:
+        constraints.extend(
+            key_constraint(artifact.name, artifact.arity, (0,),
+                           name=f"id:{artifact.name}"))
+
+    services: Dict[Tuple[str, int], ServiceFunction] = {}
+    actions: List[Action] = []
+    rules: List[CARule] = []
+
+    for artifact_action in system.actions:
+        effects = []
+        for template in artifact_action.post:
+            head = tuple(
+                _compile_atom(atom_, artifact_action.name, services)
+                for atom_ in template.head)
+            from repro.core.builder import split_body
+
+            q_plus, q_minus = split_body(template.guard)
+            effects.append(EffectSpec(q_plus, q_minus, head))
+        actions.append(Action(artifact_action.name, artifact_action.params,
+                              tuple(effects)))
+        rules.append(CARule(artifact_action.pre, artifact_action.name))
+
+    data = DataLayer(schema, tuple(constraints), system.initial)
+    process = ProcessLayer(tuple(services.values()), tuple(actions),
+                           tuple(rules))
+    return DCDS(data, process, ServiceSemantics.NONDETERMINISTIC,
+                system.name)
+
+
+def _compile_atom(atom_: Atom, action_name: str,
+                  services: Dict[Tuple[str, int], ServiceFunction]) -> Atom:
+    terms = []
+    for term in atom_.terms:
+        if isinstance(term, ExternalInput):
+            function_name = f"in_{term.name}"
+            arity = len(term.depends_on)
+            services.setdefault((function_name, arity),
+                                ServiceFunction(function_name, arity))
+            terms.append(ServiceCall(function_name, tuple(term.depends_on)))
+        else:
+            terms.append(term)
+    return Atom(atom_.relation, tuple(terms))

@@ -1,0 +1,116 @@
+"""Theorem 6.1: deterministic services simulated by nondeterministic ones.
+
+For each service ``f/n`` add a relation ``R_f/(n+1)`` recording every call
+result. Each effect that issues ``f(t...)`` additionally records
+``R_f(t..., f(t...))``; every action copies all ``R_f`` relations; a
+functional dependency ``args -> result`` on ``R_f`` forces any evaluation
+disagreeing with a recorded result to violate the constraints — i.e. the
+nondeterministic services are coerced into behaving deterministically.
+
+Properties (Theorem 6.1): the projection of the rewritten system's
+transition system onto the original schema coincides with the original one,
+and run-boundedness of the original implies state-boundedness of the
+rewrite... within the reachable fragment actually bounded by the run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.data_layer import DataLayer, functional_dependency
+from repro.core.dcds import DCDS, ServiceSemantics
+from repro.core.process_layer import (
+    Action, CARule, EffectSpec, ProcessLayer, ServiceFunction)
+from repro.fol.ast import Atom, TRUE
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import ServiceCall, Var
+
+
+def memory_relation_name(function_name: str) -> str:
+    """The name of the call-memory relation for a service function."""
+    return f"Rmem_{function_name}"
+
+
+def det_to_nondet(dcds: DCDS, only_functions=None) -> DCDS:
+    """Rewrite a deterministic-service DCDS per Theorem 6.1.
+
+    ``only_functions`` optionally restricts the memory-relation treatment to
+    a subset of service functions — used for the *mixed semantics* of
+    Section 6, where only the deterministic services need to be coerced.
+    """
+    functions = dcds.process.functions
+    if only_functions is None:
+        treated = [f for f in functions]
+    else:
+        wanted = set(only_functions)
+        treated = [f for f in functions if f.name in wanted]
+    memory_relations = [
+        RelationSchema(memory_relation_name(f.name), f.arity + 1)
+        for f in treated]
+    schema = DatabaseSchema(
+        dcds.schema.relations + tuple(memory_relations))
+
+    constraints = list(dcds.data.constraints)
+    for function in treated:
+        constraints.append(functional_dependency(
+            memory_relation_name(function.name), function.arity + 1,
+            tuple(range(function.arity)), function.arity,
+            name=f"det:{function.name}"))
+
+    copy_effects = []
+    for function in treated:
+        relation = memory_relation_name(function.name)
+        variables = tuple(Var(f"m{i}") for i in range(function.arity + 1))
+        copy_effects.append(EffectSpec(
+            Atom(relation, variables), TRUE, (Atom(relation, variables),)))
+
+    treated_names = {function.name for function in treated}
+    new_actions = []
+    for action in dcds.process.actions:
+        new_effects = []
+        for effect in action.effects:
+            recording_atoms: List[Atom] = list(effect.head)
+            for atom_ in effect.head:
+                for term in atom_.terms:
+                    if isinstance(term, ServiceCall) \
+                            and term.function in treated_names:
+                        relation = memory_relation_name(term.function)
+                        recording_atoms.append(
+                            Atom(relation, term.args + (term,)))
+            new_effects.append(EffectSpec(
+                effect.q_plus, effect.q_minus, tuple(recording_atoms)))
+        new_actions.append(Action(
+            action.name, action.params,
+            tuple(new_effects) + tuple(copy_effects)))
+
+    # All services behave nondeterministically in the rewrite; drop any
+    # per-function overrides.
+    plain_functions = tuple(
+        ServiceFunction(f.name, f.arity, None) for f in functions)
+    data = DataLayer(schema, tuple(constraints), dcds.data.initial)
+    process = ProcessLayer(plain_functions, tuple(new_actions),
+                           dcds.process.rules)
+    return DCDS(data, process, ServiceSemantics.NONDETERMINISTIC,
+                f"{dcds.name}->nondet")
+
+
+def project_to_original(ts, original: DCDS):
+    """Project a transition system of the rewrite onto the original schema.
+
+    Returns a new transition system whose state databases are restricted to
+    the original relations (states are merged when their projections and
+    outgoing structure coincide is *not* attempted — this is the raw
+    projection used by the Theorem 6.1 equivalence checks).
+    """
+    from repro.semantics.transition_system import TransitionSystem
+
+    names = original.schema.names()
+    projected = TransitionSystem(original.schema, ts.initial,
+                                 name=f"project[{ts.name}]")
+    for state in ts.states:
+        projected.add_state(state, ts.db(state).restrict(names))
+    for source, label, target in ts.edges():
+        projected.add_edge(source, target, label)
+    for state in ts.truncated_states:
+        projected.mark_truncated(state)
+    return projected

@@ -1,0 +1,56 @@
+"""Arbitrary FO integrity constraints via equality constraints (Section 6).
+
+Any FO sentence ``IC`` (active-domain semantics) can be enforced on every
+state of a DCDS with the trick of Section 6: add an auxiliary relation
+``aux`` holding one tuple ``(a, b)`` of distinct constants, copy it in every
+action, and add the equality constraint ``~IC & aux(x, y) -> x = y``. A
+state violating ``IC`` would force ``a = b`` — impossible — so constraint-
+violating successors simply do not exist.
+"""
+
+from __future__ import annotations
+
+from repro.core.data_layer import DataLayer, EqualityConstraint
+from repro.core.dcds import DCDS
+from repro.core.process_layer import Action, EffectSpec, ProcessLayer
+from repro.fol.ast import And, Atom, Formula, Not, TRUE
+from repro.relational.instance import Fact, Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import Var
+
+AUX = "auxIC"
+AUX_LEFT = "auxA"
+AUX_RIGHT = "auxB"
+
+
+def with_integrity_constraint(dcds: DCDS, constraint: Formula,
+                              name: str = "IC") -> DCDS:
+    """Enforce the FO sentence ``constraint`` on every reachable state."""
+    if constraint.free_variables():
+        raise ValueError("integrity constraints must be FO sentences")
+
+    if AUX in dcds.schema:
+        schema = dcds.schema
+        initial = dcds.data.initial
+        actions = dcds.process.actions
+    else:
+        schema = DatabaseSchema(
+            dcds.schema.relations + (RelationSchema(AUX, 2),))
+        initial = Instance(tuple(dcds.data.initial.facts)
+                           + (Fact(AUX, (AUX_LEFT, AUX_RIGHT)),))
+        copy_effect = EffectSpec(
+            Atom(AUX, (Var("aux~x"), Var("aux~y"))), TRUE,
+            (Atom(AUX, (Var("aux~x"), Var("aux~y"))),))
+        actions = tuple(
+            Action(action.name, action.params,
+                   action.effects + (copy_effect,))
+            for action in dcds.process.actions)
+
+    x, y = Var("ic~x"), Var("ic~y")
+    equality = EqualityConstraint(
+        And.of(Not(constraint), Atom(AUX, (x, y))), ((x, y),), name=name)
+
+    data = DataLayer(schema, dcds.data.constraints + (equality,), initial)
+    process = ProcessLayer(dcds.process.functions, actions,
+                           dcds.process.rules)
+    return DCDS(data, process, dcds.semantics, f"{dcds.name}+{name}")

@@ -1,0 +1,117 @@
+"""Theorem 6.2: nondeterministic services simulated by deterministic ones.
+
+The trick is timestamping: a deterministic service called with an extra,
+never-repeating timestamp argument is free to return different values for
+otherwise identical calls. The rewrite:
+
+* adds relations ``succ/2`` and ``now/1`` and a deterministic service
+  ``newTs/1`` generating the next timestamp;
+* adds to every action the effects
+  ``now(x) ~> now(newTs(x)), succ(x, newTs(x))`` and
+  ``succ(x, y) ~> succ(x, y)``;
+* declares the second component of ``succ`` a key, which (together with the
+  seed ``succ(0,0), succ(0,1), now(1)``) forces ``succ`` to stay a linear
+  order — the same device as the Turing-machine tape in Theorem 4.1;
+* rewrites every service call ``f(t...)`` into ``f_d(t..., x)`` where ``x``
+  is the *current* timestamp, bound by adding ``now(x)`` to the effect's
+  positive query.
+
+The paper's sketch stamps calls with the freshly generated timestamp
+``new(x)``; that nests Skolem terms, which the DCDS syntax (Section 2.2)
+does not allow. Stamping with the current timestamp is equivalent: within
+one transition all occurrences of the same original call share one stamp —
+exactly the N-EXECS rule that a call is invoked once per transition — and
+across transitions the stamp differs, so the deterministic service is free
+to answer differently.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.data_layer import DataLayer, functional_dependency
+from repro.core.dcds import DCDS, ServiceSemantics
+from repro.core.process_layer import (
+    Action, CARule, EffectSpec, ProcessLayer, ServiceFunction)
+from repro.fol.ast import And, Atom, TRUE
+from repro.relational.instance import Fact, Instance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.values import ServiceCall, Var
+
+NOW = "now"
+SUCC = "succ"
+NEW_TS = "newTs"
+_TS_VAR = Var("ts~now")
+
+
+def detname(function_name: str) -> str:
+    """The deterministic counterpart of a nondeterministic service."""
+    return f"{function_name}_d"
+
+
+def nondet_to_det(dcds: DCDS) -> DCDS:
+    """Rewrite a nondeterministic-service DCDS per Theorem 6.2."""
+    extra_relations = (RelationSchema(SUCC, 2), RelationSchema(NOW, 1))
+    schema = DatabaseSchema(dcds.schema.relations + extra_relations)
+
+    constraints = list(dcds.data.constraints)
+    # Key on the second component of succ rules out cycles in the timestamp
+    # chain (proof of Theorem 6.2).
+    constraints.append(functional_dependency(
+        SUCC, 2, (1,), 0, name="succ-key"))
+
+    initial = Instance(tuple(dcds.data.initial.facts) + (
+        Fact(SUCC, (0, 0)), Fact(SUCC, (0, 1)), Fact(NOW, (1,))))
+
+    functions = [ServiceFunction(detname(f.name), f.arity + 1,
+                                 deterministic=True)
+                 for f in dcds.process.functions]
+    functions.append(ServiceFunction(NEW_TS, 1, deterministic=True))
+
+    timestamp_call = ServiceCall(NEW_TS, (_TS_VAR,))
+    clock_effects = (
+        # now(x) ~> now(newTs(x)) & succ(x, newTs(x))
+        EffectSpec(Atom(NOW, (_TS_VAR,)), TRUE,
+                   (Atom(NOW, (timestamp_call,)),
+                    Atom(SUCC, (_TS_VAR, timestamp_call)))),
+        # succ(x, y) ~> succ(x, y)
+        EffectSpec(Atom(SUCC, (Var("ts~a"), Var("ts~b"))), TRUE,
+                   (Atom(SUCC, (Var("ts~a"), Var("ts~b"))),)),
+    )
+
+    new_actions = []
+    for action in dcds.process.actions:
+        new_effects = []
+        for effect in action.effects:
+            rewritten_head, used_timestamp = _rewrite_head(effect)
+            q_plus = effect.q_plus
+            if used_timestamp:
+                q_plus = And.of(q_plus, Atom(NOW, (_TS_VAR,)))
+            new_effects.append(
+                EffectSpec(q_plus, effect.q_minus, rewritten_head))
+        new_actions.append(Action(action.name, action.params,
+                                  tuple(new_effects) + clock_effects))
+
+    data = DataLayer(schema, tuple(constraints), initial)
+    process = ProcessLayer(tuple(functions), tuple(new_actions),
+                           dcds.process.rules)
+    return DCDS(data, process, ServiceSemantics.DETERMINISTIC,
+                f"{dcds.name}->det")
+
+
+def _rewrite_head(effect: EffectSpec) -> Tuple[Tuple[Atom, ...], bool]:
+    """Replace each call ``f(t...)`` by ``f_d(t..., ts)`` for the current
+    timestamp variable ``ts`` (bound by joining ``now(ts)`` into ``q+``)."""
+    used = False
+    rewritten: List[Atom] = []
+    for atom_ in effect.head:
+        terms = []
+        for term in atom_.terms:
+            if isinstance(term, ServiceCall):
+                used = True
+                terms.append(ServiceCall(
+                    detname(term.function), term.args + (_TS_VAR,)))
+            else:
+                terms.append(term)
+        rewritten.append(Atom(atom_.relation, tuple(terms)))
+    return tuple(rewritten), used

@@ -1,0 +1,19 @@
+"""Relational substrate: values, schemas, facts, instances, isomorphism."""
+
+from repro.relational.instance import Fact, Instance, fact
+from repro.relational.isomorphism import (
+    are_isomorphic, canonical_form, canonical_key, find_isomorphism,
+    iter_isomorphisms)
+from repro.relational.schema import (
+    DatabaseSchema, RelationSchema, parse_relation_spec)
+from repro.relational.values import (
+    Fresh, Param, ServiceCall, Var, is_value, substitute_term,
+    term_parameters, term_service_calls, term_values, term_variables)
+
+__all__ = [
+    "DatabaseSchema", "Fact", "Fresh", "Instance", "Param", "RelationSchema",
+    "ServiceCall", "Var", "are_isomorphic", "canonical_form", "canonical_key",
+    "fact", "find_isomorphism", "is_value", "iter_isomorphisms",
+    "parse_relation_spec", "substitute_term", "term_parameters",
+    "term_service_calls", "term_values", "term_variables",
+]

@@ -1,0 +1,230 @@
+"""Database instances: immutable sets of ground facts.
+
+An :class:`Instance` is the paper's database instance ``I``: a finite set of
+facts over a schema, with the active domain ``ADOM(I)`` (Section 2.1). Facts
+may contain unevaluated ground service calls during intermediate stages of
+action execution (the result of ``DO()`` before the call map is applied);
+:meth:`Instance.is_concrete` distinguishes fully evaluated instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
+
+from repro.errors import InstanceError
+from repro.relational.schema import DatabaseSchema
+from repro.relational.values import (
+    ServiceCall, is_value, substitute_term, term_service_calls)
+from repro.utils import sorted_values, value_sort_key
+
+
+@dataclass(frozen=True)
+class Fact:
+    """A ground fact ``R(t1, ..., tn)``; terms are values or ground calls."""
+
+    relation: str
+    terms: Tuple[Any, ...]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(term) for term in self.terms)
+        return f"{self.relation}({inner})"
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def is_concrete(self) -> bool:
+        """True when no term is an (unevaluated) service call."""
+        return all(not isinstance(term, ServiceCall) for term in self.terms)
+
+    def service_calls(self) -> Iterator[ServiceCall]:
+        for term in self.terms:
+            yield from term_service_calls(term)
+
+    def apply(self, mapping: Mapping[Any, Any]) -> "Fact":
+        """Replace terms (typically service calls) according to ``mapping``."""
+        return Fact(self.relation,
+                    tuple(mapping.get(term, term) for term in self.terms))
+
+    def rename(self, renaming: Mapping[Any, Any]) -> "Fact":
+        """Rename *values* according to ``renaming`` (identity elsewhere)."""
+        return Fact(self.relation, tuple(
+            renaming.get(term, term) if is_value(term) else
+            term.substitute(renaming) if isinstance(term, ServiceCall) else term
+            for term in self.terms))
+
+    def sort_key(self) -> tuple:
+        return (self.relation, tuple(value_sort_key(t) for t in self.terms))
+
+
+def fact(relation: str, *terms: Any) -> Fact:
+    """Convenience constructor: ``fact("R", "a", 1)`` = ``R(a, 1)``."""
+    return Fact(relation, tuple(terms))
+
+
+class Instance:
+    """An immutable database instance (a frozen set of facts).
+
+    Supports set operations, schema validation, active-domain computation, and
+    value renaming. Hashable, so instances can be transition-system states.
+    """
+
+    __slots__ = ("_facts", "_adom", "_hash")
+
+    def __init__(self, facts: Iterable[Fact] = ()):
+        normalized = []
+        for item in facts:
+            if isinstance(item, Fact):
+                normalized.append(item)
+            elif isinstance(item, tuple) and len(item) == 2:
+                normalized.append(Fact(item[0], tuple(item[1])))
+            else:
+                raise InstanceError(f"cannot interpret fact {item!r}")
+        self._facts: FrozenSet[Fact] = frozenset(normalized)
+        self._adom = None
+        self._hash = None
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def of(cls, *facts_: Fact) -> "Instance":
+        return cls(facts_)
+
+    @classmethod
+    def empty(cls) -> "Instance":
+        return cls(())
+
+    # -- set behaviour ---------------------------------------------------------
+
+    @property
+    def facts(self) -> FrozenSet[Fact]:
+        return self._facts
+
+    def __iter__(self) -> Iterator[Fact]:
+        return iter(self._facts)
+
+    def __len__(self) -> int:
+        return len(self._facts)
+
+    def __contains__(self, item: Fact) -> bool:
+        return item in self._facts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Instance) and self._facts == other._facts
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(self._facts)
+        return self._hash
+
+    def __or__(self, other: "Instance") -> "Instance":
+        return Instance(self._facts | other._facts)
+
+    def __and__(self, other: "Instance") -> "Instance":
+        return Instance(self._facts & other._facts)
+
+    def __sub__(self, other: "Instance") -> "Instance":
+        return Instance(self._facts - other._facts)
+
+    def __repr__(self) -> str:
+        if not self._facts:
+            return "{}"
+        rendered = ", ".join(
+            repr(f) for f in sorted(self._facts, key=Fact.sort_key))
+        return "{" + rendered + "}"
+
+    # -- semantics -------------------------------------------------------------
+
+    def active_domain(self) -> FrozenSet[Any]:
+        """``ADOM(I)``: the values occurring in the instance.
+
+        Unevaluated service-call terms are *not* values; their constant
+        arguments are included (they occur in the instance).
+        """
+        if self._adom is None:
+            values = set()
+            for current in self._facts:
+                for term in current.terms:
+                    if isinstance(term, ServiceCall):
+                        values.update(
+                            arg for arg in term.args if is_value(arg))
+                    elif is_value(term):
+                        values.add(term)
+            self._adom = frozenset(values)
+        return self._adom
+
+    adom = active_domain
+
+    def relations(self) -> FrozenSet[str]:
+        return frozenset(current.relation for current in self._facts)
+
+    def tuples(self, relation: str) -> FrozenSet[Tuple[Any, ...]]:
+        """All tuples of the given relation."""
+        return frozenset(current.terms for current in self._facts
+                         if current.relation == relation)
+
+    def is_concrete(self) -> bool:
+        return all(current.is_concrete() for current in self._facts)
+
+    def service_calls(self) -> FrozenSet[ServiceCall]:
+        """``CALLS(I)``: ground service calls occurring in the instance."""
+        calls = set()
+        for current in self._facts:
+            calls.update(current.service_calls())
+        return frozenset(calls)
+
+    def conforms_to(self, schema: DatabaseSchema) -> bool:
+        """True when every fact uses a declared relation with correct arity."""
+        for current in self._facts:
+            if current.relation not in schema:
+                return False
+            if current.arity != schema.arity(current.relation):
+                return False
+        return True
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Raise :class:`InstanceError` if the instance violates the schema."""
+        for current in self._facts:
+            if current.relation not in schema:
+                raise InstanceError(
+                    f"fact {current!r} uses undeclared relation")
+            expected = schema.arity(current.relation)
+            if current.arity != expected:
+                raise InstanceError(
+                    f"fact {current!r} has arity {current.arity}, "
+                    f"schema says {expected}")
+
+    # -- transformations ---------------------------------------------------------
+
+    def apply_call_map(self, call_map: Mapping[ServiceCall, Any]) -> "Instance":
+        """``M(E)`` of the paper: replace service calls by their results.
+
+        Every service call in the instance must be in the domain of the map;
+        otherwise :class:`InstanceError` is raised.
+        """
+        missing = self.service_calls() - set(call_map)
+        if missing:
+            raise InstanceError(
+                f"unresolved service calls: {sorted_values(missing)}")
+        return Instance(current.apply(call_map) for current in self._facts)
+
+    def rename(self, renaming: Mapping[Any, Any]) -> "Instance":
+        """Rename values (used by canonicalization and isomorphism search)."""
+        return Instance(current.rename(renaming) for current in self._facts)
+
+    def restrict(self, relations: Iterable[str]) -> "Instance":
+        """Project onto a subset of relations (used by the reductions)."""
+        wanted = set(relations)
+        return Instance(current for current in self._facts
+                        if current.relation in wanted)
+
+    def signature(self) -> Dict[str, int]:
+        """Relation-name -> tuple-count histogram (isomorphism invariant)."""
+        histogram: Dict[str, int] = {}
+        for current in self._facts:
+            histogram[current.relation] = histogram.get(current.relation, 0) + 1
+        return histogram
+
+    def sorted_facts(self) -> list:
+        return sorted(self._facts, key=Fact.sort_key)

@@ -1,0 +1,274 @@
+"""Instance isomorphism and canonical forms.
+
+Two instances are isomorphic when some bijection between their active domains
+maps one onto the other. The paper's abstractions identify states up to
+isomorphisms that *fix* the constants of the initial instance ``ADOM(I0)``
+(Lemma C.2), so all entry points take a ``fixed`` set of values that must map
+to themselves.
+
+``iter_isomorphisms`` is a backtracking search pruned by occurrence profiles.
+``canonical_form`` is an individualization–refinement canonical labeling
+(colour refinement over the fact hypergraph, branching over a minimal colour
+class); two instances get the same canonical key iff they are isomorphic via
+a bijection fixing ``fixed``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.relational.instance import Fact, Instance
+from repro.relational.values import Fresh
+from repro.utils import sorted_values, value_sort_key
+
+
+def _value_profile(instance: Instance) -> Dict[Any, tuple]:
+    """Occurrence profile of each active-domain value.
+
+    The profile of ``v`` is the sorted multiset of ``(relation, position)``
+    pairs where ``v`` occurs. Isomorphisms preserve profiles, so values may
+    only be matched to equal-profile values.
+    """
+    occurrences: Dict[Any, List[tuple]] = {}
+    for current in instance:
+        for position, term in enumerate(current.terms):
+            occurrences.setdefault(term, []).append(
+                (current.relation, position))
+    return {value: tuple(sorted(places))
+            for value, places in occurrences.items()
+            if value in instance.active_domain()}
+
+
+def find_isomorphism(
+    first: Instance,
+    second: Instance,
+    fixed: Iterable[Any] = (),
+    partial: Optional[Dict[Any, Any]] = None,
+) -> Optional[Dict[Any, Any]]:
+    """Find a bijection ``h`` with ``first.rename(h) == second``.
+
+    ``h`` is total on ``ADOM(first)``, injective, fixes every value in
+    ``fixed`` that occurs in ``first``, and extends ``partial`` where given.
+    Returns ``None`` when no such bijection exists.
+    """
+    for found in iter_isomorphisms(first, second, fixed, partial):
+        return found
+    return None
+
+
+def are_isomorphic(first: Instance, second: Instance,
+                   fixed: Iterable[Any] = ()) -> bool:
+    """True when some isomorphism (fixing ``fixed``) exists."""
+    return find_isomorphism(first, second, fixed) is not None
+
+
+def iter_isomorphisms(
+    first: Instance,
+    second: Instance,
+    fixed: Iterable[Any] = (),
+    partial: Optional[Dict[Any, Any]] = None,
+) -> Iterator[Dict[Any, Any]]:
+    """Enumerate all isomorphisms from ``first`` onto ``second``.
+
+    Used by the bisimulation checkers, which must consider every way of
+    matching up the two states' values.
+    """
+    if first.signature() != second.signature():
+        return
+    fixed = set(fixed)
+    adom1 = sorted_values(first.active_domain())
+    adom2 = set(second.active_domain())
+    if len(adom1) != len(adom2):
+        return
+
+    profile1 = _value_profile(first)
+    profile2 = _value_profile(second)
+
+    assignment: Dict[Any, Any] = {}
+    if partial:
+        for source, target in partial.items():
+            if source in first.active_domain():
+                if target not in adom2:
+                    return
+                assignment[source] = target
+    for value in fixed:
+        if value in first.active_domain():
+            if value not in adom2:
+                return
+            if assignment.get(value, value) != value:
+                return
+            assignment[value] = value
+
+    # Injectivity and profile compatibility of the seed assignment.
+    if len(set(assignment.values())) != len(assignment):
+        return
+    for source, target in assignment.items():
+        if profile1.get(source) != profile2.get(target):
+            return
+
+    todo = [value for value in adom1 if value not in assignment]
+    # Most-constrained-first: fewer candidates => earlier pruning.
+    candidates_of = {
+        value: [other for other in sorted_values(adom2)
+                if profile2.get(other) == profile1.get(value)]
+        for value in todo}
+    todo.sort(key=lambda value: len(candidates_of[value]))
+
+    facts2 = second.facts
+
+    def consistent(mapping: Dict[Any, Any]) -> bool:
+        """Every fully mapped fact of ``first`` must exist in ``second``."""
+        for current in first:
+            if all(term in mapping for term in current.terms):
+                image = Fact(current.relation,
+                             tuple(mapping[term] for term in current.terms))
+                if image not in facts2:
+                    return False
+        return True
+
+    def search(index: int) -> Iterator[Dict[Any, Any]]:
+        if index == len(todo):
+            if first.rename(assignment) == second:
+                yield dict(assignment)
+            return
+        value = todo[index]
+        used = set(assignment.values())
+        for candidate in candidates_of[value]:
+            if candidate in used:
+                continue
+            assignment[value] = candidate
+            if consistent(assignment):
+                yield from search(index + 1)
+            del assignment[value]
+
+    yield from search(0)
+
+
+# ---------------------------------------------------------------------------
+# Canonical labeling via individualization-refinement
+# ---------------------------------------------------------------------------
+
+def _refine(instance: Instance, coloring: Dict[Any, tuple]) -> Dict[Any, tuple]:
+    """Colour refinement (1-WL on the fact hypergraph) to a fixpoint.
+
+    The new colour of a value is its old colour plus the sorted multiset of
+    its fact contexts, where a context records the relation, the value's
+    position, and the old colours of the co-occurring terms.
+    """
+    current = dict(coloring)
+    while True:
+        contexts: Dict[Any, List[tuple]] = {value: [] for value in current}
+        for fact_ in instance:
+            term_colors = tuple(
+                current.get(term, ("call", repr(term)))
+                for term in fact_.terms)
+            for position, term in enumerate(fact_.terms):
+                if term in contexts:
+                    contexts[term].append(
+                        (fact_.relation, position, term_colors))
+        refined = {value: (current[value], tuple(sorted(contexts[value])))
+                   for value in current}
+        # Compress colours to bounded size (rank within the sorted distinct
+        # colours) so nested tuples do not grow exponentially across rounds.
+        distinct = sorted({repr(color) for color in refined.values()})
+        rank = {color_repr: position
+                for position, color_repr in enumerate(distinct)}
+        compressed = {value: ("c", rank[repr(color)])
+                      for value, color in refined.items()}
+        # Stabilize: stop when the partition induced by colours is unchanged.
+        if _partition_of(current) == _partition_of(compressed):
+            return current
+        current = compressed
+
+
+def _partition_of(coloring: Dict[Any, tuple]) -> frozenset:
+    groups: Dict[tuple, set] = {}
+    for value, color in coloring.items():
+        groups.setdefault(color, set()).add(value)
+    return frozenset(
+        frozenset(members) for members in groups.values())
+
+
+def canonical_form(
+    instance: Instance, fixed: Iterable[Any] = ()
+) -> Tuple[Instance, Dict[Any, Any]]:
+    """Canonical labeling of an instance.
+
+    Non-fixed active-domain values are renamed to ``Fresh(0), Fresh(1), ...``
+    so that the sorted fact list of the result is lexicographically minimal
+    over all renamings explored by individualization-refinement. Two
+    instances have equal canonical forms iff they are isomorphic via a
+    bijection fixing ``fixed``.
+
+    Returns ``(canonical_instance, renaming)``.
+    """
+    fixed = set(fixed)
+    adom = instance.active_domain()
+    movable = sorted_values(value for value in adom if value not in fixed)
+    if not movable:
+        return instance, {}
+
+    # Canonical names must not collide with fixed values that happen to be
+    # Fresh already (can occur when canonicalizing an already-canonical state).
+    reserved = {value.index for value in fixed & adom
+                if isinstance(value, Fresh)}
+    names: List[Fresh] = []
+    index = 0
+    while len(names) < len(movable):
+        if index not in reserved:
+            names.append(Fresh(index))
+        index += 1
+
+    base_coloring: Dict[Any, tuple] = {}
+    for value in adom:
+        if value in fixed:
+            base_coloring[value] = ("fixed", value_sort_key(value))
+        else:
+            base_coloring[value] = ("movable",)
+
+    best_key: List[Optional[tuple]] = [None]
+    best_renaming: List[Dict[Any, Any]] = [{}]
+
+    def leaf(order: List[Any]) -> None:
+        renaming = {value: names[i] for i, value in enumerate(order)}
+        renamed = instance.rename(renaming)
+        key = tuple(f.sort_key() for f in renamed.sorted_facts())
+        if best_key[0] is None or key < best_key[0]:
+            best_key[0] = key
+            best_renaming[0] = renaming
+
+    def search(coloring: Dict[Any, tuple], order: List[Any]) -> None:
+        refined = _refine(instance, coloring)
+        unassigned = [value for value in movable if value not in order]
+        if not unassigned:
+            leaf(order)
+            return
+        # Pick the colour class with the lexicographically smallest colour
+        # (colour structures are nested tuples of strings/ints and therefore
+        # comparable via repr, which is isomorphism-invariant).
+        groups: Dict[str, List[Any]] = {}
+        for value in unassigned:
+            groups.setdefault(repr(refined[value]), []).append(value)
+        target_color = min(groups)
+        cell = groups[target_color]
+        if len(cell) == 1:
+            # No branching needed; individualize the unique member.
+            chosen = cell[0]
+            next_coloring = dict(refined)
+            next_coloring[chosen] = ("assigned", len(order))
+            search(next_coloring, order + [chosen])
+            return
+        for chosen in sorted_values(cell):
+            next_coloring = dict(refined)
+            next_coloring[chosen] = ("assigned", len(order))
+            search(next_coloring, order + [chosen])
+
+    search(base_coloring, [])
+    renaming = best_renaming[0]
+    return instance.rename(renaming), renaming
+
+
+def canonical_key(instance: Instance, fixed: Iterable[Any] = ()) -> tuple:
+    """A hashable key equal for exactly the ``fixed``-isomorphic instances."""
+    canonical, _ = canonical_form(instance, fixed)
+    return tuple(f.sort_key() for f in canonical.sorted_facts())

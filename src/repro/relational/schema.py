@@ -1,0 +1,137 @@
+"""Relational schemas.
+
+A :class:`RelationSchema` is a named relation with a fixed arity and optional
+attribute names; a :class:`DatabaseSchema` is a finite set of relation
+schemas, as in Section 2.1 of the paper (``R = {R1, ..., Rn}``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """A relation name with arity and (optional) attribute names."""
+
+    name: str
+    arity: int
+    attributes: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise SchemaError("relation name must be non-empty")
+        if self.arity < 0:
+            raise SchemaError(f"negative arity for relation {self.name!r}")
+        if self.attributes and len(self.attributes) != self.arity:
+            raise SchemaError(
+                f"relation {self.name!r} declares {len(self.attributes)} "
+                f"attribute names but arity {self.arity}")
+
+    def __repr__(self) -> str:
+        return f"{self.name}/{self.arity}"
+
+    def attribute_index(self, attribute: str) -> int:
+        """Position of a named attribute (0-based)."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise SchemaError(
+                f"relation {self.name!r} has no attribute {attribute!r}") from None
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """A finite set of relation schemas, indexed by name."""
+
+    relations: Tuple[RelationSchema, ...]
+    _by_name: Dict[str, RelationSchema] = field(
+        default=None, compare=False, repr=False, hash=False)
+
+    def __post_init__(self):
+        by_name: Dict[str, RelationSchema] = {}
+        for relation in self.relations:
+            if relation.name in by_name:
+                raise SchemaError(f"duplicate relation {relation.name!r}")
+            by_name[relation.name] = relation
+        object.__setattr__(self, "_by_name", by_name)
+
+    @classmethod
+    def of(cls, *specs) -> "DatabaseSchema":
+        """Build a schema from ``RelationSchema`` objects or ``"Name/arity"`` strings.
+
+        >>> DatabaseSchema.of("R/1", "Q/2")
+        DatabaseSchema(R/1, Q/2)
+        """
+        relations = []
+        for spec in specs:
+            if isinstance(spec, RelationSchema):
+                relations.append(spec)
+            elif isinstance(spec, str):
+                relations.append(parse_relation_spec(spec))
+            elif isinstance(spec, tuple) and len(spec) == 2:
+                relations.append(RelationSchema(spec[0], spec[1]))
+            else:
+                raise SchemaError(f"cannot interpret relation spec {spec!r}")
+        return cls(tuple(relations))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(relation) for relation in self.relations)
+        return f"DatabaseSchema({inner})"
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self.relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __len__(self) -> int:
+        return len(self.relations)
+
+    def relation(self, name: str) -> RelationSchema:
+        """Look up a relation schema by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"unknown relation {name!r}") from None
+
+    def arity(self, name: str) -> int:
+        return self.relation(name).arity
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(relation.name for relation in self.relations)
+
+    def extend(self, *specs) -> "DatabaseSchema":
+        """A new schema with additional relations (used by the reductions)."""
+        added = DatabaseSchema.of(*specs)
+        return DatabaseSchema(self.relations + added.relations)
+
+    def restrict(self, names: Iterable[str]) -> "DatabaseSchema":
+        """A new schema containing only the named relations."""
+        wanted = set(names)
+        missing = wanted - set(self.names())
+        if missing:
+            raise SchemaError(f"unknown relations {sorted(missing)}")
+        return DatabaseSchema(tuple(
+            relation for relation in self.relations if relation.name in wanted))
+
+
+def parse_relation_spec(spec: str) -> RelationSchema:
+    """Parse ``"Name/arity"`` or ``"Name(attr1, attr2)"`` into a schema."""
+    spec = spec.strip()
+    if "/" in spec:
+        name, _, arity_text = spec.partition("/")
+        try:
+            arity = int(arity_text)
+        except ValueError:
+            raise SchemaError(f"bad arity in relation spec {spec!r}") from None
+        return RelationSchema(name.strip(), arity)
+    if "(" in spec and spec.endswith(")"):
+        name, _, rest = spec.partition("(")
+        attributes = tuple(
+            attr.strip() for attr in rest[:-1].split(",") if attr.strip())
+        return RelationSchema(name.strip(), len(attributes), attributes)
+    raise SchemaError(f"cannot parse relation spec {spec!r}")

@@ -1,0 +1,141 @@
+"""Values and terms of the DCDS framework.
+
+The countably infinite domain ``C`` of the paper is modeled as: arbitrary
+hashable Python scalars supplied by the user (strings, ints, ...) plus the
+reserved, lazily minted :class:`Fresh` values used by the abstraction
+algorithms as canonical representatives of "some value never seen before".
+
+Terms (things that may appear inside queries, effect heads, and rules):
+
+* plain values — interpreted as themselves (constants);
+* :class:`Var` — first-order variables;
+* :class:`Param` — action parameters (distinguished from variables so an
+  effect specification can tell which of its terms are bound by the
+  condition-action rule);
+* :class:`ServiceCall` — Skolem terms ``f(t1, ..., tn)`` representing calls to
+  external services. A service call whose arguments are all values is *ground*
+  and denotes an actual invocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Fresh:
+    """A canonical fresh value, distinct from every user constant.
+
+    ``Fresh(i)`` renders as ``#i``. The abstraction algorithms always mint the
+    smallest unused index, which keeps canonical forms deterministic.
+    """
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"#{self.index}"
+
+
+@dataclass(frozen=True, order=True)
+class Var:
+    """A first-order variable."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Param:
+    """An action parameter placeholder."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass(frozen=True)
+class ServiceCall:
+    """A Skolem term ``f(t1, ..., tn)`` standing for an external service call."""
+
+    function: str
+    args: Tuple[Any, ...]
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(arg) for arg in self.args)
+        return f"{self.function}({rendered})"
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def is_ground(self) -> bool:
+        """True when every argument is a value (no Var/Param/nested call)."""
+        return all(not isinstance(arg, (Var, Param, ServiceCall))
+                   for arg in self.args)
+
+    def substitute(self, substitution: Mapping[Any, Any]) -> "ServiceCall":
+        """Apply a substitution to the arguments."""
+        return ServiceCall(
+            self.function,
+            tuple(substitute_term(arg, substitution) for arg in self.args))
+
+
+Term = Any  # value | Var | Param | ServiceCall
+
+
+def is_value(term: Term) -> bool:
+    """True for constants/values (anything that is not a symbolic term)."""
+    return not isinstance(term, (Var, Param, ServiceCall))
+
+
+def substitute_term(term: Term, substitution: Mapping[Any, Any]) -> Term:
+    """Apply ``substitution`` (over Vars/Params) to a term.
+
+    Values map to themselves; service calls substitute recursively. Unbound
+    variables and parameters are left in place, which lets callers substitute
+    in stages (parameters first, then query answers).
+    """
+    if isinstance(term, (Var, Param)):
+        return substitution.get(term, term)
+    if isinstance(term, ServiceCall):
+        return term.substitute(substitution)
+    return term
+
+
+def term_variables(term: Term) -> Iterator[Var]:
+    """Yield the variables occurring in a term (with duplicates)."""
+    if isinstance(term, Var):
+        yield term
+    elif isinstance(term, ServiceCall):
+        for arg in term.args:
+            yield from term_variables(arg)
+
+
+def term_parameters(term: Term) -> Iterator[Param]:
+    """Yield the parameters occurring in a term (with duplicates)."""
+    if isinstance(term, Param):
+        yield term
+    elif isinstance(term, ServiceCall):
+        for arg in term.args:
+            yield from term_parameters(arg)
+
+
+def term_values(term: Term) -> Iterator[Any]:
+    """Yield the constant values occurring in a term (with duplicates)."""
+    if isinstance(term, ServiceCall):
+        for arg in term.args:
+            yield from term_values(arg)
+    elif is_value(term):
+        yield term
+
+
+def term_service_calls(term: Term) -> Iterator[ServiceCall]:
+    """Yield service-call subterms (outermost first)."""
+    if isinstance(term, ServiceCall):
+        yield term
+        for arg in term.args:
+            yield from term_service_calls(arg)

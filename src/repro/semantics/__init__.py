@@ -1,0 +1,20 @@
+"""Transition-system semantics: concrete exploration and finite abstractions."""
+
+from repro.semantics.abstract_det import (
+    DetState, build_det_abstraction, det_growth_trace, det_successors)
+from repro.semantics.commitments import (
+    count_commitments, enumerate_commitments)
+from repro.semantics.concrete import (
+    DeterministicOracle, NondeterministicOracle, explore_concrete, simulate)
+from repro.semantics.quotient import isomorphism_quotient
+from repro.semantics.rcycl import (
+    RcyclResult, rcycl, rcycl_partial, state_size_trace)
+from repro.semantics.transition_system import State, TransitionSystem
+
+__all__ = [
+    "DetState", "DeterministicOracle", "NondeterministicOracle",
+    "RcyclResult", "State", "TransitionSystem", "build_det_abstraction",
+    "count_commitments", "det_growth_trace", "det_successors",
+    "enumerate_commitments", "explore_concrete", "isomorphism_quotient",
+    "rcycl", "rcycl_partial", "simulate", "state_size_trace",
+]

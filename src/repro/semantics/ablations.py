@@ -1,0 +1,109 @@
+"""Ablated abstraction variants — why the paper's devices are load-bearing.
+
+* **RCYCL's recycling preference** (Appendix C.3): when enough previously
+  used values are available outside the current state, reuse them instead of
+  minting fresh ones. :func:`rcycl_fresh_only` drops the preference (always
+  fresh candidates). On state-bounded systems the real algorithm saturates;
+  this variant keeps generating isomorphic-but-unequal states forever —
+  Lemma C.3(i) fails without eventually-recycling.
+
+* **Equality commitments** vs. brute-force value enumeration: the
+  deterministic abstraction branches over commitment *types*, which is both
+  exact and minimal; enumerating evaluations over an explicit value pool
+  (``explore_concrete``) grows with the pool and only approximates the
+  system up to the pool size. ``benchmarks/bench_ablations.py`` sweeps the
+  pool size to expose the gap.
+
+These variants are exercised by ``benchmarks/bench_ablations.py`` as
+evidence, not as usable APIs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import product
+from typing import Any, Dict, List, Set
+
+from repro.core.dcds import DCDS, ServiceSemantics
+from repro.core.execution import do_action, enabled_moves, evaluate_calls
+from repro.errors import ReproError
+from repro.relational.values import Fresh, ServiceCall
+from repro.semantics.rcycl import _sigma_key
+from repro.semantics.transition_system import TransitionSystem
+from repro.utils import sorted_values
+
+
+class AblationExhausted(Exception):
+    """The ablated construction hit its budget (the expected outcome)."""
+
+    def __init__(self, states_reached: int):
+        super().__init__(f"ablated construction reached {states_reached} "
+                         f"states without saturating")
+        self.states_reached = states_reached
+
+
+def rcycl_fresh_only(dcds: DCDS, max_states: int = 500,
+                     max_iterations: int = 100000) -> TransitionSystem:
+    """RCYCL without the recycling preference: candidates always fresh.
+
+    Raises :class:`AblationExhausted` when the fuse trips (the expected
+    outcome on any system that keeps issuing service calls — without
+    recycling, eventually-recycling never holds and Lemma C.3(i) fails).
+    """
+    if dcds.semantics is not ServiceSemantics.NONDETERMINISTIC:
+        raise ReproError("rcycl_fresh_only requires nondeterministic "
+                         "semantics")
+    initial = dcds.initial
+    ts = TransitionSystem(dcds.schema, initial,
+                          name=f"rcycl-fresh-only[{dcds.name}]")
+    ts.add_state(initial, initial)
+
+    initial_adom = set(dcds.data.initial_adom)
+    known_constants = set(dcds.known_constants())
+    used_values: Set[Any] = set(initial_adom) | known_constants
+    visited: Set[tuple] = set()
+    queue: deque = deque([initial])
+    iterations = 0
+
+    while queue:
+        instance = queue.popleft()
+        for action, sigma in enabled_moves(dcds, instance):
+            key = (instance, action.name, _sigma_key(sigma))
+            if key in visited:
+                continue
+            visited.add(key)
+            iterations += 1
+            if iterations > max_iterations:
+                raise AblationExhausted(len(ts))
+
+            pending = do_action(dcds, instance, action, sigma)
+            calls = sorted(pending.service_calls(), key=repr)
+
+            # Ablation: never recycle — always mint fresh candidates.
+            candidates: List[Fresh] = []
+            taken = {v.index for v in used_values if isinstance(v, Fresh)}
+            index = 0
+            while len(candidates) < len(calls):
+                if index not in taken:
+                    candidates.append(Fresh(index))
+                    taken.add(index)
+                index += 1
+            used_values.update(candidates)
+
+            evaluation_range = sorted_values(
+                initial_adom | known_constants
+                | set(instance.active_domain()) | set(candidates))
+            for combo in product(evaluation_range, repeat=len(calls)):
+                successor = evaluate_calls(dcds, pending,
+                                           dict(zip(calls, combo)))
+                if successor is None:
+                    continue
+                is_new = successor not in ts
+                ts.add_state(successor, successor)
+                ts.add_edge(instance, successor, action.name)
+                if is_new:
+                    used_values |= set(successor.active_domain())
+                    if len(ts) > max_states:
+                        raise AblationExhausted(len(ts))
+                    queue.append(successor)
+    return ts

@@ -1,0 +1,225 @@
+"""Concrete executions: oracle-driven runs and finite-pool exploration.
+
+The concrete transition system of a DCDS is infinite (infinitely-branching
+under both semantics, and possibly infinitely deep). Two executable
+approximations are provided:
+
+* :func:`simulate` — a single concrete run driven by a *value oracle* that
+  plays the external environment (deterministic memoizing oracle for §4,
+  seeded nondeterministic oracle for §5). Used to validate the semantics
+  against ground truth (e.g. Turing-machine runs).
+
+* :func:`explore_concrete` — the exact concrete transition system restricted
+  to service results drawn from a finite value pool, explored breadth-first
+  to a depth bound. For a large-enough pool this coincides with the concrete
+  system up to that depth, which is what the bounded-bisimulation validation
+  tests compare abstractions against.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from itertools import product
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import AbstractionDiverged, ExecutionError, ReproError
+from repro.core.dcds import DCDS, ServiceSemantics
+from repro.core.execution import do_action, enabled_moves, evaluate_calls
+from repro.relational.instance import Instance
+from repro.relational.values import Fresh, ServiceCall
+from repro.semantics.abstract_det import DetState, _sorted_call_map
+from repro.semantics.transition_system import TransitionSystem
+from repro.utils import sorted_values
+
+
+class DeterministicOracle:
+    """A deterministic external environment: same call, same answer, forever.
+
+    Fresh answers are minted from a private :class:`Fresh` index range (or
+    drawn from ``universe`` with a seeded RNG when provided). Models the
+    deterministic service semantics of Section 4.
+    """
+
+    def __init__(self, universe: Optional[Sequence[Any]] = None,
+                 seed: int = 0, fresh_base: int = 1000):
+        self._memo: Dict[ServiceCall, Any] = {}
+        self._universe = list(universe) if universe is not None else None
+        self._rng = random.Random(seed)
+        self._next_fresh = fresh_base
+
+    def __call__(self, call: ServiceCall) -> Any:
+        if call not in self._memo:
+            self._memo[call] = self._pick()
+        return self._memo[call]
+
+    def _pick(self) -> Any:
+        if self._universe is not None:
+            return self._rng.choice(self._universe)
+        value = Fresh(self._next_fresh)
+        self._next_fresh += 1
+        return value
+
+    @property
+    def memo(self) -> Dict[ServiceCall, Any]:
+        return dict(self._memo)
+
+
+class NondeterministicOracle:
+    """A nondeterministic environment: every invocation picks anew.
+
+    With probability ``fresh_bias`` a globally fresh value is returned,
+    otherwise a previously returned value is recycled (seeded, reproducible).
+    Models the nondeterministic service semantics of Section 5.
+    """
+
+    def __init__(self, seed: int = 0, fresh_bias: float = 0.5,
+                 universe: Optional[Sequence[Any]] = None,
+                 fresh_base: int = 1000):
+        self._rng = random.Random(seed)
+        self._fresh_bias = fresh_bias
+        self._universe = list(universe) if universe is not None else None
+        self._next_fresh = fresh_base
+        self._returned: List[Any] = []
+
+    def __call__(self, call: ServiceCall) -> Any:
+        if self._universe is not None:
+            value = self._rng.choice(self._universe)
+        elif self._returned and self._rng.random() >= self._fresh_bias:
+            value = self._rng.choice(self._returned)
+        else:
+            value = Fresh(self._next_fresh)
+            self._next_fresh += 1
+        self._returned.append(value)
+        return value
+
+
+Chooser = Callable[[List[Tuple[Any, Dict]]], int]
+
+
+def simulate(
+    dcds: DCDS,
+    steps: int,
+    oracle: Callable[[ServiceCall], Any],
+    chooser: Optional[Chooser] = None,
+) -> List[Tuple[Instance, Optional[str]]]:
+    """Execute one concrete run of ``steps`` transitions.
+
+    ``chooser`` selects among the enabled (action, sigma) moves (default:
+    first in deterministic order). The run stops early when no move is
+    enabled or the oracle's answers violate the equality constraints (which
+    in the concrete semantics means the chosen successor does not exist).
+
+    Returns the trace as ``[(instance, label), ...]`` starting at ``I0``.
+    """
+    trace: List[Tuple[Instance, Optional[str]]] = [(dcds.initial, None)]
+    current = dcds.initial
+    for _ in range(steps):
+        moves = list(enabled_moves(dcds, current))
+        if not moves:
+            break
+        index = 0 if chooser is None else chooser(moves)
+        action, sigma = moves[index]
+        pending = do_action(dcds, current, action, sigma)
+        evaluation = {call: oracle(call)
+                      for call in sorted(pending.service_calls(), key=repr)}
+        successor = evaluate_calls(dcds, pending, evaluation)
+        if successor is None:
+            break  # constraint-violating evaluation: no such transition
+        label = action.name
+        trace.append((successor, label))
+        current = successor
+    return trace
+
+
+def explore_concrete(
+    dcds: DCDS,
+    pool: Iterable[Any],
+    depth: int,
+    max_states: int = 50000,
+) -> TransitionSystem:
+    """The concrete transition system with call results restricted to ``pool``.
+
+    Deterministic semantics: states are ``<I, M>`` and evaluations must agree
+    with ``M`` (Section 4.1). Nondeterministic semantics: states are
+    instances and every call picks independently from the pool (Section 5.1).
+    States at the depth frontier are marked truncated.
+    """
+    pool = sorted_values(set(pool))
+    if dcds.semantics is ServiceSemantics.DETERMINISTIC:
+        return _explore_det(dcds, pool, depth, max_states)
+    return _explore_nondet(dcds, pool, depth, max_states)
+
+
+def _fuse(count: int, max_states: int) -> None:
+    if count > max_states:
+        raise AbstractionDiverged(
+            f"concrete exploration exceeded {max_states} states",
+            partial_states=count)
+
+
+def _explore_det(dcds: DCDS, pool: List[Any], depth: int,
+                 max_states: int) -> TransitionSystem:
+    initial = DetState(dcds.initial, ())
+    ts = TransitionSystem(dcds.schema, initial,
+                          name=f"concrete-det[{dcds.name}]")
+    ts.add_state(initial, dcds.initial)
+    queue: deque = deque([(initial, 0)])
+    while queue:
+        state, level = queue.popleft()
+        if level >= depth:
+            ts.mark_truncated(state)
+            continue
+        call_map = state.map_dict()
+        for action, sigma in enabled_moves(dcds, state.instance):
+            pending = do_action(dcds, state.instance, action, sigma)
+            calls = sorted(pending.service_calls(), key=repr)
+            resolved = {call: call_map[call] for call in calls
+                        if call in call_map}
+            new_calls = [call for call in calls if call not in call_map]
+            for combo in product(pool, repeat=len(new_calls)):
+                evaluation = dict(resolved)
+                evaluation.update(zip(new_calls, combo))
+                successor_instance = evaluate_calls(dcds, pending, evaluation)
+                if successor_instance is None:
+                    continue
+                extended = dict(call_map)
+                extended.update(zip(new_calls, combo))
+                successor = DetState(successor_instance,
+                                     _sorted_call_map(extended))
+                is_new = successor not in ts
+                ts.add_state(successor, successor_instance)
+                ts.add_edge(state, successor, action.name)
+                if is_new:
+                    _fuse(len(ts), max_states)
+                    queue.append((successor, level + 1))
+    return ts
+
+
+def _explore_nondet(dcds: DCDS, pool: List[Any], depth: int,
+                    max_states: int) -> TransitionSystem:
+    initial = dcds.initial
+    ts = TransitionSystem(dcds.schema, initial,
+                          name=f"concrete-nondet[{dcds.name}]")
+    ts.add_state(initial, initial)
+    queue: deque = deque([(initial, 0)])
+    while queue:
+        instance, level = queue.popleft()
+        if level >= depth:
+            ts.mark_truncated(instance)
+            continue
+        for action, sigma in enabled_moves(dcds, instance):
+            pending = do_action(dcds, instance, action, sigma)
+            calls = sorted(pending.service_calls(), key=repr)
+            for combo in product(pool, repeat=len(calls)):
+                evaluation = dict(zip(calls, combo))
+                successor = evaluate_calls(dcds, pending, evaluation)
+                if successor is None:
+                    continue
+                is_new = successor not in ts
+                ts.add_state(successor, successor)
+                ts.add_edge(instance, successor, action.name)
+                if is_new:
+                    _fuse(len(ts), max_states)
+                    queue.append((successor, level + 1))
+    return ts

@@ -1,0 +1,49 @@
+"""Isomorphism quotient of a transition system.
+
+Lemma C.2 shows that states isomorphic via a bijection fixing ``ADOM(I0)``
+are persistence-preserving bisimilar. The quotient therefore merges
+isomorphic states of a pruning while preserving all µLP properties; it is
+how we compare our RCYCL output (a pruning, not the minimum one) against the
+paper's hand-drawn abstract systems (e.g. Figure 7(b)).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Tuple
+
+from repro.relational.isomorphism import canonical_form
+from repro.semantics.transition_system import State, TransitionSystem
+
+
+def isomorphism_quotient(
+    ts: TransitionSystem, fixed: Iterable[Any] = ()
+) -> Tuple[TransitionSystem, Dict[State, State]]:
+    """Merge states whose databases are isomorphic (fixing ``fixed``).
+
+    Each equivalence class is represented by the canonical form of its
+    members' databases. Returns the quotient system and the state mapping.
+
+    Note: for deterministic-service systems the state is ``<I, M>`` and the
+    db alone under-approximates the state; this quotient is only meaningful
+    for nondeterministic-service systems, whose states are plain instances
+    (Lemma C.2 applies to those).
+    """
+    fixed = frozenset(fixed)
+    mapping: Dict[State, State] = {}
+    canonical_db: Dict[tuple, Any] = {}
+
+    for state in ts.states:
+        canon, _ = canonical_form(ts.db(state), fixed)
+        key = tuple(f.sort_key() for f in canon.sorted_facts())
+        canonical_db.setdefault(key, canon)
+        mapping[state] = key
+
+    quotient = TransitionSystem(
+        ts.schema, mapping[ts.initial], name=f"quotient[{ts.name}]")
+    for key, canon in canonical_db.items():
+        quotient.add_state(key, canon)
+    for source, label, target in ts.edges():
+        quotient.add_edge(mapping[source], mapping[target], label)
+    for state in ts.truncated_states:
+        quotient.mark_truncated(mapping[state])
+    return quotient, mapping

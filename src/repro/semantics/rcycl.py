@@ -1,0 +1,178 @@
+"""Algorithm RCYCL: eventually-recycling pruning (Appendix C.3).
+
+For a DCDS with nondeterministic services, the concrete transition system is
+infinitely branching (every fresh service call can return any of infinitely
+many values). RCYCL constructs a finite pruning that is persistence-
+preserving bisimilar to the concrete system whenever the DCDS is
+state-bounded (Theorem 5.4):
+
+* states are plain instances (no call map — services are nondeterministic);
+* for each unvisited ``(I, alpha, sigma)``, pick a set ``V`` of candidate
+  call results — *recycled* values (used before but outside
+  ``ADOM(I0) ∪ ADOM(I)``) when enough exist, globally fresh values otherwise;
+* add one successor per evaluation of the calls over
+  ``F = ADOM(I0) ∪ ADOM(I) ∪ V`` that satisfies the equality constraints.
+
+The preference for recycling is what bounds the total number of values: once
+enough values circulate, no new ones are ever minted, and saturation follows
+for state-bounded systems. On state-unbounded inputs (Example 5.2) the loop
+diverges; a fuse raises :class:`AbstractionDiverged` with the growth trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Dict, List, Set
+
+from repro.errors import AbstractionDiverged, ReproError
+from repro.core.dcds import DCDS, ServiceSemantics
+from repro.core.execution import do_action, enabled_moves, evaluate_calls
+from repro.relational.values import Fresh
+from repro.semantics.transition_system import TransitionSystem
+from repro.utils import sorted_values
+
+
+def _mint_fresh(count: int, used: Set[Any]) -> List[Fresh]:
+    taken = {value.index for value in used if isinstance(value, Fresh)}
+    minted: List[Fresh] = []
+    index = 0
+    while len(minted) < count:
+        if index not in taken:
+            minted.append(Fresh(index))
+            taken.add(index)
+        index += 1
+    return minted
+
+
+def _sigma_key(sigma: Dict) -> tuple:
+    return tuple(sorted(((param.name, value) for param, value in sigma.items()),
+                        key=lambda item: (item[0], repr(item[1]))))
+
+
+@dataclass
+class RcyclResult:
+    """Outcome of a (possibly fused) RCYCL run."""
+
+    transition_system: TransitionSystem
+    diverged: bool
+    iterations: int
+    minted_values: int
+
+
+def _rcycl_core(dcds: DCDS, max_states: int,
+                max_iterations: int) -> RcyclResult:
+    initial = dcds.initial
+    ts = TransitionSystem(dcds.schema, initial, name=f"rcycl[{dcds.name}]")
+    ts.add_state(initial, initial)
+
+    initial_adom = set(dcds.data.initial_adom)
+    known_constants = set(dcds.known_constants())
+    used_values: Set[Any] = set(initial_adom) | known_constants
+    visited: Set[tuple] = set()
+    queue: deque = deque([initial])
+    iterations = 0
+    minted_total = 0
+    diverged = False
+
+    while queue and not diverged:
+        instance = queue.popleft()
+        for action, sigma in enabled_moves(dcds, instance):
+            key = (instance, action.name, _sigma_key(sigma))
+            if key in visited:
+                continue
+            visited.add(key)
+            iterations += 1
+            if iterations > max_iterations:
+                diverged = True
+                break
+
+            pending = do_action(dcds, instance, action, sigma)
+            calls = sorted(pending.service_calls(), key=repr)
+            n_calls = len(calls)
+
+            # RecyclableValues := UsedValues − (ADOM(I0) ∪ ADOM(I))
+            recyclable = sorted_values(
+                used_values - (initial_adom | set(instance.active_domain())))
+            if len(recyclable) >= n_calls:
+                candidates = recyclable[:n_calls]  # recycled values
+            else:
+                candidates = _mint_fresh(n_calls, used_values)  # fresh values
+                minted_total += len(candidates)
+
+            evaluation_range = sorted_values(
+                initial_adom | known_constants
+                | set(instance.active_domain()) | set(candidates))
+
+            label = action.name if not sigma else \
+                f"{action.name}[{_sigma_key(sigma)}]"
+            for combo in product(evaluation_range, repeat=n_calls):
+                evaluation = dict(zip(calls, combo))
+                successor = evaluate_calls(dcds, pending, evaluation)
+                if successor is None:
+                    continue  # violates an equality constraint
+                is_new = successor not in ts
+                ts.add_state(successor, successor)
+                ts.add_edge(instance, successor, label)
+                if is_new:
+                    used_values |= set(successor.active_domain())
+                    queue.append(successor)
+                    if len(ts) > max_states:
+                        diverged = True
+                        break
+            if diverged:
+                break
+
+    if diverged:
+        for state in queue:
+            ts.mark_truncated(state)
+    return RcyclResult(ts, diverged, iterations, minted_total)
+
+
+def rcycl(dcds: DCDS, max_states: int = 20000,
+          max_iterations: int = 2000000) -> TransitionSystem:
+    """Run Algorithm RCYCL and return the finite pruning it constructs.
+
+    Raises :class:`AbstractionDiverged` when the fuse trips — the observable
+    symptom of a state-unbounded DCDS (state-boundedness is undecidable,
+    Theorem 5.5). Use :func:`rcycl_partial` to inspect the partial result.
+    """
+    if dcds.semantics is not ServiceSemantics.NONDETERMINISTIC:
+        raise ReproError(
+            "rcycl requires nondeterministic semantics; use "
+            "build_det_abstraction for deterministic services")
+    result = _rcycl_core(dcds, max_states, max_iterations)
+    if result.diverged:
+        sizes = _discovery_sizes(result.transition_system)
+        raise AbstractionDiverged(
+            f"RCYCL exceeded its fuse ({max_states} states / "
+            f"{max_iterations} iterations) — the DCDS is likely not "
+            f"state-bounded (cf. Theorem 5.5)",
+            growth_trace=tuple(sizes),
+            partial_states=len(result.transition_system))
+    return result.transition_system
+
+
+def rcycl_partial(dcds: DCDS, max_states: int = 2000,
+                  max_iterations: int = 200000) -> RcyclResult:
+    """RCYCL that never raises: returns the (possibly partial) pruning.
+
+    Used by the boundedness probes and the divergence benchmarks (Figure 6).
+    """
+    if dcds.semantics is not ServiceSemantics.NONDETERMINISTIC:
+        raise ReproError("rcycl_partial requires nondeterministic semantics")
+    return _rcycl_core(dcds, max_states, max_iterations)
+
+
+def _discovery_sizes(ts: TransitionSystem) -> List[int]:
+    """Max active-domain size per BFS level (state-growth evidence)."""
+    return [max(len(ts.db(state).active_domain()) for state in level)
+            for level in ts.depth_levels()]
+
+
+def state_size_trace(dcds: DCDS, max_states: int = 500,
+                     max_iterations: int = 100000) -> List[int]:
+    """Max state size per BFS level, tolerant of divergence (Figure 6)."""
+    result = rcycl_partial(dcds, max_states, max_iterations)
+    return _discovery_sizes(result.transition_system)

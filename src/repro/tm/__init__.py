@@ -1,0 +1,15 @@
+"""Turing machines and the TM -> DCDS reduction (Theorem 4.1)."""
+
+from repro.tm.encoding import (
+    decode_configuration, encode, has_halted, safety_property_not_halted)
+from repro.tm.machine import (
+    BLANK, Configuration, LEFT_MARKER, TuringMachine,
+    binary_flipper_machine, looper_machine, right_runner_machine,
+    unary_increment_machine)
+
+__all__ = [
+    "BLANK", "Configuration", "LEFT_MARKER", "TuringMachine",
+    "binary_flipper_machine", "decode_configuration", "encode",
+    "has_halted", "looper_machine", "right_runner_machine",
+    "safety_property_not_halted", "unary_increment_machine",
+]

@@ -1,0 +1,160 @@
+"""The TM -> DCDS reduction of Theorem 4.1.
+
+Encodes a deterministic Turing machine as a DCDS with a single always-
+enabled action whose runs simulate the machine's computation step for step.
+The construction drives every undecidability result in the paper (4.1, 4.6,
+5.1, 5.5), and here it doubles as an integration test: the DCDS, executed
+with a fresh-cell oracle, must reproduce the simulator's configurations.
+
+Encoding (following the proof, with one simplification):
+
+* ``right/2`` — the tape cell chain, with the second component declared a
+  key, seeded with a non-cell source node ``0`` so the chain must stay a
+  linear path (the paper's device for axiomatizing a linear order);
+* ``sym/2``, ``head/1``, ``state/1``, ``halted/0`` — tape contents, head
+  position, control state, halt flag;
+* an ``end/1`` marker relation replaces the paper's reserved symbol ``ω``,
+  and the tape is *pre-extended* whenever the head sits next to the end
+  (via service ``newCell``) — this keeps the per-transition effects
+  uniform: a right move never runs off the represented segment.
+
+The simulation is exact for machines that respect the left marker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core import DCDS, DCDSBuilder, ServiceSemantics
+from repro.core.builder import parse_facts
+from repro.errors import ReproError
+from repro.relational.instance import Instance
+from repro.tm.machine import (
+    BLANK, Configuration, LEFT_MARKER, TuringMachine)
+
+
+def encode(tm: TuringMachine, word: str = "",
+           semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC
+           ) -> DCDS:
+    """Build the DCDS simulating ``tm`` on input ``word``."""
+    builder = DCDSBuilder(name=f"tm[{word!r}]")
+    builder.schema("right/2", "sym/2", "head/1", "state/1", "halted/0",
+                   "end/1")
+    builder.key("right", 1)  # second component is a key (proof of Thm 4.1)
+    builder.service("newCell/1")
+
+    initial = tm.initial_configuration(word)
+    builder.initial(_initial_facts(initial))
+
+    effects: List[str] = []
+    # Copy the cell chain and the symbols of all non-head cells.
+    effects.append("right(x, y) ~> right(x, y)")
+    effects.append("sym(c, s) & ~head(c) ~> sym(c, s)")
+    # Pre-extension: when the head sits next to the end marker, mint a new
+    # cell; otherwise the end marker just persists.
+    effects.append(
+        "head(x) & right(x, y) & end(y) ~> "
+        f"sym(y, '{BLANK}'), right(y, newCell(y)), end(newCell(y))")
+    effects.append(
+        "end(y) & ~(exists x. head(x) & right(x, y)) ~> end(y)")
+    # One effect per transition-table entry.
+    for (state, symbol), (next_state, written, move) in sorted(
+            tm.delta.items()):
+        guard = f"head(x) & state('{state}') & sym(x, '{symbol}')"
+        writes = f"sym(x, '{written}'), state('{next_state}')"
+        if move == "R":
+            effects.append(
+                f"{guard} & right(x, y) ~> {writes}, head(y)")
+        elif move == "L":
+            effects.append(
+                f"{guard} & right(y, x) & ~(y = 0) ~> {writes}, head(y)")
+        else:
+            effects.append(f"{guard} ~> {writes}, head(x)")
+    # Halting states: freeze the control state and raise the flag.
+    for halting in sorted(tm.halting_states):
+        effects.append(
+            f"state('{halting}') ~> state('{halting}'), halted()")
+        effects.append(
+            f"state('{halting}') & head(x) ~> head(x)")
+        effects.append(
+            f"state('{halting}') & head(x) & sym(x, s) ~> sym(x, s)")
+
+    builder.action("step", *effects)
+    builder.rule("true", "step")
+    return builder.build(semantics)
+
+
+def _initial_facts(configuration: Configuration) -> str:
+    """The initial instance for a configuration.
+
+    Cells are integers ``1..n``; the reserved source node ``0`` seeds the
+    key trick; ``end`` marks cell ``n+1``.
+    """
+    facts = ["right(0, 0)", "right(0, 1)"]
+    n = len(configuration.tape)
+    for cell in range(1, n):
+        facts.append(f"right({cell}, {cell + 1})")
+    facts.append(f"right({n}, {n + 1})")
+    for cell, symbol in enumerate(configuration.tape, start=0):
+        if cell == 0:
+            facts.append(f"sym(1, '{LEFT_MARKER}')")
+        else:
+            facts.append(f"sym({cell + 1}, '{symbol}')")
+    facts.append(f"end({n + 1})")
+    facts.append(f"head({configuration.head + 1})")
+    facts.append(f"state('{configuration.state}')")
+    return ", ".join(facts)
+
+
+def decode_configuration(instance: Instance) -> Optional[Configuration]:
+    """Read a TM configuration back out of a DCDS state.
+
+    Returns ``None`` for malformed states (useful in tests asserting that
+    well-formedness is preserved along runs).
+    """
+    states = instance.tuples("state")
+    heads = instance.tuples("head")
+    if len(states) != 1 or len(heads) != 1:
+        return None
+    state = next(iter(states))[0]
+    head_cell = next(iter(heads))[0]
+
+    successor: Dict[Any, Any] = {}
+    for source, target in instance.tuples("right"):
+        if source == 0:
+            continue
+        if source in successor:
+            return None  # not a linear chain
+        successor[source] = target
+    symbols = {cell: symbol for cell, symbol in instance.tuples("sym")}
+
+    tape: List[str] = []
+    head_index = None
+    cell = 1
+    seen = set()
+    while cell in symbols:
+        if cell in seen:
+            return None  # cycle
+        seen.add(cell)
+        tape.append(symbols[cell])
+        if cell == head_cell:
+            head_index = len(tape) - 1
+        cell = successor.get(cell)
+        if cell is None:
+            break
+    if head_index is None or not tape or tape[0] != LEFT_MARKER:
+        return None
+    return Configuration(state, tuple(tape), head_index)
+
+
+def has_halted(instance: Instance) -> bool:
+    """Is the ``halted`` flag raised in this state?"""
+    return bool(instance.tuples("halted"))
+
+
+def safety_property_not_halted():
+    """The propositional LTL safety property ``G ¬halted`` of Theorem 4.1,
+    as the µ-calculus formula ``nu X. (~halted() & [-]X)``."""
+    from repro.mucalc import parse_mu
+
+    return parse_mu("nu X. (~halted() & [-] X)")

@@ -1,0 +1,196 @@
+"""Deterministic single-tape Turing machines.
+
+The substrate for the undecidability constructions (Theorems 4.1, 4.6, 5.1,
+5.5): the DCDS encoding of :mod:`repro.tm.encoding` is validated against
+this direct simulator.
+
+Conventions: the tape is left-bounded with a left-end marker ``$`` at cell
+0 that must never be overwritten; the blank symbol is ``_``; moves are
+``L``, ``R``, ``S``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+LEFT_MARKER = "$"
+BLANK = "_"
+
+Move = str  # "L" | "R" | "S"
+Transition = Tuple[str, str, Move]  # (next state, written symbol, move)
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One instantaneous description of the machine."""
+
+    state: str
+    tape: Tuple[str, ...]  # tape[0] == LEFT_MARKER
+    head: int
+
+    def rendered(self) -> str:
+        cells = []
+        for index, symbol in enumerate(self.tape):
+            cells.append(f"[{symbol}]" if index == self.head else symbol)
+        return f"{self.state}: {''.join(cells)}"
+
+    def trimmed_tape(self) -> Tuple[str, ...]:
+        """Tape contents without trailing blanks (for comparisons)."""
+        cells = list(self.tape)
+        while len(cells) > 1 and cells[-1] == BLANK:
+            cells.pop()
+        return tuple(cells)
+
+
+@dataclass(frozen=True)
+class TuringMachine:
+    """A deterministic Turing machine over a left-bounded tape."""
+
+    states: FrozenSet[str]
+    alphabet: FrozenSet[str]  # tape alphabet, not including $; includes _
+    delta: Dict[Tuple[str, str], Transition]
+    initial_state: str
+    halting_states: FrozenSet[str]
+
+    def __post_init__(self):
+        if self.initial_state not in self.states:
+            raise ReproError("initial state not in state set")
+        if not self.halting_states <= self.states:
+            raise ReproError("halting states not in state set")
+        for (state, symbol), (next_state, written, move) in self.delta.items():
+            if state not in self.states or next_state not in self.states:
+                raise ReproError(f"transition uses unknown state: "
+                                 f"{(state, symbol)}")
+            if symbol not in self.alphabet | {LEFT_MARKER}:
+                raise ReproError(f"transition reads unknown symbol {symbol!r}")
+            if written not in self.alphabet | {LEFT_MARKER}:
+                raise ReproError(f"transition writes unknown symbol "
+                                 f"{written!r}")
+            if symbol == LEFT_MARKER and written != LEFT_MARKER:
+                raise ReproError("the left marker must not be overwritten")
+            if symbol == LEFT_MARKER and move == "L":
+                raise ReproError("cannot move left from the left marker")
+            if move not in ("L", "R", "S"):
+                raise ReproError(f"unknown move {move!r}")
+
+    @classmethod
+    def of(cls, transitions: Dict[Tuple[str, str], Transition],
+           initial_state: str, halting_states: Tuple[str, ...],
+           extra_symbols: Tuple[str, ...] = ()) -> "TuringMachine":
+        """Infer the state set and alphabet from the transition table."""
+        states = {initial_state, *halting_states}
+        alphabet = {BLANK, *extra_symbols}
+        for (state, symbol), (next_state, written, _) in transitions.items():
+            states.update((state, next_state))
+            for entry in (symbol, written):
+                if entry != LEFT_MARKER:
+                    alphabet.add(entry)
+        return cls(frozenset(states), frozenset(alphabet), dict(transitions),
+                   initial_state, frozenset(halting_states))
+
+    def initial_configuration(self, word: str = "") -> Configuration:
+        for symbol in word:
+            if symbol not in self.alphabet:
+                raise ReproError(f"input symbol {symbol!r} not in alphabet")
+        tape = (LEFT_MARKER,) + tuple(word) + ((BLANK,) if not word else ())
+        return Configuration(self.initial_state, tape, 1)
+
+    def halted(self, configuration: Configuration) -> bool:
+        return configuration.state in self.halting_states
+
+    def step(self, configuration: Configuration) -> Configuration:
+        """One transition. Raises if halted or the table has no entry."""
+        if self.halted(configuration):
+            raise ReproError("machine already halted")
+        symbol = configuration.tape[configuration.head]
+        key = (configuration.state, symbol)
+        if key not in self.delta:
+            raise ReproError(f"no transition for {key}")
+        next_state, written, move = self.delta[key]
+        tape = list(configuration.tape)
+        tape[configuration.head] = written
+        head = configuration.head
+        if move == "R":
+            head += 1
+        elif move == "L":
+            head -= 1
+            if head < 0:
+                raise ReproError("fell off the left end")
+        while head >= len(tape):
+            tape.append(BLANK)
+        return Configuration(next_state, tuple(tape), head)
+
+    def run(self, word: str = "", max_steps: int = 1000
+            ) -> List[Configuration]:
+        """The run on ``word``, truncated at ``max_steps`` configurations."""
+        trace = [self.initial_configuration(word)]
+        while len(trace) <= max_steps and not self.halted(trace[-1]):
+            key = (trace[-1].state, trace[-1].tape[trace[-1].head])
+            if key not in self.delta:
+                break  # stuck (treated as a halting run)
+            trace.append(self.step(trace[-1]))
+        return trace
+
+    def halts(self, word: str = "", max_steps: int = 1000) -> Optional[bool]:
+        """True/False when decided within the budget, else ``None``."""
+        trace = self.run(word, max_steps)
+        final = trace[-1]
+        if self.halted(final):
+            return True
+        if (final.state, final.tape[final.head]) not in self.delta:
+            return True  # stuck counts as halting
+        return None  # budget exhausted
+
+
+# -- a small zoo used by tests and benchmarks --------------------------------
+
+def unary_increment_machine() -> TuringMachine:
+    """Walks right over 1s, appends a 1, halts."""
+    return TuringMachine.of(
+        transitions={
+            ("scan", "1"): ("scan", "1", "R"),
+            ("scan", BLANK): ("done", "1", "S"),
+        },
+        initial_state="scan",
+        halting_states=("done",),
+    )
+
+
+def binary_flipper_machine() -> TuringMachine:
+    """Flips every bit of its input, then halts at the first blank."""
+    return TuringMachine.of(
+        transitions={
+            ("flip", "0"): ("flip", "1", "R"),
+            ("flip", "1"): ("flip", "0", "R"),
+            ("flip", BLANK): ("done", BLANK, "S"),
+        },
+        initial_state="flip",
+        halting_states=("done",),
+    )
+
+
+def looper_machine() -> TuringMachine:
+    """Never halts: bounces on one cell forever (tape-bounded loop)."""
+    return TuringMachine.of(
+        transitions={
+            ("ping", BLANK): ("pong", "1", "S"),
+            ("pong", "1"): ("ping", BLANK, "S"),
+        },
+        initial_state="ping",
+        halting_states=("halt",),
+    )
+
+
+def right_runner_machine() -> TuringMachine:
+    """Never halts and uses unbounded tape: runs right forever."""
+    return TuringMachine.of(
+        transitions={
+            ("run", BLANK): ("run", "1", "R"),
+            ("run", "1"): ("run", "1", "R"),
+        },
+        initial_state="run",
+        halting_states=("halt",),
+    )

@@ -1,0 +1,110 @@
+"""Small shared helpers: value ordering, fresh pools, partition enumeration."""
+
+from __future__ import annotations
+
+from itertools import chain, combinations
+from typing import Any, Hashable, Iterable, Iterator, Sequence
+
+
+def value_sort_key(value: Any) -> tuple:
+    """Total order over mixed-type hashable values.
+
+    Canonical forms sort active domains that mix strings, integers, and
+    :class:`~repro.relational.values.Fresh` values; Python refuses to compare
+    those directly, so we order by (type rank, repr).
+    """
+    from repro.relational.values import Fresh, ServiceCall
+
+    if isinstance(value, Fresh):
+        return (2, value.index, "")
+    if isinstance(value, ServiceCall):
+        return (3, 0, repr(value))
+    if isinstance(value, bool):
+        return (0, int(value), "")
+    if isinstance(value, int):
+        return (0, value, "")
+    if isinstance(value, float):
+        return (0, value, "")
+    if isinstance(value, str):
+        return (1, 0, value)
+    return (4, 0, repr(value))
+
+
+def sorted_values(values: Iterable[Any]) -> list:
+    """Sort mixed-type values deterministically."""
+    return sorted(values, key=value_sort_key)
+
+
+def powerset(items: Sequence) -> Iterator[tuple]:
+    """All subsets of ``items``, smallest first."""
+    return chain.from_iterable(
+        combinations(items, size) for size in range(len(items) + 1))
+
+
+def set_partitions(items: Sequence) -> Iterator[list[list]]:
+    """Enumerate all partitions of ``items`` into non-empty blocks.
+
+    Blocks appear in order of their smallest member index, which makes the
+    enumeration deterministic — the equality-commitment machinery relies on
+    this to assign canonical fresh values per block.
+    """
+    items = list(items)
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in set_partitions(rest):
+        # Put ``first`` in its own block (kept first to preserve ordering).
+        yield [[first]] + [list(block) for block in partition]
+        # Or add it to each existing block.
+        for index in range(len(partition)):
+            copied = [list(block) for block in partition]
+            copied[index].insert(0, first)
+            yield copied
+
+
+def pairwise_disjoint(sets: Iterable[frozenset]) -> bool:
+    """True when no element appears in two of the given sets."""
+    seen: set = set()
+    for current in sets:
+        if seen & current:
+            return False
+        seen |= current
+    return True
+
+
+class FreshPool:
+    """Deterministic source of fresh values ``Fresh(0), Fresh(1), ...``.
+
+    ``reserve`` lets callers skip indices already present in a state so the
+    "smallest unused" discipline of the abstraction algorithms holds.
+    """
+
+    def __init__(self, used: Iterable[Hashable] = ()):
+        from repro.relational.values import Fresh
+
+        self._used_indices = {
+            value.index for value in used if isinstance(value, Fresh)}
+
+    def take(self) -> "Fresh":
+        from repro.relational.values import Fresh
+
+        index = 0
+        while index in self._used_indices:
+            index += 1
+        self._used_indices.add(index)
+        return Fresh(index)
+
+    def take_many(self, count: int) -> list:
+        return [self.take() for _ in range(count)]
+
+
+def stable_dedup(items: Iterable) -> list:
+    """Remove duplicates preserving first-occurrence order."""
+    seen = set()
+    result = []
+    for item in items:
+        if item not in seen:
+            seen.add(item)
+            result.append(item)
+    return result

@@ -1,0 +1,7 @@
+"""Visualization: DOT export of transition systems and analysis graphs."""
+
+from repro.viz.dot import (
+    dataflow_graph_to_dot, dependency_graph_to_dot, transition_system_to_dot)
+
+__all__ = ["dataflow_graph_to_dot", "dependency_graph_to_dot",
+           "transition_system_to_dot"]

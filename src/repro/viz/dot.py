@@ -1,0 +1,75 @@
+"""Graphviz DOT export for transition systems and analysis graphs.
+
+Pure text generation (no graphviz dependency); the output reproduces the
+visual conventions of the paper's figures: special edges are starred/dashed,
+states are labeled with their database.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.dataflow_graph import DataflowGraph
+from repro.analysis.dependency_graph import DependencyGraph
+from repro.semantics.transition_system import TransitionSystem
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def transition_system_to_dot(ts: TransitionSystem,
+                             max_states: Optional[int] = None) -> str:
+    """Render a transition system (Figures 2–4, 6, 7 style)."""
+    lines = [f'digraph "{_escape(ts.name or "ts")}" {{',
+             "  rankdir=TB;",
+             '  node [shape=box, fontsize=10];']
+    states = sorted(ts.states, key=repr)
+    if max_states is not None:
+        states = states[:max_states]
+    included = set(states)
+    index = {state: f"s{i}" for i, state in enumerate(states)}
+    for state in states:
+        label = _escape(repr(ts.db(state)))
+        style = ', style=bold' if state == ts.initial else ""
+        trunc = ', color=gray' if state in ts.truncated_states else ""
+        lines.append(f'  {index[state]} [label="{label}"{style}{trunc}];')
+    for source, label, target in ts.edges():
+        if source in included and target in included:
+            edge_label = f' [label="{_escape(label)}"]' if label else ""
+            lines.append(f"  {index[source]} -> {index[target]}{edge_label};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dependency_graph_to_dot(graph: DependencyGraph) -> str:
+    """Render a dependency graph (Figures 5, 10 style): positions as nodes,
+    special edges starred."""
+    lines = [f'digraph "{_escape(graph.dcds_name or "deps")}" {{',
+             '  node [shape=ellipse, fontsize=10];']
+    index = {}
+    for i, node in enumerate(sorted(graph.nodes, key=repr)):
+        index[node] = f"p{i}"
+        relation, position = node
+        lines.append(f'  p{i} [label="{_escape(relation)},{position + 1}"];')
+    for source, target, special in graph.edges():
+        attributes = ' [label="*", style=dashed]' if special else ""
+        lines.append(f"  {index[source]} -> {index[target]}{attributes};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def dataflow_graph_to_dot(graph: DataflowGraph) -> str:
+    """Render a dataflow graph (Figures 8, 9 style)."""
+    lines = [f'digraph "{_escape(graph.dcds_name or "dataflow")}" {{',
+             '  node [shape=ellipse, fontsize=10];']
+    index = {}
+    for i, node in enumerate(sorted(graph.nodes)):
+        index[node] = f"n{i}"
+        lines.append(f'  n{i} [label="{_escape(node)}"];')
+    for edge in graph.edges:
+        attributes = ' [label="*", style=dashed]' if edge.special else ""
+        lines.append(
+            f"  {index[edge.source]} -> {index[edge.target]}{attributes};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,144 @@
+"""Seeded random DCDS generators for scaling sweeps and property tests.
+
+``random_dcds`` generates layered specifications whose acyclicity class is
+chosen up front:
+
+* ``shape="weakly-acyclic"`` — special edges go strictly up a relation
+  order, ordinary edges never go down, so no cycle can cross a special edge;
+* ``shape="gr-acyclic"`` — relations split into a *copy layer* (may have
+  copy cycles, never receives service calls) and an ordered *sink layer*
+  (receives calls, no cycles, no edges back), so no generate cycle can feed
+  a recall cycle;
+* ``shape="free"`` — unconstrained (may be run-/state-unbounded; useful for
+  probe benchmarks).
+
+``commitment_blowup_dcds`` builds the family used by the complexity
+benchmark (§6: the abstract transition system is exponential in the DCDS
+size): one action issuing ``n`` independent service calls, so the first
+abstraction level enumerates all equality commitments over ``n`` calls.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core import DCDS, DCDSBuilder, ServiceSemantics
+
+
+def random_dcds(seed: int,
+                n_relations: int = 3,
+                max_arity: int = 2,
+                n_actions: int = 2,
+                effects_per_action: int = 2,
+                n_services: int = 2,
+                p_service_call: float = 0.4,
+                shape: str = "weakly-acyclic",
+                semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC
+                ) -> DCDS:
+    """Generate a random DCDS with the requested acyclicity shape."""
+    if shape not in ("weakly-acyclic", "gr-acyclic", "free"):
+        raise ValueError(f"unknown shape {shape!r}")
+    rng = random.Random(seed)
+    builder = DCDSBuilder(name=f"random[{seed},{shape}]")
+
+    arities = [rng.randint(1, max_arity) for _ in range(n_relations)]
+    for index, arity in enumerate(arities):
+        builder.schema(f"R{index}/{arity}")
+    for index in range(n_services):
+        builder.service(f"f{index}/1")
+
+    # Initial instance: one fact per relation over a tiny constant pool.
+    constants = ["c0", "c1"]
+    facts = []
+    for index, arity in enumerate(arities):
+        terms = ", ".join(f"'{rng.choice(constants)}'" for _ in range(arity))
+        facts.append(f"R{index}({terms})")
+    builder.initial(", ".join(facts))
+
+    # Which relation may an effect write into, given its body relation?
+    sink_start = max(1, n_relations // 2)
+
+    def ordinary_target(source: int) -> Optional[int]:
+        if shape == "weakly-acyclic":
+            return rng.randint(source, n_relations - 1)
+        if shape == "gr-acyclic":
+            if source < sink_start:
+                return rng.randint(0, sink_start - 1)  # copy layer cycles ok
+            if source >= n_relations - 1:
+                return None  # last sink: any head would close a sink cycle
+            return rng.randint(source + 1, n_relations - 1)  # strictly forward
+        return rng.randint(0, n_relations - 1)
+
+    def special_target(source: int) -> Optional[int]:
+        if shape == "weakly-acyclic":
+            if source >= n_relations - 1:
+                return None
+            return rng.randint(source + 1, n_relations - 1)
+        if shape == "gr-acyclic":
+            if source >= n_relations - 1:
+                return None
+            return rng.randint(max(source + 1, sink_start), n_relations - 1)
+        return rng.randint(0, n_relations - 1)
+
+    for action_index in range(n_actions):
+        effects: List[str] = []
+        for _ in range(effects_per_action):
+            source = rng.randrange(n_relations)
+            body_vars = [f"x{i}" for i in range(arities[source])]
+            body = f"R{source}({', '.join(body_vars)})"
+            use_call = rng.random() < p_service_call
+            target = special_target(source) if use_call else None
+            if target is None:
+                use_call = False
+                target = ordinary_target(source)
+            if target is None:
+                continue  # no legal head for this source in this shape
+            head_terms = []
+            for position in range(arities[target]):
+                if use_call and position == 0:
+                    service = rng.randrange(n_services)
+                    head_terms.append(f"f{service}({rng.choice(body_vars)})")
+                else:
+                    head_terms.append(rng.choice(body_vars + [
+                        f"'{rng.choice(constants)}'"]))
+            effects.append(
+                f"{body} ~> R{target}({', '.join(head_terms)})")
+        builder.action(f"act{action_index}", *effects)
+        builder.rule("true", f"act{action_index}")
+    return builder.build(semantics)
+
+
+def commitment_blowup_dcds(n_calls: int) -> DCDS:
+    """One action, ``n_calls`` independent service calls — weakly acyclic,
+    with an abstraction whose first level is the full commitment lattice."""
+    builder = DCDSBuilder(name=f"blowup[{n_calls}]")
+    builder.schema("Seed/1", *(f"Out{i}/1" for i in range(n_calls)))
+    builder.initial("Seed('c')")
+    effects = ["Seed(x) ~> Seed(x)"]
+    for index in range(n_calls):
+        builder.service(f"g{index}/1")
+        effects.append(f"Seed(x) ~> Out{index}(g{index}(x))")
+    builder.action("fire", *effects)
+    builder.rule("true", "fire")
+    return builder.build(ServiceSemantics.DETERMINISTIC)
+
+
+def chain_dcds(length: int,
+               semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC
+               ) -> DCDS:
+    """A weakly acyclic value pipeline ``L0 -f0-> L1 -f1-> ... -> Ln``.
+
+    Rank of position ``(Li, 0)`` is ``i``; used to test the rank computation
+    and depth-proportional abstraction growth.
+    """
+    builder = DCDSBuilder(name=f"chain[{length}]")
+    builder.schema(*(f"L{i}/1" for i in range(length + 1)))
+    builder.initial("L0('c')")
+    effects = ["L0(x) ~> L0(x)"]
+    for index in range(length):
+        builder.service(f"h{index}/1")
+        effects.append(f"L{index}(x) ~> L{index + 1}(h{index}(x))")
+    builder.action("push", *effects)
+    builder.rule("true", "push")
+    return builder.build(semantics)

@@ -1,0 +1,66 @@
+"""Shared fixtures: gallery systems and their (session-cached) abstractions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ServiceSemantics
+from repro.gallery import (
+    example_41, example_42, example_43, example_52, example_53,
+    student_registry)
+from repro.semantics import build_det_abstraction, rcycl
+
+
+@pytest.fixture(scope="session")
+def ex41():
+    return example_41()
+
+
+@pytest.fixture(scope="session")
+def ex42():
+    return example_42()
+
+
+@pytest.fixture(scope="session")
+def ex43_det():
+    return example_43()
+
+
+@pytest.fixture(scope="session")
+def ex43_nondet():
+    return example_43(ServiceSemantics.NONDETERMINISTIC)
+
+
+@pytest.fixture(scope="session")
+def ex52():
+    return example_52()
+
+
+@pytest.fixture(scope="session")
+def ex53():
+    return example_53()
+
+
+@pytest.fixture(scope="session")
+def students():
+    return student_registry()
+
+
+@pytest.fixture(scope="session")
+def ex41_abstraction(ex41):
+    return build_det_abstraction(ex41)
+
+
+@pytest.fixture(scope="session")
+def ex42_abstraction(ex42):
+    return build_det_abstraction(ex42)
+
+
+@pytest.fixture(scope="session")
+def ex43_rcycl(ex43_nondet):
+    return rcycl(ex43_nondet)
+
+
+@pytest.fixture(scope="session")
+def students_rcycl(students):
+    return rcycl(students)

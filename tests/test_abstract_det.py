@@ -1,0 +1,126 @@
+"""The deterministic abstraction (Theorem 4.3) against the paper's figures."""
+
+import pytest
+
+from repro.errors import AbstractionDiverged, ReproError
+from repro.core import ServiceSemantics
+from repro.gallery import example_41, example_42, example_43, \
+    theorem_45_witness
+from repro.relational import Instance, fact
+from repro.relational.values import Fresh
+from repro.semantics import build_det_abstraction, det_growth_trace
+from repro.semantics.abstract_det import DetState
+
+
+class TestFigure3:
+    """Example 4.1 — Figure 3(b)."""
+
+    def test_state_count(self, ex41_abstraction):
+        assert len(ex41_abstraction) == 10
+
+    def test_level_structure(self, ex41_abstraction):
+        levels = [len(level) for level in ex41_abstraction.depth_levels()]
+        assert levels == [1, 5, 4]
+
+    def test_initial_database(self, ex41_abstraction):
+        initial_db = ex41_abstraction.db(ex41_abstraction.initial)
+        assert initial_db == Instance([fact("P", "a"), fact("Q", "a", "a")])
+
+    def test_first_level_commits(self, ex41_abstraction):
+        ts = ex41_abstraction
+        level1 = ts.depth_levels()[1]
+        databases = {ts.db(state) for state in level1}
+        # The five equality commitments over f(a), g(a) vs known value a.
+        assert Instance([fact("P", "a"), fact("R", "a"),
+                         fact("Q", "a", "a")]) in databases
+        assert Instance([fact("P", "a"), fact("R", "a"),
+                         fact("Q", Fresh(0), Fresh(0))]) in databases
+        assert Instance([fact("P", "a"), fact("R", "a"),
+                         fact("Q", Fresh(0), Fresh(1))]) in databases
+
+    def test_every_state_total(self, ex41_abstraction):
+        assert ex41_abstraction.is_total()
+
+    def test_r_dropped_when_q_aa_lost(self, ex41_abstraction):
+        ts = ex41_abstraction
+        level2 = ts.depth_levels()[2]
+        for state in level2:
+            assert not ts.db(state).tuples("R")
+
+
+class TestFigure2:
+    """Example 4.2 — Figure 2(b): the equality constraint pins f(a) = a."""
+
+    def test_state_count(self, ex42_abstraction):
+        assert len(ex42_abstraction) == 4
+
+    def test_constraint_enforced_everywhere(self, ex42, ex42_abstraction):
+        for state in ex42_abstraction.states:
+            assert ex42.data.satisfies_constraints(
+                ex42_abstraction.db(state))
+
+    def test_f_always_returns_a(self, ex42_abstraction):
+        for state in ex42_abstraction.states:
+            for call, value in state.call_map:
+                if call.function == "f":
+                    assert value == "a"
+
+
+class TestFigure4:
+    """Example 4.3 — run-unbounded: the abstraction diverges."""
+
+    def test_divergence(self, ex43_det):
+        with pytest.raises(AbstractionDiverged) as excinfo:
+            build_det_abstraction(ex43_det, max_states=200)
+        assert excinfo.value.partial_states > 200
+
+    def test_growth_is_monotone(self, ex43_det):
+        trace = det_growth_trace(ex43_det, max_depth=8)
+        assert len(trace) == 9
+        assert trace[-1] > trace[1]  # keeps discovering new states
+
+    def test_truncated_marked(self, ex43_det):
+        ts = build_det_abstraction(ex43_det, max_depth=3)
+        assert ts.truncated_states
+
+
+class TestDetState:
+    def test_known_values_include_history(self):
+        from repro.relational.values import ServiceCall
+
+        state = DetState(
+            Instance([fact("R", "x")]),
+            ((ServiceCall("f", ("arg",)), "res"),))
+        assert state.known_values() == frozenset({"x", "arg", "res"})
+
+    def test_rejects_nondet_semantics(self):
+        nondet = example_41(ServiceSemantics.NONDETERMINISTIC)
+        with pytest.raises(ReproError):
+            build_det_abstraction(nondet)
+
+
+class TestTheorem45Witness:
+    def test_run_bounded_but_wide(self):
+        ts = build_det_abstraction(theorem_45_witness())
+        # s0 plus one successor per commitment of f(a) vs {a}: a or fresh.
+        assert len(ts) == 3
+        # Successor states are terminal (no rule fires on Q-only states).
+        for state in ts.states:
+            if state != ts.initial:
+                assert not ts.successors(state)
+
+    def test_determinism_of_construction(self):
+        first = build_det_abstraction(theorem_45_witness())
+        second = build_det_abstraction(theorem_45_witness())
+        assert first.states == second.states
+        assert set(first.edges()) == set(second.edges())
+
+
+class TestCallMapMonotone:
+    def test_call_maps_grow_along_edges(self, ex41_abstraction):
+        ts = ex41_abstraction
+        for source, _, target in ts.edges():
+            source_map = dict(source.call_map)
+            target_map = dict(target.call_map)
+            for call, value in source_map.items():
+                assert target_map[call] == value  # determinism preserved

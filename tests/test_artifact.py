@@ -1,0 +1,85 @@
+"""Artifact-system compilation (Section 6)."""
+
+import pytest
+
+from repro.core import ServiceSemantics
+from repro.errors import ProcessError
+from repro.fol import atom, parse_formula
+from repro.fol.ast import Atom, TRUE
+from repro.reductions import (
+    ArtifactAction, ArtifactSystem, ArtifactType, ExternalInput,
+    PostTemplate, compile_to_dcds)
+from repro.relational import DatabaseSchema, Instance, fact
+from repro.relational.values import Var
+from repro.semantics import NondeterministicOracle, simulate
+
+
+@pytest.fixture
+def order_system():
+    """A one-artifact ordering process: draft -> priced."""
+    order = ArtifactType("Order", ("id", "status", "price"))
+    price_action = ArtifactAction(
+        name="price",
+        params=(),
+        pre=parse_formula("exists i, p. Order(i, 'draft', p)"),
+        post=(PostTemplate(
+            parse_formula("Order(i, 'draft', p)"),
+            (Atom("Order", (Var("i"), "priced",
+                            ExternalInput("price", (Var("i"),)))),),
+        ),),
+    )
+    return ArtifactSystem(
+        types=(order,),
+        database=DatabaseSchema.of("Catalog/1"),
+        actions=(price_action,),
+        initial=Instance([fact("Order", "o1", "draft", "none"),
+                          fact("Catalog", "widget")]),
+        name="orders")
+
+
+class TestArtifactTypes:
+    def test_id_attribute_required(self):
+        with pytest.raises(ProcessError):
+            ArtifactType("Bad", ("status",))
+
+    def test_arity(self):
+        assert ArtifactType("Order", ("id", "x")).arity == 2
+
+
+class TestCompilation:
+    def test_schema_includes_types_and_database(self, order_system):
+        dcds = compile_to_dcds(order_system)
+        assert "Order" in dcds.schema
+        assert "Catalog" in dcds.schema
+        assert dcds.semantics is ServiceSemantics.NONDETERMINISTIC
+
+    def test_external_inputs_become_services(self, order_system):
+        dcds = compile_to_dcds(order_system)
+        functions = {f.name: f.arity for f in dcds.process.functions}
+        assert functions == {"in_price": 1}
+
+    def test_id_uniqueness_constraints(self, order_system):
+        dcds = compile_to_dcds(order_system)
+        # id determines the other two attributes: two FDs.
+        assert len(dcds.data.constraints) == 2
+        duplicate = Instance([fact("Order", "o1", "a", "b"),
+                              fact("Order", "o1", "a", "c")])
+        assert not dcds.data.satisfies_constraints(duplicate)
+
+    def test_execution(self, order_system):
+        dcds = compile_to_dcds(order_system)
+        trace = simulate(dcds, steps=1,
+                         oracle=NondeterministicOracle(seed=5))
+        assert len(trace) == 2
+        final = trace[-1][0]
+        orders = final.tuples("Order")
+        assert len(orders) == 1
+        order = next(iter(orders))
+        assert order[1] == "priced"
+
+    def test_precondition_gates_action(self, order_system):
+        dcds = compile_to_dcds(order_system)
+        # After pricing there is no draft order left: the process deadlocks.
+        trace = simulate(dcds, steps=3,
+                         oracle=NondeterministicOracle(seed=5))
+        assert len(trace) == 2

@@ -1,0 +1,124 @@
+"""History- and persistence-preserving bisimulation checkers."""
+
+import pytest
+
+from repro.bisim import BisimMode, bisimilar, bounded_bisimilar
+from repro.relational import DatabaseSchema, Instance, fact
+from repro.relational.values import Fresh
+from repro.semantics import (
+    TransitionSystem, build_det_abstraction, explore_concrete,
+    isomorphism_quotient, rcycl)
+
+
+def simple_ts(name, states, edges, initial):
+    schema = DatabaseSchema.of("R/1", "S/1")
+    ts = TransitionSystem(schema, initial, name=name)
+    for state, facts in states.items():
+        ts.add_state(state, Instance(facts))
+    for source, target in edges:
+        ts.add_edge(source, target)
+    return ts
+
+
+class TestBasicCases:
+    def test_identical_systems(self):
+        ts = simple_ts("a", {"s0": [fact("R", "v")]}, [("s0", "s0")], "s0")
+        assert bisimilar(ts, ts, BisimMode.HISTORY)
+        assert bisimilar(ts, ts, BisimMode.PERSISTENCE)
+
+    def test_renamed_values(self):
+        first = simple_ts("a", {"s0": [fact("R", "v")]}, [("s0", "s0")], "s0")
+        second = simple_ts("b", {"t0": [fact("R", "w")]}, [("t0", "t0")],
+                           "t0")
+        assert bisimilar(first, second, BisimMode.HISTORY)
+
+    def test_different_databases(self):
+        first = simple_ts("a", {"s0": [fact("R", "v")]}, [("s0", "s0")], "s0")
+        second = simple_ts("b", {"t0": [fact("S", "v")]}, [("t0", "t0")],
+                           "t0")
+        assert not bisimilar(first, second, BisimMode.HISTORY)
+
+    def test_deadlock_vs_loop(self):
+        looping = simple_ts("a", {"s0": [fact("R", "v")]},
+                            [("s0", "s0")], "s0")
+        deadlock = simple_ts("b", {"t0": [fact("R", "v")]}, [], "t0")
+        assert not bisimilar(looping, deadlock, BisimMode.HISTORY)
+        assert not bisimilar(deadlock, looping, BisimMode.PERSISTENCE)
+
+    def test_unfolded_loop(self):
+        loop = simple_ts("a", {"s0": [fact("R", "v")]}, [("s0", "s0")], "s0")
+        unrolled = simple_ts(
+            "b", {"t0": [fact("R", "v")], "t1": [fact("R", "v")]},
+            [("t0", "t1"), ("t1", "t0")], "t0")
+        assert bisimilar(loop, unrolled, BisimMode.HISTORY)
+
+
+class TestHistoryVsPersistence:
+    def _forgetting_pair(self):
+        """Two systems that differ only in whether a *dropped* value
+        reappears under the same name: persistence-bisimilar, not
+        history-bisimilar."""
+        # System 1: R(v) -> S(w) -> R(v): the original value returns.
+        first = simple_ts(
+            "recall",
+            {"s0": [fact("R", "v")], "s1": [fact("S", "w")],
+             "s2": [fact("R", "v")]},
+            [("s0", "s1"), ("s1", "s2"), ("s2", "s2")], "s0")
+        # System 2: R(v) -> S(w) -> R(u): a different value comes back.
+        second = simple_ts(
+            "fresh",
+            {"t0": [fact("R", "v")], "t1": [fact("S", "w")],
+             "t2": [fact("R", "u")]},
+            [("t0", "t1"), ("t1", "t2"), ("t2", "t2")], "t0")
+        return first, second
+
+    def test_persistence_identifies(self):
+        first, second = self._forgetting_pair()
+        assert bisimilar(first, second, BisimMode.PERSISTENCE)
+
+    def test_history_distinguishes(self):
+        first, second = self._forgetting_pair()
+        assert not bisimilar(first, second, BisimMode.HISTORY)
+
+    def test_bounded_agrees(self):
+        first, second = self._forgetting_pair()
+        assert bounded_bisimilar(first, second, depth=4,
+                                 mode=BisimMode.PERSISTENCE)
+        assert not bounded_bisimilar(first, second, depth=4,
+                                     mode=BisimMode.HISTORY)
+        # At depth 1 the difference is not yet observable.
+        assert bounded_bisimilar(first, second, depth=1,
+                                 mode=BisimMode.HISTORY)
+
+
+class TestAgainstAbstractions:
+    def test_rcycl_bisimilar_to_quotient(self, ex43_rcycl):
+        quotient, _ = isomorphism_quotient(ex43_rcycl, fixed={"a"})
+        assert bisimilar(ex43_rcycl, quotient, BisimMode.PERSISTENCE)
+
+    def test_concrete_pool_vs_abstraction_bounded(self, ex42):
+        abstraction = build_det_abstraction(ex42)
+        concrete = explore_concrete(
+            ex42, pool=["a", Fresh(50), Fresh(51), Fresh(52)], depth=3)
+        assert bounded_bisimilar(concrete, abstraction, depth=2,
+                                 mode=BisimMode.HISTORY)
+
+    def test_concrete_pool_vs_abstraction_ex41(self, ex41):
+        abstraction = build_det_abstraction(ex41)
+        concrete = explore_concrete(
+            ex41, pool=["a", Fresh(50), Fresh(51), Fresh(52)], depth=3)
+        assert bounded_bisimilar(concrete, abstraction, depth=2,
+                                 mode=BisimMode.HISTORY)
+
+    def test_different_examples_not_bisimilar(self, ex41_abstraction,
+                                              ex42_abstraction):
+        assert not bisimilar(ex41_abstraction, ex42_abstraction,
+                             BisimMode.HISTORY)
+
+    def test_truncated_systems_rejected_for_full_check(self, ex42):
+        concrete = explore_concrete(ex42, pool=["a", Fresh(50)], depth=1)
+        abstraction = build_det_abstraction(ex42)
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            bisimilar(concrete, abstraction, BisimMode.HISTORY)

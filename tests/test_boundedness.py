@@ -1,0 +1,56 @@
+"""Semantic boundedness probes (run-/state-boundedness evidence)."""
+
+import pytest
+
+from repro.analysis import (
+    Verdict, probe_run_bounded, probe_state_bounded)
+from repro.core import ServiceSemantics
+from repro.gallery import example_41, example_42, example_43, example_52
+
+
+class TestRunBoundedProbe:
+    def test_ex41_bounded(self, ex41):
+        result = probe_run_bounded(ex41)
+        assert result.is_bounded
+        assert result.bound == 3  # a, f(a), g(a)
+        assert result.states_explored == 10
+
+    def test_ex42_bounded(self, ex42):
+        result = probe_run_bounded(ex42)
+        assert result.is_bounded
+        assert result.bound <= 3
+
+    def test_ex43_divergence_suspected(self, ex43_det):
+        result = probe_run_bounded(ex43_det, max_states=200)
+        assert result.verdict is Verdict.DIVERGENCE_SUSPECTED
+        assert not result.is_bounded
+        assert result.bound is None
+        assert result.states_explored > 200
+
+    def test_probe_coerces_semantics(self, ex43_nondet):
+        # The run-boundedness probe is about the deterministic semantics;
+        # it should coerce a nondet-flavoured DCDS rather than fail.
+        result = probe_run_bounded(ex43_nondet, max_states=200)
+        assert result.verdict is Verdict.DIVERGENCE_SUSPECTED
+
+
+class TestStateBoundedProbe:
+    def test_ex43_state_bounded(self, ex43_nondet):
+        result = probe_state_bounded(ex43_nondet)
+        assert result.is_bounded
+        assert result.bound == 1  # single tuple per state (Example 5.1)
+
+    def test_ex52_divergence_suspected(self, ex52):
+        result = probe_state_bounded(ex52, max_states=150)
+        assert result.verdict is Verdict.DIVERGENCE_SUSPECTED
+        assert max(result.growth_trace) >= 3  # growing active domains
+
+    def test_ex41_state_bounded(self, ex41):
+        result = probe_state_bounded(ex41)
+        assert result.is_bounded
+        assert result.bound <= 3
+
+    def test_repr_readable(self, ex41, ex52):
+        assert "bounded" in repr(probe_run_bounded(ex41))
+        assert "divergence" in repr(
+            probe_state_bounded(ex52, max_states=100))

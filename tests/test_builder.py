@@ -1,0 +1,156 @@
+"""The DCDS builder and its text syntaxes."""
+
+import pytest
+
+from repro.errors import ParseError, ProcessError
+from repro.core import DCDSBuilder, ServiceSemantics
+from repro.core.builder import (
+    _split_top_level, parse_constraint, parse_effect, parse_facts,
+    split_body)
+from repro.fol import parse_formula
+from repro.fol.ast import TRUE
+from repro.relational import fact
+from repro.relational.values import Param, ServiceCall, Var
+
+
+class TestSplitting:
+    def test_split_respects_parens(self):
+        assert _split_top_level("R(a, b), S(c)", ",") == ["R(a, b)", " S(c)"]
+
+    def test_split_respects_strings(self):
+        parts = _split_top_level("R('x,y'), S(z)", ",")
+        assert parts == ["R('x,y')", " S(z)"]
+
+    def test_effect_arrow_split(self):
+        parts = _split_top_level("R(x) ~> S(x)", "~>")
+        assert parts == ["R(x) ", " S(x)"]
+
+
+class TestParseFacts:
+    def test_plain(self):
+        assert parse_facts("R(a), S(b, c)") == [
+            fact("R", "a"), fact("S", "b", "c")]
+
+    def test_numbers_and_quotes(self):
+        assert parse_facts("R(1, 'two')") == [fact("R", 1, "two")]
+
+    def test_nullary(self):
+        assert parse_facts("halted()") == [fact("halted")]
+
+
+class TestParseEffect:
+    def test_body_split(self):
+        effect = parse_effect("R(x) & ~S(x) & exists y. T(y) ~> U(x)")
+        # Positive conjuncts to q+, the rest to Q-.
+        assert "R" in {a.relation for a in effect.q_plus.atoms()}
+        assert "T" in {a.relation for a in effect.q_plus.atoms()}
+        assert "S" in {a.relation for a in effect.q_minus.atoms()}
+
+    def test_pure_filter_body(self):
+        effect = parse_effect("~S('a') ~> U('b')")
+        assert effect.q_plus == TRUE
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_effect("R(x), S(x)")
+
+    def test_empty_head(self):
+        with pytest.raises(ParseError):
+            parse_effect("R(x) ~> ")
+
+    def test_split_body_passthrough(self):
+        q_plus, q_minus = split_body(parse_formula("R(x) | S(x)"))
+        assert q_minus == TRUE
+
+
+class TestParseConstraint:
+    def test_single_equality(self):
+        constraint = parse_constraint("P(x) & Q(y, z) -> x = y")
+        assert constraint.equalities == ((Var("x"), Var("y")),)
+
+    def test_multiple_equalities(self):
+        constraint = parse_constraint("T(x, y, z) -> x = y & y = z")
+        assert len(constraint.equalities) == 2
+
+    def test_constants_allowed(self):
+        constraint = parse_constraint("P(x) -> x = 'c'")
+        assert constraint.equalities == ((Var("x"), "c"),)
+
+    def test_non_equality_rhs_rejected(self):
+        with pytest.raises(ParseError):
+            parse_constraint("P(x) -> Q(x, x)")
+
+
+class TestBuilder:
+    def test_action_signature_parsing(self):
+        builder = DCDSBuilder(name="sig")
+        builder.schema("R/1", "S/2")
+        builder.initial("R('a')")
+        builder.action("move(p, q)", "R($p) ~> S($p, $q)")
+        builder.rule("exists z. R($p) & R($q) & R(z)", "move")
+        dcds = builder.build()
+        action = dcds.process.action("move")
+        assert action.params == (Param("p"), Param("q"))
+
+    def test_key_declaration(self):
+        builder = DCDSBuilder(name="key")
+        builder.schema("R/2")
+        builder.key("R", 0)
+        builder.initial("R('a', 'b')")
+        builder.action("noop", "R(x, y) ~> R(x, y)")
+        builder.rule("true", "noop")
+        dcds = builder.build()
+        assert len(dcds.data.constraints) == 1
+        from repro.relational import Instance
+
+        bad = Instance([fact("R", "k", "u"), fact("R", "k", "v")])
+        assert not dcds.data.satisfies_constraints(bad)
+
+    def test_key_requires_declared_relation(self):
+        builder = DCDSBuilder(name="key2")
+        with pytest.raises(ProcessError):
+            builder.key("R", 0)
+
+    def test_semantics_selection(self):
+        builder = DCDSBuilder(name="sem")
+        builder.schema("R/1")
+        builder.initial("R('a')")
+        builder.action("noop", "R(x) ~> R(x)")
+        builder.rule("true", "noop")
+        assert builder.build_deterministic().semantics is \
+            ServiceSemantics.DETERMINISTIC
+        assert builder.build_nondeterministic().semantics is \
+            ServiceSemantics.NONDETERMINISTIC
+
+    def test_constants_set(self):
+        builder = DCDSBuilder(name="const", constants={"a"})
+        builder.schema("R/1")
+        builder.initial("R(a)")
+        builder.action("noop", "R(a) ~> R(a)")
+        builder.rule("true", "noop")
+        dcds = builder.build()
+        assert "a" in dcds.known_constants()
+
+    def test_effectspec_objects_accepted(self):
+        from repro.core.process_layer import EffectSpec
+        from repro.fol import atom
+
+        builder = DCDSBuilder(name="obj")
+        builder.schema("R/1")
+        builder.initial("R('a')")
+        spec = EffectSpec(parse_formula("R(x)"), TRUE,
+                          (atom("R", Var("x")),))
+        builder.action("noop", spec)
+        builder.rule("true", "noop")
+        assert builder.build().process.action("noop").effects == (spec,)
+
+    def test_describe_mentions_everything(self):
+        builder = DCDSBuilder(name="full")
+        builder.schema("R/1")
+        builder.initial("R('a')")
+        builder.service("f/1")
+        builder.action("go", "R(x) ~> R(f(x))")
+        builder.rule("true", "go")
+        text = builder.build().describe()
+        for token in ("full", "R/1", "f/1", "go", "rule"):
+            assert token in text

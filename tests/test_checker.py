@@ -1,0 +1,150 @@
+"""The µ-calculus model checker over hand-built transition systems."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.mucalc import (
+    AF, AG, EF, EG, EU, EX, AX, ModelChecker, check, extension, parse_mu)
+from repro.mucalc.ast import Diamond, MExists, MOr, Mu, PredVar, QF
+from repro.relational import DatabaseSchema, Instance, fact
+from repro.semantics import TransitionSystem
+
+
+@pytest.fixture
+def line():
+    """s0 -> s1 -> s2 (self-loop), values appear and disappear."""
+    schema = DatabaseSchema.of("P/1", "Q/1")
+    ts = TransitionSystem(schema, "s0", name="line")
+    ts.add_state("s0", Instance([fact("P", "a")]))
+    ts.add_state("s1", Instance([fact("P", "a"), fact("Q", "b")]))
+    ts.add_state("s2", Instance([fact("Q", "b")]))
+    ts.add_edge("s0", "s1")
+    ts.add_edge("s1", "s2")
+    ts.add_edge("s2", "s2")
+    return ts
+
+
+@pytest.fixture
+def diamond_ts():
+    """Branching: s0 -> {left, right}; only left reaches goal."""
+    schema = DatabaseSchema.of("G/0", "N/0")
+    ts = TransitionSystem(schema, "s0", name="branch")
+    ts.add_state("s0", Instance([fact("N")]))
+    ts.add_state("left", Instance([fact("N")]))
+    ts.add_state("right", Instance([fact("N")]))
+    ts.add_state("goal", Instance([fact("G")]))
+    ts.add_edge("s0", "left")
+    ts.add_edge("s0", "right")
+    ts.add_edge("left", "goal")
+    ts.add_edge("right", "right")
+    ts.add_edge("goal", "goal")
+    return ts
+
+
+class TestLocalOperators:
+    def test_query_leaf(self, line):
+        assert extension(line, parse_mu("P('a')")) == {"s0", "s1"}
+
+    def test_live(self, line):
+        assert extension(line, parse_mu("live('a')")) == {"s0", "s1"}
+        assert extension(line, parse_mu("live('a') & live('b')")) == {"s1"}
+
+    def test_negation(self, line):
+        assert extension(line, parse_mu("~P('a')")) == {"s2"}
+
+    def test_diamond_box(self, line):
+        assert extension(line, parse_mu("<-> Q('b')")) == {"s0", "s1", "s2"}
+        assert extension(line, parse_mu("[-] Q('b')")) == {"s0", "s1", "s2"}
+        assert extension(line, parse_mu("<-> P('a')")) == {"s0"}
+
+    def test_exists_over_ts_values(self, line):
+        # E x. Q(x) ranges over all values of the TS.
+        assert extension(line, parse_mu("E x. Q(x)")) == {"s1", "s2"}
+
+    def test_exists_live_restricts(self, line):
+        formula = parse_mu("E x. live(x) & P(x) & Q(x)")
+        assert extension(line, formula) == set()
+
+    def test_forall(self, line):
+        formula = parse_mu("A x. (live(x) -> (P(x) | Q(x)))")
+        assert extension(line, formula) == {"s0", "s1", "s2"}
+
+
+class TestFixpoints:
+    def test_ef(self, diamond_ts):
+        states = extension(diamond_ts, EF(parse_mu("G()")))
+        assert states == {"s0", "left", "goal"}
+
+    def test_af(self, diamond_ts):
+        # right branch loops forever in N: AF G fails at s0.
+        states = extension(diamond_ts, AF(parse_mu("G()")))
+        assert states == {"left", "goal"}
+
+    def test_eg(self, diamond_ts):
+        # left's only run goes through goal (not N), so left drops out.
+        states = extension(diamond_ts, EG(parse_mu("N()")))
+        assert states == {"s0", "right"}
+
+    def test_ag(self, diamond_ts):
+        assert extension(diamond_ts, AG(parse_mu("N()"))) == {"right"}
+
+    def test_eu(self, diamond_ts):
+        states = extension(diamond_ts,
+                           EU(parse_mu("N()"), parse_mu("G()")))
+        assert states == {"s0", "left", "goal"}
+
+    def test_ex_ax(self, diamond_ts):
+        assert extension(diamond_ts, EX(parse_mu("G()"))) == {"left", "goal"}
+        assert extension(diamond_ts, AX(parse_mu("G()"))) == {"left", "goal"}
+
+    def test_nested_fixpoints(self, diamond_ts):
+        # Infinitely often reachable goal: nu X. mu Y. ((G & <->X) | <->Y).
+        formula = parse_mu("nu X. mu Y. ((G() & <-> X) | <-> Y)")
+        assert extension(diamond_ts, formula) == {"s0", "left", "goal"}
+
+    def test_fixpoint_unfolding_equivalence(self, diamond_ts):
+        # mu Z. Phi == Phi[Z -> mu Z. Phi]
+        goal = parse_mu("G()")
+        fixpoint = Mu("Z", MOr.of(goal, Diamond(PredVar("Z"))))
+        unfolded = MOr.of(goal, Diamond(fixpoint))
+        assert extension(diamond_ts, fixpoint) == \
+            extension(diamond_ts, unfolded)
+
+
+class TestQuantificationAcrossStates:
+    def test_example_31_formula(self, line):
+        # There are >= 2 distinct values eventually in some state's P or Q.
+        formula = parse_mu(
+            "E x, y. x != y & (mu Z. ((P(x) | Q(x)) | <-> Z)) "
+            "& (mu W. ((P(y) | Q(y)) | <-> W))")
+        assert check(line, formula)
+
+    def test_value_persistence_distinction(self, line):
+        # muLA-style: a eventually disappears but can still be referenced.
+        formula = parse_mu("E x. live(x) & P(x) & <-> <-> ~live(x)")
+        assert check(line, formula)
+        # muLP-style guard: requires persistence, fails at the same depth.
+        guarded = parse_mu(
+            "E x. live(x) & P(x) & <-> (live(x) & <-> (live(x) & ~live(x)))")
+        assert not check(line, guarded)
+
+
+class TestErrors:
+    def test_free_pred_var_rejected(self, line):
+        with pytest.raises(VerificationError):
+            check(line, PredVar("Z"))
+
+    def test_unbound_ivar_rejected(self, line):
+        from repro.fol import atom
+        from repro.relational.values import Var
+
+        with pytest.raises(VerificationError):
+            check(line, QF(atom("P", Var("x"))))
+
+    def test_valuation_supplied(self, line):
+        from repro.fol import atom
+        from repro.relational.values import Var
+
+        checker = ModelChecker(line)
+        states = checker.evaluate(QF(atom("P", Var("x"))), {Var("x"): "a"})
+        assert states == {"s0", "s1"}

@@ -1,0 +1,117 @@
+"""Concrete executions: oracles, simulate(), finite-pool exploration."""
+
+import pytest
+
+from repro.core import ServiceSemantics
+from repro.gallery import example_41, example_42, example_43
+from repro.relational import ServiceCall
+from repro.relational.values import Fresh
+from repro.semantics import (
+    DeterministicOracle, NondeterministicOracle, explore_concrete, simulate)
+
+
+class TestOracles:
+    def test_deterministic_oracle_memoizes(self):
+        oracle = DeterministicOracle()
+        call = ServiceCall("f", ("a",))
+        assert oracle(call) == oracle(call)
+        other = ServiceCall("f", ("b",))
+        assert oracle(call) != oracle(other)
+
+    def test_deterministic_oracle_universe(self):
+        oracle = DeterministicOracle(universe=["u", "v"], seed=1)
+        call = ServiceCall("f", ("a",))
+        assert oracle(call) in ("u", "v")
+        assert oracle(call) == oracle(call)
+
+    def test_nondeterministic_oracle_reproducible(self):
+        first = NondeterministicOracle(seed=7)
+        second = NondeterministicOracle(seed=7)
+        calls = [ServiceCall("f", (i,)) for i in range(10)]
+        assert [first(c) for c in calls] == [second(c) for c in calls]
+
+    def test_nondeterministic_oracle_can_repeat(self):
+        oracle = NondeterministicOracle(seed=3, fresh_bias=0.1)
+        values = [oracle(ServiceCall("f", ("a",))) for _ in range(20)]
+        assert len(set(values)) < 20  # recycling happened
+
+
+class TestSimulate:
+    def test_trace_starts_at_initial(self, ex41):
+        trace = simulate(ex41, steps=3, oracle=DeterministicOracle())
+        assert trace[0][0] == ex41.initial
+        assert trace[0][1] is None
+        assert len(trace) == 4
+
+    def test_deterministic_services_stabilize(self, ex41):
+        # With memoized f(a), g(a) the run reaches a fixpoint after step 2.
+        trace = simulate(ex41, steps=5, oracle=DeterministicOracle())
+        assert trace[-1][0] == trace[-2][0]
+
+    def test_constraints_respected(self, ex42):
+        # f(a) must equal a; a fresh-only oracle violates the constraint,
+        # so the run stops at the initial state.
+        trace = simulate(ex42, steps=3, oracle=DeterministicOracle())
+        assert len(trace) == 1
+
+    def test_constraint_satisfying_oracle(self, ex42):
+        class PinnedOracle:
+            def __call__(self, call):
+                return "a" if call.function == "f" else Fresh(99)
+
+        trace = simulate(ex42, steps=3, oracle=PinnedOracle())
+        assert len(trace) == 4
+
+    def test_chooser_controls_branching(self, students):
+        # From 'enrolled' both study and graduate are enabled; the chooser
+        # picks graduate (index sorted by enabled_moves order).
+        def chooser(moves):
+            names = [action.name for action, _ in moves]
+            if "graduate" in names:
+                return names.index("graduate")
+            return 0
+
+        trace = simulate(students, steps=2,
+                         oracle=NondeterministicOracle(seed=0),
+                         chooser=chooser)
+        final = trace[-1][0]
+        assert final.tuples("Grad")
+
+
+class TestExploreConcrete:
+    def test_det_pool_exploration_matches_semantics(self, ex41):
+        pool = ["a", Fresh(30), Fresh(31)]
+        ts = explore_concrete(ex41, pool, depth=2)
+        # Level 1: all consistent (f(a), g(a)) pool evaluations = 9 states.
+        assert len(ts.depth_levels()[1]) == 9
+        assert ts.truncated_states  # frontier marked
+
+    def test_det_call_map_consistency(self, ex41):
+        pool = ["a", Fresh(30)]
+        ts = explore_concrete(ex41, pool, depth=3)
+        for state in ts.states:
+            seen = {}
+            for call, value in state.call_map:
+                assert seen.setdefault(call, value) == value
+
+    def test_nondet_exploration(self, ex43_nondet):
+        pool = ["a", Fresh(40)]
+        ts = explore_concrete(ex43_nondet, pool, depth=3)
+        # Nondeterministic: states are bare instances.
+        assert all(ts.db(state) == state for state in ts.states)
+        assert len(ts) > 2
+
+    def test_constraints_filter_pool_evaluations(self, ex42):
+        pool = ["a", Fresh(30), Fresh(31)]
+        ts = explore_concrete(ex42, pool, depth=2)
+        # f(a) pinned to a: only 3 level-1 states (choices of g(a)).
+        assert len(ts.depth_levels()[1]) == 3
+
+    def test_fuse(self, ex52):
+        from repro.errors import AbstractionDiverged
+
+        # Example 5.2 accumulates Q facts: the pool-restricted state space
+        # has 2^|pool| Q-subsets, exceeding a tiny fuse.
+        with pytest.raises(AbstractionDiverged):
+            explore_concrete(ex52, ["a", Fresh(1), Fresh(2)],
+                             depth=50, max_states=4)

@@ -1,0 +1,178 @@
+"""Data layer (constraints) and process layer (validation)."""
+
+import pytest
+
+from repro.errors import ConstraintViolation, ProcessError, SchemaError
+from repro.core.data_layer import (
+    DataLayer, EqualityConstraint, functional_dependency, key_constraint)
+from repro.core.builder import parse_constraint, parse_effect
+from repro.core.process_layer import (
+    Action, CARule, EffectSpec, ProcessLayer, ServiceFunction)
+from repro.fol import atom, parse_formula
+from repro.fol.ast import TRUE, Atom
+from repro.relational import DatabaseSchema, Instance, fact
+from repro.relational.values import Param, ServiceCall, Var
+
+
+class TestEqualityConstraints:
+    def test_satisfied(self):
+        constraint = parse_constraint("P(x) & Q(y, z) -> x = y")
+        instance = Instance([fact("P", "a"), fact("Q", "a", "b")])
+        assert constraint.satisfied_by(instance)
+
+    def test_violated(self):
+        constraint = parse_constraint("P(x) & Q(y, z) -> x = y")
+        instance = Instance([fact("P", "a"), fact("Q", "b", "b")])
+        assert not constraint.satisfied_by(instance)
+        assert constraint.violations(instance)
+
+    def test_vacuous(self):
+        constraint = parse_constraint("P(x) & Q(y, z) -> x = y")
+        assert constraint.satisfied_by(Instance([fact("P", "a")]))
+
+    def test_constant_equality_is_unsatisfiable_when_triggered(self):
+        constraint = parse_constraint("P(x) -> 'u' = 'v'")
+        assert not constraint.satisfied_by(Instance([fact("P", "a")]))
+        assert constraint.satisfied_by(Instance.empty())
+
+    def test_unknown_equality_variable_rejected(self):
+        with pytest.raises(SchemaError):
+            EqualityConstraint(atom("P", Var("x")),
+                               ((Var("y"), Var("x")),))
+
+    def test_functional_dependency(self):
+        fd = functional_dependency("R", 3, (0,), 2)
+        good = Instance([fact("R", "k", "u", "v"),
+                         fact("R", "k", "w", "v")])
+        bad = Instance([fact("R", "k", "u", "v1"),
+                        fact("R", "k", "u", "v2")])
+        assert fd.satisfied_by(good)
+        assert not fd.satisfied_by(bad)
+
+    def test_key_constraint_covers_all_dependents(self):
+        constraints = key_constraint("R", 3, (0,))
+        assert len(constraints) == 2
+        bad = Instance([fact("R", "k", "u1", "v"),
+                        fact("R", "k", "u2", "v")])
+        assert not all(c.satisfied_by(bad) for c in constraints)
+
+
+class TestDataLayer:
+    def test_initial_must_satisfy_constraints(self):
+        schema = DatabaseSchema.of("P/1", "Q/2")
+        constraint = parse_constraint("P(x) & Q(y, z) -> x = y")
+        bad = Instance([fact("P", "a"), fact("Q", "b", "b")])
+        with pytest.raises(ConstraintViolation):
+            DataLayer(schema, (constraint,), bad)
+
+    def test_initial_must_conform_to_schema(self):
+        schema = DatabaseSchema.of("P/1")
+        with pytest.raises(Exception):
+            DataLayer(schema, (), Instance([fact("P", "a", "b")]))
+
+    def test_constraint_relation_checked(self):
+        schema = DatabaseSchema.of("P/1")
+        constraint = parse_constraint("Zed(x) -> x = x")
+        with pytest.raises(SchemaError):
+            DataLayer(schema, (constraint,), Instance.empty())
+
+    def test_check_constraints_diagnostics(self):
+        schema = DatabaseSchema.of("P/1", "Q/2")
+        constraint = parse_constraint("P(x) & Q(y, z) -> x = y")
+        layer = DataLayer(schema, (constraint,),
+                          Instance([fact("P", "a"), fact("Q", "a", "a")]))
+        bad = Instance([fact("P", "a"), fact("Q", "b", "b")])
+        assert not layer.satisfies_constraints(bad)
+        with pytest.raises(ConstraintViolation):
+            layer.check_constraints(bad)
+
+    def test_without_constraints(self):
+        schema = DatabaseSchema.of("P/1")
+        layer = DataLayer(schema, (), Instance([fact("P", "a")]))
+        assert layer.without_constraints().constraints == ()
+
+
+class TestEffectSpec:
+    def test_q_plus_must_be_positive(self):
+        with pytest.raises(ProcessError):
+            EffectSpec(parse_formula("~R(x)"), TRUE, (atom("S", Var("x")),))
+
+    def test_q_minus_vars_subset_of_q_plus(self):
+        with pytest.raises(ProcessError):
+            EffectSpec(parse_formula("R(x)"), parse_formula("~S(y)"),
+                       (atom("S", Var("x")),))
+
+    def test_head_vars_must_come_from_q_plus(self):
+        with pytest.raises(ProcessError):
+            EffectSpec(parse_formula("R(x)"), TRUE, (atom("S", Var("y")),))
+
+    def test_head_call_vars_checked(self):
+        with pytest.raises(ProcessError):
+            EffectSpec(parse_formula("R(x)"), TRUE,
+                       (Atom("S", (ServiceCall("f", (Var("y"),)),)),))
+
+    def test_effect_text_round_trip(self):
+        effect = parse_effect("R(x) & ~S(x) ~> T(f(x)), U(x)")
+        assert effect.q_plus == parse_formula("R(x)")
+        assert effect.q_minus == parse_formula("~S(x)")
+        assert len(effect.head) == 2
+        assert effect.service_calls() == {ServiceCall("f", (Var("x"),))}
+
+
+class TestActionAndProcess:
+    def _action(self):
+        return Action("alpha", (Param("p"),), (
+            EffectSpec(parse_formula("R($p)"), TRUE,
+                       (atom("S", Param("p")),)),))
+
+    def test_undeclared_parameter_rejected(self):
+        with pytest.raises(ProcessError):
+            Action("alpha", (), (
+                EffectSpec(parse_formula("R($p)"), TRUE,
+                           (atom("S", Param("p")),)),))
+
+    def test_duplicate_parameters_rejected(self):
+        with pytest.raises(ProcessError):
+            Action("alpha", (Param("p"), Param("p")), ())
+
+    def test_process_validates_rule_targets(self):
+        action = self._action()
+        with pytest.raises(ProcessError):
+            ProcessLayer((), (action,),
+                         (CARule(parse_formula("R($p)"), "missing"),))
+
+    def test_rule_parameters_must_match_action(self):
+        action = self._action()
+        with pytest.raises(ProcessError):
+            ProcessLayer((), (action,),
+                         (CARule(parse_formula("true"), "alpha"),))
+
+    def test_rule_query_must_not_have_free_variables(self):
+        with pytest.raises(ProcessError):
+            CARule(parse_formula("R(x)"), "alpha")
+
+    def test_undeclared_service_rejected(self):
+        action = Action("alpha", (), (
+            EffectSpec(parse_formula("R(x)"), TRUE,
+                       (Atom("S", (ServiceCall("f", (Var("x"),)),)),)),))
+        with pytest.raises(ProcessError):
+            ProcessLayer((), (action,), ())
+
+    def test_duplicate_names_rejected(self):
+        action = self._action()
+        with pytest.raises(ProcessError):
+            ProcessLayer((), (action, action), ())
+        with pytest.raises(ProcessError):
+            ProcessLayer((ServiceFunction("f", 1),
+                          ServiceFunction("f", 2)), (), ())
+
+    def test_lookups(self):
+        action = self._action()
+        layer = ProcessLayer(
+            (ServiceFunction("f", 1),), (action,),
+            (CARule(parse_formula("R($p)"), "alpha"),))
+        assert layer.action("alpha") is action
+        assert layer.function("f").arity == 1
+        assert layer.rules_for("alpha")
+        with pytest.raises(ProcessError):
+            layer.action("nope")

@@ -1,0 +1,83 @@
+"""The DCDS container: validation, semantics flags, sizing."""
+
+import pytest
+
+from repro.core import DCDS, DCDSBuilder, ServiceSemantics
+from repro.errors import SchemaError
+from repro.gallery import example_41
+
+
+def _base_builder():
+    builder = DCDSBuilder(name="model")
+    builder.schema("R/1", "S/2")
+    builder.initial("R('a')")
+    builder.service("f/1")
+    return builder
+
+
+class TestValidation:
+    def test_effect_relation_arity_checked(self):
+        builder = _base_builder()
+        builder.action("go", "R(x) ~> S(x)")  # S is binary
+        builder.rule("true", "go")
+        with pytest.raises(SchemaError):
+            builder.build()
+
+    def test_rule_relation_checked(self):
+        builder = _base_builder()
+        builder.action("go", "R(x) ~> R(x)")
+        builder.rule("exists z. Zed(z)", "go")
+        with pytest.raises(SchemaError):
+            builder.build()
+
+    def test_body_relation_checked(self):
+        builder = _base_builder()
+        builder.action("go", "Zed(x) ~> R(x)")
+        builder.rule("true", "go")
+        with pytest.raises(SchemaError):
+            builder.build()
+
+
+class TestSemanticsFlags:
+    def test_with_semantics(self, ex41):
+        flipped = ex41.with_semantics(ServiceSemantics.NONDETERMINISTIC)
+        assert flipped.semantics is ServiceSemantics.NONDETERMINISTIC
+        assert ex41.semantics is ServiceSemantics.DETERMINISTIC
+
+    def test_is_deterministic_default(self, ex41):
+        assert ex41.is_deterministic("f")
+        nondet = ex41.with_semantics(ServiceSemantics.NONDETERMINISTIC)
+        assert not nondet.is_deterministic("f")
+
+    def test_mixed_override(self):
+        builder = _base_builder()
+        builder.service("g/1", deterministic=True)
+        builder.action("go", "R(x) ~> R(f(x)), R(g(x))")
+        builder.rule("true", "go")
+        dcds = builder.build(ServiceSemantics.NONDETERMINISTIC)
+        assert dcds.has_mixed_semantics()
+        assert dcds.is_deterministic("g")
+        assert not dcds.is_deterministic("f")
+
+    def test_uniform_semantics_not_mixed(self, ex41):
+        assert not ex41.has_mixed_semantics()
+
+
+class TestMetadata:
+    def test_known_constants(self):
+        builder = _base_builder()
+        builder.action("go", "R(x) ~> R('status')")
+        builder.rule("true", "go")
+        dcds = builder.build()
+        assert "a" in dcds.known_constants()       # from I0
+        assert "status" in dcds.known_constants()  # from the process layer
+
+    def test_size(self, ex41):
+        # 3 relations + 1 action + 2 effects + 1 rule.
+        assert ex41.size() == 7
+
+    def test_describe_lists_constraints(self):
+        from repro.gallery import example_42
+
+        text = example_42().describe()
+        assert "constraint" in text

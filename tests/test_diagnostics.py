@@ -1,0 +1,71 @@
+"""Witness and counterexample extraction."""
+
+import pytest
+
+from repro.gallery import example_41, student_registry
+from repro.mucalc import parse_mu
+from repro.mucalc.diagnostics import (
+    counterexample, render_trace, shortest_path_to, witness)
+from repro.semantics import build_det_abstraction, rcycl
+
+
+class TestWitness:
+    def test_reachability_witness(self, ex41_abstraction):
+        trace = witness(ex41_abstraction, parse_mu("R('a')"))
+        assert trace is not None
+        assert len(trace) == 2  # initial -> first R(a) state
+        final_db = trace[-1][1]
+        assert final_db.tuples("R")
+
+    def test_initial_state_witness_is_trivial(self, ex41_abstraction):
+        trace = witness(ex41_abstraction, parse_mu("P('a')"))
+        assert trace is not None
+        assert len(trace) == 1
+
+    def test_unreachable_goal(self, ex41_abstraction):
+        trace = witness(ex41_abstraction, parse_mu("R('zzz')"))
+        assert trace is None
+
+    def test_graduation_witness(self, students_rcycl):
+        trace = witness(students_rcycl,
+                        parse_mu("E x, y. live(x) & live(y) & Grad(x, y)"))
+        assert trace is not None
+        # idle -> enrolled -> graduated: three states.
+        assert len(trace) == 3
+        labels = [label for _, _, label in trace]
+        assert labels[1] == "enroll"
+        assert labels[2] == "graduate"
+
+
+class TestCounterexample:
+    def test_violated_invariant(self, ex41_abstraction):
+        # "Q(a, a) always holds" is violated two steps in.
+        trace = counterexample(ex41_abstraction, parse_mu("Q('a', 'a')"))
+        assert trace is not None
+        final_db = trace[-1][1]
+        assert ("a", "a") not in final_db.tuples("Q")
+
+    def test_true_invariant_has_no_counterexample(self, ex41_abstraction):
+        trace = counterexample(ex41_abstraction, parse_mu("P('a')"))
+        assert trace is None
+
+    def test_students_safety_counterexample_free(self, students_rcycl):
+        trace = counterexample(
+            students_rcycl,
+            parse_mu("~(Status('idle') & (E x. live(x) & Stud(x)))"))
+        assert trace is None
+
+
+class TestRendering:
+    def test_render_contains_labels(self, students_rcycl):
+        trace = witness(students_rcycl,
+                        parse_mu("E x, y. live(x) & live(y) & Grad(x, y)"))
+        text = render_trace(trace)
+        assert "--[enroll]-->" in text
+        assert "Grad" in text
+
+    def test_render_empty(self):
+        assert render_trace([]) == "(empty trace)"
+
+    def test_shortest_path_none_for_empty_targets(self, ex41_abstraction):
+        assert shortest_path_to(ex41_abstraction, frozenset()) is None

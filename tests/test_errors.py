@@ -1,0 +1,51 @@
+"""The exception hierarchy and its diagnostic payloads."""
+
+import pytest
+
+from repro.errors import (
+    AbstractionDiverged, ConstraintViolation, ExecutionError, FormulaError,
+    FragmentError, IllegalParameters, InstanceError, MonotonicityError,
+    ParseError, ProcessError, ReproError, SchemaError, UndecidableFragment,
+    VerificationError)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        SchemaError, InstanceError, ConstraintViolation, FormulaError,
+        ParseError, FragmentError, MonotonicityError, ProcessError,
+        ExecutionError, IllegalParameters, AbstractionDiverged,
+        UndecidableFragment, VerificationError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_parse_error_is_formula_error(self):
+        assert issubclass(ParseError, FormulaError)
+
+    def test_illegal_parameters_is_execution_error(self):
+        assert issubclass(IllegalParameters, ExecutionError)
+
+
+class TestPayloads:
+    def test_parse_error_position_context(self):
+        error = ParseError("boom", text="R(x) & & S(y)", pos=7)
+        assert "position 7" in str(error)
+        assert error.pos == 7
+
+    def test_parse_error_without_position(self):
+        error = ParseError("boom")
+        assert str(error) == "boom"
+
+    def test_abstraction_diverged_payload(self):
+        error = AbstractionDiverged("grew", growth_trace=(1, 2, 4),
+                                    partial_states=7)
+        assert error.growth_trace == (1, 2, 4)
+        assert error.partial_states == 7
+
+    def test_undecidable_fragment_theorem(self):
+        error = UndecidableFragment("nope", theorem="Theorem 5.2")
+        assert error.theorem == "Theorem 5.2"
+
+    def test_one_catch_all(self):
+        with pytest.raises(ReproError):
+            raise UndecidableFragment("x")

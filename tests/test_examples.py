@@ -1,0 +1,47 @@
+"""The runnable examples stay runnable (smoke tests over their mains)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples.{name}", EXAMPLES_DIR / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("name", [
+    "quickstart",
+    "travel_reimbursement",
+    "deterministic_vs_nondeterministic",
+    "turing_machine",
+    "artifact_order_processing",
+])
+def test_example_runs(name, capsys):
+    module = _load(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert "===" in output            # every example prints sections
+    assert "Traceback" not in output
+
+
+def test_quickstart_prints_verdicts(capsys):
+    _load("quickstart").main()
+    output = capsys.readouterr().out
+    assert "[holds" in output
+    assert "weakly acyclic" in output
+
+
+def test_turing_machine_agreement_reported(capsys):
+    _load("turing_machine").main()
+    output = capsys.readouterr().out
+    assert "agreement: True" in output
+    assert "G ~halted = False" in output   # flipper halts
+    assert "G ~halted = True" in output    # looper does not

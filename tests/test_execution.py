@@ -1,0 +1,132 @@
+"""Action execution: legal parameters, DO(), call evaluation."""
+
+import pytest
+
+from repro.errors import ExecutionError, IllegalParameters
+from repro.core import (
+    DCDSBuilder, ServiceSemantics, calls_of, do_action, enabled_moves,
+    evaluate_calls, legal_substitutions, successor_via)
+from repro.relational import Instance, ServiceCall, fact
+from repro.relational.values import Param
+
+
+@pytest.fixture
+def parametric():
+    builder = DCDSBuilder(name="param", constants=set())
+    builder.schema("R/1", "S/1", "T/2")
+    builder.initial("R('a'), R('b'), S('b')")
+    builder.service("f/1")
+    builder.action("pick(p)", "R($p) ~> T($p, f($p))")
+    builder.rule("exists x. R($p) & S($p) & R(x)", "pick")
+    return builder.build()
+
+
+class TestLegalSubstitutions:
+    def test_guard_filters_parameters(self, parametric):
+        rule = parametric.process.rules[0]
+        sigmas = legal_substitutions(parametric, parametric.initial, rule)
+        assert sigmas == [{Param("p"): "b"}]
+
+    def test_no_parameters(self):
+        builder = DCDSBuilder(name="np")
+        builder.schema("R/1")
+        builder.initial("R('a')")
+        builder.action("go", "R(x) ~> R(x)")
+        builder.rule("exists x. R(x)", "go")
+        dcds = builder.build()
+        rule = dcds.process.rules[0]
+        assert legal_substitutions(dcds, dcds.initial, rule) == [{}]
+
+    def test_unsatisfied_guard(self):
+        builder = DCDSBuilder(name="ug")
+        builder.schema("R/1", "S/1")
+        builder.initial("R('a')")
+        builder.action("go", "R(x) ~> R(x)")
+        builder.rule("exists x. S(x)", "go")
+        dcds = builder.build()
+        assert legal_substitutions(
+            dcds, dcds.initial, dcds.process.rules[0]) == []
+
+    def test_enabled_moves_dedup(self, parametric):
+        moves = list(enabled_moves(parametric, parametric.initial))
+        assert len(moves) == 1
+        action, sigma = moves[0]
+        assert action.name == "pick"
+        assert sigma == {Param("p"): "b"}
+
+
+class TestDoAction:
+    def test_do_produces_pending_calls(self, parametric):
+        action = parametric.process.action("pick")
+        pending = do_action(parametric, parametric.initial,
+                            action, {Param("p"): "b"})
+        call = ServiceCall("f", ("b",))
+        assert pending == Instance([("T", ("b", call))])
+        assert calls_of(pending) == [call]
+
+    def test_do_requires_exact_parameters(self, parametric):
+        action = parametric.process.action("pick")
+        with pytest.raises(IllegalParameters):
+            do_action(parametric, parametric.initial, action, {})
+
+    def test_effects_union(self):
+        builder = DCDSBuilder(name="union")
+        builder.schema("R/1", "S/1")
+        builder.initial("R('a'), R('b')")
+        builder.action("go", "R(x) ~> S(x)", "R(x) ~> R(x)")
+        builder.rule("true", "go")
+        dcds = builder.build()
+        pending = do_action(dcds, dcds.initial,
+                            dcds.process.action("go"), {})
+        assert pending == Instance([fact("R", "a"), fact("R", "b"),
+                                    fact("S", "a"), fact("S", "b")])
+
+    def test_negative_filter_applies(self):
+        builder = DCDSBuilder(name="filter")
+        builder.schema("R/1", "S/1", "T/1")
+        builder.initial("R('a'), R('b'), S('b')")
+        builder.action("go", "R(x) & ~S(x) ~> T(x)")
+        builder.rule("true", "go")
+        dcds = builder.build()
+        pending = do_action(dcds, dcds.initial,
+                            dcds.process.action("go"), {})
+        assert pending == Instance([fact("T", "a")])
+
+
+class TestEvaluateCalls:
+    def test_successful_evaluation(self, parametric):
+        action = parametric.process.action("pick")
+        pending = do_action(parametric, parametric.initial, action,
+                            {Param("p"): "b"})
+        call = ServiceCall("f", ("b",))
+        successor = evaluate_calls(parametric, pending, {call: "fresh"})
+        assert successor == Instance([fact("T", "b", "fresh")])
+
+    def test_constraint_violation_returns_none(self):
+        builder = DCDSBuilder(name="cv")
+        builder.schema("R/1", "T/2")
+        builder.initial("R('a')")
+        builder.service("f/1")
+        builder.constraint("T(x, y) -> x = y")
+        builder.action("go", "R(x) ~> T(x, f(x))")
+        builder.rule("true", "go")
+        dcds = builder.build()
+        pending = do_action(dcds, dcds.initial,
+                            dcds.process.action("go"), {})
+        call = ServiceCall("f", ("a",))
+        assert evaluate_calls(dcds, pending, {call: "b"}) is None
+        assert evaluate_calls(dcds, pending, {call: "a"}) == \
+            Instance([fact("T", "a", "a")])
+
+    def test_missing_call_rejected(self, parametric):
+        action = parametric.process.action("pick")
+        with pytest.raises(ExecutionError):
+            successor_via(parametric, parametric.initial, action,
+                          {Param("p"): "b"}, {})
+
+    def test_successor_via(self, parametric):
+        action = parametric.process.action("pick")
+        call = ServiceCall("f", ("b",))
+        successor = successor_via(parametric, parametric.initial, action,
+                                  {Param("p"): "b"}, {call: "z"})
+        assert successor == Instance([fact("T", "b", "z")])

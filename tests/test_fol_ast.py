@@ -1,0 +1,109 @@
+"""FO AST structural operations."""
+
+import pytest
+
+from repro.errors import FormulaError
+from repro.fol.ast import (
+    And, Atom, Eq, Exists, FALSE, Forall, Not, Or, TRUE, atom, exists,
+    forall, is_positive_existential, neq)
+from repro.relational.values import Param, Var
+
+X, Y = Var("x"), Var("y")
+
+
+class TestConstructors:
+    def test_and_flattens_and_absorbs_true(self):
+        formula = And.of(atom("R", X), TRUE, And.of(atom("S", X), TRUE))
+        assert isinstance(formula, And)
+        assert len(formula.subs) == 2
+
+    def test_and_of_nothing_is_true(self):
+        assert And.of() == TRUE
+        assert And.of(TRUE, TRUE) == TRUE
+
+    def test_or_flattens_and_absorbs_false(self):
+        formula = Or.of(atom("R", X), FALSE, Or.of(atom("S", X)))
+        assert isinstance(formula, Or)
+        assert len(formula.subs) == 2
+
+    def test_or_of_nothing_is_false(self):
+        assert Or.of() == FALSE
+
+    def test_single_element_unwrapped(self):
+        assert And.of(atom("R", X)) == atom("R", X)
+        assert Or.of(atom("R", X)) == atom("R", X)
+
+    def test_operator_sugar(self):
+        formula = atom("R", X) & ~atom("S", X) | atom("T", X)
+        assert isinstance(formula, Or)
+
+    def test_neq(self):
+        assert neq(X, Y) == Not(Eq(X, Y))
+
+    def test_duplicate_quantified_variable_rejected(self):
+        with pytest.raises(FormulaError):
+            Exists((X, X), atom("R", X))
+
+
+class TestFreeVariables:
+    def test_atom(self):
+        assert atom("R", X, "c", Y).free_variables() == {X, Y}
+
+    def test_quantifier_binds(self):
+        formula = exists("x", atom("R", X, Y))
+        assert formula.free_variables() == {Y}
+
+    def test_nested_quantifiers(self):
+        formula = forall("y", exists("x", atom("R", X, Y)))
+        assert formula.free_variables() == frozenset()
+
+    def test_eq_variables(self):
+        assert Eq(X, "c").free_variables() == {X}
+
+
+class TestSubstitution:
+    def test_atom_substitution(self):
+        result = atom("R", X, Y).substitute({X: "a"})
+        assert result == atom("R", "a", Y)
+
+    def test_quantifier_shadowing(self):
+        formula = exists("x", atom("R", X, Y))
+        result = formula.substitute({X: "a", Y: "b"})
+        assert result == exists("x", atom("R", X, "b"))
+
+    def test_param_substitution(self):
+        formula = atom("R", Param("p"))
+        assert formula.substitute({Param("p"): "v"}) == atom("R", "v")
+
+
+class TestMetadata:
+    def test_constants(self):
+        formula = And.of(atom("R", X, "c"), Eq(Y, 3))
+        assert formula.constants() == {"c", 3}
+
+    def test_parameters(self):
+        formula = And.of(atom("R", Param("p")), atom("S", X))
+        assert formula.parameters() == {Param("p")}
+
+    def test_relations(self):
+        formula = exists("x", atom("R", X) & ~atom("S", X))
+        assert formula.relations() == {"R", "S"}
+
+    def test_atoms_under_negation_listed(self):
+        formula = Not(atom("R", X))
+        assert [a.relation for a in formula.atoms()] == ["R"]
+
+
+class TestPositiveExistential:
+    def test_cq_is_positive(self):
+        assert is_positive_existential(
+            exists("x", atom("R", X) & Eq(X, "c")))
+
+    def test_ucq_is_positive(self):
+        assert is_positive_existential(atom("R", X) | atom("S", X))
+
+    def test_negation_is_not(self):
+        assert not is_positive_existential(~atom("R", X))
+
+    def test_forall_is_not(self):
+        assert not is_positive_existential(forall("x", atom("R", X)))

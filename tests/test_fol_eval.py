@@ -1,0 +1,220 @@
+"""Active-domain FO evaluation, validated against a brute-force oracle."""
+
+from itertools import product
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FormulaError
+from repro.fol.ast import (
+    And, Atom, Eq, Exists, Forall, Not, Or, TRUE, FALSE, atom, exists,
+    forall, neq)
+from repro.fol.evaluation import answers, evaluation_domain, holds
+from repro.relational import Instance, fact
+from repro.relational.values import Param, Var
+
+X, Y, Z = Var("x"), Var("y"), Var("z")
+
+
+@pytest.fixture
+def db():
+    return Instance([
+        fact("R", "a", "b"), fact("R", "b", "c"), fact("R", "a", "a"),
+        fact("S", "a"), fact("S", "c"),
+    ])
+
+
+class TestHolds:
+    def test_atom(self, db):
+        assert holds(atom("S", "a"), db)
+        assert not holds(atom("S", "b"), db)
+
+    def test_atom_with_valuation(self, db):
+        assert holds(atom("R", X, Y), db, {X: "a", Y: "b"})
+        assert not holds(atom("R", X, Y), db, {X: "b", Y: "a"})
+
+    def test_unbound_variable_rejected(self, db):
+        with pytest.raises(FormulaError):
+            holds(atom("R", X, Y), db, {X: "a"})
+
+    def test_param_rejected(self, db):
+        with pytest.raises(FormulaError):
+            holds(atom("S", Param("p")), db)
+
+    def test_connectives(self, db):
+        assert holds(atom("S", "a") & ~atom("S", "b"), db)
+        assert holds(atom("S", "zzz") | atom("S", "c"), db)
+        assert holds(atom("S", "b").implies(atom("S", "q")), db)
+
+    def test_equality(self, db):
+        assert holds(Eq("a", "a"), db)
+        assert not holds(Eq("a", "b"), db)
+        assert holds(neq("a", "b"), db)
+
+    def test_exists(self, db):
+        assert holds(exists("x", atom("S", X) & atom("R", X, X)), db)
+        assert not holds(exists("x", atom("S", X) & atom("R", X, "c")), db)
+
+    def test_forall(self, db):
+        # Every S-element has an outgoing R edge? c has none.
+        formula = forall("x", atom("S", X).implies(
+            exists("y", atom("R", X, Y))))
+        assert not holds(formula, db)
+        formula2 = forall("x", atom("S", X).implies(
+            Or.of(exists("y", atom("R", X, Y)), atom("R", "b", X))))
+        assert holds(formula2, db)
+
+    def test_quantifier_shadowing(self, db):
+        # Outer binding of x must be shadowed by the quantifier.
+        formula = exists("x", atom("S", X))
+        assert holds(formula, db, {X: "nonexistent"})
+
+    def test_true_false(self, db):
+        assert holds(TRUE, db)
+        assert not holds(FALSE, db)
+
+
+class TestAnswers:
+    def test_atom_answers(self, db):
+        result = answers(atom("R", X, Y), db)
+        assert {(r[X], r[Y]) for r in result} == \
+            {("a", "b"), ("b", "c"), ("a", "a")}
+
+    def test_join(self, db):
+        formula = And.of(atom("R", X, Y), atom("S", Y))
+        result = answers(formula, db)
+        assert {(r[X], r[Y]) for r in result} == {("b", "c"), ("a", "a")}
+
+    def test_negation_active_domain(self, db):
+        formula = And.of(atom("S", X), Not(atom("R", X, X)))
+        result = answers(formula, db)
+        assert {r[X] for r in result} == {"c"}
+
+    def test_pure_negation_ranges_over_domain(self, db):
+        result = answers(Not(atom("S", X)), db)
+        assert {r[X] for r in result} == {"b"}
+
+    def test_disjunction_pads_missing_variables(self, db):
+        formula = Or.of(atom("S", X), atom("S", Y))
+        result = answers(formula, db)
+        domain = {"a", "b", "c"}
+        expected = {(x, y) for x, y in product(domain, domain)
+                    if x in {"a", "c"} or y in {"a", "c"}}
+        assert {(r[X], r[Y]) for r in result} == expected
+
+    def test_equality_binding(self, db):
+        formula = And.of(atom("S", X), Eq(X, Y))
+        result = answers(formula, db)
+        assert {(r[X], r[Y]) for r in result} == {("a", "a"), ("c", "c")}
+
+    def test_constants_extend_domain(self, db):
+        formula = And.of(Eq(X, "zzz"))
+        result = answers(formula, db)
+        assert {r[X] for r in result} == {"zzz"}
+
+    def test_deterministic_order(self, db):
+        first = answers(atom("R", X, Y), db)
+        second = answers(atom("R", X, Y), db)
+        assert first == second
+
+
+# -- brute-force differential oracle -------------------------------------------
+
+def brute_force_holds(formula, instance, valuation, domain):
+    """Naive semantics by full domain enumeration."""
+    from repro.fol.ast import (
+        And as FAnd, Atom as FAtom, Eq as FEq, Exists as FExists,
+        FalseF, Forall as FForall, Not as FNot, Or as FOr, TrueF)
+
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, FAtom):
+        resolved = tuple(valuation.get(t, t) for t in formula.terms)
+        return resolved in instance.tuples(formula.relation)
+    if isinstance(formula, FEq):
+        return valuation.get(formula.left, formula.left) == \
+            valuation.get(formula.right, formula.right)
+    if isinstance(formula, FNot):
+        return not brute_force_holds(formula.sub, instance, valuation, domain)
+    if isinstance(formula, FAnd):
+        return all(brute_force_holds(sub, instance, valuation, domain)
+                   for sub in formula.subs)
+    if isinstance(formula, FOr):
+        return any(brute_force_holds(sub, instance, valuation, domain)
+                   for sub in formula.subs)
+    if isinstance(formula, FExists):
+        variables = formula.variables
+        for combo in product(sorted(domain, key=repr),
+                             repeat=len(variables)):
+            extended = dict(valuation)
+            extended.update(zip(variables, combo))
+            if brute_force_holds(formula.sub, instance, extended, domain):
+                return True
+        return False
+    if isinstance(formula, FForall):
+        negated = FExists(formula.variables, FNot(formula.sub))
+        return not brute_force_holds(negated, instance, valuation, domain)
+    raise AssertionError(formula)
+
+
+# Random formula generator over schema R/2, S/1 and variables x, y.
+def formulas(depth):
+    leaf = st.one_of(
+        st.tuples(st.sampled_from(["x", "y"]),
+                  st.sampled_from(["x", "y"])).map(
+            lambda p: Atom("R", (Var(p[0]), Var(p[1])))),
+        st.sampled_from(["x", "y"]).map(lambda n: Atom("S", (Var(n),))),
+        st.tuples(st.sampled_from(["x", "y"]),
+                  st.sampled_from(["a", "b"])).map(
+            lambda p: Eq(Var(p[0]), p[1])),
+    )
+    if depth == 0:
+        return leaf
+    sub = formulas(depth - 1)
+    return st.one_of(
+        leaf,
+        sub.map(Not),
+        st.tuples(sub, sub).map(lambda p: And.of(*p)),
+        st.tuples(sub, sub).map(lambda p: Or.of(*p)),
+        st.tuples(st.sampled_from(["x", "y"]), sub).map(
+            lambda p: Exists((Var(p[0]),), p[1])),
+        st.tuples(st.sampled_from(["x", "y"]), sub).map(
+            lambda p: Forall((Var(p[0]),), p[1])),
+    )
+
+
+instances = st.lists(
+    st.one_of(
+        st.tuples(st.just("R"), st.tuples(st.sampled_from("abc"),
+                                          st.sampled_from("abc"))),
+        st.tuples(st.just("S"), st.tuples(st.sampled_from("abc"))),
+    ),
+    min_size=0, max_size=5,
+).map(lambda items: Instance([fact(n, *t) for n, t in items]))
+
+
+@given(instances, formulas(2),
+       st.sampled_from("abc"), st.sampled_from("abc"))
+@settings(max_examples=120, deadline=None)
+def test_holds_matches_brute_force(instance, formula, vx, vy):
+    valuation = {Var("x"): vx, Var("y"): vy}
+    domain = evaluation_domain(instance, formula, valuation.values())
+    expected = brute_force_holds(formula, instance, valuation, domain)
+    assert holds(formula, instance, valuation, domain) == expected
+
+
+@given(instances, formulas(2))
+@settings(max_examples=120, deadline=None)
+def test_answers_match_brute_force(instance, formula):
+    domain = evaluation_domain(instance, formula)
+    free = sorted(formula.free_variables(), key=lambda v: v.name)
+    expected = set()
+    for combo in product(sorted(domain, key=repr), repeat=len(free)):
+        valuation = dict(zip(free, combo))
+        if brute_force_holds(formula, instance, valuation, domain):
+            expected.add(combo)
+    actual = {tuple(binding[v] for v in free)
+              for binding in answers(formula, instance, domain=domain)}
+    assert actual == expected

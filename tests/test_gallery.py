@@ -1,0 +1,117 @@
+"""Gallery integrity: every paper example builds and behaves as documented."""
+
+import pytest
+
+from repro import verify
+from repro.analysis import is_gr_acyclic, is_gr_plus_acyclic, \
+    is_weakly_acyclic
+from repro.core import ServiceSemantics
+from repro.gallery import (
+    audit_system, example_41, example_42, example_43, example_52,
+    example_53, request_system, student_registry, theorem_45_witness)
+from repro.gallery.student import (
+    property_eventual_graduation_mu_lp, property_graduation_or_dropout_mu_lp,
+    property_n_distinct_students, property_no_student_while_idle)
+from repro.gallery.travel import (
+    property_audit_failure_propagates_slim, property_no_unpriced_acceptance_slim,
+    property_request_eventually_decided)
+from repro.mucalc import Fragment, classify
+from repro.semantics import build_det_abstraction, rcycl
+
+
+class TestEveryExampleBuilds:
+    @pytest.mark.parametrize("factory", [
+        example_41, example_42, example_43, example_52, example_53,
+        theorem_45_witness, student_registry,
+        lambda: request_system(), lambda: request_system(slim=True),
+        lambda: audit_system(), lambda: audit_system(slim=True),
+    ])
+    def test_builds_and_describes(self, factory):
+        dcds = factory()
+        description = dcds.describe()
+        assert dcds.name in description
+        assert dcds.size() > 0
+
+
+class TestDocumentedVerdicts:
+    def test_verdict_matrix(self, ex41, ex42, ex43_det, ex52, ex53):
+        assert is_weakly_acyclic(ex41)
+        assert is_weakly_acyclic(ex42)
+        assert not is_weakly_acyclic(ex43_det)
+        assert is_gr_acyclic(ex41)
+        assert is_gr_acyclic(ex43_det)
+        assert not is_gr_plus_acyclic(ex52)
+        assert not is_gr_plus_acyclic(ex53)
+
+    def test_travel_verdicts(self):
+        assert not is_gr_acyclic(request_system())
+        assert is_gr_plus_acyclic(request_system())
+        assert is_weakly_acyclic(audit_system())
+
+
+class TestStudentProperties:
+    def test_graduation_muLP_holds(self, students):
+        assert verify(students, property_eventual_graduation_mu_lp()).holds
+
+    def test_graduation_or_dropout_holds(self, students):
+        assert verify(students,
+                      property_graduation_or_dropout_mu_lp()).holds
+
+    def test_safety_holds(self, students):
+        assert verify(students, property_no_student_while_idle()).holds
+
+    def test_n_distinct_students_is_full_muL(self):
+        formula = property_n_distinct_students(2)
+        assert classify(formula) is Fragment.MU_L
+
+    def test_n_distinct_students_on_rcycl_system(self, students_rcycl):
+        """Theorem 4.5's moral: over any *finite* abstraction, Phi_n
+        eventually fails even though the concrete system satisfies all of
+        them — here the finite system satisfies small n but not huge n."""
+        from repro.mucalc import ModelChecker
+
+        checker = ModelChecker(students_rcycl)
+        assert checker.models(property_n_distinct_students(2))
+        values = len(students_rcycl.values())
+        assert not checker.models(property_n_distinct_students(values + 1))
+
+
+class TestTravelProperties:
+    @pytest.fixture(scope="class")
+    def slim_request_ts(self):
+        return rcycl(request_system(slim=True), max_states=3000)
+
+    def test_request_system_statuses_stay_legal(self, slim_request_ts):
+        ts = slim_request_ts
+        legal = {"readyForRequest", "readyToVerify", "readyToUpdate",
+                 "requestConfirmed"}
+        for state in ts.states:
+            for (status,) in ts.db(state).tuples("Status"):
+                assert status in legal
+
+    def test_request_eventually_decided(self, slim_request_ts):
+        from repro.mucalc import ModelChecker
+
+        checker = ModelChecker(slim_request_ts)
+        formula = property_request_eventually_decided()
+        assert classify(formula) is Fragment.MU_LP
+        assert checker.models(formula)
+
+    def test_audit_property_holds(self):
+        report = verify(audit_system(slim=True),
+                        property_audit_failure_propagates_slim(),
+                        max_states=4000)
+        assert report.holds
+        assert report.route == "det-abstraction"
+
+    def test_audit_with_two_requests_blows_up(self):
+        """With two logged requests CheckPrice issues four fresh calls, so
+        the first abstraction level already enumerates thousands of
+        equality commitments — the Section 6 exponential complexity made
+        tangible. The system is still run-bounded; only the fuse trips."""
+        from repro.errors import AbstractionDiverged
+        from repro.semantics import build_det_abstraction
+
+        dcds = audit_system(slim=True, requests=2)
+        with pytest.raises(AbstractionDiverged):
+            build_det_abstraction(dcds, max_states=2000)

@@ -1,0 +1,132 @@
+"""Database instances: set behaviour, active domains, call maps."""
+
+import pytest
+
+from repro.errors import InstanceError
+from repro.relational import (
+    DatabaseSchema, Fact, Instance, ServiceCall, fact)
+
+
+@pytest.fixture
+def small():
+    return Instance([fact("R", "a", "b"), fact("S", "b")])
+
+
+class TestConstruction:
+    def test_of(self):
+        instance = Instance.of(fact("R", 1))
+        assert fact("R", 1) in instance
+
+    def test_empty(self):
+        assert len(Instance.empty()) == 0
+
+    def test_tuple_form(self):
+        instance = Instance([("R", ("a",))])
+        assert fact("R", "a") in instance
+
+    def test_bad_fact(self):
+        with pytest.raises(InstanceError):
+            Instance(["garbage"])
+
+    def test_duplicates_collapse(self):
+        assert len(Instance([fact("R", 1), fact("R", 1)])) == 1
+
+
+class TestSetBehaviour:
+    def test_union(self, small):
+        merged = small | Instance([fact("T", "c")])
+        assert len(merged) == 3
+
+    def test_intersection(self, small):
+        common = small & Instance([fact("R", "a", "b")])
+        assert common == Instance([fact("R", "a", "b")])
+
+    def test_difference(self, small):
+        rest = small - Instance([fact("S", "b")])
+        assert rest == Instance([fact("R", "a", "b")])
+
+    def test_equality_and_hash(self, small):
+        same = Instance([fact("S", "b"), fact("R", "a", "b")])
+        assert small == same
+        assert hash(small) == hash(same)
+
+    def test_repr_sorted(self, small):
+        assert repr(small) == "{R('a', 'b'), S('b')}"
+
+
+class TestActiveDomain:
+    def test_adom(self, small):
+        assert small.active_domain() == frozenset({"a", "b"})
+
+    def test_adom_includes_call_arguments(self):
+        call = ServiceCall("f", ("x-val",))
+        instance = Instance([Fact("R", (call, "a"))])
+        assert instance.active_domain() == frozenset({"x-val", "a"})
+
+    def test_relations_and_tuples(self, small):
+        assert small.relations() == frozenset({"R", "S"})
+        assert small.tuples("R") == frozenset({("a", "b")})
+        assert small.tuples("missing") == frozenset()
+
+    def test_signature(self, small):
+        assert small.signature() == {"R": 1, "S": 1}
+
+
+class TestCallMaps:
+    def test_is_concrete(self, small):
+        assert small.is_concrete()
+        pending = Instance([Fact("R", (ServiceCall("f", ("a",)), "b"))])
+        assert not pending.is_concrete()
+
+    def test_service_calls(self):
+        call = ServiceCall("f", ("a",))
+        pending = Instance([Fact("R", (call,)), fact("S", "b")])
+        assert pending.service_calls() == frozenset({call})
+
+    def test_apply_call_map(self):
+        call = ServiceCall("f", ("a",))
+        pending = Instance([Fact("R", (call, "a"))])
+        resolved = pending.apply_call_map({call: "v"})
+        assert resolved == Instance([fact("R", "v", "a")])
+
+    def test_apply_call_map_missing(self):
+        call = ServiceCall("f", ("a",))
+        pending = Instance([Fact("R", (call,))])
+        with pytest.raises(InstanceError):
+            pending.apply_call_map({})
+
+
+class TestSchemaConformance:
+    def test_conforms(self, small):
+        schema = DatabaseSchema.of("R/2", "S/1")
+        assert small.conforms_to(schema)
+        small.validate(schema)
+
+    def test_wrong_arity(self, small):
+        schema = DatabaseSchema.of("R/1", "S/1")
+        assert not small.conforms_to(schema)
+        with pytest.raises(InstanceError):
+            small.validate(schema)
+
+    def test_undeclared_relation(self, small):
+        schema = DatabaseSchema.of("R/2")
+        with pytest.raises(InstanceError):
+            small.validate(schema)
+
+
+class TestTransformations:
+    def test_rename(self, small):
+        renamed = small.rename({"a": "x", "b": "y"})
+        assert renamed == Instance([fact("R", "x", "y"), fact("S", "y")])
+
+    def test_rename_partial(self, small):
+        renamed = small.rename({"a": "x"})
+        assert fact("R", "x", "b") in renamed
+
+    def test_restrict(self, small):
+        assert small.restrict(["S"]) == Instance([fact("S", "b")])
+
+    def test_sorted_facts_deterministic(self):
+        facts = [fact("B", 2), fact("A", 1), fact("B", 1)]
+        assert [f.relation for f in Instance(facts).sorted_facts()] == \
+            ["A", "B", "B"]

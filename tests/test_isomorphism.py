@@ -1,0 +1,127 @@
+"""Instance isomorphism and canonical labeling."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational import Instance, fact
+from repro.relational.isomorphism import (
+    are_isomorphic, canonical_form, canonical_key, find_isomorphism,
+    iter_isomorphisms)
+
+
+class TestFindIsomorphism:
+    def test_identity(self):
+        instance = Instance([fact("R", "a", "b")])
+        iso = find_isomorphism(instance, instance)
+        assert iso is not None
+        assert instance.rename(iso) == instance
+
+    def test_simple_renaming(self):
+        first = Instance([fact("R", "a", "b")])
+        second = Instance([fact("R", "x", "y")])
+        iso = find_isomorphism(first, second)
+        assert iso == {"a": "x", "b": "y"}
+
+    def test_respects_fixed(self):
+        first = Instance([fact("R", "a")])
+        second = Instance([fact("R", "b")])
+        assert are_isomorphic(first, second)
+        assert not are_isomorphic(first, second, fixed={"a"})
+
+    def test_respects_partial(self):
+        first = Instance([fact("R", "a", "b")])
+        second = Instance([fact("R", "x", "y")])
+        assert find_isomorphism(first, second, partial={"a": "y"}) is None
+        assert find_isomorphism(first, second, partial={"a": "x"}) is not None
+
+    def test_structure_mismatch(self):
+        chain = Instance([fact("E", 1, 2), fact("E", 2, 3)])
+        triangle = Instance([fact("E", 1, 2), fact("E", 2, 3),
+                             fact("E", 3, 1)])
+        assert not are_isomorphic(chain, triangle)
+
+    def test_self_loop_vs_two_cycle(self):
+        loops = Instance([fact("E", "a", "a"), fact("E", "b", "c"),
+                          fact("E", "c", "b")])
+        other = Instance([fact("E", "x", "y"), fact("E", "y", "x"),
+                          fact("E", "z", "z")])
+        assert are_isomorphic(loops, other)
+
+    def test_count_automorphisms_of_symmetric_pair(self):
+        # E(a,b), E(b,a) has exactly two automorphisms.
+        pair = Instance([fact("E", "a", "b"), fact("E", "b", "a")])
+        assert len(list(iter_isomorphisms(pair, pair))) == 2
+
+    def test_no_iso_between_different_sizes(self):
+        assert not are_isomorphic(
+            Instance([fact("R", "a")]),
+            Instance([fact("R", "a"), fact("R", "b")]))
+
+
+class TestCanonicalForm:
+    def test_fixed_values_untouched(self):
+        instance = Instance([fact("R", "a", "b")])
+        canonical, renaming = canonical_form(instance, fixed={"a"})
+        assert "a" not in renaming
+        assert fact("R", "a", renaming["b"]) in canonical
+
+    def test_canonical_key_identifies_isomorphic(self):
+        first = Instance([fact("E", "a", "a"), fact("E", "b", "c"),
+                          fact("E", "c", "b")])
+        second = Instance([fact("E", "x", "y"), fact("E", "y", "x"),
+                           fact("E", "z", "z")])
+        assert canonical_key(first) == canonical_key(second)
+
+    def test_canonical_key_separates_non_isomorphic(self):
+        first = Instance([fact("E", "a", "b"), fact("E", "b", "a"),
+                          fact("E", "c", "c")])
+        third = Instance([fact("E", "a", "b"), fact("E", "b", "c"),
+                          fact("E", "c", "a")])
+        assert canonical_key(first) != canonical_key(third)
+
+    def test_idempotent(self):
+        instance = Instance([fact("E", "p", "q"), fact("E", "q", "p")])
+        canonical, _ = canonical_form(instance)
+        again, _ = canonical_form(canonical)
+        assert canonical == again
+
+    def test_empty_instance(self):
+        canonical, renaming = canonical_form(Instance.empty())
+        assert canonical == Instance.empty()
+        assert renaming == {}
+
+
+# -- property-based ----------------------------------------------------------
+
+values = st.sampled_from(["a", "b", "c", "d", "e"])
+facts_strategy = st.lists(
+    st.tuples(st.sampled_from(["R", "S"]), st.tuples(values, values)),
+    min_size=0, max_size=6,
+).map(lambda items: Instance([fact(name, *terms) for name, terms in items]))
+
+renamings = st.permutations(["a", "b", "c", "d", "e"]).map(
+    lambda target: dict(zip(["a", "b", "c", "d", "e"], target)))
+
+
+@given(facts_strategy, renamings)
+@settings(max_examples=60, deadline=None)
+def test_canonical_key_invariant_under_renaming(instance, renaming):
+    renamed = instance.rename(renaming)
+    assert canonical_key(instance) == canonical_key(renamed)
+
+
+@given(facts_strategy, renamings)
+@settings(max_examples=60, deadline=None)
+def test_isomorphism_found_for_renamed_instance(instance, renaming):
+    renamed = instance.rename(renaming)
+    iso = find_isomorphism(instance, renamed)
+    assert iso is not None
+    assert instance.rename(iso) == renamed
+
+
+@given(facts_strategy)
+@settings(max_examples=40, deadline=None)
+def test_canonical_form_is_isomorphic_to_original(instance):
+    canonical, renaming = canonical_form(instance)
+    assert instance.rename(renaming) == canonical
+    assert are_isomorphic(instance, canonical)

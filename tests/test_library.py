@@ -1,0 +1,94 @@
+"""The parametric library loan system end to end."""
+
+import pytest
+
+from repro import verify
+from repro.analysis import dataflow_graph, probe_state_bounded
+from repro.core import ServiceSemantics, enabled_moves
+from repro.gallery.library import (
+    library_system, property_loaned_books_off_shelf,
+    property_loans_returnable)
+from repro.mucalc import Fragment, ModelChecker, classify, parse_mu
+from repro.semantics import rcycl
+
+
+@pytest.fixture(scope="module")
+def library():
+    return library_system(books=2, members=1)
+
+
+@pytest.fixture(scope="module")
+def library_ts(library):
+    return rcycl(library, max_states=3000)
+
+
+class TestParametricActions:
+    def test_initial_moves_enumerate_books(self, library):
+        moves = list(enabled_moves(library, library.initial))
+        checkouts = [(action.name, tuple(sorted(
+            value for value in sigma.values())))
+            for action, sigma in moves]
+        assert ("checkout", ("b0", "m0")) in checkouts
+        assert ("checkout", ("b1", "m0")) in checkouts
+        assert len(moves) == 2  # no loans yet, so no take_back
+
+    def test_checkout_removes_book(self, library, library_ts):
+        ts = library_ts
+        for state in ts.states:
+            shelf = {t[0] for t in ts.db(state).tuples("Book")}
+            loaned = {t[0] for t in ts.db(state).tuples("Loaned")}
+            assert not (shelf & loaned)
+
+    def test_receipts_never_accumulate(self, library_ts):
+        for state in library_ts.states:
+            assert len(library_ts.db(state).tuples("Receipt")) <= 1
+
+    def test_books_conserved(self, library_ts):
+        for state in library_ts.states:
+            db = library_ts.db(state)
+            shelf = {t[0] for t in db.tuples("Book")}
+            loaned = {t[0] for t in db.tuples("Loaned")}
+            assert shelf | loaned == {"b0", "b1"}
+
+
+class TestAnalysis:
+    def test_gr_acyclic(self, library):
+        assert dataflow_graph(library).is_gr_acyclic()
+
+    def test_state_bounded_probe(self, library):
+        result = probe_state_bounded(library, max_states=3000)
+        assert result.is_bounded
+        assert result.bound <= 6
+
+    def test_rcycl_finite_and_total(self, library_ts):
+        assert library_ts.is_total()
+        assert 4 <= len(library_ts) < 1500
+
+
+class TestProperties:
+    def test_safety(self, library):
+        formula = property_loaned_books_off_shelf()
+        assert classify(formula) is Fragment.MU_LP
+        report = verify(library, formula, max_states=3000)
+        assert report.holds
+        assert report.static_condition == "gr-acyclic"
+
+    def test_returnability(self, library):
+        report = verify(library, property_loans_returnable(),
+                        max_states=3000)
+        assert report.holds
+
+    def test_scaling_members(self):
+        small = library_system(books=1, members=2)
+        report = verify(small, property_loaned_books_off_shelf(),
+                        max_states=3000)
+        assert report.holds
+
+    def test_double_loan_impossible(self, library_ts):
+        checker = ModelChecker(library_ts)
+        double = parse_mu(
+            "E b, m, n. live(b) & live(m) & live(n) & m != n "
+            "& Loaned(b, m) & Loaned(b, n)")
+        reachable_double = checker.evaluate(double) & frozenset(
+            library_ts.reachable_from())
+        assert not reachable_double

@@ -1,0 +1,78 @@
+"""Odds and ends: ablations, checker domains, pipeline flags."""
+
+import pytest
+
+from repro import verify
+from repro.core import ServiceSemantics
+from repro.gallery import example_41, example_43
+from repro.mucalc import ModelChecker, parse_mu
+from repro.semantics import build_det_abstraction
+from repro.semantics.ablations import AblationExhausted, rcycl_fresh_only
+
+
+class TestAblations:
+    def test_fresh_only_diverges_where_rcycl_saturates(self, ex43_nondet):
+        with pytest.raises(AblationExhausted) as excinfo:
+            rcycl_fresh_only(ex43_nondet, max_states=150)
+        assert excinfo.value.states_reached > 150
+
+    def test_fresh_only_requires_nondet(self, ex43_det):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            rcycl_fresh_only(ex43_det)
+
+    def test_fresh_only_terminates_without_calls(self):
+        """A call-free system saturates even without recycling."""
+        from repro.core import DCDSBuilder
+
+        builder = DCDSBuilder(name="no-calls")
+        builder.schema("R/1")
+        builder.initial("R('a')")
+        builder.action("noop", "R(x) ~> R(x)")
+        builder.rule("true", "noop")
+        dcds = builder.build(ServiceSemantics.NONDETERMINISTIC)
+        ts = rcycl_fresh_only(dcds, max_states=50)
+        assert len(ts) == 1
+
+
+class TestCheckerDomains:
+    def test_extra_domain_extends_quantification(self, ex41_abstraction):
+        checker = ModelChecker(ex41_abstraction,
+                               extra_domain={"phantom"})
+        assert "phantom" in checker.domain()
+        # The phantom value is never live, so the guarded exists ignores it.
+        formula = parse_mu("E x. live(x) & P(x)")
+        assert checker.models(formula)
+
+    def test_formula_constants_join_domain(self, ex41_abstraction):
+        checker = ModelChecker(ex41_abstraction)
+        formula = parse_mu("E x. x = 'out-of-ts' & ~live(x)")
+        assert "out-of-ts" in checker.domain(formula)
+        assert checker.models(formula)
+
+
+class TestPipelineFlags:
+    def test_keep_ts_false_drops_system(self, ex41):
+        report = verify(ex41, parse_mu("mu Z. (R('a') | <-> Z)"),
+                        keep_ts=False)
+        assert report.transition_system is None
+        assert report.abstraction_stats["states"] == 10
+
+    def test_keep_ts_true_retains_system(self, ex41):
+        report = verify(ex41, parse_mu("mu Z. (R('a') | <-> Z)"))
+        assert report.transition_system is not None
+        assert len(report.transition_system) == 10
+
+
+class TestDetAbstractionEdgeLabels:
+    def test_labels_carry_action_names(self, ex41_abstraction):
+        labels = {label for _, label, _ in ex41_abstraction.edges()}
+        assert labels == {"alpha"}
+
+    def test_parametric_labels_carry_sigma(self):
+        from repro.gallery import theorem_45_witness
+
+        ts = build_det_abstraction(theorem_45_witness())
+        labels = {label for _, label, _ in ts.edges()}
+        assert labels == {"alpha[p='a']"}

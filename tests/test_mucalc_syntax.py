@@ -1,0 +1,134 @@
+"""µ-calculus fragments, monotonicity, and the unfolding proviso."""
+
+import pytest
+
+from repro.errors import FragmentError, MonotonicityError
+from repro.mucalc import (
+    Box, Diamond, Fragment, Live, MAnd, MNot, MOr, Mu, Nu, PredVar, QF,
+    box_live, check_monotone, classify, diamond_live, exists_live,
+    forall_live, free_ivars_unfolded, is_in_fragment, live, parse_mu,
+    require_fragment)
+from repro.fol import atom
+from repro.relational.values import Var
+
+X = Var("x")
+
+
+class TestMonotonicity:
+    def test_positive_occurrence_ok(self):
+        check_monotone(parse_mu("mu Z. (R('a') | <-> Z)"))
+
+    def test_negative_occurrence_rejected(self):
+        with pytest.raises(MonotonicityError):
+            check_monotone(Mu("Z", MNot(PredVar("Z"))))
+
+    def test_double_negation_ok(self):
+        check_monotone(Mu("Z", MNot(MNot(PredVar("Z")))))
+
+    def test_negation_outside_binder_ok(self):
+        check_monotone(MNot(Mu("Z", Diamond(PredVar("Z")))))
+
+    def test_inner_binder_shadows(self):
+        # The inner mu rebinds Z; its body occurrence is positive wrt the
+        # inner binder even under the outer negation context.
+        formula = Mu("Z", MOr.of(
+            PredVar("Z"), MNot(Mu("Z", Diamond(PredVar("Z"))))))
+        with pytest.raises(MonotonicityError):
+            # ... but the outer Z under odd negation depth must be caught.
+            check_monotone(Mu("W", MNot(PredVar("W"))))
+        check_monotone(formula)
+
+
+class TestFragments:
+    def test_fragment_inclusion(self):
+        assert Fragment.MU_L.includes(Fragment.MU_LP)
+        assert Fragment.MU_LA.includes(Fragment.MU_LP)
+        assert not Fragment.MU_LP.includes(Fragment.MU_LA)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("mu Z. (R('a') | <-> Z)", Fragment.MU_LP),
+        ("E x. live(x) & mu Z. (R(x) | <-> Z)", Fragment.MU_LA),
+        ("E x. live(x) & mu Z. (R(x) | <-> (live(x) & Z))",
+         Fragment.MU_LP),
+        ("E x. mu Z. (R(x) | <-> Z)", Fragment.MU_L),
+        ("A x. (live(x) -> R(x))", Fragment.MU_LP),
+        ("A x. R(x)", Fragment.MU_L),
+        ("nu X. ((E x. live(x) & P(x)) & [-] X)", Fragment.MU_LP),
+    ])
+    def test_classification(self, text, expected):
+        assert classify(parse_mu(text)) is expected
+
+    def test_example_32_is_muLA(self):
+        formula = parse_mu(
+            "nu X. ((A x. (live(x) & Stud(x) -> "
+            "mu Y. ((E y. live(y) & Grad(x, y)) | <-> Y))) & [-] X)")
+        assert classify(formula) is Fragment.MU_LA
+
+    def test_example_33_is_muLP(self):
+        formula = parse_mu(
+            "nu X. ((A x. (live(x) & Stud(x) -> "
+            "mu Y. ((E y. live(y) & Grad(x, y)) | <-> (live(x) & Y)))) "
+            "& [-] X)")
+        assert classify(formula) is Fragment.MU_LP
+
+    def test_example_33_implication_variant_is_muLP(self):
+        formula = parse_mu(
+            "nu X. ((A x. (live(x) & Stud(x) -> "
+            "mu Y. ((E y. live(y) & Grad(x, y)) | <-> (live(x) -> Y)))) "
+            "& [-] X)")
+        assert classify(formula) is Fragment.MU_LP
+
+    def test_require_fragment(self):
+        formula = parse_mu("E x. mu Z. (R(x) | <-> Z)")
+        with pytest.raises(FragmentError):
+            require_fragment(formula, Fragment.MU_LA)
+        require_fragment(formula, Fragment.MU_L)
+
+    def test_is_in_fragment(self):
+        formula = parse_mu("E x. live(x) & mu Z. (R(x) | <-> Z)")
+        assert is_in_fragment(formula, Fragment.MU_LA)
+        assert is_in_fragment(formula, Fragment.MU_L)
+        assert not is_in_fragment(formula, Fragment.MU_LP)
+
+
+class TestUnfoldedFreeVars:
+    def test_plain_free_vars(self):
+        formula = QF(atom("R", X))
+        assert free_ivars_unfolded(formula) == {X}
+
+    def test_pred_var_contributes_binder_vars(self):
+        # mu Z. (R(x) | <->Z): inside, Z stands for a formula with free x.
+        inner_diamond = Diamond(PredVar("Z"))
+        binder = Mu("Z", MOr.of(QF(atom("R", X)), inner_diamond))
+        assert free_ivars_unfolded(binder) == {X}
+
+    def test_quantifier_removes_vars(self):
+        formula = parse_mu("E x. live(x) & R(x)")
+        assert free_ivars_unfolded(formula) == frozenset()
+
+
+class TestShapedConstructors:
+    def test_exists_live_shape(self):
+        formula = exists_live("x", QF(atom("R", X)))
+        assert classify(formula) is Fragment.MU_LP
+
+    def test_forall_live_shape(self):
+        formula = forall_live("x", QF(atom("R", X)))
+        assert classify(formula) is Fragment.MU_LP
+
+    def test_diamond_live_infers_guard(self):
+        formula = exists_live("x", Mu("Z", MOr.of(
+            QF(atom("R", X)), diamond_live(PredVar("Z"), guard="x"))))
+        assert classify(formula) is Fragment.MU_LP
+
+    def test_diamond_live_on_closed_body_is_plain(self):
+        formula = diamond_live(QF(atom("R", "c")))
+        assert formula == Diamond(QF(atom("R", "c")))
+
+    def test_box_live(self):
+        formula = box_live(MAnd.of(QF(atom("R", X))), guard="x")
+        assert isinstance(formula, Box)
+        assert classify(exists_live("x", formula)) is Fragment.MU_LP
+
+    def test_live_constructor(self):
+        assert live("x y").terms == (Var("x"), Var("y"))

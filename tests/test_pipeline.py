@@ -1,0 +1,136 @@
+"""The verify() pipeline: Table 1 routing."""
+
+import pytest
+
+from repro import UndecidableFragment, verify
+from repro.core import DCDSBuilder, ServiceSemantics
+from repro.gallery import (
+    example_41, example_42, example_43, example_52, student_registry)
+from repro.gallery.student import (
+    property_eventual_graduation_mu_la, property_eventual_graduation_mu_lp,
+    property_no_student_while_idle)
+from repro.mucalc import Fragment, parse_mu
+
+
+class TestDeterministicRoute:
+    def test_ex41_reachability(self, ex41):
+        report = verify(ex41, parse_mu("mu Z. (R('a') | <-> Z)"))
+        assert report.holds
+        assert report.route == "det-abstraction"
+        assert report.static_condition == "weakly-acyclic"
+        assert report.abstraction_stats["states"] == 10
+
+    def test_ex42_constraint_narrows(self, ex42):
+        # In Example 4.2 f(a)=a is forced, so Q(a, a) recurs forever on one
+        # branch: EG Q(a,a).
+        report = verify(
+            ex42, parse_mu("nu X. (Q('a', 'a') & (<-> X | [-] false))"))
+        assert report.holds
+
+    def test_failing_property(self, ex41):
+        report = verify(ex41, parse_mu("nu X. (R('a') & [-] X)"))
+        assert not report.holds  # R does not hold initially
+
+    def test_full_muL_rejected(self, ex41):
+        formula = parse_mu("E x. mu Z. (R(x) | <-> Z)")
+        with pytest.raises(UndecidableFragment) as excinfo:
+            verify(ex41, formula)
+        assert "4.5" in excinfo.value.theorem
+
+    def test_non_weakly_acyclic_rejected(self, ex43_det):
+        with pytest.raises(UndecidableFragment) as excinfo:
+            verify(ex43_det, parse_mu("mu Z. (Q('a') | <-> Z)"))
+        assert "4.6" in excinfo.value.theorem
+
+    def test_force_overrides_static_check(self, ex43_det):
+        # Forcing on a run-unbounded system still diverges (fuse).
+        from repro.errors import AbstractionDiverged
+
+        with pytest.raises(AbstractionDiverged):
+            verify(ex43_det, parse_mu("mu Z. (Q('a') | <-> Z)"),
+                   force=True, max_states=200)
+
+    def test_force_succeeds_on_actually_bounded(self):
+        # A not-weakly-acyclic but run-bounded DCDS: the guard blocks the
+        # second application, so the f-chain never grows.
+        builder = DCDSBuilder(name="bounded-but-cyclic")
+        builder.schema("R/1", "Q/1", "Done/0")
+        builder.initial("R('a')")
+        builder.service("f/1")
+        builder.action("go", "R(x) ~> Q(f(x)), Done()",
+                       "Q(x) ~> R(x)")
+        builder.rule("~(Done())", "go")
+        dcds = builder.build()
+        with pytest.raises(UndecidableFragment):
+            verify(dcds, parse_mu("mu Z. ((E x. live(x) & Q(x)) | <-> Z)"))
+        report = verify(dcds,
+                        parse_mu("mu Z. ((E x. live(x) & Q(x)) | <-> Z)"),
+                        force=True)
+        assert report.static_condition == "forced"
+        assert report.holds
+
+
+class TestNondeterministicRoute:
+    def test_muLP_accepted(self, students):
+        report = verify(students, property_eventual_graduation_mu_lp())
+        assert report.holds
+        assert report.route == "rcycl"
+        assert report.fragment is Fragment.MU_LP
+
+    def test_muLA_rejected(self, students):
+        with pytest.raises(UndecidableFragment) as excinfo:
+            verify(students, property_eventual_graduation_mu_la())
+        assert "5.2" in excinfo.value.theorem
+
+    def test_muLA_forced(self, students):
+        # Forcing evaluates the µLA formula over the RCYCL system; for this
+        # system the verdict is still True (though no longer certified).
+        report = verify(students, property_eventual_graduation_mu_la(),
+                        force=True)
+        assert report.holds
+
+    def test_safety(self, students):
+        report = verify(students, property_no_student_while_idle())
+        assert report.holds
+
+    def test_gr_acyclic_route(self, ex43_nondet):
+        report = verify(ex43_nondet, parse_mu("mu Z. (Q('a') | <-> Z)"))
+        assert report.static_condition == "gr-acyclic"
+        assert report.holds
+
+    def test_not_gr_rejected(self, ex52):
+        with pytest.raises(UndecidableFragment) as excinfo:
+            verify(ex52, parse_mu("mu Z. (Q('a') | <-> Z)"))
+        assert "5.5" in excinfo.value.theorem
+
+
+class TestMixedRoute:
+    def test_mixed_semantics_via_rewrite(self):
+        """One deterministic and one nondeterministic service (Section 6)."""
+        builder = DCDSBuilder(name="mixed")
+        builder.schema("R/1", "S/2")
+        builder.initial("R('a')")
+        builder.service("det_f/1", deterministic=True)
+        builder.service("free_g/1", deterministic=False)
+        builder.action("go", "R(x) ~> R(x), S(det_f(x), free_g(x))")
+        builder.rule("true", "go")
+        dcds = builder.build(ServiceSemantics.NONDETERMINISTIC)
+        assert dcds.has_mixed_semantics()
+
+        # The Theorem 6.1 memory relation is copied forever, which the
+        # syntactic GR analysis conservatively flags as a recall cycle —
+        # so certification fails even though this system is state-bounded
+        # (det_f is only ever called on the constant 'a').
+        formula = parse_mu(
+            "mu Z. ((E x, y. live(x) & live(y) & S(x, y)) | <-> Z)")
+        with pytest.raises(UndecidableFragment):
+            verify(dcds, formula)
+        report = verify(dcds, formula, max_states=4000, force=True)
+        assert report.holds
+        assert report.route.startswith("mixed->")
+        assert report.static_condition == "forced"
+
+    def test_report_repr(self, ex41):
+        report = verify(ex41, parse_mu("mu Z. (R('a') | <-> Z)"))
+        assert "HOLDS" in repr(report)
+        assert "example41" in repr(report)

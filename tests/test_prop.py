@@ -1,0 +1,89 @@
+"""PROP() translation (Theorem 4.4) and the propositional checker."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.mucalc import (
+    AF, AG, EF, ModelChecker, extension, parse_mu, prop_check,
+    propositionalize)
+from repro.mucalc.prop import PAtom, PAnd, PMu, POr
+from repro.relational import DatabaseSchema, Instance, fact
+from repro.semantics import TransitionSystem, build_det_abstraction
+
+
+@pytest.fixture
+def ts():
+    schema = DatabaseSchema.of("P/1", "Q/1")
+    system = TransitionSystem(schema, "s0")
+    system.add_state("s0", Instance([fact("P", "a")]))
+    system.add_state("s1", Instance([fact("P", "a"), fact("Q", "b")]))
+    system.add_state("s2", Instance([fact("Q", "b")]))
+    system.add_edge("s0", "s1")
+    system.add_edge("s1", "s2")
+    system.add_edge("s2", "s0")
+    return system
+
+
+AGREEMENT_FORMULAS = [
+    "P('a')",
+    "live('a')",
+    "~P('a') & <-> P('a')",
+    "E x. live(x) & P(x)",
+    "A x. (live(x) -> (P(x) | Q(x)))",
+    "mu Z. (Q('b') | <-> Z)",
+    "nu X. ((E x. live(x) & (P(x) | Q(x))) & [-] X)",
+    "E x. live(x) & mu Z. (Q(x) | <-> Z)",
+    "E x, y. x != y & mu Z. ((P(x) & Q(y)) | <-> Z)",
+]
+
+
+class TestAgreement:
+    @pytest.mark.parametrize("text", AGREEMENT_FORMULAS)
+    def test_prop_equals_direct(self, ts, text):
+        formula = parse_mu(text)
+        direct = extension(ts, formula)
+        translated, labeling = propositionalize(formula, ts)
+        via_prop = prop_check(ts, translated, labeling)
+        assert direct == via_prop
+
+    def test_agreement_on_abstraction(self, ex41_abstraction):
+        formula = parse_mu(
+            "nu X. ((A x. (live(x) & P(x) -> mu Y. (R(x) | <-> Y))) "
+            "& [-] X)")
+        direct = extension(ex41_abstraction, formula)
+        translated, labeling = propositionalize(formula, ex41_abstraction)
+        assert prop_check(ex41_abstraction, translated, labeling) == direct
+
+
+class TestTranslationShape:
+    def test_exists_becomes_disjunction(self, ts):
+        formula = parse_mu("E x. live(x) & P(x)")
+        translated, _ = propositionalize(formula, ts)
+        assert isinstance(translated, POr)
+        # One disjunct per domain value (a and b).
+        assert len(translated.subs) == 2
+
+    def test_fixpoint_preserved(self, ts):
+        formula = parse_mu("mu Z. (Q('b') | <-> Z)")
+        translated, _ = propositionalize(formula, ts)
+        assert isinstance(translated, PMu)
+
+    def test_atoms_labeled(self, ts):
+        formula = parse_mu("P('a') & live('a')")
+        translated, labeling = propositionalize(formula, ts)
+        assert isinstance(translated, PAnd)
+        assert len(labeling) == 2
+        q_label = next(v for k, v in labeling.items() if k.startswith("q["))
+        assert q_label == frozenset({"s0", "s1"})
+
+    def test_open_formula_rejected(self, ts):
+        from repro.mucalc.ast import QF
+        from repro.fol import atom
+        from repro.relational.values import Var
+
+        with pytest.raises(VerificationError):
+            propositionalize(QF(atom("P", Var("x"))), ts)
+
+    def test_unlabeled_atom_rejected(self, ts):
+        with pytest.raises(VerificationError):
+            prop_check(ts, PAtom("mystery"), {})

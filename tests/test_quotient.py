@@ -1,0 +1,58 @@
+"""Isomorphism quotient (Lemma C.2 applied)."""
+
+import pytest
+
+from repro.relational import DatabaseSchema, Instance, fact
+from repro.semantics import TransitionSystem, isomorphism_quotient
+
+
+@pytest.fixture
+def redundant_ts():
+    """Two isomorphic branches that should merge."""
+    schema = DatabaseSchema.of("R/1")
+    ts = TransitionSystem(schema, "s0")
+    ts.add_state("s0", Instance([fact("R", "a")]))
+    ts.add_state("s1", Instance([fact("R", "u")]))
+    ts.add_state("s2", Instance([fact("R", "v")]))
+    ts.add_edge("s0", "s1")
+    ts.add_edge("s0", "s2")
+    ts.add_edge("s1", "s1")
+    ts.add_edge("s2", "s2")
+    return ts
+
+
+class TestQuotient:
+    def test_merges_isomorphic_states(self, redundant_ts):
+        quotient, mapping = isomorphism_quotient(redundant_ts, fixed={"a"})
+        assert len(quotient) == 2
+        assert mapping["s1"] == mapping["s2"]
+        assert mapping["s0"] != mapping["s1"]
+
+    def test_fixed_values_prevent_merging(self, redundant_ts):
+        quotient, mapping = isomorphism_quotient(redundant_ts,
+                                                 fixed={"a", "u", "v"})
+        assert len(quotient) == 3
+
+    def test_edges_preserved(self, redundant_ts):
+        quotient, mapping = isomorphism_quotient(redundant_ts, fixed={"a"})
+        initial = mapping["s0"]
+        merged = mapping["s1"]
+        assert quotient.successors(initial) == {merged}
+        assert quotient.successors(merged) == {merged}
+
+    def test_databases_are_canonical(self, redundant_ts):
+        quotient, mapping = isomorphism_quotient(redundant_ts, fixed={"a"})
+        merged_db = quotient.db(mapping["s1"])
+        from repro.relational.values import Fresh
+
+        assert merged_db == Instance([fact("R", Fresh(0))])
+
+    def test_truncation_marks_carry_over(self, redundant_ts):
+        redundant_ts.mark_truncated("s2")
+        quotient, mapping = isomorphism_quotient(redundant_ts, fixed={"a"})
+        assert mapping["s2"] in quotient.truncated_states
+
+    def test_idempotent(self, redundant_ts):
+        quotient, _ = isomorphism_quotient(redundant_ts, fixed={"a"})
+        again, _ = isomorphism_quotient(quotient, fixed={"a"})
+        assert len(again) == len(quotient)

@@ -1,0 +1,108 @@
+"""Algorithm RCYCL (Theorem 5.4) against the paper's figures."""
+
+import pytest
+
+from repro.errors import AbstractionDiverged, ReproError
+from repro.core import ServiceSemantics
+from repro.gallery import example_41, example_43, example_52, example_53
+from repro.relational import Instance, fact
+from repro.semantics import (
+    isomorphism_quotient, rcycl, rcycl_partial, state_size_trace)
+
+
+class TestFigure7:
+    """Example 4.3 under nondeterministic services — Figure 7."""
+
+    def test_terminates_finite(self, ex43_rcycl):
+        assert len(ex43_rcycl) == 6
+        assert ex43_rcycl.is_total()
+
+    def test_state_bound_is_one(self, ex43_rcycl):
+        assert ex43_rcycl.max_state_size() == 1
+
+    def test_quotient_matches_figure_7b(self, ex43_rcycl):
+        quotient, _ = isomorphism_quotient(ex43_rcycl, fixed={"a"})
+        assert len(quotient) == 4
+        databases = {repr(quotient.db(state)) for state in quotient.states}
+        assert databases == {"{R('a')}", "{Q('a')}", "{R(#0)}", "{Q(#0)}"}
+
+    def test_alternates_r_and_q(self, ex43_rcycl):
+        for source, _, target in ex43_rcycl.edges():
+            assert ex43_rcycl.db(source).relations() != \
+                ex43_rcycl.db(target).relations()
+
+    def test_deterministic_construction(self, ex43_nondet):
+        assert rcycl(ex43_nondet).states == rcycl(ex43_nondet).states
+
+
+class TestFigure6:
+    """Example 5.2 — state-unbounded: RCYCL diverges, state sizes grow."""
+
+    def test_divergence(self, ex52):
+        with pytest.raises(AbstractionDiverged):
+            rcycl(ex52, max_states=150)
+
+    def test_partial_never_raises(self, ex52):
+        result = rcycl_partial(ex52, max_states=100)
+        assert result.diverged
+        assert len(result.transition_system) > 100
+
+    def test_state_sizes_grow(self, ex52):
+        sizes = state_size_trace(ex52, max_states=120)
+        assert max(sizes) >= 3  # accumulating Q facts
+        assert sizes == sorted(sizes) or max(sizes) > sizes[0]
+
+    def test_finite_branching_despite_divergence(self, ex52):
+        result = rcycl_partial(ex52, max_states=80)
+        ts = result.transition_system
+        for state in ts.states:
+            assert len(ts.successors(state)) < 40
+
+
+class TestExample53:
+    """Example 5.3 — generation without recall still explodes."""
+
+    def test_divergence(self, ex53):
+        with pytest.raises(AbstractionDiverged):
+            rcycl(ex53, max_states=150)
+
+    def test_tuple_count_doubles(self, ex53):
+        result = rcycl_partial(ex53, max_states=120)
+        ts = result.transition_system
+        assert ts.max_state_size() >= 4
+
+
+class TestRecyclingDiscipline:
+    def test_bounded_value_pool(self, ex43_rcycl):
+        # Eventually-recycling: the total number of values stays small.
+        assert len(ex43_rcycl.values()) <= 4
+
+    def test_rejects_det_semantics(self):
+        with pytest.raises(ReproError):
+            rcycl(example_43(ServiceSemantics.DETERMINISTIC))
+
+    def test_ex41_nondet_is_state_bounded(self):
+        # Example 4.1 has no recall cycle fed by calls: GR-acyclic,
+        # so RCYCL terminates even though values keep being generated.
+        ts = rcycl(example_41(ServiceSemantics.NONDETERMINISTIC))
+        assert ts.max_state_size() <= 3
+        assert len(ts) < 300
+
+
+class TestStudentsRegistry:
+    def test_finite_and_total(self, students_rcycl):
+        assert len(students_rcycl) < 50
+        assert students_rcycl.is_total()
+
+    def test_statuses_constrained(self, students_rcycl):
+        ts = students_rcycl
+        statuses = set()
+        for state in ts.states:
+            for (value,) in ts.db(state).tuples("Status"):
+                statuses.add(value)
+        assert statuses == {"idle", "enrolled", "graduated"}
+
+    def test_at_most_one_student(self, students_rcycl):
+        ts = students_rcycl
+        for state in ts.states:
+            assert len(ts.db(state).tuples("Stud")) <= 1

@@ -1,0 +1,149 @@
+"""The Section 6 reductions: Theorems 6.1, 6.2, integrity constraints."""
+
+import pytest
+
+from repro.core import ServiceSemantics, do_action, enabled_moves
+from repro.errors import ConstraintViolation
+from repro.fol import parse_formula
+from repro.gallery import example_41, example_43
+from repro.reductions import (
+    det_to_nondet, detname, memory_relation_name, nondet_to_det,
+    project_to_original, with_integrity_constraint)
+from repro.relational import Instance, fact
+from repro.relational.values import Fresh
+from repro.semantics import (
+    DeterministicOracle, NondeterministicOracle, explore_concrete, rcycl,
+    simulate)
+
+
+class TestDetToNondet:
+    def test_schema_extended(self, ex41):
+        rewritten = det_to_nondet(ex41)
+        assert rewritten.semantics is ServiceSemantics.NONDETERMINISTIC
+        assert memory_relation_name("f") in rewritten.schema
+        assert rewritten.schema.arity(memory_relation_name("f")) == 2
+
+    def test_memory_forces_determinism(self, ex41):
+        """Same call twice must return the same value in the rewrite."""
+        rewritten = det_to_nondet(ex41)
+        pool = ["a", Fresh(60), Fresh(61)]
+        ts = explore_concrete(rewritten, pool, depth=2, max_states=2000)
+        for state in ts.states:
+            instance = ts.db(state)
+            seen = {}
+            for args_result in instance.tuples(memory_relation_name("f")):
+                args, result = args_result[:-1], args_result[-1]
+                assert seen.setdefault(args, result) == result
+
+    def test_projection_matches_original(self, ex41):
+        """Theorem 6.1(ii): projecting the rewrite onto the original schema
+        gives the original transition system (over a shared value pool)."""
+        rewritten = det_to_nondet(ex41)
+        pool = ["a", Fresh(60), Fresh(61)]
+        original_ts = explore_concrete(ex41, pool, depth=2, max_states=2000)
+        rewritten_ts = explore_concrete(rewritten, pool, depth=2,
+                                        max_states=2000)
+        projected = project_to_original(rewritten_ts, ex41)
+        original_dbs = {original_ts.db(s)
+                        for s in original_ts.depth_levels()[1]}
+        projected_dbs = {projected.db(s)
+                         for s in projected.depth_levels()[1]}
+        assert original_dbs == projected_dbs
+
+    def test_only_functions_restriction(self, ex41):
+        rewritten = det_to_nondet(ex41, only_functions=["f"])
+        assert memory_relation_name("f") in rewritten.schema
+        assert memory_relation_name("g") not in rewritten.schema
+
+
+class TestNondetToDet:
+    def test_schema_and_clock(self, ex43_nondet):
+        rewritten = nondet_to_det(ex43_nondet)
+        assert rewritten.semantics is ServiceSemantics.DETERMINISTIC
+        assert "succ" in rewritten.schema
+        assert "now" in rewritten.schema
+        assert fact("now", 1) in rewritten.initial
+
+    def test_calls_get_timestamp_argument(self, ex43_nondet):
+        rewritten = nondet_to_det(ex43_nondet)
+        action = rewritten.process.action("alpha")
+        calls = {call.function for call in action.service_calls()}
+        assert detname("f") in calls
+        f_calls = [call for call in action.service_calls()
+                   if call.function == detname("f")]
+        assert all(call.arity == 2 for call in f_calls)
+
+    def test_run_advances_clock(self, ex43_nondet):
+        rewritten = nondet_to_det(ex43_nondet)
+        trace = simulate(rewritten, steps=4, oracle=DeterministicOracle())
+        assert len(trace) == 5
+        now_values = [next(iter(inst.tuples("now")))[0]
+                      for inst, _ in trace]
+        assert len(set(now_values)) == len(now_values)  # all distinct
+
+    def test_succ_stays_linear(self, ex43_nondet):
+        rewritten = nondet_to_det(ex43_nondet)
+        trace = simulate(rewritten, steps=4, oracle=DeterministicOracle())
+        final = trace[-1][0]
+        seconds = [pair[1] for pair in final.tuples("succ")]
+        assert len(seconds) == len(set(seconds))  # key constraint held
+
+    def test_projection_behaviour_preserved(self, ex43_nondet):
+        """The projected run alternates R and Q like the original."""
+        rewritten = nondet_to_det(ex43_nondet)
+        trace = simulate(rewritten, steps=4, oracle=DeterministicOracle())
+        relations = [inst.restrict(["R", "Q"]).relations()
+                     for inst, _ in trace]
+        assert relations[0] == {"R"}
+        assert relations[1] == {"Q"}
+        assert relations[2] == {"R"}
+
+    def test_timestamps_enable_fresh_results(self, ex43_nondet):
+        """Different steps may get different f-results — the point of the
+        reduction: simulated nondeterminism."""
+        rewritten = nondet_to_det(ex43_nondet)
+        oracle = DeterministicOracle()
+        trace = simulate(rewritten, steps=5, oracle=oracle)
+        r_values = set()
+        for inst, _ in trace:
+            for (value,) in inst.tuples("R"):
+                r_values.add(value)
+        assert len(r_values) >= 2
+
+
+class TestIntegrityConstraints:
+    def test_enforced_on_successors(self, ex41):
+        # Forbid R from ever containing two facts (an arbitrary FO IC).
+        constraint = parse_formula(
+            "forall x, y. (R(x) & R(y) -> x = y)")
+        constrained = with_integrity_constraint(ex41, constraint)
+        assert "auxIC" in constrained.schema
+        pool = ["a", Fresh(70)]
+        ts = explore_concrete(constrained, pool, depth=2, max_states=500)
+        for state in ts.states:
+            assert len(ts.db(state).tuples("R")) <= 1
+
+    def test_violating_initial_rejected(self):
+        from repro.core import DCDSBuilder
+
+        builder = DCDSBuilder(name="bad")
+        builder.schema("R/1")
+        builder.initial("R('a'), R('b')")
+        builder.action("noop", "R(x) ~> R(x)")
+        builder.rule("true", "noop")
+        dcds = builder.build()
+        constraint = parse_formula("forall x, y. (R(x) & R(y) -> x = y)")
+        with pytest.raises(ConstraintViolation):
+            with_integrity_constraint(dcds, constraint)
+
+    def test_open_formula_rejected(self, ex41):
+        with pytest.raises(ValueError):
+            with_integrity_constraint(ex41, parse_formula("R(x)"))
+
+    def test_aux_tuple_persists(self, ex41):
+        constraint = parse_formula("forall x, y. (R(x) & R(y) -> x = y)")
+        constrained = with_integrity_constraint(ex41, constraint)
+        pool = ["a", Fresh(70)]
+        ts = explore_concrete(constrained, pool, depth=2, max_states=500)
+        for state in ts.states:
+            assert fact("auxIC", "auxA", "auxB") in ts.db(state)

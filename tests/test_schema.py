@@ -1,0 +1,100 @@
+"""Relation and database schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.schema import (
+    DatabaseSchema, RelationSchema, parse_relation_spec)
+
+
+class TestRelationSchema:
+    def test_basic(self):
+        relation = RelationSchema("R", 2)
+        assert relation.name == "R"
+        assert relation.arity == 2
+        assert repr(relation) == "R/2"
+
+    def test_attributes(self):
+        relation = RelationSchema("Hotel", 2, ("name", "price"))
+        assert relation.attribute_index("price") == 1
+
+    def test_unknown_attribute(self):
+        relation = RelationSchema("Hotel", 2, ("name", "price"))
+        with pytest.raises(SchemaError):
+            relation.attribute_index("city")
+
+    def test_attribute_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", 2, ("only_one",))
+
+    def test_negative_arity(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", -1)
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("", 1)
+
+    def test_nullary_relation_allowed(self):
+        assert RelationSchema("halted", 0).arity == 0
+
+
+class TestParseRelationSpec:
+    def test_slash_form(self):
+        assert parse_relation_spec("R/3") == RelationSchema("R", 3)
+
+    def test_attribute_form(self):
+        parsed = parse_relation_spec("Hotel(name, price)")
+        assert parsed.arity == 2
+        assert parsed.attributes == ("name", "price")
+
+    def test_bad_spec(self):
+        with pytest.raises(SchemaError):
+            parse_relation_spec("R")
+
+    def test_bad_arity(self):
+        with pytest.raises(SchemaError):
+            parse_relation_spec("R/x")
+
+
+class TestDatabaseSchema:
+    def test_of_mixed_specs(self):
+        schema = DatabaseSchema.of("R/1", ("S", 2),
+                                   RelationSchema("T", 0))
+        assert schema.names() == ("R", "S", "T")
+        assert schema.arity("S") == 2
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema.of("R/1", "R/2")
+
+    def test_lookup_unknown(self):
+        schema = DatabaseSchema.of("R/1")
+        with pytest.raises(SchemaError):
+            schema.relation("S")
+
+    def test_contains_and_len(self):
+        schema = DatabaseSchema.of("R/1", "S/2")
+        assert "R" in schema
+        assert "T" not in schema
+        assert len(schema) == 2
+
+    def test_extend(self):
+        schema = DatabaseSchema.of("R/1").extend("S/2")
+        assert schema.names() == ("R", "S")
+
+    def test_extend_duplicate_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema.of("R/1").extend("R/1")
+
+    def test_restrict(self):
+        schema = DatabaseSchema.of("R/1", "S/2", "T/3").restrict(["R", "T"])
+        assert schema.names() == ("R", "T")
+
+    def test_restrict_unknown(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema.of("R/1").restrict(["S"])
+
+    def test_iteration_order_preserved(self):
+        schema = DatabaseSchema.of("B/1", "A/1")
+        assert [relation.name for relation in schema] == ["B", "A"]

@@ -1,0 +1,82 @@
+"""Shared utilities: partitions, orderings, fresh pools."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.relational.values import Fresh, ServiceCall
+from repro.utils import (
+    FreshPool, pairwise_disjoint, powerset, set_partitions, sorted_values,
+    stable_dedup, value_sort_key)
+
+BELL = {0: 1, 1: 1, 2: 2, 3: 5, 4: 15, 5: 52}
+
+
+class TestSetPartitions:
+    @pytest.mark.parametrize("n", list(BELL))
+    def test_bell_numbers(self, n):
+        partitions = list(set_partitions(list(range(n))))
+        assert len(partitions) == BELL[n]
+
+    def test_blocks_cover_and_disjoint(self):
+        items = list(range(4))
+        for partition in set_partitions(items):
+            flattened = [x for block in partition for x in block]
+            assert sorted(flattened) == items
+
+    def test_all_distinct(self):
+        seen = set()
+        for partition in set_partitions(list(range(4))):
+            key = frozenset(frozenset(block) for block in partition)
+            assert key not in seen
+            seen.add(key)
+
+    def test_deterministic(self):
+        assert list(set_partitions([1, 2, 3])) == \
+            list(set_partitions([1, 2, 3]))
+
+
+class TestOrdering:
+    def test_mixed_types_sortable(self):
+        mixed = ["b", 2, Fresh(1), "a", 1, Fresh(0),
+                 ServiceCall("f", ("x",))]
+        ordered = sorted_values(mixed)
+        assert ordered.index(1) < ordered.index("a")
+        assert ordered.index("a") < ordered.index(Fresh(0))
+        assert ordered.index(Fresh(0)) < ordered.index(Fresh(1))
+
+    def test_stable_total_order(self):
+        values = [Fresh(2), "x", 3, Fresh(1), "y"]
+        assert sorted_values(sorted_values(values)) == sorted_values(values)
+
+    @given(st.lists(st.one_of(
+        st.integers(-5, 5), st.text(max_size=3),
+        st.integers(0, 5).map(Fresh)), max_size=10))
+    @settings(max_examples=50, deadline=None)
+    def test_sort_key_total(self, values):
+        # Sorting never raises and is idempotent over mixed types.
+        once = sorted_values(values)
+        assert sorted_values(once) == once
+
+
+class TestFreshPool:
+    def test_mints_smallest_unused(self):
+        pool = FreshPool(used=[Fresh(0), Fresh(2), "unrelated"])
+        assert pool.take() == Fresh(1)
+        assert pool.take() == Fresh(3)
+
+    def test_take_many(self):
+        pool = FreshPool()
+        assert pool.take_many(3) == [Fresh(0), Fresh(1), Fresh(2)]
+
+
+class TestSmallHelpers:
+    def test_powerset(self):
+        subsets = list(powerset([1, 2]))
+        assert subsets == [(), (1,), (2,), (1, 2)]
+
+    def test_pairwise_disjoint(self):
+        assert pairwise_disjoint([frozenset({1}), frozenset({2})])
+        assert not pairwise_disjoint([frozenset({1}), frozenset({1, 2})])
+
+    def test_stable_dedup(self):
+        assert stable_dedup([3, 1, 3, 2, 1]) == [3, 1, 2]

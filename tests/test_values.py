@@ -1,0 +1,94 @@
+"""Terms: variables, parameters, service calls, substitution."""
+
+import pytest
+
+from repro.relational.values import (
+    Fresh, Param, ServiceCall, Var, is_value, substitute_term,
+    term_parameters, term_service_calls, term_values, term_variables)
+
+
+class TestTermKinds:
+    def test_plain_values_are_values(self):
+        assert is_value("a")
+        assert is_value(0)
+        assert is_value(Fresh(3))
+
+    def test_symbolic_terms_are_not_values(self):
+        assert not is_value(Var("x"))
+        assert not is_value(Param("p"))
+        assert not is_value(ServiceCall("f", ("a",)))
+
+    def test_fresh_ordering_and_repr(self):
+        assert Fresh(0) < Fresh(1)
+        assert repr(Fresh(7)) == "#7"
+
+    def test_var_and_param_are_distinct(self):
+        assert Var("p") != Param("p")
+
+    def test_service_call_repr(self):
+        call = ServiceCall("f", (Var("x"), "a"))
+        assert repr(call) == "f(x, 'a')"
+        assert call.arity == 2
+
+
+class TestGroundness:
+    def test_ground_call(self):
+        assert ServiceCall("f", ("a", 1)).is_ground()
+
+    def test_call_with_variable_not_ground(self):
+        assert not ServiceCall("f", (Var("x"),)).is_ground()
+
+    def test_call_with_param_not_ground(self):
+        assert not ServiceCall("f", (Param("p"),)).is_ground()
+
+    def test_nested_call_not_ground(self):
+        inner = ServiceCall("g", ("a",))
+        assert not ServiceCall("f", (inner,)).is_ground()
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        assert substitute_term(Var("x"), {Var("x"): "v"}) == "v"
+
+    def test_substitute_param(self):
+        assert substitute_term(Param("p"), {Param("p"): 3}) == 3
+
+    def test_unbound_left_in_place(self):
+        assert substitute_term(Var("x"), {}) == Var("x")
+
+    def test_value_maps_to_itself(self):
+        assert substitute_term("a", {Var("x"): "v"}) == "a"
+
+    def test_substitute_inside_call(self):
+        call = ServiceCall("f", (Var("x"), Param("p")))
+        result = substitute_term(call, {Var("x"): "a", Param("p"): "b"})
+        assert result == ServiceCall("f", ("a", "b"))
+        assert result.is_ground()
+
+    def test_staged_substitution(self):
+        call = ServiceCall("f", (Var("x"), Param("p")))
+        partially = substitute_term(call, {Param("p"): "b"})
+        assert partially == ServiceCall("f", (Var("x"), "b"))
+        assert substitute_term(partially, {Var("x"): "a"}).is_ground()
+
+
+class TestTermIteration:
+    def test_variables_of_call(self):
+        call = ServiceCall("f", (Var("x"), "a", Var("y")))
+        assert set(term_variables(call)) == {Var("x"), Var("y")}
+
+    def test_parameters_of_call(self):
+        call = ServiceCall("f", (Param("p"), Var("x")))
+        assert set(term_parameters(call)) == {Param("p")}
+
+    def test_values_of_call(self):
+        call = ServiceCall("f", ("a", Var("x"), 3))
+        assert set(term_values(call)) == {"a", 3}
+
+    def test_values_of_plain_value(self):
+        assert list(term_values("a")) == ["a"]
+
+    def test_service_calls_outermost_first(self):
+        call = ServiceCall("f", ("a",))
+        assert list(term_service_calls(call)) == [call]
+        assert list(term_service_calls("a")) == []

@@ -1,0 +1,52 @@
+"""DOT export."""
+
+import pytest
+
+from repro.analysis import dataflow_graph, dependency_graph
+from repro.gallery import example_41, example_43, request_system
+from repro.semantics import build_det_abstraction
+from repro.viz import (
+    dataflow_graph_to_dot, dependency_graph_to_dot,
+    transition_system_to_dot)
+
+
+class TestTransitionSystemDot:
+    def test_valid_digraph(self, ex41_abstraction):
+        dot = transition_system_to_dot(ex41_abstraction)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == ex41_abstraction.edge_count()
+
+    def test_initial_state_bold(self, ex41_abstraction):
+        dot = transition_system_to_dot(ex41_abstraction)
+        assert "style=bold" in dot
+
+    def test_max_states_truncates(self, ex41_abstraction):
+        dot = transition_system_to_dot(ex41_abstraction, max_states=2)
+        node_lines = [line for line in dot.splitlines()
+                      if "label=" in line and "->" not in line]
+        assert len(node_lines) == 2
+
+    def test_labels_escaped(self):
+        from repro.relational import DatabaseSchema, Instance, fact
+        from repro.semantics import TransitionSystem
+
+        schema = DatabaseSchema.of("R/1")
+        ts = TransitionSystem(schema, "s0")
+        ts.add_state("s0", Instance([fact("R", 'va"lue')]))
+        dot = transition_system_to_dot(ts)
+        assert '\\"' in dot  # the embedded double quote is escaped
+
+
+class TestAnalysisDot:
+    def test_dependency_graph_dot(self, ex43_det):
+        dot = dependency_graph_to_dot(dependency_graph(ex43_det))
+        assert "digraph" in dot
+        assert 'label="*"' in dot          # the special edge is starred
+        assert "R,1" in dot                # paper position naming (1-based)
+
+    def test_dataflow_graph_dot(self):
+        dot = dataflow_graph_to_dot(dataflow_graph(request_system()))
+        assert "true" in dot
+        assert "Hotel" in dot
+        assert dot.count('label="*"') >= 10  # the input-service bundles

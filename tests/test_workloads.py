@@ -1,0 +1,64 @@
+"""Workload generators: shape guarantees and determinism."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import is_gr_acyclic, is_weakly_acyclic
+from repro.core import ServiceSemantics
+from repro.semantics import build_det_abstraction
+from repro.semantics.commitments import count_commitments
+from repro.workloads import chain_dcds, commitment_blowup_dcds, random_dcds
+
+
+class TestRandomDCDS:
+    def test_deterministic_in_seed(self):
+        first = random_dcds(seed=42)
+        second = random_dcds(seed=42)
+        assert first.describe() == second.describe()
+
+    def test_different_seeds_differ(self):
+        texts = {random_dcds(seed=s).describe() for s in range(8)}
+        assert len(texts) > 1
+
+    def test_unknown_shape_rejected(self):
+        with pytest.raises(ValueError):
+            random_dcds(seed=0, shape="mystery")
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_weakly_acyclic_shape_guarantee(self, seed):
+        dcds = random_dcds(seed, n_relations=4, n_actions=2,
+                           effects_per_action=3, shape="weakly-acyclic")
+        assert is_weakly_acyclic(dcds)
+
+    @given(st.integers(0, 60))
+    @settings(max_examples=40, deadline=None)
+    def test_gr_acyclic_shape_guarantee(self, seed):
+        dcds = random_dcds(seed, n_relations=4, n_actions=2,
+                           effects_per_action=3, shape="gr-acyclic",
+                           semantics=ServiceSemantics.NONDETERMINISTIC)
+        assert is_gr_acyclic(dcds)
+
+    @given(st.integers(0, 25))
+    @settings(max_examples=12, deadline=None)
+    def test_weakly_acyclic_instances_have_finite_abstractions(self, seed):
+        dcds = random_dcds(seed, n_relations=3, n_actions=1,
+                           effects_per_action=2, shape="weakly-acyclic")
+        ts = build_det_abstraction(dcds, max_states=20000)
+        assert len(ts) >= 1
+
+
+class TestFamilies:
+    def test_blowup_first_level(self):
+        ts = build_det_abstraction(commitment_blowup_dcds(2),
+                                   max_states=100000)
+        assert len(ts.depth_levels()[1]) == count_commitments(2, 1)
+
+    def test_chain_is_weakly_acyclic(self):
+        assert is_weakly_acyclic(chain_dcds(4))
+
+    def test_chain_rank_grows(self):
+        from repro.analysis import dependency_graph
+
+        ranks = dependency_graph(chain_dcds(4)).ranks()
+        assert ranks[("L4", 0)] == 4
