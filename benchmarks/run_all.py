@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and emit a ``BENCH_<date>.json`` perf record.
+
+The record contains:
+
+* per-benchmark wall times (mean/min, via pytest-benchmark) for every
+  ``bench_*.py`` file selected;
+* engine throughput probes (states/sec, frontier peak) for representative
+  workloads, taken straight from ``TransitionSystem.exploration_stats``.
+
+Usage::
+
+    python benchmarks/run_all.py                  # full suite
+    python benchmarks/run_all.py --pattern bench_complexity_scaling.py
+    python benchmarks/run_all.py --out results/   # output directory
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+SRC = str(REPO_ROOT / "src")
+
+
+def run_pytest_benchmarks(pattern: str) -> dict:
+    """Run the selected bench files under pytest-benchmark, return stats."""
+    targets = sorted(BENCH_DIR.glob(pattern))
+    if not targets:
+        raise SystemExit(f"no benchmark files match {pattern!r}")
+    with tempfile.TemporaryDirectory() as tmp:
+        json_path = Path(tmp) / "bench.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        command = [
+            sys.executable, "-m", "pytest", *map(str, targets),
+            "--benchmark-only", "-q", f"--benchmark-json={json_path}",
+        ]
+        completed = subprocess.run(command, env=env, cwd=str(REPO_ROOT))
+        if completed.returncode != 0:
+            raise SystemExit(f"benchmark run failed ({completed.returncode})")
+        raw = json.loads(json_path.read_text())
+    results = {}
+    for bench in raw.get("benchmarks", []):
+        results[bench["fullname"]] = {
+            "mean_sec": bench["stats"]["mean"],
+            "min_sec": bench["stats"]["min"],
+            "rounds": bench["stats"]["rounds"],
+        }
+    return results
+
+
+def engine_throughput_probes() -> dict:
+    """Build representative state spaces and report engine stats."""
+    sys.path.insert(0, SRC)
+    from repro.gallery import example_43, request_system
+    from repro.core import ServiceSemantics
+    from repro.semantics import build_det_abstraction, rcycl
+    from repro.workloads import chain_dcds, commitment_blowup_dcds
+
+    probes = {
+        "det-abstraction/blowup[3]":
+            lambda: build_det_abstraction(commitment_blowup_dcds(3), 100000),
+        "det-abstraction/chain[3]":
+            lambda: build_det_abstraction(chain_dcds(3), 100000),
+        "rcycl/example43":
+            lambda: rcycl(example_43(ServiceSemantics.NONDETERMINISTIC)),
+        "rcycl/request-system[slim]":
+            lambda: rcycl(request_system(slim=True)),
+    }
+    stats = {}
+    for name, build in probes.items():
+        ts = build()
+        stats[name] = {
+            "states": len(ts),
+            "edges": ts.edge_count(),
+            "states_per_sec": ts.exploration_stats.get("states_per_sec"),
+            "frontier_peak": ts.exploration_stats.get("frontier_peak"),
+            "duration_sec": ts.exploration_stats.get("duration_sec"),
+        }
+    return stats
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pattern", default="bench_*.py",
+                        help="glob (under benchmarks/) of files to run")
+    parser.add_argument("--out", default=str(REPO_ROOT),
+                        help="directory for the BENCH_<date>.json record")
+    parser.add_argument("--skip-pytest", action="store_true",
+                        help="only run the engine throughput probes")
+    args = parser.parse_args()
+
+    record = {
+        "date": datetime.date.today().isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "engine_probes": engine_throughput_probes(),
+    }
+    if not args.skip_pytest:
+        record["pytest_benchmarks"] = run_pytest_benchmarks(args.pattern)
+
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{record['date']}.json"
+    out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

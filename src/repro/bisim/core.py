@@ -25,6 +25,7 @@ from __future__ import annotations
 import enum
 from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
+from repro.engine.fingerprint import fingerprints_may_be_isomorphic
 from repro.errors import ReproError
 from repro.relational.instance import Instance
 from repro.relational.isomorphism import iter_isomorphisms
@@ -40,6 +41,10 @@ class BisimMode(enum.Enum):
 
 def _initial_bijections(db1: Instance, db2: Instance,
                         mode: BisimMode) -> Iterator[Dict]:
+    # Fingerprints are isomorphism-invariant: unequal fingerprints refute
+    # every candidate bijection before the backtracking search starts.
+    if not fingerprints_may_be_isomorphic(db1, db2):
+        return
     yield from iter_isomorphisms(db1, db2)
 
 
@@ -52,6 +57,8 @@ def _extensions(h: Dict, db1_current: Instance, db1_next: Instance,
     persistence mode just the new isomorphism (``h`` is forgotten except on
     persisting values).
     """
+    if not fingerprints_may_be_isomorphic(db1_next, db2_next):
+        return
     adom_next = db1_next.active_domain()
     if mode is BisimMode.HISTORY:
         partial = {value: h[value] for value in adom_next if value in h}
@@ -113,19 +120,19 @@ def bounded_bisimilar(
             return True
         memo[key] = True  # provisional, for cyclic revisits within budget
         result = True
-        for next1 in ts1.successors(state1):
+        for next1 in ts1.sorted_successors(state1):
             if not any(
                     game(next1, next2, h_next, remaining - 1)
-                    for next2 in ts2.successors(state2)
+                    for next2 in ts2.sorted_successors(state2)
                     for h_next in _extensions(h, db1, ts1.db(next1),
                                               ts2.db(next2), mode)):
                 result = False
                 break
         if result:
-            for next2 in ts2.successors(state2):
+            for next2 in ts2.sorted_successors(state2):
                 if not any(
                         game(next1, next2, h_next, remaining - 1)
-                        for next1 in ts1.successors(state1)
+                        for next1 in ts1.sorted_successors(state1)
                         for h_next in _extensions(h, db1, ts1.db(next1),
                                                   ts2.db(next2), mode)):
                     result = False
@@ -192,9 +199,9 @@ def bisimilar(
         h = dict(h_items)
         db1 = ts1.db(state1)
         forward: Dict[State, Set[Triple]] = {}
-        for next1 in ts1.successors(state1):
+        for next1 in ts1.sorted_successors(state1):
             options: Set[Triple] = set()
-            for next2 in ts2.successors(state2):
+            for next2 in ts2.sorted_successors(state2):
                 for h_next in _extensions(h, db1, ts1.db(next1),
                                           ts2.db(next2), mode):
                     if _local_ok(h_next, ts1.db(next1), ts2.db(next2)):
@@ -203,9 +210,9 @@ def bisimilar(
                         discover(candidate)
             forward[next1] = options
         backward: Dict[State, Set[Triple]] = {}
-        for next2 in ts2.successors(state2):
+        for next2 in ts2.sorted_successors(state2):
             options = set()
-            for next1 in ts1.successors(state1):
+            for next1 in ts1.sorted_successors(state1):
                 for h_next in _extensions(h, db1, ts1.db(next1),
                                           ts2.db(next2), mode):
                     if _local_ok(h_next, ts1.db(next1), ts2.db(next2)):

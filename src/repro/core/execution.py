@@ -13,12 +13,15 @@ service semantics (Sections 4.1 and 5.1):
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.errors import ExecutionError, IllegalParameters
 from repro.core.dcds import DCDS
 from repro.core.process_layer import Action, CARule, EffectSpec
-from repro.fol.evaluation import answers, evaluation_domain
+from repro.fol.ast import Formula
+from repro.fol.evaluation import (
+    answers, evaluation_domain, has_answer, iter_answers)
 from repro.relational.instance import Fact, Instance
 from repro.relational.values import (
     Param, ServiceCall, Var, is_value, substitute_term)
@@ -33,6 +36,28 @@ def _param_to_var(param: Param) -> Var:
     return Var(f"@{param.name}")
 
 
+@lru_cache(maxsize=4096)
+def _param_query(rule: CARule, params: Tuple[Param, ...]) -> Formula:
+    """The rule query with parameters replaced by internal variables."""
+    return rule.query.substitute(
+        {param: _param_to_var(param) for param in params})
+
+
+@lru_cache(maxsize=16384)
+def _substituted(formula: Formula, items: Tuple[Tuple[Any, Any], ...]
+                 ) -> Formula:
+    """Memoized ``formula.substitute(dict(items))``.
+
+    Substituting a query is a full AST rebuild; explorations apply the same
+    handful of substitutions to the same rule/effect bodies at every state.
+    """
+    return formula.substitute(dict(items))
+
+
+def _sigma_items(sigma: ParamSubstitution) -> Tuple[Tuple[Param, Any], ...]:
+    return tuple(sorted(sigma.items(), key=lambda item: item[0].name))
+
+
 def legal_substitutions(
     dcds: DCDS, instance: Instance, rule: CARule
 ) -> List[ParamSubstitution]:
@@ -40,34 +65,70 @@ def legal_substitutions(
 
     A substitution ``sigma`` is legal when ``<p1, ..., pm> sigma`` is an
     answer of the rule's query over the current instance (Section 4.1).
+
+    The computation is memoized per ``(rule, instance)``: explorations
+    evaluate every rule against every discovered state, and the same state
+    (an immutable instance) recurs across builders (abstraction vs concrete
+    validation runs) and across repeated constructions. Fresh dicts are
+    returned on every call, so callers may mutate them.
     """
     action = dcds.process.action(rule.action)
-    if not action.params:
-        domain = evaluation_domain(instance, rule.query,
-                                   dcds.data.initial_adom)
-        if answers(rule.query, instance, domain=domain):
-            return [{}]
-        return []
+    items = _legal_subs_cached(rule, action.params, instance,
+                               dcds.data.initial_adom)
+    return [dict(sigma_items) for sigma_items in items]
 
-    to_var = {param: _param_to_var(param) for param in action.params}
-    query = rule.query.substitute(to_var)
-    domain = evaluation_domain(instance, query, dcds.data.initial_adom)
+
+@lru_cache(maxsize=65536)
+def _legal_subs_cached(
+    rule: CARule, params: Tuple[Param, ...], instance: Instance,
+    initial_adom: FrozenSet[Any]
+) -> Tuple[Tuple[Tuple[Param, Any], ...], ...]:
+    if not params:
+        domain = evaluation_domain(instance, rule.query, initial_adom)
+        if has_answer(rule.query, instance, domain=domain):
+            return ((),)
+        return ()
+
+    query = _param_query(rule, params)
+    to_var = {param: _param_to_var(param) for param in params}
+    domain = evaluation_domain(instance, query, initial_adom)
     substitutions = []
     for theta in answers(query, instance, domain=domain):
         substitutions.append(
-            {param: theta[to_var[param]] for param in action.params})
+            tuple((param, theta[to_var[param]]) for param in params))
 
-    def order(sigma: ParamSubstitution) -> tuple:
-        return tuple(value_sort_key(sigma[param]) for param in action.params)
+    def order(sigma_items: Tuple[Tuple[Param, Any], ...]) -> tuple:
+        return tuple(value_sort_key(value) for _, value in sigma_items)
 
     substitutions.sort(key=order)
-    return substitutions
+    return tuple(substitutions)
 
 
 def is_legal(dcds: DCDS, instance: Instance, rule: CARule,
              sigma: ParamSubstitution) -> bool:
-    """Check one substitution for legality."""
-    return sigma in legal_substitutions(dcds, instance, rule)
+    """Check one substitution for legality.
+
+    Short-circuits on the first witness instead of materializing the full
+    ``legal_substitutions`` list: ``sigma`` is substituted into the rule's
+    query and the resulting closed formula is checked for satisfiability
+    over the same evaluation domain the answer semantics would use (so a
+    ``sigma`` binding values outside that domain is still illegal, matching
+    the active-domain semantics of footnote 3).
+    """
+    action = dcds.process.action(rule.action)
+    if frozenset(sigma) != frozenset(action.params):
+        return False
+    if not action.params:
+        domain = evaluation_domain(instance, rule.query,
+                                   dcds.data.initial_adom)
+        return has_answer(rule.query, instance, domain=domain)
+
+    query = _param_query(rule, action.params)
+    domain = evaluation_domain(instance, query, dcds.data.initial_adom)
+    if any(value not in domain for value in sigma.values()):
+        return False
+    bound = _substituted(rule.query, _sigma_items(sigma))
+    return has_answer(bound, instance, domain=domain)
 
 
 def enabled_moves(
@@ -86,34 +147,98 @@ def enabled_moves(
                 yield action, sigma
 
 
+@lru_cache(maxsize=1024)
+def _effect_body(effect: EffectSpec) -> Formula:
+    """Memoized ``effect.body`` (the property rebuilds ``q+ ∧ Q−``)."""
+    return effect.body
+
+
+@lru_cache(maxsize=16384)
+def _formula_parameters(formula: Formula) -> FrozenSet[Param]:
+    """Memoized ``formula.parameters()`` (an AST walk per grounding)."""
+    return formula.parameters()
+
+
+def _term_is_ground(term: Any) -> bool:
+    if isinstance(term, (Var, Param)):
+        return False
+    if isinstance(term, ServiceCall):
+        return term.is_ground()
+    return True
+
+
+@lru_cache(maxsize=16384)
+def _grounded_head(effect: EffectSpec,
+                   sigma_items: Tuple[Tuple[Param, Any], ...]) -> tuple:
+    """Head atoms with ``sigma`` pre-applied, compiled for fast theta loops.
+
+    Returns ``(relation, terms, open_positions, ready_fact)`` per head atom:
+    ``open_positions`` are the term indexes still containing variables (to be
+    filled per answer ``theta``); atoms with none get a prebuilt ``ready``
+    :class:`Fact` that is shared across all successor states, so its hash is
+    computed once for the whole exploration.
+    """
+    sigma = dict(sigma_items)
+    compiled = []
+    for atom_ in effect.head:
+        terms = tuple(substitute_term(term, sigma) for term in atom_.terms)
+        open_positions = tuple(
+            position for position, term in enumerate(terms)
+            if not _term_is_ground(term))
+        ready = Fact(atom_.relation, terms) if not open_positions else None
+        compiled.append((atom_.relation, terms, open_positions, ready))
+    return tuple(compiled)
+
+
 def ground_effect(
     dcds: DCDS, instance: Instance, effect: EffectSpec,
     sigma: ParamSubstitution
 ) -> FrozenSet[Fact]:
     """The facts contributed by one effect: ``E sigma theta`` for every
-    answer ``theta`` of ``(q+ ∧ Q−) sigma`` over the instance."""
-    body = effect.body.substitute(sigma)
-    remaining_params = body.parameters()
+    answer ``theta`` of ``(q+ ∧ Q−) sigma`` over the instance.
+
+    Memoized per ``(effect, sigma, instance)``: the same grounding
+    subproblem recurs whenever a state is re-expanded by another builder
+    (abstraction vs concrete validation) or a construction is repeated.
+    """
+    return _ground_effect_cached(effect, _sigma_items(sigma), instance,
+                                 dcds.data.initial_adom)
+
+
+@lru_cache(maxsize=65536)
+def _ground_effect_cached(
+    effect: EffectSpec, sigma_items: Tuple[Tuple[Param, Any], ...],
+    instance: Instance, initial_adom: FrozenSet[Any]
+) -> FrozenSet[Fact]:
+    body = _substituted(_effect_body(effect), sigma_items)
+    remaining_params = _formula_parameters(body)
     if remaining_params:
         raise IllegalParameters(
             f"effect body still has parameters {sorted(remaining_params, key=repr)} "
             f"after substitution")
-    domain = evaluation_domain(instance, body, dcds.data.initial_adom)
+    head = _grounded_head(effect, sigma_items)
+    domain = evaluation_domain(instance, body, initial_adom)
     produced = set()
-    for theta in answers(body, instance, domain=domain):
-        for atom_ in effect.head:
-            terms = []
-            for term in atom_.terms:
-                grounded = substitute_term(
-                    substitute_term(term, sigma), theta)
+    # iter_answers may repeat bindings; the produced-facts set dedups, so
+    # the sort/dedup work of answers() would be wasted here.
+    for theta in iter_answers(body, instance, domain=domain):
+        for relation, terms, open_positions, ready in head:
+            if ready is not None:
+                produced.add(ready)
+                continue
+            filled = list(terms)
+            for position in open_positions:
+                grounded = substitute_term(filled[position], theta)
                 if isinstance(grounded, (Var, Param)):
                     raise ExecutionError(
-                        f"head term {term!r} not grounded by sigma/theta")
-                if isinstance(grounded, ServiceCall) and not grounded.is_ground():
+                        f"head term {filled[position]!r} not grounded "
+                        f"by sigma/theta")
+                if isinstance(grounded, ServiceCall) \
+                        and not grounded.is_ground():
                     raise ExecutionError(
                         f"service call {grounded!r} has non-ground arguments")
-                terms.append(grounded)
-            produced.add(Fact(atom_.relation, tuple(terms)))
+                filled[position] = grounded
+            produced.add(Fact(relation, tuple(filled)))
     return frozenset(produced)
 
 
@@ -133,7 +258,7 @@ def do_action(
     produced: set = set()
     for effect in action.effects:
         produced.update(ground_effect(dcds, instance, effect, sigma))
-    return Instance(produced)
+    return Instance._trusted(frozenset(produced))
 
 
 def calls_of(pending: Instance) -> List[ServiceCall]:
@@ -155,6 +280,26 @@ def evaluate_calls(
     if check_constraints and not dcds.data.satisfies_constraints(successor):
         return None
     return successor
+
+
+def clear_subproblem_caches() -> None:
+    """Release the memoized evaluation subproblems.
+
+    The ``lru_cache``s here and in :mod:`repro.fol.evaluation` /
+    :mod:`repro.engine.fingerprint` key on (immutable) instances, which
+    pins explored state databases in memory until eviction. They are
+    bounded, so this is never required for correctness — call it between
+    unrelated long-running explorations to return the memory early.
+    """
+    from repro.engine.fingerprint import instance_fingerprint
+    from repro.fol.evaluation import clear_domain_caches
+
+    _legal_subs_cached.cache_clear()
+    _ground_effect_cached.cache_clear()
+    _grounded_head.cache_clear()
+    _substituted.cache_clear()
+    instance_fingerprint.cache_clear()
+    clear_domain_caches()
 
 
 def successor_via(

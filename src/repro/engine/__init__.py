@@ -1,0 +1,28 @@
+"""Unified state-space exploration engine (the shared core of Table 1).
+
+All four state-space builders — the deterministic abstraction
+(:func:`repro.semantics.build_det_abstraction`), Algorithm RCYCL
+(:func:`repro.semantics.rcycl`), the finite-pool concrete exploration
+(:func:`repro.semantics.explore_concrete`), and oracle-driven runs
+(:func:`repro.semantics.simulate`) — delegate their frontier loop to
+:class:`Explorer`, parameterized by a :class:`SuccessorGenerator`.
+"""
+
+from repro.engine.explorer import (
+    ExplorationBudgetExceeded, ExplorationResult, ExplorationStats, Explorer,
+    SuccessorGenerator)
+from repro.engine.fingerprint import (
+    fingerprints_may_be_isomorphic, instance_fingerprint, value_profiles)
+from repro.engine.generators import (
+    DetAbstractionGenerator, DetState, OracleRunGenerator, PoolDetGenerator,
+    PoolNondetGenerator, RcyclGenerator, sigma_label, sorted_call_map)
+from repro.engine.interning import InternEntry, InternStats, StateInterner
+
+__all__ = [
+    "DetAbstractionGenerator", "DetState", "ExplorationBudgetExceeded",
+    "ExplorationResult", "ExplorationStats", "Explorer", "InternEntry",
+    "InternStats", "OracleRunGenerator", "PoolDetGenerator",
+    "PoolNondetGenerator", "RcyclGenerator", "StateInterner",
+    "fingerprints_may_be_isomorphic", "instance_fingerprint", "sigma_label",
+    "sorted_call_map", "value_profiles",
+]

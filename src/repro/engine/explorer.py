@@ -1,0 +1,222 @@
+"""The unified state-space exploration engine.
+
+Every decidable route of the paper's Table 1 — the deterministic abstraction
+of Theorems 4.3/4.4, Algorithm RCYCL of Theorem 5.4, and the concrete
+pool/oracle validation runs — is a frontier-based construction of a
+transition system. :class:`Explorer` owns that loop once: the frontier
+(BFS by default, DFS on request), state interning, depth/state budgets,
+truncation marking, and progress statistics. What varies between the routes
+is only how successors of a state are produced, captured by the
+:class:`SuccessorGenerator` protocol (implementations live in
+:mod:`repro.engine.generators`).
+
+Budget behaviour is pluggable: ``on_budget="raise"`` turns an exceeded
+budget into an exception built by ``budget_error`` (the divergence fuse of
+the deterministic abstraction), while ``on_budget="truncate"`` stops the
+exploration, marks the unexpanded frontier as truncated, and reports
+``diverged=True`` (RCYCL's graceful mode).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Any, Callable, Dict, Iterable, List, Optional, Tuple)
+
+from repro.errors import AbstractionDiverged, ReproError
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+from repro.semantics.transition_system import State, TransitionSystem
+
+
+class ExplorationBudgetExceeded(Exception):
+    """Raised by a generator that exhausted its own budget (e.g. RCYCL's
+    iteration fuse); the :class:`Explorer` converts it into its configured
+    budget behaviour."""
+
+
+class SuccessorGenerator:
+    """Protocol for the pluggable successor semantics.
+
+    Implementations yield ``(state, instance, label)`` triples from
+    :meth:`successors`; the Explorer consumes them lazily and calls
+    :meth:`on_new_state` the moment a previously unseen state is interned,
+    so stateful generators (RCYCL's used-value pool) observe discoveries in
+    exactly the order the seed algorithms did.
+    """
+
+    def initial_state(self) -> Tuple[State, Instance]:
+        raise NotImplementedError
+
+    def successors(self, state: State
+                   ) -> Iterable[Tuple[State, Instance, Optional[str]]]:
+        raise NotImplementedError
+
+    def on_new_state(self, state: State, instance: Instance) -> None:
+        """Hook invoked once per newly discovered state (default: no-op)."""
+
+
+@dataclass
+class ExplorationStats:
+    """Progress counters of one :meth:`Explorer.run`."""
+
+    states: int = 0
+    edges: int = 0
+    expansions: int = 0
+    frontier_peak: int = 0
+    duration: float = 0.0
+    growth: List[int] = field(default_factory=list)
+    diverged: bool = False
+    strategy: str = "bfs"
+    intern: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def states_per_sec(self) -> float:
+        return self.states / self.duration if self.duration > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        result = {
+            "explored_states": self.states,
+            "explored_edges": self.edges,
+            "expansions": self.expansions,
+            "frontier_peak": self.frontier_peak,
+            "duration_sec": self.duration,
+            "states_per_sec": self.states_per_sec,
+            "growth_trace": tuple(self.growth),
+            "diverged": self.diverged,
+            "strategy": self.strategy,
+        }
+        if self.intern:
+            result["intern"] = dict(self.intern)
+        return result
+
+
+@dataclass
+class ExplorationResult:
+    """A constructed transition system plus how its construction went."""
+
+    transition_system: TransitionSystem
+    stats: ExplorationStats
+
+    @property
+    def diverged(self) -> bool:
+        return self.stats.diverged
+
+
+BudgetError = Callable[["Explorer"], Exception]
+
+
+def _default_budget_error(explorer: "Explorer") -> Exception:
+    return AbstractionDiverged(
+        f"exploration exceeded {explorer.max_states} states",
+        growth_trace=tuple(explorer.stats.growth),
+        partial_states=len(explorer.ts))
+
+
+class Explorer:
+    """Owns the frontier loop shared by all Table 1 constructions.
+
+    Parameters
+    ----------
+    schema:
+        Database schema the produced transition system is checked against.
+    name:
+        Name of the produced transition system.
+    max_states:
+        Divergence fuse; ``None`` disables it. The budget trips when the
+        number of states *exceeds* ``max_states`` (seed convention).
+    max_depth:
+        Optional truncation bound: states at this depth are marked truncated
+        and not expanded.
+    on_budget:
+        ``"raise"`` (raise ``budget_error(self)``) or ``"truncate"`` (stop,
+        mark the remaining frontier truncated, report ``diverged``).
+    budget_error:
+        Exception factory used by ``on_budget="raise"``.
+    strategy:
+        ``"bfs"`` (paper order, default) or ``"dfs"``.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        name: str = "",
+        max_states: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        on_budget: str = "raise",
+        budget_error: BudgetError = _default_budget_error,
+        strategy: str = "bfs",
+    ):
+        if on_budget not in ("raise", "truncate"):
+            raise ReproError(f"unknown budget behaviour {on_budget!r}")
+        if strategy not in ("bfs", "dfs"):
+            raise ReproError(f"unknown frontier strategy {strategy!r}")
+        self.schema = schema
+        self.name = name
+        self.max_states = max_states
+        self.max_depth = max_depth
+        self.on_budget = on_budget
+        self.budget_error = budget_error
+        self.strategy = strategy
+        self.stats = ExplorationStats(strategy=strategy)
+        self.ts: Optional[TransitionSystem] = None
+
+    # -- the one frontier loop ------------------------------------------------
+
+    def run(self, generator: SuccessorGenerator) -> ExplorationResult:
+        started = time.perf_counter()
+        initial, initial_db = generator.initial_state()
+        ts = TransitionSystem(self.schema, initial, name=self.name)
+        self.ts = ts
+        ts.add_state(initial, initial_db)
+
+        stats = self.stats
+        stats.growth = [1]
+        frontier: deque = deque([(initial, 0)])
+        stats.frontier_peak = 1
+        budget_hit = False
+
+        while frontier:
+            if self.strategy == "bfs":
+                state, depth = frontier.popleft()
+            else:
+                state, depth = frontier.pop()
+            if self.max_depth is not None and depth >= self.max_depth:
+                ts.mark_truncated(state)
+                continue
+            stats.expansions += 1
+            try:
+                for successor, db, label in generator.successors(state):
+                    is_new = successor not in ts
+                    ts.add_state(successor, db)
+                    ts.add_edge(state, successor, label)
+                    stats.edges += 1
+                    if is_new:
+                        while len(stats.growth) <= depth + 1:
+                            stats.growth.append(0)
+                        stats.growth[depth + 1] += 1
+                        generator.on_new_state(successor, db)
+                        frontier.append((successor, depth + 1))
+                        if len(frontier) > stats.frontier_peak:
+                            stats.frontier_peak = len(frontier)
+                        if self.max_states is not None \
+                                and len(ts) > self.max_states:
+                            budget_hit = True
+                            break
+            except ExplorationBudgetExceeded:
+                budget_hit = True
+            if budget_hit:
+                break
+
+        stats.states = len(ts)
+        stats.duration = time.perf_counter() - started
+        if budget_hit:
+            stats.diverged = True
+            if self.on_budget == "raise":
+                raise self.budget_error(self)
+            for state, _ in frontier:
+                ts.mark_truncated(state)
+        ts.exploration_stats = stats.as_dict()
+        return ExplorationResult(ts, stats)

@@ -1,0 +1,343 @@
+"""Successor generators: one per decidable construction of Table 1.
+
+Each class packages the *local* successor semantics of one seed builder;
+the frontier loop, dedup, budgets, and stats all live in
+:class:`repro.engine.explorer.Explorer`.
+
+* :class:`DetAbstractionGenerator` — equality-commitment branching over
+  fresh deterministic service calls (Theorem 4.3, Section 4.1);
+* :class:`RcyclGenerator` — Algorithm RCYCL's eventually-recycling candidate
+  sets (Appendix C.3, Theorem 5.4), with ``recycle=False`` giving the
+  fresh-only ablation of :mod:`repro.semantics.ablations`;
+* :class:`PoolDetGenerator` / :class:`PoolNondetGenerator` — the exact
+  concrete transition system restricted to a finite value pool (the
+  validation target of the bounded-bisimulation tests);
+* :class:`OracleRunGenerator` — a single oracle-driven concrete run
+  (states are ``(step, instance)`` pairs so the linear trace embeds in a
+  transition system without collapsing revisited instances).
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import (
+    Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional,
+    Sequence, Set, Tuple)
+
+from repro.core.dcds import DCDS
+from repro.core.execution import do_action, enabled_moves, evaluate_calls
+from repro.engine.explorer import ExplorationBudgetExceeded, SuccessorGenerator
+from repro.relational.instance import Instance
+from repro.relational.values import Fresh, ServiceCall
+from repro.semantics.commitments import enumerate_commitments
+from repro.semantics.transition_system import State
+from repro.utils import sorted_values
+
+CallMap = Tuple[Tuple[ServiceCall, Any], ...]
+
+
+class DetState:
+    """A state ``<I, M>`` of the (abstract or concrete) deterministic TS.
+
+    Immutable by convention; hashed on every frontier dedup, so the hash is
+    cached.
+    """
+
+    __slots__ = ("instance", "call_map", "_hash")
+
+    def __init__(self, instance: Instance, call_map: CallMap):
+        self.instance = instance
+        self.call_map = call_map
+        self._hash = None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DetState):
+            return NotImplemented
+        return self.instance == other.instance \
+            and self.call_map == other.call_map
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.instance, self.call_map))
+        return self._hash
+
+    def __repr__(self) -> str:
+        entries = ", ".join(f"{call!r}->{value!r}"
+                            for call, value in self.call_map)
+        return f"<{self.instance!r} | {entries}>"
+
+    def map_dict(self) -> Dict[ServiceCall, Any]:
+        return dict(self.call_map)
+
+    def known_values(self) -> FrozenSet[Any]:
+        """Every value this state has ever seen: current adom, call results,
+        and call arguments (the history, Section 4.1)."""
+        values = set(self.instance.active_domain())
+        for call, result in self.call_map:
+            values.add(result)
+            values.update(call.args)
+        return frozenset(values)
+
+
+def sorted_call_map(mapping: Dict[ServiceCall, Any]) -> CallMap:
+    return tuple(sorted(mapping.items(), key=lambda item: repr(item[0])))
+
+
+def sigma_label(action_name: str, sigma: Dict) -> str:
+    if not sigma:
+        return action_name
+    rendered = ", ".join(f"{param.name}={value!r}"
+                         for param, value in sorted(
+                             sigma.items(), key=lambda item: item[0].name))
+    return f"{action_name}[{rendered}]"
+
+
+def sigma_key(sigma: Dict) -> tuple:
+    return tuple(sorted(((param.name, value) for param, value in sigma.items()),
+                        key=lambda item: (item[0], repr(item[1]))))
+
+
+Successor = Tuple[State, Instance, Optional[str]]
+
+
+# ---------------------------------------------------------------------------
+# Deterministic abstraction (Theorem 4.3)
+# ---------------------------------------------------------------------------
+
+class DetAbstractionGenerator(SuccessorGenerator):
+    """EXECS of Section 4.1 with equality-commitment branching.
+
+    For every enabled ``(alpha, sigma)``: compute ``DO``, split its calls
+    into already-answered (resolved via ``M`` — determinism) and fresh ones,
+    enumerate equality commitments for the fresh ones, apply, and keep the
+    successors satisfying the equality constraints.
+    """
+
+    def __init__(self, dcds: DCDS):
+        self.dcds = dcds
+        self.known_constants = dcds.known_constants()
+
+    def initial_state(self) -> Tuple[DetState, Instance]:
+        return DetState(self.dcds.initial, ()), self.dcds.initial
+
+    def successors(self, state: DetState) -> Iterator[Successor]:
+        dcds = self.dcds
+        instance = state.instance
+        call_map = state.map_dict()
+        known = state.known_values() | self.known_constants
+
+        for action, sigma in enabled_moves(dcds, instance):
+            pending = do_action(dcds, instance, action, sigma)
+            calls = pending.service_calls()
+            resolved = {call: call_map[call]
+                        for call in calls if call in call_map}
+            new_calls = sorted(
+                (call for call in calls if call not in call_map), key=repr)
+            label = sigma_label(action.name, sigma)
+
+            for commitment in enumerate_commitments(new_calls, known):
+                evaluation = {**resolved, **commitment}
+                successor_instance = evaluate_calls(dcds, pending, evaluation)
+                if successor_instance is None:
+                    continue  # equality constraints filtered this commitment
+                extended_map = dict(call_map)
+                extended_map.update(commitment)
+                successor = DetState(successor_instance,
+                                     sorted_call_map(extended_map))
+                yield successor, successor_instance, label
+
+
+# ---------------------------------------------------------------------------
+# Algorithm RCYCL (Theorem 5.4) and its fresh-only ablation
+# ---------------------------------------------------------------------------
+
+class RcyclGenerator(SuccessorGenerator):
+    """Eventually-recycling candidate sets over nondeterministic services.
+
+    ``recycle=False`` drops the recycling preference (candidates always
+    fresh), reproducing the ablation that defeats Lemma C.3(i).
+    """
+
+    def __init__(self, dcds: DCDS, max_iterations: Optional[int] = None,
+                 recycle: bool = True):
+        self.dcds = dcds
+        self.max_iterations = max_iterations
+        self.recycle = recycle
+        self.initial_adom = set(dcds.data.initial_adom)
+        self.known_constants = set(dcds.known_constants())
+        self.used_values: Set[Any] = set(self.initial_adom) \
+            | self.known_constants
+        self.visited: Set[tuple] = set()
+        self.iterations = 0
+        self.minted_total = 0
+
+    def initial_state(self) -> Tuple[Instance, Instance]:
+        return self.dcds.initial, self.dcds.initial
+
+    def on_new_state(self, state: Instance, instance: Instance) -> None:
+        self.used_values |= set(instance.active_domain())
+
+    def _mint_fresh(self, count: int) -> List[Fresh]:
+        taken = {value.index for value in self.used_values
+                 if isinstance(value, Fresh)}
+        minted: List[Fresh] = []
+        index = 0
+        while len(minted) < count:
+            if index not in taken:
+                minted.append(Fresh(index))
+                taken.add(index)
+            index += 1
+        return minted
+
+    def _candidates(self, instance: Instance, n_calls: int) -> List[Any]:
+        if self.recycle:
+            # RecyclableValues := UsedValues − (ADOM(I0) ∪ ADOM(I))
+            recyclable = sorted_values(
+                self.used_values
+                - (self.initial_adom | set(instance.active_domain())))
+            if len(recyclable) >= n_calls:
+                return recyclable[:n_calls]  # recycled values
+        minted = self._mint_fresh(n_calls)  # fresh values
+        self.minted_total += len(minted)
+        if not self.recycle:
+            # Ablation: minted values count as used even if no successor
+            # retains them, so fresh indexes are never reconsidered.
+            self.used_values.update(minted)
+        return minted
+
+    def successors(self, instance: Instance) -> Iterator[Successor]:
+        dcds = self.dcds
+        for action, sigma in enabled_moves(dcds, instance):
+            key = (instance, action.name, sigma_key(sigma))
+            if key in self.visited:
+                continue
+            self.visited.add(key)
+            self.iterations += 1
+            if self.max_iterations is not None \
+                    and self.iterations > self.max_iterations:
+                raise ExplorationBudgetExceeded(
+                    f"RCYCL exceeded {self.max_iterations} iterations")
+
+            pending = do_action(dcds, instance, action, sigma)
+            calls = sorted(pending.service_calls(), key=repr)
+            candidates = self._candidates(instance, len(calls))
+            evaluation_range = sorted_values(
+                self.initial_adom | self.known_constants
+                | set(instance.active_domain()) | set(candidates))
+
+            label = action.name if not sigma else \
+                f"{action.name}[{sigma_key(sigma)}]"
+            for combo in product(evaluation_range, repeat=len(calls)):
+                evaluation = dict(zip(calls, combo))
+                successor = evaluate_calls(dcds, pending, evaluation)
+                if successor is None:
+                    continue  # violates an equality constraint
+                yield successor, successor, label
+
+
+# ---------------------------------------------------------------------------
+# Finite-pool concrete exploration
+# ---------------------------------------------------------------------------
+
+class PoolDetGenerator(SuccessorGenerator):
+    """Concrete deterministic semantics restricted to a value pool.
+
+    States are ``<I, M>`` and evaluations must agree with ``M``
+    (Section 4.1)."""
+
+    def __init__(self, dcds: DCDS, pool: Sequence[Any]):
+        self.dcds = dcds
+        self.pool = list(pool)
+
+    def initial_state(self) -> Tuple[DetState, Instance]:
+        return DetState(self.dcds.initial, ()), self.dcds.initial
+
+    def successors(self, state: DetState) -> Iterator[Successor]:
+        dcds = self.dcds
+        call_map = state.map_dict()
+        for action, sigma in enabled_moves(dcds, state.instance):
+            pending = do_action(dcds, state.instance, action, sigma)
+            calls = sorted(pending.service_calls(), key=repr)
+            resolved = {call: call_map[call] for call in calls
+                        if call in call_map}
+            new_calls = [call for call in calls if call not in call_map]
+            for combo in product(self.pool, repeat=len(new_calls)):
+                evaluation = dict(resolved)
+                evaluation.update(zip(new_calls, combo))
+                successor_instance = evaluate_calls(dcds, pending, evaluation)
+                if successor_instance is None:
+                    continue
+                extended = dict(call_map)
+                extended.update(zip(new_calls, combo))
+                successor = DetState(successor_instance,
+                                     sorted_call_map(extended))
+                yield successor, successor_instance, action.name
+
+
+class PoolNondetGenerator(SuccessorGenerator):
+    """Concrete nondeterministic semantics restricted to a value pool.
+
+    States are instances and every call picks independently from the pool
+    (Section 5.1)."""
+
+    def __init__(self, dcds: DCDS, pool: Sequence[Any]):
+        self.dcds = dcds
+        self.pool = list(pool)
+
+    def initial_state(self) -> Tuple[Instance, Instance]:
+        return self.dcds.initial, self.dcds.initial
+
+    def successors(self, instance: Instance) -> Iterator[Successor]:
+        dcds = self.dcds
+        for action, sigma in enabled_moves(dcds, instance):
+            pending = do_action(dcds, instance, action, sigma)
+            calls = sorted(pending.service_calls(), key=repr)
+            for combo in product(self.pool, repeat=len(calls)):
+                evaluation = dict(zip(calls, combo))
+                successor = evaluate_calls(dcds, pending, evaluation)
+                if successor is None:
+                    continue
+                yield successor, successor, action.name
+
+
+# ---------------------------------------------------------------------------
+# Oracle-driven concrete run (simulate)
+# ---------------------------------------------------------------------------
+
+Chooser = Callable[[List[Tuple[Any, Dict]]], int]
+
+
+class OracleRunGenerator(SuccessorGenerator):
+    """One concrete run: the oracle answers calls, the chooser picks moves.
+
+    States are ``(step, instance)`` so the run embeds into a (path-shaped)
+    transition system even when the same instance recurs along the trace.
+    The run ends (no successor) when no move is enabled or the oracle's
+    answers violate the equality constraints — in the concrete semantics the
+    chosen successor then simply does not exist.
+    """
+
+    def __init__(self, dcds: DCDS, oracle: Callable[[ServiceCall], Any],
+                 chooser: Optional[Chooser] = None):
+        self.dcds = dcds
+        self.oracle = oracle
+        self.chooser = chooser
+
+    def initial_state(self) -> Tuple[Tuple[int, Instance], Instance]:
+        return (0, self.dcds.initial), self.dcds.initial
+
+    def successors(self, state: Tuple[int, Instance]
+                   ) -> Iterator[Successor]:
+        step, instance = state
+        moves = list(enabled_moves(self.dcds, instance))
+        if not moves:
+            return
+        index = 0 if self.chooser is None else self.chooser(moves)
+        action, sigma = moves[index]
+        pending = do_action(self.dcds, instance, action, sigma)
+        evaluation = {call: self.oracle(call)
+                      for call in sorted(pending.service_calls(), key=repr)}
+        successor = evaluate_calls(self.dcds, pending, evaluation)
+        if successor is None:
+            return  # constraint-violating evaluation: no such transition
+        yield (step + 1, successor), successor, action.name

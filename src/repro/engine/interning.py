@@ -1,0 +1,136 @@
+"""State interning: canonical forms computed only on fingerprint collisions.
+
+:func:`repro.relational.isomorphism.canonical_form` is the most expensive
+primitive in the codebase (individualization-refinement search). The seed
+code ran it once per state wherever isomorphism classes were needed. The
+interner amortizes that cost:
+
+* every instance is first summarized by a cheap
+  :func:`~repro.engine.fingerprint.instance_fingerprint`;
+* a fresh fingerprint means the instance cannot be isomorphic to anything
+  seen before — it founds a new class with **no** canonical-form work;
+* only on a fingerprint collision are the bucket's members canonically
+  labeled (each at most once, memoized) to decide class membership.
+
+Exact duplicates (equal instances) are resolved by a dict lookup without
+touching the fingerprint machinery at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional
+
+from repro.engine.fingerprint import Fingerprint, instance_fingerprint
+from repro.relational.instance import Instance
+from repro.relational.isomorphism import canonical_form
+
+
+@dataclass
+class InternEntry:
+    """One isomorphism class discovered by the interner."""
+
+    representative: Instance
+    fingerprint: Fingerprint
+    _canonical: Optional[Instance] = None
+    _key: Optional[tuple] = None
+
+    def canonical(self, fixed: FrozenSet[Any]) -> Instance:
+        """The canonical form of the class (computed lazily, once)."""
+        if self._canonical is None:
+            self._canonical, _ = canonical_form(self.representative, fixed)
+            self._key = tuple(
+                f.sort_key() for f in self._canonical.sorted_facts())
+        return self._canonical
+
+    def key(self, fixed: FrozenSet[Any]) -> tuple:
+        """Hashable canonical key of the class."""
+        self.canonical(fixed)
+        return self._key
+
+
+@dataclass
+class InternStats:
+    """Where the interner's lookups were resolved."""
+
+    lookups: int = 0
+    exact_hits: int = 0
+    new_fingerprints: int = 0
+    collisions: int = 0
+    iso_hits: int = 0
+    canonicalizations: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        resolved_cheap = self.exact_hits + self.new_fingerprints
+        return {
+            "lookups": self.lookups,
+            "exact_hits": self.exact_hits,
+            "new_fingerprints": self.new_fingerprints,
+            "collisions": self.collisions,
+            "iso_hits": self.iso_hits,
+            "canonicalizations": self.canonicalizations,
+            "cheap_hit_rate": (resolved_cheap / self.lookups
+                               if self.lookups else 1.0),
+        }
+
+
+class StateInterner:
+    """Groups instances into isomorphism classes fixing ``fixed``.
+
+    ``intern`` returns the :class:`InternEntry` of the instance's class; two
+    instances get the same entry iff they are isomorphic via a bijection
+    fixing ``fixed``. Canonical labeling is deferred until a fingerprint
+    collision (or until :meth:`InternEntry.canonical` is called explicitly).
+    """
+
+    def __init__(self, fixed: Iterable[Any] = ()):
+        self.fixed: FrozenSet[Any] = frozenset(fixed)
+        self.stats = InternStats()
+        self._by_instance: Dict[Instance, InternEntry] = {}
+        self._buckets: Dict[Fingerprint, List[InternEntry]] = {}
+
+    def __len__(self) -> int:
+        """Number of distinct isomorphism classes seen."""
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def entries(self) -> List[InternEntry]:
+        return [entry for bucket in self._buckets.values()
+                for entry in bucket]
+
+    def _canonical_key(self, entry: InternEntry) -> tuple:
+        if entry._key is None:
+            self.stats.canonicalizations += 1
+        return entry.key(self.fixed)
+
+    def intern(self, instance: Instance) -> InternEntry:
+        self.stats.lookups += 1
+        found = self._by_instance.get(instance)
+        if found is not None:
+            self.stats.exact_hits += 1
+            return found
+
+        fingerprint = instance_fingerprint(instance, self.fixed)
+        bucket = self._buckets.get(fingerprint)
+        if bucket is None:
+            # Fresh fingerprint: provably not isomorphic to anything seen.
+            entry = InternEntry(instance, fingerprint)
+            self._buckets[fingerprint] = [entry]
+            self._by_instance[instance] = entry
+            self.stats.new_fingerprints += 1
+            return entry
+
+        # Collision: fall back to canonical labeling to decide membership.
+        self.stats.collisions += 1
+        self.stats.canonicalizations += 1
+        canonical, _ = canonical_form(instance, self.fixed)
+        new_key = tuple(f.sort_key() for f in canonical.sorted_facts())
+        for entry in bucket:
+            if self._canonical_key(entry) == new_key:
+                self.stats.iso_hits += 1
+                self._by_instance[instance] = entry
+                return entry
+        entry = InternEntry(instance, fingerprint,
+                            _canonical=canonical, _key=new_key)
+        bucket.append(entry)
+        self._by_instance[instance] = entry
+        return entry

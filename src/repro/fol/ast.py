@@ -322,6 +322,29 @@ def forall(names: str, sub: Formula) -> Forall:
     return Forall(tuple(Var(name) for name in names.split()), sub)
 
 
+def _install_cached_hash(cls) -> None:
+    """Replace the generated dataclass ``__hash__`` with a caching wrapper.
+
+    Formula hashes are structural (recursive over the AST) and formulas are
+    used as memoization keys throughout evaluation and execution; caching
+    turns every hash after the first into a dict read.
+    """
+    generated = cls.__hash__
+
+    def __hash__(self):
+        cached = self.__dict__.get("_cached_hash")
+        if cached is None:
+            cached = generated(self)
+            object.__setattr__(self, "_cached_hash", cached)
+        return cached
+
+    cls.__hash__ = __hash__
+
+
+for _cls in (TrueF, FalseF, Atom, Eq, Not, And, Or, Exists, Forall):
+    _install_cached_hash(_cls)
+
+
 def is_positive_existential(formula: Formula) -> bool:
     """True for UCQ-shaped formulas: atoms/equality/true under &, |, exists."""
     if isinstance(formula, (Atom, Eq, TrueF, FalseF)):

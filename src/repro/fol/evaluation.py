@@ -15,15 +15,39 @@ action effects while remaining complete for arbitrary FO.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional
 
 from repro.errors import FormulaError
 from repro.fol.ast import (
     And, Atom, Eq, Exists, FalseF, Forall, Formula, Not, Or, TrueF)
 from repro.relational.instance import Instance
-from repro.relational.values import Param, Var, is_value
+from repro.relational.values import Param, Var
 
 Valuation = Dict[Var, Any]
+
+
+@lru_cache(maxsize=16384)
+def _formula_constants(formula: Formula) -> FrozenSet[Any]:
+    """Memoized ``formula.constants()`` (an AST walk, requested per state)."""
+    return formula.constants()
+
+
+@lru_cache(maxsize=16384)
+def _free_vars(formula: Formula) -> FrozenSet[Var]:
+    """Memoized ``formula.free_variables()`` — the evaluator asks for the
+    free variables of the same subformulas at every conjunct reordering."""
+    return formula.free_variables()
+
+
+@lru_cache(maxsize=16384)
+def _domain_cached(instance: Instance, formula: Optional[Formula],
+                   extra: FrozenSet[Any]) -> FrozenSet[Any]:
+    domain = set(instance.active_domain())
+    if formula is not None:
+        domain.update(_formula_constants(formula))
+    domain.update(extra)
+    return frozenset(domain)
 
 
 def evaluation_domain(
@@ -31,12 +55,25 @@ def evaluation_domain(
     formula: Optional[Formula] = None,
     extra: Iterable[Any] = (),
 ) -> FrozenSet[Any]:
-    """The set of values quantifiers and free variables range over."""
+    """The set of values quantifiers and free variables range over.
+
+    Memoized per ``(instance, formula, extra)`` when ``extra`` is already a
+    frozenset — the common case in action execution, where the same query is
+    evaluated against the same instance under ``ADOM(I0)`` repeatedly.
+    """
+    if isinstance(extra, frozenset):
+        return _domain_cached(instance, formula, extra)
     domain = set(instance.active_domain())
     if formula is not None:
-        domain.update(formula.constants())
+        domain.update(_formula_constants(formula))
     domain.update(extra)
     return frozenset(domain)
+
+
+def clear_domain_caches() -> None:
+    """Drop the instance-keyed memos (see
+    :func:`repro.core.execution.clear_subproblem_caches`)."""
+    _domain_cached.cache_clear()
 
 
 def _resolve(term: Any, valuation: Valuation) -> Any:
@@ -60,7 +97,7 @@ def holds(
     if domain is None:
         domain = evaluation_domain(instance, formula, valuation.values())
 
-    unbound = formula.free_variables() - set(valuation)
+    unbound = _free_vars(formula) - set(valuation)
     if unbound:
         raise FormulaError(
             f"holds() requires all free variables bound; missing {unbound}")
@@ -116,7 +153,7 @@ def answers(
     if domain is None:
         domain = evaluation_domain(instance, formula, valuation.values())
 
-    free = formula.free_variables()
+    free = _free_vars(formula)
     seen = set()
     result: List[Valuation] = []
     for extension in _answers(formula, instance, valuation, domain):
@@ -135,6 +172,44 @@ def answers(
 
     result.sort(key=order)
     return result
+
+
+def iter_answers(
+    formula: Formula,
+    instance: Instance,
+    valuation: Optional[Valuation] = None,
+    domain: Optional[FrozenSet[Any]] = None,
+) -> Iterator[Valuation]:
+    """Stream satisfying bindings without dedup, projection, or sorting.
+
+    Bindings may repeat and may bind more than the free variables (inner
+    join variables leak through); use :func:`answers` when the exact answer
+    *set* matters. Effect grounding consumes this directly — the produced
+    facts land in a set anyway.
+    """
+    valuation = dict(valuation or {})
+    if domain is None:
+        domain = evaluation_domain(instance, formula, valuation.values())
+    return _answers(formula, instance, valuation, domain)
+
+
+def has_answer(
+    formula: Formula,
+    instance: Instance,
+    valuation: Optional[Valuation] = None,
+    domain: Optional[FrozenSet[Any]] = None,
+) -> bool:
+    """True when ``ans(Q, I)`` is non-empty; stops at the first witness.
+
+    Unlike :func:`answers` this never materializes, sorts, or deduplicates
+    the answer set — use it for enabledness/legality checks.
+    """
+    valuation = dict(valuation or {})
+    if domain is None:
+        domain = evaluation_domain(instance, formula, valuation.values())
+    for _ in _answers(formula, instance, valuation, domain):
+        return True
+    return False
 
 
 def boolean_answer(formula: Formula, instance: Instance,
@@ -172,13 +247,13 @@ def _answers(formula: Formula, instance: Instance,
         for sub in formula.subs:
             # Bind the disjunct, then pad the remaining free variables of the
             # whole disjunction over the domain (active-domain semantics).
-            others = formula.free_variables() - sub.free_variables()
+            others = _free_vars(formula) - _free_vars(sub)
             for extension in _answers(sub, instance, valuation, domain):
                 yield from _pad(extension, others, domain)
         return
     if isinstance(formula, Not):
         # Enumerate unbound free variables over the domain, then test.
-        unbound = [var for var in formula.free_variables()
+        unbound = [var for var in _free_vars(formula)
                    if var not in valuation]
         for padded in _pad(valuation, unbound, domain):
             if not _holds(formula.sub, instance, padded, domain):
@@ -189,13 +264,13 @@ def _answers(formula: Formula, instance: Instance,
                  if key not in formula.variables}
         for extension in _answers(formula.sub, instance, inner, domain):
             projected = dict(valuation)
-            for var in formula.sub.free_variables():
+            for var in _free_vars(formula.sub):
                 if var not in formula.variables:
                     projected[var] = extension[var]
             yield projected
         return
     if isinstance(formula, Forall):
-        unbound = [var for var in formula.free_variables()
+        unbound = [var for var in _free_vars(formula)
                    if var not in valuation]
         for padded in _pad(valuation, unbound, domain):
             if _holds(formula, instance, padded, domain):
@@ -206,7 +281,18 @@ def _answers(formula: Formula, instance: Instance,
 
 def _match_atom(atom_: Atom, instance: Instance,
                 valuation: Valuation) -> Iterator[Valuation]:
-    for tuple_ in instance.tuples(atom_.relation):
+    # Pick candidate tuples through a per-position index when some term is
+    # already bound: a dict lookup instead of a scan over the relation. For
+    # tiny relations the scan is cheaper than building the index.
+    candidates = instance.tuples(atom_.relation)
+    if len(candidates) > 4:
+        for position, term in enumerate(atom_.terms):
+            resolved = _resolve(term, valuation)
+            if not isinstance(resolved, Var):
+                candidates = instance.index(
+                    atom_.relation, position).get(resolved, ())
+                break
+    for tuple_ in candidates:
         extension = dict(valuation)
         matched = True
         for term, value in zip(atom_.terms, tuple_):
@@ -258,7 +344,7 @@ def _match_conjunction(subs: List[Formula], instance: Instance,
     # then equalities, and leave negations/quantifiers for last so their free
     # variables are already bound where possible.
     def cost(sub: Formula) -> tuple:
-        unbound = len([v for v in sub.free_variables() if v not in valuation])
+        unbound = len([v for v in _free_vars(sub) if v not in valuation])
         if isinstance(sub, (TrueF, FalseF)):
             return (0, 0)
         if isinstance(sub, Atom):

@@ -40,7 +40,12 @@ from repro.semantics.transition_system import TransitionSystem
 
 @dataclass
 class VerificationReport:
-    """Everything :func:`verify` learned on the way to a verdict."""
+    """Everything :func:`verify` learned on the way to a verdict.
+
+    ``abstraction_stats`` merges the structural stats of the constructed
+    transition system (states, edges, totality, ...) with the engine's
+    exploration counters (states/sec, frontier peak, expansion counts).
+    """
 
     dcds_name: str
     formula: MuFormula
@@ -57,6 +62,11 @@ class VerificationReport:
                 f"fragment={self.fragment.value}, route={self.route}, "
                 f"static={self.static_condition}, "
                 f"|Theta|={self.abstraction_stats.get('states')})")
+
+
+def _merged_stats(ts: TransitionSystem) -> Dict[str, Any]:
+    """Structural stats plus the engine's construction-time counters."""
+    return {**ts.stats(), **ts.exploration_stats}
 
 
 def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
@@ -96,7 +106,7 @@ def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
     return VerificationReport(
         dcds.name, formula, fragment, "det-abstraction",
         "weakly-acyclic" if weakly_acyclic else "forced",
-        ts.stats(), holds, ts if keep_ts else None)
+        _merged_stats(ts), holds, ts if keep_ts else None)
 
 
 def _verify_nondet(dcds: DCDS, formula: MuFormula, fragment: Fragment,
@@ -127,7 +137,7 @@ def _verify_nondet(dcds: DCDS, formula: MuFormula, fragment: Fragment,
     checker = ModelChecker(ts, extra_domain=dcds.known_constants())
     holds = checker.models(formula)
     return VerificationReport(
-        dcds.name, formula, fragment, "rcycl", condition, ts.stats(),
+        dcds.name, formula, fragment, "rcycl", condition, _merged_stats(ts),
         holds, ts if keep_ts else None)
 
 

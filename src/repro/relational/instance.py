@@ -9,7 +9,6 @@ action execution (the result of ``DO()`` before the call map is applied);
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterable, Iterator, Mapping, Tuple
 
 from repro.errors import InstanceError
@@ -19,12 +18,32 @@ from repro.relational.values import (
 from repro.utils import sorted_values, value_sort_key
 
 
-@dataclass(frozen=True)
 class Fact:
-    """A ground fact ``R(t1, ..., tn)``; terms are values or ground calls."""
+    """A ground fact ``R(t1, ..., tn)``; terms are values or ground calls.
 
-    relation: str
-    terms: Tuple[Any, ...]
+    Immutable by convention; the hash and sort key are cached because facts
+    are hashed millions of times during state-space exploration (frozenset
+    membership, interning, canonical labeling).
+    """
+
+    __slots__ = ("relation", "terms", "_hash", "_sort_key", "_concrete")
+
+    def __init__(self, relation: str, terms: Tuple[Any, ...]):
+        self.relation = relation
+        self.terms = terms
+        self._hash = None
+        self._sort_key = None
+        self._concrete = None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Fact):
+            return NotImplemented
+        return self.relation == other.relation and self.terms == other.terms
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.relation, self.terms))
+        return self._hash
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(term) for term in self.terms)
@@ -36,7 +55,10 @@ class Fact:
 
     def is_concrete(self) -> bool:
         """True when no term is an (unevaluated) service call."""
-        return all(not isinstance(term, ServiceCall) for term in self.terms)
+        if self._concrete is None:
+            self._concrete = all(
+                not isinstance(term, ServiceCall) for term in self.terms)
+        return self._concrete
 
     def service_calls(self) -> Iterator[ServiceCall]:
         for term in self.terms:
@@ -55,12 +77,18 @@ class Fact:
             for term in self.terms))
 
     def sort_key(self) -> tuple:
-        return (self.relation, tuple(value_sort_key(t) for t in self.terms))
+        if self._sort_key is None:
+            self._sort_key = (
+                self.relation, tuple(value_sort_key(t) for t in self.terms))
+        return self._sort_key
 
 
 def fact(relation: str, *terms: Any) -> Fact:
     """Convenience constructor: ``fact("R", "a", 1)`` = ``R(a, 1)``."""
     return Fact(relation, tuple(terms))
+
+
+_EMPTY_TUPLES: FrozenSet[Tuple[Any, ...]] = frozenset()
 
 
 class Instance:
@@ -70,7 +98,8 @@ class Instance:
     value renaming. Hashable, so instances can be transition-system states.
     """
 
-    __slots__ = ("_facts", "_adom", "_hash")
+    __slots__ = ("_facts", "_adom", "_hash", "_by_relation", "_indexes",
+                 "_sorted", "_calls")
 
     def __init__(self, facts: Iterable[Fact] = ()):
         normalized = []
@@ -82,8 +111,17 @@ class Instance:
             else:
                 raise InstanceError(f"cannot interpret fact {item!r}")
         self._facts: FrozenSet[Fact] = frozenset(normalized)
+        self._reset_caches()
+
+    def _reset_caches(self) -> None:
+        # Derived views are built lazily and cached forever: instances are
+        # immutable, so construction is the only "invalidation" point.
         self._adom = None
         self._hash = None
+        self._by_relation = None
+        self._indexes = None
+        self._sorted = None
+        self._calls = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -94,6 +132,15 @@ class Instance:
     @classmethod
     def empty(cls) -> "Instance":
         return cls(())
+
+    @classmethod
+    def _trusted(cls, facts: Iterable[Fact]) -> "Instance":
+        """Internal fast path: ``facts`` are known to be :class:`Fact`s."""
+        instance = cls.__new__(cls)
+        instance._facts = facts if isinstance(facts, frozenset) \
+            else frozenset(facts)
+        instance._reset_caches()
+        return instance
 
     # -- set behaviour ---------------------------------------------------------
 
@@ -119,13 +166,13 @@ class Instance:
         return self._hash
 
     def __or__(self, other: "Instance") -> "Instance":
-        return Instance(self._facts | other._facts)
+        return Instance._trusted(self._facts | other._facts)
 
     def __and__(self, other: "Instance") -> "Instance":
-        return Instance(self._facts & other._facts)
+        return Instance._trusted(self._facts & other._facts)
 
     def __sub__(self, other: "Instance") -> "Instance":
-        return Instance(self._facts - other._facts)
+        return Instance._trusted(self._facts - other._facts)
 
     def __repr__(self) -> str:
         if not self._facts:
@@ -157,22 +204,54 @@ class Instance:
     adom = active_domain
 
     def relations(self) -> FrozenSet[str]:
-        return frozenset(current.relation for current in self._facts)
+        return frozenset(self._relation_map())
+
+    def _relation_map(self) -> Dict[str, FrozenSet[Tuple[Any, ...]]]:
+        if self._by_relation is None:
+            grouped: Dict[str, list] = {}
+            for current in self._facts:
+                grouped.setdefault(current.relation, []).append(current.terms)
+            self._by_relation = {relation: frozenset(tuples)
+                                 for relation, tuples in grouped.items()}
+        return self._by_relation
 
     def tuples(self, relation: str) -> FrozenSet[Tuple[Any, ...]]:
-        """All tuples of the given relation."""
-        return frozenset(current.terms for current in self._facts
-                         if current.relation == relation)
+        """All tuples of the given relation (cached per instance)."""
+        return self._relation_map().get(relation, _EMPTY_TUPLES)
+
+    def index(self, relation: str,
+              position: int) -> Dict[Any, Tuple[Tuple[Any, ...], ...]]:
+        """Tuples of ``relation`` indexed by the term at ``position``.
+
+        Built lazily per ``(relation, position)`` and cached for the lifetime
+        of the (immutable) instance; the FOL evaluator uses these so matching
+        a positive atom with one bound term is a dict lookup instead of a
+        scan over the whole relation.
+        """
+        if self._indexes is None:
+            self._indexes = {}
+        key = (relation, position)
+        found = self._indexes.get(key)
+        if found is None:
+            grouped: Dict[Any, list] = {}
+            for terms in self._relation_map().get(relation, ()):
+                grouped.setdefault(terms[position], []).append(terms)
+            found = {value: tuple(tuples)
+                     for value, tuples in grouped.items()}
+            self._indexes[key] = found
+        return found
 
     def is_concrete(self) -> bool:
         return all(current.is_concrete() for current in self._facts)
 
     def service_calls(self) -> FrozenSet[ServiceCall]:
         """``CALLS(I)``: ground service calls occurring in the instance."""
-        calls = set()
-        for current in self._facts:
-            calls.update(current.service_calls())
-        return frozenset(calls)
+        if self._calls is None:
+            calls = set()
+            for current in self._facts:
+                calls.update(current.service_calls())
+            self._calls = frozenset(calls)
+        return self._calls
 
     def conforms_to(self, schema: DatabaseSchema) -> bool:
         """True when every fact uses a declared relation with correct arity."""
@@ -207,17 +286,22 @@ class Instance:
         if missing:
             raise InstanceError(
                 f"unresolved service calls: {sorted_values(missing)}")
-        return Instance(current.apply(call_map) for current in self._facts)
+        # Concrete facts cannot contain a call: reuse them as-is so their
+        # cached hashes survive into the successor instance.
+        return Instance._trusted(
+            current if current.is_concrete() else current.apply(call_map)
+            for current in self._facts)
 
     def rename(self, renaming: Mapping[Any, Any]) -> "Instance":
         """Rename values (used by canonicalization and isomorphism search)."""
-        return Instance(current.rename(renaming) for current in self._facts)
+        return Instance._trusted(
+            current.rename(renaming) for current in self._facts)
 
     def restrict(self, relations: Iterable[str]) -> "Instance":
         """Project onto a subset of relations (used by the reductions)."""
         wanted = set(relations)
-        return Instance(current for current in self._facts
-                        if current.relation in wanted)
+        return Instance._trusted(current for current in self._facts
+                                 if current.relation in wanted)
 
     def signature(self) -> Dict[str, int]:
         """Relation-name -> tuple-count histogram (isomorphism invariant)."""
@@ -227,4 +311,6 @@ class Instance:
         return histogram
 
     def sorted_facts(self) -> list:
-        return sorted(self._facts, key=Fact.sort_key)
+        if self._sorted is None:
+            self._sorted = sorted(self._facts, key=Fact.sort_key)
+        return list(self._sorted)

@@ -57,16 +57,37 @@ class Param:
         return f"${self.name}"
 
 
-@dataclass(frozen=True)
 class ServiceCall:
-    """A Skolem term ``f(t1, ..., tn)`` standing for an external service call."""
+    """A Skolem term ``f(t1, ..., tn)`` standing for an external service call.
 
-    function: str
-    args: Tuple[Any, ...]
+    Immutable by convention. Service calls are dict keys on every hot path
+    (call maps, evaluations, commitment enumeration) and sort keys via their
+    repr, so both the hash and the repr are cached.
+    """
+
+    __slots__ = ("function", "args", "_hash", "_repr")
+
+    def __init__(self, function: str, args: Tuple[Any, ...]):
+        self.function = function
+        self.args = args
+        self._hash = None
+        self._repr = None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ServiceCall):
+            return NotImplemented
+        return self.function == other.function and self.args == other.args
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self.function, self.args))
+        return self._hash
 
     def __repr__(self) -> str:
-        rendered = ", ".join(repr(arg) for arg in self.args)
-        return f"{self.function}({rendered})"
+        if self._repr is None:
+            rendered = ", ".join(repr(arg) for arg in self.args)
+            self._repr = f"{self.function}({rendered})"
+        return self._repr
 
     @property
     def arity(self) -> int:

@@ -15,22 +15,17 @@
   pool size to expose the gap.
 
 These variants are exercised by ``benchmarks/bench_ablations.py`` as
-evidence, not as usable APIs.
+evidence, not as usable APIs. The ablation reuses the engine's
+:class:`~repro.engine.RcyclGenerator` with ``recycle=False``.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from itertools import product
-from typing import Any, Dict, List, Set
-
 from repro.core.dcds import DCDS, ServiceSemantics
-from repro.core.execution import do_action, enabled_moves, evaluate_calls
+from repro.engine.explorer import Explorer
+from repro.engine.generators import RcyclGenerator
 from repro.errors import ReproError
-from repro.relational.values import Fresh, ServiceCall
-from repro.semantics.rcycl import _sigma_key
 from repro.semantics.transition_system import TransitionSystem
-from repro.utils import sorted_values
 
 
 class AblationExhausted(Exception):
@@ -40,6 +35,10 @@ class AblationExhausted(Exception):
         super().__init__(f"ablated construction reached {states_reached} "
                          f"states without saturating")
         self.states_reached = states_reached
+
+
+def _exhausted(explorer: Explorer) -> AblationExhausted:
+    return AblationExhausted(len(explorer.ts))
 
 
 def rcycl_fresh_only(dcds: DCDS, max_states: int = 500,
@@ -53,57 +52,9 @@ def rcycl_fresh_only(dcds: DCDS, max_states: int = 500,
     if dcds.semantics is not ServiceSemantics.NONDETERMINISTIC:
         raise ReproError("rcycl_fresh_only requires nondeterministic "
                          "semantics")
-    initial = dcds.initial
-    ts = TransitionSystem(dcds.schema, initial,
-                          name=f"rcycl-fresh-only[{dcds.name}]")
-    ts.add_state(initial, initial)
-
-    initial_adom = set(dcds.data.initial_adom)
-    known_constants = set(dcds.known_constants())
-    used_values: Set[Any] = set(initial_adom) | known_constants
-    visited: Set[tuple] = set()
-    queue: deque = deque([initial])
-    iterations = 0
-
-    while queue:
-        instance = queue.popleft()
-        for action, sigma in enabled_moves(dcds, instance):
-            key = (instance, action.name, _sigma_key(sigma))
-            if key in visited:
-                continue
-            visited.add(key)
-            iterations += 1
-            if iterations > max_iterations:
-                raise AblationExhausted(len(ts))
-
-            pending = do_action(dcds, instance, action, sigma)
-            calls = sorted(pending.service_calls(), key=repr)
-
-            # Ablation: never recycle — always mint fresh candidates.
-            candidates: List[Fresh] = []
-            taken = {v.index for v in used_values if isinstance(v, Fresh)}
-            index = 0
-            while len(candidates) < len(calls):
-                if index not in taken:
-                    candidates.append(Fresh(index))
-                    taken.add(index)
-                index += 1
-            used_values.update(candidates)
-
-            evaluation_range = sorted_values(
-                initial_adom | known_constants
-                | set(instance.active_domain()) | set(candidates))
-            for combo in product(evaluation_range, repeat=len(calls)):
-                successor = evaluate_calls(dcds, pending,
-                                           dict(zip(calls, combo)))
-                if successor is None:
-                    continue
-                is_new = successor not in ts
-                ts.add_state(successor, successor)
-                ts.add_edge(instance, successor, action.name)
-                if is_new:
-                    used_values |= set(successor.active_domain())
-                    if len(ts) > max_states:
-                        raise AblationExhausted(len(ts))
-                    queue.append(successor)
-    return ts
+    generator = RcyclGenerator(dcds, max_iterations=max_iterations,
+                               recycle=False)
+    explorer = Explorer(
+        dcds.schema, name=f"rcycl-fresh-only[{dcds.name}]",
+        max_states=max_states, on_budget="raise", budget_error=_exhausted)
+    return explorer.run(generator).transition_system

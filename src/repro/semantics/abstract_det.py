@@ -12,63 +12,39 @@ abstract transition system of Theorem 4.3, history-preserving bisimilar to
 the concrete one (see Figures 2(b), 3(b) of the paper, reproduced in the
 benchmarks). For run-unbounded DCDSs (Example 4.3) it diverges; a state fuse
 turns divergence into :class:`AbstractionDiverged` carrying the growth trace.
+
+The frontier loop lives in :class:`repro.engine.Explorer`; this module only
+configures it with the :class:`repro.engine.DetAbstractionGenerator`
+successor semantics.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, List, Optional, Tuple
+from typing import Any, FrozenSet, List, Optional, Tuple
 
 from repro.errors import AbstractionDiverged, ReproError
 from repro.core.dcds import DCDS, ServiceSemantics
-from repro.core.execution import (
-    calls_of, do_action, enabled_moves, evaluate_calls)
-from repro.relational.instance import Instance
-from repro.relational.values import ServiceCall
-from repro.semantics.commitments import enumerate_commitments
+from repro.engine.explorer import Explorer
+from repro.engine.generators import (
+    CallMap, DetAbstractionGenerator, DetState, sorted_call_map)
 from repro.semantics.transition_system import TransitionSystem
-from repro.utils import value_sort_key
 
-CallMap = Tuple[Tuple[ServiceCall, Any], ...]
+# Re-exported for backwards compatibility: DetState historically lived here.
+__all__ = [
+    "CallMap", "DetState", "build_det_abstraction", "det_growth_trace",
+    "det_successors",
+]
 
-
-@dataclass(frozen=True)
-class DetState:
-    """A state ``<I, M>`` of the (abstract or concrete) deterministic TS."""
-
-    instance: Instance
-    call_map: CallMap
-
-    def __repr__(self) -> str:
-        entries = ", ".join(f"{call!r}->{value!r}"
-                            for call, value in self.call_map)
-        return f"<{self.instance!r} | {entries}>"
-
-    def map_dict(self) -> Dict[ServiceCall, Any]:
-        return dict(self.call_map)
-
-    def known_values(self) -> FrozenSet[Any]:
-        """Every value this state has ever seen: current adom, call results,
-        and call arguments (the history, Section 4.1)."""
-        values = set(self.instance.active_domain())
-        for call, result in self.call_map:
-            values.add(result)
-            values.update(call.args)
-        return frozenset(values)
+_sorted_call_map = sorted_call_map
 
 
-def _sorted_call_map(mapping: Dict[ServiceCall, Any]) -> CallMap:
-    return tuple(sorted(mapping.items(), key=lambda item: repr(item[0])))
-
-
-def _sigma_label(action_name: str, sigma: Dict) -> str:
-    if not sigma:
-        return action_name
-    rendered = ", ".join(f"{param.name}={value!r}"
-                         for param, value in sorted(
-                             sigma.items(), key=lambda item: item[0].name))
-    return f"{action_name}[{rendered}]"
+def _diverged_error(explorer: Explorer) -> AbstractionDiverged:
+    return AbstractionDiverged(
+        f"abstraction exceeded {explorer.max_states} states — the "
+        f"DCDS is likely not run-bounded (cf. Theorem 4.6: "
+        f"run-boundedness is undecidable)",
+        growth_trace=tuple(explorer.stats.growth),
+        partial_states=len(explorer.ts))
 
 
 def build_det_abstraction(
@@ -86,38 +62,12 @@ def build_det_abstraction(
         raise ReproError(
             "build_det_abstraction requires deterministic semantics; "
             "use rcycl() for nondeterministic services")
-
-    initial = DetState(dcds.initial, ())
-    ts = TransitionSystem(dcds.schema, initial,
-                          name=f"abstract[{dcds.name}]")
-    ts.add_state(initial, dcds.initial)
-
-    known_constants = dcds.known_constants()
-    queue: deque = deque([(initial, 0)])
-    growth: List[int] = [1]
-
-    while queue:
-        state, depth = queue.popleft()
-        if max_depth is not None and depth >= max_depth:
-            ts.mark_truncated(state)
-            continue
-        for successor, label in det_successors(dcds, state, known_constants):
-            is_new = successor not in ts
-            ts.add_state(successor, successor.instance)
-            ts.add_edge(state, successor, label)
-            if is_new:
-                while len(growth) <= depth + 1:
-                    growth.append(0)
-                growth[depth + 1] += 1
-                if len(ts) > max_states:
-                    raise AbstractionDiverged(
-                        f"abstraction exceeded {max_states} states — the "
-                        f"DCDS is likely not run-bounded (cf. Theorem 4.6: "
-                        f"run-boundedness is undecidable)",
-                        growth_trace=tuple(growth),
-                        partial_states=len(ts))
-                queue.append((successor, depth + 1))
-    return ts
+    explorer = Explorer(
+        dcds.schema, name=f"abstract[{dcds.name}]",
+        max_states=max_states, max_depth=max_depth,
+        on_budget="raise", budget_error=_diverged_error)
+    result = explorer.run(DetAbstractionGenerator(dcds))
+    return result.transition_system
 
 
 def det_successors(
@@ -125,35 +75,15 @@ def det_successors(
 ) -> List[Tuple[DetState, str]]:
     """All abstract successors of ``<I, M>`` (EXECS, Section 4.1).
 
-    For every enabled ``(alpha, sigma)``: compute ``DO``, split its calls into
-    already-answered (resolved via ``M`` — determinism) and fresh ones,
-    enumerate equality commitments for the fresh ones, apply, and keep the
-    successors satisfying the equality constraints.
+    Thin wrapper over :class:`repro.engine.DetAbstractionGenerator`, kept for
+    callers that inspect one state's successors without running the engine.
+    ``known_constants`` must equal ``dcds.known_constants()`` (the historical
+    signature is preserved).
     """
-    instance = state.instance
-    call_map = state.map_dict()
-    known = state.known_values() | known_constants
-    successors: List[Tuple[DetState, str]] = []
-
-    for action, sigma in enabled_moves(dcds, instance):
-        pending = do_action(dcds, instance, action, sigma)
-        calls = pending.service_calls()
-        resolved = {call: call_map[call] for call in calls if call in call_map}
-        new_calls = sorted((call for call in calls if call not in call_map),
-                           key=repr)
-        label = _sigma_label(action.name, sigma)
-
-        for commitment in enumerate_commitments(new_calls, known):
-            evaluation = {**resolved, **commitment}
-            successor_instance = evaluate_calls(dcds, pending, evaluation)
-            if successor_instance is None:
-                continue  # equality constraints filtered this commitment out
-            extended_map = dict(call_map)
-            extended_map.update(commitment)
-            successors.append(
-                (DetState(successor_instance, _sorted_call_map(extended_map)),
-                 label))
-    return successors
+    generator = DetAbstractionGenerator(dcds)
+    generator.known_constants = frozenset(known_constants)
+    return [(successor, label)
+            for successor, _, label in generator.successors(state)]
 
 
 def det_growth_trace(dcds: DCDS, max_depth: int,

@@ -14,21 +14,23 @@ approximations are provided:
   to a depth bound. For a large-enough pool this coincides with the concrete
   system up to that depth, which is what the bounded-bisimulation validation
   tests compare abstractions against.
+
+Both delegate their exploration loop to :class:`repro.engine.Explorer`
+(oracle runs are path-shaped explorations over ``(step, instance)`` states).
 """
 
 from __future__ import annotations
 
 import random
-from collections import deque
-from itertools import product
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import AbstractionDiverged, ExecutionError, ReproError
+from repro.errors import AbstractionDiverged
 from repro.core.dcds import DCDS, ServiceSemantics
-from repro.core.execution import do_action, enabled_moves, evaluate_calls
+from repro.engine.explorer import Explorer
+from repro.engine.generators import (
+    Chooser, OracleRunGenerator, PoolDetGenerator, PoolNondetGenerator)
 from repro.relational.instance import Instance
 from repro.relational.values import Fresh, ServiceCall
-from repro.semantics.abstract_det import DetState, _sorted_call_map
 from repro.semantics.transition_system import TransitionSystem
 from repro.utils import sorted_values
 
@@ -94,13 +96,10 @@ class NondeterministicOracle:
         return value
 
 
-Chooser = Callable[[List[Tuple[Any, Dict]]], int]
-
-
 def simulate(
     dcds: DCDS,
     steps: int,
-    oracle: Callable[[ServiceCall], Any],
+    oracle,
     chooser: Optional[Chooser] = None,
 ) -> List[Tuple[Instance, Optional[str]]]:
     """Execute one concrete run of ``steps`` transitions.
@@ -112,23 +111,21 @@ def simulate(
 
     Returns the trace as ``[(instance, label), ...]`` starting at ``I0``.
     """
+    explorer = Explorer(dcds.schema, name=f"run[{dcds.name}]",
+                        max_depth=steps)
+    result = explorer.run(OracleRunGenerator(dcds, oracle, chooser))
+    ts = result.transition_system
+
+    # The exploration is a path over (step, instance) states; read it back
+    # into the trace format.
     trace: List[Tuple[Instance, Optional[str]]] = [(dcds.initial, None)]
-    current = dcds.initial
-    for _ in range(steps):
-        moves = list(enabled_moves(dcds, current))
-        if not moves:
+    state = ts.initial
+    while True:
+        outgoing = ts.sorted_labeled_edges(state)
+        if not outgoing:
             break
-        index = 0 if chooser is None else chooser(moves)
-        action, sigma = moves[index]
-        pending = do_action(dcds, current, action, sigma)
-        evaluation = {call: oracle(call)
-                      for call in sorted(pending.service_calls(), key=repr)}
-        successor = evaluate_calls(dcds, pending, evaluation)
-        if successor is None:
-            break  # constraint-violating evaluation: no such transition
-        label = action.name
-        trace.append((successor, label))
-        current = successor
+        label, state = outgoing[0]
+        trace.append((ts.db(state), label))
     return trace
 
 
@@ -147,79 +144,18 @@ def explore_concrete(
     """
     pool = sorted_values(set(pool))
     if dcds.semantics is ServiceSemantics.DETERMINISTIC:
-        return _explore_det(dcds, pool, depth, max_states)
-    return _explore_nondet(dcds, pool, depth, max_states)
+        generator = PoolDetGenerator(dcds, pool)
+        name = f"concrete-det[{dcds.name}]"
+    else:
+        generator = PoolNondetGenerator(dcds, pool)
+        name = f"concrete-nondet[{dcds.name}]"
+    explorer = Explorer(
+        dcds.schema, name=name, max_states=max_states, max_depth=depth,
+        on_budget="raise", budget_error=_fuse_error)
+    return explorer.run(generator).transition_system
 
 
-def _fuse(count: int, max_states: int) -> None:
-    if count > max_states:
-        raise AbstractionDiverged(
-            f"concrete exploration exceeded {max_states} states",
-            partial_states=count)
-
-
-def _explore_det(dcds: DCDS, pool: List[Any], depth: int,
-                 max_states: int) -> TransitionSystem:
-    initial = DetState(dcds.initial, ())
-    ts = TransitionSystem(dcds.schema, initial,
-                          name=f"concrete-det[{dcds.name}]")
-    ts.add_state(initial, dcds.initial)
-    queue: deque = deque([(initial, 0)])
-    while queue:
-        state, level = queue.popleft()
-        if level >= depth:
-            ts.mark_truncated(state)
-            continue
-        call_map = state.map_dict()
-        for action, sigma in enabled_moves(dcds, state.instance):
-            pending = do_action(dcds, state.instance, action, sigma)
-            calls = sorted(pending.service_calls(), key=repr)
-            resolved = {call: call_map[call] for call in calls
-                        if call in call_map}
-            new_calls = [call for call in calls if call not in call_map]
-            for combo in product(pool, repeat=len(new_calls)):
-                evaluation = dict(resolved)
-                evaluation.update(zip(new_calls, combo))
-                successor_instance = evaluate_calls(dcds, pending, evaluation)
-                if successor_instance is None:
-                    continue
-                extended = dict(call_map)
-                extended.update(zip(new_calls, combo))
-                successor = DetState(successor_instance,
-                                     _sorted_call_map(extended))
-                is_new = successor not in ts
-                ts.add_state(successor, successor_instance)
-                ts.add_edge(state, successor, action.name)
-                if is_new:
-                    _fuse(len(ts), max_states)
-                    queue.append((successor, level + 1))
-    return ts
-
-
-def _explore_nondet(dcds: DCDS, pool: List[Any], depth: int,
-                    max_states: int) -> TransitionSystem:
-    initial = dcds.initial
-    ts = TransitionSystem(dcds.schema, initial,
-                          name=f"concrete-nondet[{dcds.name}]")
-    ts.add_state(initial, initial)
-    queue: deque = deque([(initial, 0)])
-    while queue:
-        instance, level = queue.popleft()
-        if level >= depth:
-            ts.mark_truncated(instance)
-            continue
-        for action, sigma in enabled_moves(dcds, instance):
-            pending = do_action(dcds, instance, action, sigma)
-            calls = sorted(pending.service_calls(), key=repr)
-            for combo in product(pool, repeat=len(calls)):
-                evaluation = dict(zip(calls, combo))
-                successor = evaluate_calls(dcds, pending, evaluation)
-                if successor is None:
-                    continue
-                is_new = successor not in ts
-                ts.add_state(successor, successor)
-                ts.add_edge(instance, successor, action.name)
-                if is_new:
-                    _fuse(len(ts), max_states)
-                    queue.append((successor, level + 1))
-    return ts
+def _fuse_error(explorer: Explorer) -> AbstractionDiverged:
+    return AbstractionDiverged(
+        f"concrete exploration exceeded {explorer.max_states} states",
+        partial_states=len(explorer.ts))

@@ -5,13 +5,18 @@ are persistence-preserving bisimilar. The quotient therefore merges
 isomorphic states of a pruning while preserving all µLP properties; it is
 how we compare our RCYCL output (a pruning, not the minimum one) against the
 paper's hand-drawn abstract systems (e.g. Figure 7(b)).
+
+Isomorphism classes are discovered through the engine's
+:class:`~repro.engine.StateInterner`, so the expensive canonical labeling
+only runs on instance-fingerprint collisions and is shared between states
+with equal databases.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, Tuple
+from typing import Any, Dict, Iterable, Tuple
 
-from repro.relational.isomorphism import canonical_form
+from repro.engine.interning import StateInterner
 from repro.semantics.transition_system import State, TransitionSystem
 
 
@@ -28,14 +33,14 @@ def isomorphism_quotient(
     for nondeterministic-service systems, whose states are plain instances
     (Lemma C.2 applies to those).
     """
-    fixed = frozenset(fixed)
+    interner = StateInterner(fixed)
     mapping: Dict[State, State] = {}
     canonical_db: Dict[tuple, Any] = {}
 
     for state in ts.states:
-        canon, _ = canonical_form(ts.db(state), fixed)
-        key = tuple(f.sort_key() for f in canon.sorted_facts())
-        canonical_db.setdefault(key, canon)
+        entry = interner.intern(ts.db(state))
+        key = entry.key(interner.fixed)
+        canonical_db.setdefault(key, entry.canonical(interner.fixed))
         mapping[state] = key
 
     quotient = TransitionSystem(
@@ -46,4 +51,5 @@ def isomorphism_quotient(
         quotient.add_edge(mapping[source], mapping[target], label)
     for state in ts.truncated_states:
         quotient.mark_truncated(mapping[state])
+    quotient.exploration_stats = {"intern": interner.stats.as_dict()}
     return quotient, mapping

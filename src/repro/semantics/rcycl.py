@@ -17,38 +17,25 @@ The preference for recycling is what bounds the total number of values: once
 enough values circulate, no new ones are ever minted, and saturation follows
 for state-bounded systems. On state-unbounded inputs (Example 5.2) the loop
 diverges; a fuse raises :class:`AbstractionDiverged` with the growth trace.
+
+The frontier loop lives in :class:`repro.engine.Explorer`; this module only
+configures it with the :class:`repro.engine.RcyclGenerator` successor
+semantics (``on_budget="truncate"``: a tripped fuse marks the unexpanded
+frontier instead of raising, so partial prunings stay inspectable).
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from itertools import product
-from typing import Any, Dict, List, Set
+from typing import List
 
 from repro.errors import AbstractionDiverged, ReproError
 from repro.core.dcds import DCDS, ServiceSemantics
-from repro.core.execution import do_action, enabled_moves, evaluate_calls
-from repro.relational.values import Fresh
+from repro.engine.explorer import Explorer
+from repro.engine.generators import RcyclGenerator, sigma_key
 from repro.semantics.transition_system import TransitionSystem
-from repro.utils import sorted_values
 
-
-def _mint_fresh(count: int, used: Set[Any]) -> List[Fresh]:
-    taken = {value.index for value in used if isinstance(value, Fresh)}
-    minted: List[Fresh] = []
-    index = 0
-    while len(minted) < count:
-        if index not in taken:
-            minted.append(Fresh(index))
-            taken.add(index)
-        index += 1
-    return minted
-
-
-def _sigma_key(sigma: Dict) -> tuple:
-    return tuple(sorted(((param.name, value) for param, value in sigma.items()),
-                        key=lambda item: (item[0], repr(item[1]))))
+_sigma_key = sigma_key  # historical name, used by the ablations module
 
 
 @dataclass
@@ -63,71 +50,13 @@ class RcyclResult:
 
 def _rcycl_core(dcds: DCDS, max_states: int,
                 max_iterations: int) -> RcyclResult:
-    initial = dcds.initial
-    ts = TransitionSystem(dcds.schema, initial, name=f"rcycl[{dcds.name}]")
-    ts.add_state(initial, initial)
-
-    initial_adom = set(dcds.data.initial_adom)
-    known_constants = set(dcds.known_constants())
-    used_values: Set[Any] = set(initial_adom) | known_constants
-    visited: Set[tuple] = set()
-    queue: deque = deque([initial])
-    iterations = 0
-    minted_total = 0
-    diverged = False
-
-    while queue and not diverged:
-        instance = queue.popleft()
-        for action, sigma in enabled_moves(dcds, instance):
-            key = (instance, action.name, _sigma_key(sigma))
-            if key in visited:
-                continue
-            visited.add(key)
-            iterations += 1
-            if iterations > max_iterations:
-                diverged = True
-                break
-
-            pending = do_action(dcds, instance, action, sigma)
-            calls = sorted(pending.service_calls(), key=repr)
-            n_calls = len(calls)
-
-            # RecyclableValues := UsedValues − (ADOM(I0) ∪ ADOM(I))
-            recyclable = sorted_values(
-                used_values - (initial_adom | set(instance.active_domain())))
-            if len(recyclable) >= n_calls:
-                candidates = recyclable[:n_calls]  # recycled values
-            else:
-                candidates = _mint_fresh(n_calls, used_values)  # fresh values
-                minted_total += len(candidates)
-
-            evaluation_range = sorted_values(
-                initial_adom | known_constants
-                | set(instance.active_domain()) | set(candidates))
-
-            label = action.name if not sigma else \
-                f"{action.name}[{_sigma_key(sigma)}]"
-            for combo in product(evaluation_range, repeat=n_calls):
-                evaluation = dict(zip(calls, combo))
-                successor = evaluate_calls(dcds, pending, evaluation)
-                if successor is None:
-                    continue  # violates an equality constraint
-                is_new = successor not in ts
-                ts.add_state(successor, successor)
-                ts.add_edge(instance, successor, label)
-                if is_new:
-                    used_values |= set(successor.active_domain())
-                    queue.append(successor)
-                    if len(ts) > max_states:
-                        diverged = True
-                        break
-            if diverged:
-                break
-
-    if diverged:
-        for state in queue:
-            ts.mark_truncated(state)
-    return RcyclResult(ts, diverged, iterations, minted_total)
+    generator = RcyclGenerator(dcds, max_iterations=max_iterations)
+    explorer = Explorer(
+        dcds.schema, name=f"rcycl[{dcds.name}]",
+        max_states=max_states, on_budget="truncate")
+    result = explorer.run(generator)
+    return RcyclResult(result.transition_system, result.diverged,
+                       generator.iterations, generator.minted_total)
 
 
 def rcycl(dcds: DCDS, max_states: int = 20000,

@@ -34,6 +34,13 @@ class TransitionSystem:
         field(default_factory=dict)
     truncated_states: Set[State] = field(default_factory=set)
     name: str = ""
+    #: Filled by :class:`repro.engine.Explorer` with construction-time
+    #: counters (states/sec, frontier peak, cache hit rates, ...).
+    exploration_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Per-state memo for :meth:`sorted_successors` (state reprs are
+    #: expensive); invalidated by :meth:`add_edge`.
+    _sorted_cache: Dict[State, Tuple[State, ...]] = \
+        field(default_factory=dict, repr=False, compare=False)
 
     # -- construction -----------------------------------------------------------
 
@@ -53,6 +60,7 @@ class TransitionSystem:
         if source not in self._db or target not in self._db:
             raise ReproError("both endpoints must be added before the edge")
         self._edges[source].add((label, target))
+        self._sorted_cache.pop(source, None)
 
     def mark_truncated(self, state: State) -> None:
         self.truncated_states.add(state)
@@ -82,6 +90,36 @@ class TransitionSystem:
     def edges(self) -> Iterator[Tuple[State, Optional[str], State]]:
         for source, targets in self._edges.items():
             for label, target in targets:
+                yield source, label, target
+
+    # Edge sets are hash-ordered; the sorted accessors below give a
+    # run-independent traversal order (used by the explorers, the
+    # bisimulation checkers, and the DOT export).
+
+    def sorted_successors(self, state: State) -> Tuple[State, ...]:
+        """Successors in deterministic (repr) order, deduplicated.
+
+        Memoized per state (the bisimulation games request the same
+        state's successors at every game node)."""
+        found = self._sorted_cache.get(state)
+        if found is None:
+            found = tuple(sorted(
+                {target for _, target in self._edges.get(state, ())},
+                key=repr))
+            self._sorted_cache[state] = found
+        return found
+
+    def sorted_labeled_edges(
+            self, state: State) -> Tuple[Tuple[Optional[str], State], ...]:
+        """Outgoing ``(label, target)`` pairs in deterministic order."""
+        return tuple(sorted(
+            self._edges.get(state, ()),
+            key=lambda edge: (edge[0] or "", repr(edge[1]))))
+
+    def sorted_edges(self) -> Iterator[Tuple[State, Optional[str], State]]:
+        """All edges in deterministic (source, label, target) order."""
+        for source in sorted(self._edges, key=repr):
+            for label, target in self.sorted_labeled_edges(source):
                 yield source, label, target
 
     def edge_count(self) -> int:

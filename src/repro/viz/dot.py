@@ -34,7 +34,9 @@ def transition_system_to_dot(ts: TransitionSystem,
         style = ', style=bold' if state == ts.initial else ""
         trunc = ', color=gray' if state in ts.truncated_states else ""
         lines.append(f'  {index[state]} [label="{label}"{style}{trunc}];')
-    for source, label, target in ts.edges():
+    # sorted_edges: edge storage is a hash set, so plain edges() would make
+    # the rendering differ between runs.
+    for source, label, target in ts.sorted_edges():
         if source in included and target in included:
             edge_label = f' [label="{_escape(label)}"]' if label else ""
             lines.append(f"  {index[source]} -> {index[target]}{edge_label};")

@@ -1,0 +1,224 @@
+"""Unit tests for the exploration engine: Explorer, interning, fingerprints,
+sorted transition-system accessors, stats plumbing, and the short-circuiting
+legality check."""
+
+import pytest
+
+from repro.core import ServiceSemantics
+from repro.core.execution import is_legal, legal_substitutions
+from repro.engine import (
+    DetAbstractionGenerator, Explorer, StateInterner, instance_fingerprint)
+from repro.engine.explorer import (
+    ExplorationBudgetExceeded, SuccessorGenerator)
+from repro.errors import AbstractionDiverged, ReproError
+from repro.gallery import example_41, example_43, library_system
+from repro.mucalc import parse_mu
+from repro.pipeline import verify
+from repro.relational import DatabaseSchema, Instance, fact
+from repro.relational.values import Fresh, Param
+from repro.semantics import TransitionSystem, build_det_abstraction
+
+
+class CountingGenerator(SuccessorGenerator):
+    """A chain 0 -> 1 -> ... -> length with single-fact databases."""
+
+    def __init__(self, length, branching=1):
+        self.length = length
+        self.branching = branching
+        self.schema = DatabaseSchema.of("R/1")
+
+    def _db(self, n):
+        return Instance([fact("R", n)])
+
+    def initial_state(self):
+        return 0, self._db(0)
+
+    def successors(self, state):
+        if state >= self.length:
+            return
+        for _ in range(self.branching):
+            yield state + 1, self._db(state + 1), "step"
+
+
+class TestExplorer:
+    def test_explores_whole_chain(self):
+        generator = CountingGenerator(5)
+        result = Explorer(generator.schema).run(generator)
+        assert len(result.transition_system) == 6
+        assert not result.diverged
+        assert result.stats.growth == [1, 1, 1, 1, 1, 1]
+
+    def test_max_depth_truncates(self):
+        generator = CountingGenerator(10)
+        result = Explorer(generator.schema, max_depth=3).run(generator)
+        ts = result.transition_system
+        assert len(ts) == 4
+        assert ts.truncated_states == {3}
+
+    def test_budget_raise(self):
+        generator = CountingGenerator(100)
+        explorer = Explorer(generator.schema, max_states=5)
+        with pytest.raises(AbstractionDiverged) as excinfo:
+            explorer.run(generator)
+        assert excinfo.value.partial_states == 6
+
+    def test_budget_truncate(self):
+        generator = CountingGenerator(100)
+        explorer = Explorer(generator.schema, max_states=5,
+                            on_budget="truncate")
+        result = explorer.run(generator)
+        assert result.diverged
+        assert result.transition_system.truncated_states
+
+    def test_generator_budget_signal(self):
+        class ImpatientGenerator(CountingGenerator):
+            def successors(self, state):
+                if state >= 2:
+                    raise ExplorationBudgetExceeded("enough")
+                yield from CountingGenerator.successors(self, state)
+
+        generator = ImpatientGenerator(100)
+        result = Explorer(generator.schema,
+                          on_budget="truncate").run(generator)
+        assert result.diverged
+
+    def test_dfs_matches_bfs_states(self):
+        dcds = example_41()
+        bfs = Explorer(dcds.schema).run(DetAbstractionGenerator(dcds))
+        dfs = Explorer(dcds.schema,
+                       strategy="dfs").run(DetAbstractionGenerator(dcds))
+        assert bfs.transition_system.states == dfs.transition_system.states
+
+    def test_rejects_unknown_settings(self):
+        schema = DatabaseSchema.of("R/1")
+        with pytest.raises(ReproError):
+            Explorer(schema, on_budget="explode")
+        with pytest.raises(ReproError):
+            Explorer(schema, strategy="random")
+
+    def test_stats_recorded_on_transition_system(self):
+        ts = build_det_abstraction(example_41())
+        stats = ts.exploration_stats
+        assert stats["explored_states"] == len(ts)
+        assert stats["frontier_peak"] >= 1
+        assert stats["states_per_sec"] >= 0
+        assert tuple(stats["growth_trace"]) == (1, 5, 4)
+
+    def test_stats_surface_in_verification_report(self):
+        report = verify(example_41(), parse_mu("true"))
+        assert report.abstraction_stats["states"] == 10
+        assert "states_per_sec" in report.abstraction_stats
+        assert "frontier_peak" in report.abstraction_stats
+
+
+class TestFingerprint:
+    def test_isomorphic_instances_share_fingerprint(self):
+        first = Instance([fact("R", Fresh(0)), fact("Q", Fresh(0), "a")])
+        second = Instance([fact("R", Fresh(7)), fact("Q", Fresh(7), "a")])
+        assert instance_fingerprint(first) == instance_fingerprint(second)
+
+    def test_fixed_values_distinguish(self):
+        first = Instance([fact("R", "a")])
+        second = Instance([fact("R", Fresh(0))])
+        assert instance_fingerprint(first) == instance_fingerprint(second)
+        assert instance_fingerprint(first, frozenset({"a"})) != \
+            instance_fingerprint(second, frozenset({"a"}))
+
+    def test_different_shapes_differ(self):
+        first = Instance([fact("R", "a"), fact("R", "b")])
+        second = Instance([fact("R", "a")])
+        assert instance_fingerprint(first) != instance_fingerprint(second)
+
+
+class TestStateInterner:
+    def test_merges_isomorphic_states(self):
+        interner = StateInterner(fixed={"a"})
+        one = interner.intern(Instance([fact("R", Fresh(0))]))
+        two = interner.intern(Instance([fact("R", Fresh(5))]))
+        assert one is two
+        assert interner.stats.iso_hits == 1
+        assert interner.stats.collisions == 1
+
+    def test_keeps_fixed_values_apart(self):
+        interner = StateInterner(fixed={"a"})
+        one = interner.intern(Instance([fact("R", "a")]))
+        two = interner.intern(Instance([fact("R", Fresh(0))]))
+        assert one is not two
+
+    def test_exact_duplicates_hit_without_canonical_work(self):
+        interner = StateInterner()
+        instance = Instance([fact("R", Fresh(3))])
+        first = interner.intern(instance)
+        second = interner.intern(Instance([fact("R", Fresh(3))]))
+        assert first is second
+        assert interner.stats.exact_hits == 1
+        assert interner.stats.canonicalizations == 0
+
+    def test_unique_fingerprints_defer_canonicalization(self):
+        interner = StateInterner()
+        interner.intern(Instance([fact("R", "x")]))
+        interner.intern(Instance([fact("Q", "x", "y")]))
+        assert interner.stats.new_fingerprints == 2
+        assert interner.stats.canonicalizations == 0
+        assert len(interner) == 2
+
+    def test_canonical_key_identifies_class(self):
+        interner = StateInterner()
+        entry = interner.intern(Instance([fact("R", Fresh(9))]))
+        canonical = entry.canonical(interner.fixed)
+        assert canonical == Instance([fact("R", Fresh(0))])
+        assert entry.key(interner.fixed)
+
+
+class TestSortedAccessors:
+    @pytest.fixture
+    def ts(self):
+        schema = DatabaseSchema.of("R/1")
+        system = TransitionSystem(schema, "s0")
+        for name in ("s0", "s2", "s1"):
+            system.add_state(name, Instance.empty())
+        system.add_edge("s0", "s2", "b")
+        system.add_edge("s0", "s1", "a")
+        system.add_edge("s2", "s1")
+        return system
+
+    def test_sorted_successors(self, ts):
+        assert ts.sorted_successors("s0") == ("s1", "s2")
+        assert ts.sorted_successors("s1") == ()
+
+    def test_sorted_labeled_edges(self, ts):
+        assert ts.sorted_labeled_edges("s0") == (("a", "s1"), ("b", "s2"))
+
+    def test_sorted_edges_deterministic(self, ts):
+        assert list(ts.sorted_edges()) == [
+            ("s0", "a", "s1"), ("s0", "b", "s2"), ("s2", None, "s1")]
+
+
+class TestIsLegalShortCircuit:
+    def test_matches_membership_semantics(self):
+        dcds = library_system(books=2, members=1)
+        instance = dcds.initial
+        for rule in dcds.process.rules:
+            legal = legal_substitutions(dcds, instance, rule)
+            for sigma in legal:
+                assert is_legal(dcds, instance, rule, sigma)
+            action = dcds.process.action(rule.action)
+            bogus = {param: "no-such-value" for param in action.params}
+            if bogus and bogus not in legal:
+                assert not is_legal(dcds, instance, rule, bogus)
+
+    def test_swapped_parameters_rejected(self):
+        dcds = library_system(books=1, members=1)
+        instance = dcds.initial
+        checkout = next(rule for rule in dcds.process.rules
+                        if rule.action == "checkout")
+        swapped = {Param("b"): "m0", Param("m"): "b0"}
+        assert swapped not in legal_substitutions(dcds, instance, checkout)
+        assert not is_legal(dcds, instance, checkout, swapped)
+
+    def test_wrong_parameter_set_rejected(self):
+        dcds = library_system(books=1, members=1)
+        instance = dcds.initial
+        checkout = next(rule for rule in dcds.process.rules
+                        if rule.action == "checkout")
+        assert not is_legal(dcds, instance, checkout, {Param("b"): "b0"})

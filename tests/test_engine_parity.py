@@ -1,0 +1,281 @@
+"""Engine parity: the unified Explorer reproduces the seed builders exactly.
+
+The four state-space builders were refactored onto
+:class:`repro.engine.Explorer`. These tests pin their output against
+independent reference implementations that replay the seed algorithms'
+loops (hand-rolled BFS over the execution primitives), for every gallery
+DCDS under both service semantics where the construction is feasible.
+
+Parity is asserted structurally (equal state sets, equal edge sets — which
+implies isomorphism) and, for representatives, semantically via the
+bisimulation checkers.
+"""
+
+from collections import deque
+from itertools import product
+
+import pytest
+
+from repro.bisim import BisimMode, bisimilar, bounded_bisimilar
+from repro.core import ServiceSemantics
+from repro.core.execution import do_action, enabled_moves, evaluate_calls
+from repro.engine.generators import DetState, sigma_key, sorted_call_map
+from repro.gallery import (
+    audit_system, example_41, example_43, library_system, request_system,
+    student_registry)
+from repro.relational.values import Fresh
+from repro.semantics import (
+    DeterministicOracle, build_det_abstraction, explore_concrete, rcycl,
+    simulate)
+from repro.semantics.commitments import enumerate_commitments
+from repro.semantics.transition_system import TransitionSystem
+from repro.utils import sorted_values
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations (the seed builders' loops, replayed verbatim)
+# ---------------------------------------------------------------------------
+
+def reference_det_abstraction(dcds, max_states=20000):
+    initial = DetState(dcds.initial, ())
+    ts = TransitionSystem(dcds.schema, initial)
+    ts.add_state(initial, dcds.initial)
+    known_constants = dcds.known_constants()
+    queue = deque([initial])
+    while queue:
+        state = queue.popleft()
+        call_map = state.map_dict()
+        known = state.known_values() | known_constants
+        for action, sigma in enabled_moves(dcds, state.instance):
+            pending = do_action(dcds, state.instance, action, sigma)
+            calls = pending.service_calls()
+            resolved = {call: call_map[call]
+                        for call in calls if call in call_map}
+            new_calls = sorted(
+                (call for call in calls if call not in call_map), key=repr)
+            for commitment in enumerate_commitments(new_calls, known):
+                successor_instance = evaluate_calls(
+                    dcds, pending, {**resolved, **commitment})
+                if successor_instance is None:
+                    continue
+                extended = dict(call_map)
+                extended.update(commitment)
+                successor = DetState(successor_instance,
+                                     sorted_call_map(extended))
+                is_new = successor not in ts
+                ts.add_state(successor, successor_instance)
+                ts.add_edge(state, successor, None)
+                if is_new:
+                    assert len(ts) <= max_states
+                    queue.append(successor)
+    return ts
+
+
+def reference_rcycl(dcds, max_states=20000):
+    initial = dcds.initial
+    ts = TransitionSystem(dcds.schema, initial)
+    ts.add_state(initial, initial)
+    initial_adom = set(dcds.data.initial_adom)
+    known_constants = set(dcds.known_constants())
+    used_values = set(initial_adom) | known_constants
+    visited = set()
+    queue = deque([initial])
+    while queue:
+        instance = queue.popleft()
+        for action, sigma in enabled_moves(dcds, instance):
+            key = (instance, action.name, sigma_key(sigma))
+            if key in visited:
+                continue
+            visited.add(key)
+            pending = do_action(dcds, instance, action, sigma)
+            calls = sorted(pending.service_calls(), key=repr)
+            recyclable = sorted_values(
+                used_values - (initial_adom | set(instance.active_domain())))
+            if len(recyclable) >= len(calls):
+                candidates = recyclable[:len(calls)]
+            else:
+                taken = {v.index for v in used_values if isinstance(v, Fresh)}
+                candidates, index = [], 0
+                while len(candidates) < len(calls):
+                    if index not in taken:
+                        candidates.append(Fresh(index))
+                        taken.add(index)
+                    index += 1
+            evaluation_range = sorted_values(
+                initial_adom | known_constants
+                | set(instance.active_domain()) | set(candidates))
+            for combo in product(evaluation_range, repeat=len(calls)):
+                successor = evaluate_calls(dcds, pending,
+                                           dict(zip(calls, combo)))
+                if successor is None:
+                    continue
+                is_new = successor not in ts
+                ts.add_state(successor, successor)
+                ts.add_edge(instance, successor, None)
+                if is_new:
+                    assert len(ts) <= max_states
+                    used_values |= set(successor.active_domain())
+                    queue.append(successor)
+    return ts
+
+
+def reference_explore_concrete(dcds, pool, depth):
+    pool = sorted_values(set(pool))
+    deterministic = dcds.semantics is ServiceSemantics.DETERMINISTIC
+    initial = DetState(dcds.initial, ()) if deterministic else dcds.initial
+    ts = TransitionSystem(dcds.schema, initial)
+    ts.add_state(initial, dcds.initial)
+    queue = deque([(initial, 0)])
+    while queue:
+        state, level = queue.popleft()
+        if level >= depth:
+            ts.mark_truncated(state)
+            continue
+        instance = state.instance if deterministic else state
+        call_map = state.map_dict() if deterministic else {}
+        for action, sigma in enabled_moves(dcds, instance):
+            pending = do_action(dcds, instance, action, sigma)
+            calls = sorted(pending.service_calls(), key=repr)
+            resolved = {call: call_map[call] for call in calls
+                        if call in call_map}
+            new_calls = [call for call in calls if call not in call_map]
+            for combo in product(pool, repeat=len(new_calls)):
+                evaluation = dict(resolved)
+                evaluation.update(zip(new_calls, combo))
+                successor_instance = evaluate_calls(dcds, pending, evaluation)
+                if successor_instance is None:
+                    continue
+                if deterministic:
+                    extended = dict(call_map)
+                    extended.update(zip(new_calls, combo))
+                    successor = DetState(successor_instance,
+                                         sorted_call_map(extended))
+                else:
+                    successor = successor_instance
+                is_new = successor not in ts
+                ts.add_state(successor, successor_instance)
+                ts.add_edge(state, successor, action.name)
+                if is_new:
+                    queue.append((successor, level + 1))
+    return ts
+
+
+def reference_simulate(dcds, steps, oracle, chooser=None):
+    trace = [(dcds.initial, None)]
+    current = dcds.initial
+    for _ in range(steps):
+        moves = list(enabled_moves(dcds, current))
+        if not moves:
+            break
+        action, sigma = moves[0 if chooser is None else chooser(moves)]
+        pending = do_action(dcds, current, action, sigma)
+        evaluation = {call: oracle(call)
+                      for call in sorted(pending.service_calls(), key=repr)}
+        successor = evaluate_calls(dcds, pending, evaluation)
+        if successor is None:
+            break
+        trace.append((successor, action.name))
+        current = successor
+    return trace
+
+
+def assert_structurally_equal(engine_ts, reference_ts):
+    """Equal state/edge sets — a (trivial) isomorphism witness."""
+    assert engine_ts.initial == reference_ts.initial
+    assert engine_ts.states == reference_ts.states
+    assert len(engine_ts) == len(reference_ts)
+    engine_edges = {(s, t) for s, _, t in engine_ts.edges()}
+    reference_edges = {(s, t) for s, _, t in reference_ts.edges()}
+    assert engine_edges == reference_edges
+    assert engine_ts.truncated_states == reference_ts.truncated_states
+    for state in engine_ts.states:
+        assert engine_ts.db(state) == reference_ts.db(state)
+
+
+# ---------------------------------------------------------------------------
+# gallery/basic.py
+# ---------------------------------------------------------------------------
+
+class TestBasicGallery:
+    def test_ex41_det_abstraction_parity(self):
+        dcds = example_41()
+        assert_structurally_equal(build_det_abstraction(dcds),
+                                  reference_det_abstraction(dcds))
+
+    def test_ex41_nondet_rcycl_parity(self):
+        dcds = example_41(ServiceSemantics.NONDETERMINISTIC)
+        assert_structurally_equal(rcycl(dcds), reference_rcycl(dcds))
+
+    def test_ex43_nondet_rcycl_parity_and_bisimilarity(self):
+        dcds = example_43(ServiceSemantics.NONDETERMINISTIC)
+        engine_ts = rcycl(dcds)
+        reference_ts = reference_rcycl(dcds)
+        assert_structurally_equal(engine_ts, reference_ts)
+        assert bisimilar(engine_ts, reference_ts,
+                         mode=BisimMode.PERSISTENCE)
+
+    def test_ex43_det_pool_exploration_parity(self):
+        dcds = example_43()
+        pool = ["a", Fresh(50)]
+        assert_structurally_equal(
+            explore_concrete(dcds, pool, depth=3),
+            reference_explore_concrete(dcds, pool, depth=3))
+
+
+# ---------------------------------------------------------------------------
+# gallery/library.py
+# ---------------------------------------------------------------------------
+
+class TestLibraryGallery:
+    def test_rcycl_parity(self):
+        dcds = library_system(books=1, members=1)
+        assert_structurally_equal(rcycl(dcds), reference_rcycl(dcds))
+
+    def test_det_pool_parity_and_bounded_bisimilarity(self):
+        dcds = library_system(books=1, members=1,
+                              semantics=ServiceSemantics.DETERMINISTIC)
+        pool = ["b0", "m0", Fresh(60)]
+        engine_ts = explore_concrete(dcds, pool, depth=2)
+        reference_ts = reference_explore_concrete(dcds, pool, depth=2)
+        assert_structurally_equal(engine_ts, reference_ts)
+        assert bounded_bisimilar(engine_ts, reference_ts, depth=2,
+                                 mode=BisimMode.PERSISTENCE)
+
+
+# ---------------------------------------------------------------------------
+# gallery/student.py
+# ---------------------------------------------------------------------------
+
+class TestStudentGallery:
+    def test_rcycl_parity(self):
+        dcds = student_registry()
+        assert_structurally_equal(rcycl(dcds), reference_rcycl(dcds))
+
+    def test_nondet_pool_parity(self):
+        dcds = student_registry()
+        pool = ["idle", Fresh(70), Fresh(71)]
+        assert_structurally_equal(
+            explore_concrete(dcds, pool, depth=2),
+            reference_explore_concrete(dcds, pool, depth=2))
+
+    def test_simulate_parity(self):
+        dcds = student_registry(ServiceSemantics.DETERMINISTIC)
+        engine_trace = simulate(dcds, steps=4, oracle=DeterministicOracle())
+        reference_trace = reference_simulate(dcds, steps=4,
+                                             oracle=DeterministicOracle())
+        assert engine_trace == reference_trace
+
+
+# ---------------------------------------------------------------------------
+# gallery/travel.py
+# ---------------------------------------------------------------------------
+
+class TestTravelGallery:
+    def test_request_system_rcycl_parity(self):
+        dcds = request_system(slim=True)
+        assert_structurally_equal(rcycl(dcds), reference_rcycl(dcds))
+
+    def test_audit_system_det_abstraction_parity(self):
+        dcds = audit_system(slim=True)
+        assert_structurally_equal(build_det_abstraction(dcds),
+                                  reference_det_abstraction(dcds))
