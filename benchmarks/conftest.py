@@ -8,3 +8,10 @@ doubles as a reproduction regression check. Run with::
 """
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow-parity", action="store_true", default=False,
+        help="also run multi-minute reference-evaluator parity checks "
+             "(bench_model_checking.py)")

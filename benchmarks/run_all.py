@@ -6,7 +6,14 @@ The record contains:
 * per-benchmark wall times (mean/min, via pytest-benchmark) for every
   ``bench_*.py`` file selected;
 * engine throughput probes (states/sec, frontier peak) for representative
-  workloads, taken straight from ``TransitionSystem.exploration_stats``.
+  workloads, taken straight from ``TransitionSystem.exploration_stats``;
+* checker probes: the compiled model checker vs the seed-style reference
+  evaluator over the ``bench_model_checking`` sweep, including the
+  speedup ratio on the largest fixpoint-alternation configuration.
+
+An existing ``BENCH_<date>.json`` for the same day is merged into, not
+clobbered (section-level, so a partial ``--pattern`` run keeps earlier
+sections).
 
 Usage::
 
@@ -91,6 +98,60 @@ def engine_throughput_probes() -> dict:
     return stats
 
 
+def checker_probes() -> dict:
+    """Compiled vs reference model checking over the sweep grid.
+
+    The acceptance bar tracked here: >= 2x on the largest alternation
+    configuration (``largest_alternation.speedup``)."""
+    import time
+
+    sys.path.insert(0, SRC)
+    sys.path.insert(0, str(BENCH_DIR))
+    from bench_model_checking import (
+        DEPTHS, SIZES, formula_for_depth, quantified_formula, synthetic_ts)
+    from repro.mucalc import ModelChecker
+
+    def timed(build_checker, formula):
+        started = time.perf_counter()
+        result = build_checker().evaluate(formula)
+        return time.perf_counter() - started, result
+
+    probes: dict = {"sweep": {}}
+    for n in SIZES:
+        ts = synthetic_ts(n)
+        for depth in DEPTHS:
+            formula = formula_for_depth(depth)
+            compiled_sec, compiled_ext = timed(
+                lambda: ModelChecker(ts), formula)
+            reference_sec, reference_ext = timed(
+                lambda: ModelChecker(ts, compiled=False), formula)
+            assert compiled_ext == reference_ext, (n, depth)
+            probes["sweep"][f"states={n}/alternation={depth}"] = {
+                "compiled_sec": compiled_sec,
+                "reference_sec": reference_sec,
+                "speedup": reference_sec / compiled_sec
+                if compiled_sec else None,
+            }
+        formula = quantified_formula()
+        compiled_sec, compiled_ext = timed(lambda: ModelChecker(ts), formula)
+        reference_sec, reference_ext = timed(
+            lambda: ModelChecker(ts, compiled=False), formula)
+        assert compiled_ext == reference_ext, (n, "quantified")
+        probes["sweep"][f"states={n}/quantified-alternation=2"] = {
+            "compiled_sec": compiled_sec,
+            "reference_sec": reference_sec,
+            "speedup": reference_sec / compiled_sec
+            if compiled_sec else None,
+        }
+    largest = probes["sweep"][
+        f"states={max(SIZES)}/alternation={max(DEPTHS)}"]
+    probes["largest_alternation"] = {
+        "config": f"states={max(SIZES)}/alternation={max(DEPTHS)}",
+        **largest,
+    }
+    return probes
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--pattern", default="bench_*.py",
@@ -106,6 +167,7 @@ def main() -> None:
         "python": platform.python_version(),
         "platform": platform.platform(),
         "engine_probes": engine_throughput_probes(),
+        "checker_probes": checker_probes(),
     }
     if not args.skip_pytest:
         record["pytest_benchmarks"] = run_pytest_benchmarks(args.pattern)
@@ -113,6 +175,15 @@ def main() -> None:
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
     out_path = out_dir / f"BENCH_{record['date']}.json"
+    if out_path.exists():
+        merged = json.loads(out_path.read_text())
+        for key, value in record.items():
+            if isinstance(value, dict) \
+                    and isinstance(merged.get(key), dict):
+                merged[key].update(value)
+            else:
+                merged[key] = value
+        record = merged
     out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
     print(f"wrote {out_path}")
 

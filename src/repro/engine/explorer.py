@@ -71,6 +71,7 @@ class ExplorationStats:
     diverged: bool = False
     strategy: str = "bfs"
     intern: Dict[str, Any] = field(default_factory=dict)
+    early_stop: Optional[str] = None
 
     @property
     def states_per_sec(self) -> float:
@@ -90,6 +91,8 @@ class ExplorationStats:
         }
         if self.intern:
             result["intern"] = dict(self.intern)
+        if self.early_stop is not None:
+            result["early_stop"] = self.early_stop
         return result
 
 
@@ -137,6 +140,13 @@ class Explorer:
         Exception factory used by ``on_budget="raise"``.
     strategy:
         ``"bfs"`` (paper order, default) or ``"dfs"``.
+    observer:
+        Optional ``(state, instance) -> Optional[str]`` hook, invoked once
+        per discovered state (including the initial one). Returning a
+        non-``None`` reason stops the exploration cleanly: the remaining
+        frontier is marked truncated and the reason is recorded in
+        ``stats.early_stop``. The on-the-fly verification route uses this to
+        terminate on a witness or refutation.
     """
 
     def __init__(
@@ -148,6 +158,8 @@ class Explorer:
         on_budget: str = "raise",
         budget_error: BudgetError = _default_budget_error,
         strategy: str = "bfs",
+        observer: Optional[
+            Callable[[State, Instance], Optional[str]]] = None,
     ):
         if on_budget not in ("raise", "truncate"):
             raise ReproError(f"unknown budget behaviour {on_budget!r}")
@@ -160,6 +172,7 @@ class Explorer:
         self.on_budget = on_budget
         self.budget_error = budget_error
         self.strategy = strategy
+        self.observer = observer
         self.stats = ExplorationStats(strategy=strategy)
         self.ts: Optional[TransitionSystem] = None
 
@@ -178,7 +191,10 @@ class Explorer:
         stats.frontier_peak = 1
         budget_hit = False
 
-        while frontier:
+        if self.observer is not None:
+            stats.early_stop = self.observer(initial, initial_db)
+
+        while frontier and stats.early_stop is None:
             if self.strategy == "bfs":
                 state, depth = frontier.popleft()
             else:
@@ -198,6 +214,12 @@ class Explorer:
                             stats.growth.append(0)
                         stats.growth[depth + 1] += 1
                         generator.on_new_state(successor, db)
+                        if self.observer is not None:
+                            stats.early_stop = self.observer(successor, db)
+                            if stats.early_stop is not None:
+                                ts.mark_truncated(state)
+                                ts.mark_truncated(successor)
+                                break
                         frontier.append((successor, depth + 1))
                         if len(frontier) > stats.frontier_peak:
                             stats.frontier_peak = len(frontier)
@@ -216,6 +238,9 @@ class Explorer:
             stats.diverged = True
             if self.on_budget == "raise":
                 raise self.budget_error(self)
+            for state, _ in frontier:
+                ts.mark_truncated(state)
+        elif stats.early_stop is not None:
             for state, _ in frontier:
                 ts.mark_truncated(state)
         ts.exploration_stats = stats.as_dict()

@@ -125,7 +125,12 @@ def _holds(formula: Formula, instance: Instance,
         return any(_holds(sub, instance, valuation, domain)
                    for sub in formula.subs)
     if isinstance(formula, Exists):
-        # Quantified variables shadow any outer bindings.
+        # Quantified variables shadow any outer bindings. A variable that
+        # does not occur free in the body still needs *some* witness value:
+        # over an empty domain the existential is false, not vacuous.
+        if not domain and any(var not in _free_vars(formula.sub)
+                              for var in formula.variables):
+            return False
         inner = {key: value for key, value in valuation.items()
                  if key not in formula.variables}
         for _ in _answers(formula.sub, instance, inner, domain):
@@ -260,6 +265,11 @@ def _answers(formula: Formula, instance: Instance,
                 yield padded
         return
     if isinstance(formula, Exists):
+        # See _holds: a quantified variable vacuous in the body still
+        # consumes a domain value, so an empty domain yields no answers.
+        if not domain and any(var not in _free_vars(formula.sub)
+                              for var in formula.variables):
+            return
         inner = {key: value for key, value in valuation.items()
                  if key not in formula.variables}
         for extension in _answers(formula.sub, instance, inner, domain):

@@ -6,7 +6,11 @@ from repro.mucalc.ast import (
     diamond_live_implies, exists_live, forall_live, live)
 from repro.mucalc.checker import ModelChecker, check, extension
 from repro.mucalc.ctl import (
-    AF, AG, AG_live, AU, AU_live, AX, EF, EF_live, EG, EU, EX)
+    AF, AG, AG_live, AU, AU_live, AX, EF, EF_live, EG, EU, EX,
+    invariant_body, reachability_body)
+from repro.mucalc.engine import (
+    CompiledChecker, CompiledFormula, OnTheFlyVerifier, compile_formula,
+    evaluate_local, recognize_shape, to_pnf)
 from repro.mucalc.parser import parse_mu
 from repro.mucalc.prop import (
     Labeling, PropFormula, prop_check, propositionalize)
@@ -15,12 +19,14 @@ from repro.mucalc.syntax import (
     require_fragment)
 
 __all__ = [
-    "AF", "AG", "AG_live", "AU", "AU_live", "AX", "Box", "Diamond", "EF",
-    "EF_live", "EG", "EU", "EX", "Fragment", "Labeling", "Live", "MAnd",
-    "MExists", "MForall", "MNot", "MOr", "ModelChecker", "Mu", "MuFormula",
-    "Nu", "PredVar", "PropFormula", "QF", "box_live", "box_live_implies",
-    "check", "check_monotone", "classify", "diamond_live",
-    "diamond_live_implies", "exists_live", "extension", "forall_live",
-    "free_ivars_unfolded", "is_in_fragment", "live", "parse_mu",
-    "prop_check", "propositionalize", "require_fragment",
+    "AF", "AG", "AG_live", "AU", "AU_live", "AX", "Box", "CompiledChecker",
+    "CompiledFormula", "Diamond", "EF", "EF_live", "EG", "EU", "EX",
+    "Fragment", "Labeling", "Live", "MAnd", "MExists", "MForall", "MNot",
+    "MOr", "ModelChecker", "Mu", "MuFormula", "Nu", "OnTheFlyVerifier",
+    "PredVar", "PropFormula", "QF", "box_live", "box_live_implies",
+    "check", "check_monotone", "classify", "compile_formula",
+    "diamond_live", "diamond_live_implies", "evaluate_local", "exists_live",
+    "extension", "forall_live", "free_ivars_unfolded", "invariant_body",
+    "is_in_fragment", "live", "parse_mu", "prop_check", "propositionalize",
+    "reachability_body", "recognize_shape", "require_fragment", "to_pnf",
 ]

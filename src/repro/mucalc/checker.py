@@ -1,10 +1,23 @@
 """Model checker for first-order µ-calculus over finite transition systems.
 
-Implements the extension function of Figure 1 (plus ``LIVE``) directly:
-``evaluate`` maps a formula, an individual valuation ``v``, and a predicate
-valuation ``V`` to the set of states where the formula holds. Fixpoints are
-computed by Knaster–Tarski iteration, sound because of syntactic
-monotonicity (checked up front).
+Implements the extension function of Figure 1 (plus ``LIVE``): ``evaluate``
+maps a formula, an individual valuation ``v``, and a predicate valuation
+``V`` to the set of states where the formula holds. Fixpoints are computed
+by Knaster–Tarski iteration, sound because of syntactic monotonicity
+(checked up front and cached per formula).
+
+Two evaluation paths share this one public API:
+
+* the **compiled path** (default) delegates to
+  :mod:`repro.mucalc.engine` — the formula is compiled once per
+  ``(checker, formula)`` pair into positive normal form with fixpoint
+  cells, then evaluated with predecessor-index modalities, lazy
+  LIVE-restricted quantifiers, cross-iteration memoization, and
+  Emerson–Lei warm-started fixpoints; ``last_checking_stats`` reports the
+  iteration/reset/memo counters of the most recent run;
+* the **reference path** (``compiled=False``) is the seed-era recursive
+  evaluator, kept verbatim (modulo lazy quantifier enumeration) as the
+  semantic baseline the parity tests pin the compiled path against.
 
 First-order quantification ranges over the *finite* value set of the
 transition system (plus the formula's constants). Over the abstract
@@ -15,13 +28,16 @@ finite-domain semantics of µL.
 
 from __future__ import annotations
 
-from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+import itertools
+from typing import Any, Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
 
 from repro.errors import VerificationError
 from repro.fol.evaluation import holds
 from repro.mucalc.ast import (
     Box, Diamond, Live, MAnd, MExists, MForall, MNot, MOr, Mu, MuFormula,
     Nu, PredVar, QF)
+from repro.mucalc.engine.compiler import compile_formula
+from repro.mucalc.engine.evaluator import CompiledChecker
 from repro.mucalc.syntax import check_monotone
 from repro.relational.values import Var, is_value
 from repro.semantics.transition_system import State, TransitionSystem
@@ -35,31 +51,63 @@ class ModelChecker:
     """Evaluates µL formulas over one finite transition system."""
 
     def __init__(self, ts: TransitionSystem,
-                 extra_domain: Iterable[Any] = ()):
+                 extra_domain: Iterable[Any] = (),
+                 compiled: bool = True):
         self.ts = ts
         self.states: FrozenSet[State] = ts.states
+        self.compiled = compiled
         self._domain = frozenset(ts.values()) | frozenset(extra_domain)
         self._adom_cache: Dict[State, FrozenSet[Any]] = {}
+        # Per-(checker, formula) caches: monotonicity verdicts, quantifier
+        # domains, and compiled engines — all were recomputed on every
+        # ``evaluate`` call by the seed checker, even inside fixpoint
+        # iteration via the PROP()-style helpers.
+        self._monotone_ok: Set[MuFormula] = set()
+        self._domain_cache: Dict[MuFormula, FrozenSet[Any]] = {}
+        self._engines: Dict[MuFormula, CompiledChecker] = {}
+        #: Counters of the most recent compiled evaluation (iterations,
+        #: resets, peak extension size, memo hits); surfaced by
+        #: ``pipeline.verify`` as ``VerificationReport.checking_stats``.
+        self.last_checking_stats: Dict[str, Any] = {}
 
     # -- public API -----------------------------------------------------------
 
     def domain(self, formula: Optional[MuFormula] = None) -> FrozenSet[Any]:
-        """Quantification domain: TS values plus the formula's constants."""
-        found = set(self._domain)
-        if formula is not None:
+        """Quantification domain: TS values plus the formula's constants.
+
+        Memoized per formula — fixpoint iteration and diagnostics evaluate
+        the same formula repeatedly."""
+        if formula is None:
+            return self._domain
+        cached = self._domain_cache.get(formula)
+        if cached is None:
+            found = set(self._domain)
             for node in formula.walk():
                 if isinstance(node, QF):
                     found.update(node.query.constants())
                 elif isinstance(node, Live):
                     found.update(t for t in node.terms if is_value(t))
-        return frozenset(found)
+            cached = frozenset(found)
+            self._domain_cache[formula] = cached
+        return cached
 
     def evaluate(self, formula: MuFormula,
                  valuation: Optional[Valuation] = None,
                  predicates: Optional[PredValuation] = None
                  ) -> FrozenSet[State]:
         """The extension ``(Phi)^Upsilon_{v,V}`` (Figure 1)."""
-        check_monotone(formula)
+        self._ensure_monotone(formula)
+        if self.compiled:
+            engine = self._engines.get(formula)
+            if engine is None:
+                engine = CompiledChecker(
+                    self.ts, compile_formula(formula),
+                    self.domain(formula), adom=self._adom)
+                self._engines[formula] = engine
+            result = engine.evaluate(valuation, predicates)
+            self.last_checking_stats = engine.last_stats
+            return result
+        self.last_checking_stats = {"mode": "reference"}
         return self._eval(formula, dict(valuation or {}),
                           dict(predicates or {}),
                           self.domain(formula))
@@ -81,12 +129,19 @@ class ModelChecker:
     def holding_states(self, formula: MuFormula) -> FrozenSet[State]:
         return self.evaluate(formula)
 
-    # -- evaluation ---------------------------------------------------------------
+    # -- shared plumbing -------------------------------------------------------
+
+    def _ensure_monotone(self, formula: MuFormula) -> None:
+        if formula not in self._monotone_ok:
+            check_monotone(formula)
+            self._monotone_ok.add(formula)
 
     def _adom(self, state: State) -> FrozenSet[Any]:
         if state not in self._adom_cache:
             self._adom_cache[state] = self.ts.db(state).active_domain()
         return self._adom_cache[state]
+
+    # -- reference evaluation (the seed-era recursive path) --------------------
 
     def _eval(self, formula: MuFormula, v: Valuation, V: PredValuation,
               domain: FrozenSet[Any]) -> FrozenSet[State]:
@@ -168,12 +223,11 @@ class ModelChecker:
                      ) -> FrozenSet[State]:
         variables = formula.variables
         result: FrozenSet[State] = frozenset()
-        assignments = [()]
-        for _ in variables:
-            assignments = [prefix + (value,)
-                           for prefix in assignments
-                           for value in sorted_values(domain)]
-        for combo in assignments:
+        # Enumerate assignments lazily — materializing the domain^k list up
+        # front blows memory on wide domains; the product preserves the
+        # historical (last-variable-fastest) order.
+        ordered = sorted_values(domain)
+        for combo in itertools.product(ordered, repeat=len(variables)):
             extended = dict(v)
             extended.update(zip(variables, combo))
             result |= self._eval(formula.sub, extended, V, domain)
@@ -195,13 +249,17 @@ class ModelChecker:
 
 def check(ts: TransitionSystem, formula: MuFormula,
           valuation: Optional[Valuation] = None,
-          extra_domain: Iterable[Any] = ()) -> bool:
+          extra_domain: Iterable[Any] = (),
+          compiled: bool = True) -> bool:
     """Convenience: ``ts |= formula``."""
-    return ModelChecker(ts, extra_domain).models(formula, valuation)
+    return ModelChecker(ts, extra_domain, compiled).models(formula,
+                                                           valuation)
 
 
 def extension(ts: TransitionSystem, formula: MuFormula,
               valuation: Optional[Valuation] = None,
-              extra_domain: Iterable[Any] = ()) -> FrozenSet[State]:
+              extra_domain: Iterable[Any] = (),
+              compiled: bool = True) -> FrozenSet[State]:
     """Convenience: the set of states satisfying the formula."""
-    return ModelChecker(ts, extra_domain).evaluate(formula, valuation)
+    return ModelChecker(ts, extra_domain, compiled).evaluate(formula,
+                                                             valuation)

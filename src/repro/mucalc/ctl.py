@@ -112,3 +112,47 @@ from repro.mucalc.ast import QF  # noqa: E402
 
 _TRUE = QF(_FO_TRUE)
 _FALSE = QF(_FO_FALSE)
+
+
+# -- encoding inverses ------------------------------------------------------
+#
+# The on-the-fly verification route and the diagnostics accept full fixpoint
+# formulas; these destructurers recover the state property from the standard
+# encodings built above (tolerating any argument order inside the boolean
+# connective).
+
+def _drop_modal_self_loop(subs, variable: str, modal_type):
+    rest, found = [], False
+    for sub in subs:
+        if isinstance(sub, modal_type) and isinstance(sub.sub, PredVar) \
+                and sub.sub.name == variable:
+            found = True
+        else:
+            rest.append(sub)
+    return rest if found and rest else None
+
+
+def reachability_body(formula: MuFormula) -> Optional[MuFormula]:
+    """Inverse of :func:`EF`: ``mu Z. phi | <->Z`` gives ``phi``."""
+    if not isinstance(formula, Mu):
+        return None
+    subs = formula.sub.subs if isinstance(formula.sub, MOr) \
+        else (formula.sub,)
+    rest = _drop_modal_self_loop(subs, formula.var, Diamond)
+    if rest is None:
+        return None
+    body = MOr.of(*rest)
+    return None if formula.var in body.free_pvars() else body
+
+
+def invariant_body(formula: MuFormula) -> Optional[MuFormula]:
+    """Inverse of :func:`AG`: ``nu Z. phi & [-]Z`` gives ``phi``."""
+    if not isinstance(formula, Nu):
+        return None
+    subs = formula.sub.subs if isinstance(formula.sub, MAnd) \
+        else (formula.sub,)
+    rest = _drop_modal_self_loop(subs, formula.var, Box)
+    if rest is None:
+        return None
+    body = MAnd.of(*rest)
+    return None if formula.var in body.free_pvars() else body

@@ -20,6 +20,7 @@ from typing import FrozenSet, List, Optional, Tuple
 
 from repro.mucalc.ast import MuFormula
 from repro.mucalc.checker import ModelChecker
+from repro.mucalc.ctl import invariant_body, reachability_body
 from repro.semantics.transition_system import State, TransitionSystem
 
 Trace = List[Tuple[State, "Instance", Optional[str]]]
@@ -61,10 +62,14 @@ def counterexample(ts: TransitionSystem, invariant: MuFormula,
                    ) -> Optional[Trace]:
     """A shortest trace to a reachable state violating ``invariant``.
 
-    ``invariant`` is the *state* property (the ``phi`` of ``AG phi``), not
-    the fixpoint formula. Returns ``None`` when the invariant holds on all
+    ``invariant`` is the *state* property (the ``phi`` of ``AG phi``); the
+    full fixpoint encoding ``nu Z. phi & [-]Z`` is also accepted and
+    destructured. Returns ``None`` when the invariant holds on all
     reachable states.
     """
+    body = invariant_body(invariant)
+    if body is not None:
+        invariant = body
     checker = checker or ModelChecker(ts)
     good = checker.evaluate(invariant)
     bad = frozenset(ts.reachable_from()) - good
@@ -73,7 +78,13 @@ def counterexample(ts: TransitionSystem, invariant: MuFormula,
 
 def witness(ts: TransitionSystem, goal: MuFormula,
             checker: Optional[ModelChecker] = None) -> Optional[Trace]:
-    """A shortest trace reaching a state satisfying ``goal`` (EF-witness)."""
+    """A shortest trace reaching a state satisfying ``goal`` (EF-witness).
+
+    ``goal`` is the state property; the full encoding ``mu Z. phi | <->Z``
+    is also accepted and destructured."""
+    body = reachability_body(goal)
+    if body is not None:
+        goal = body
     checker = checker or ModelChecker(ts)
     targets = checker.evaluate(goal) & frozenset(ts.reachable_from())
     return shortest_path_to(ts, targets)

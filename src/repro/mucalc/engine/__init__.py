@@ -1,0 +1,34 @@
+"""Compiled model-checking layer (the checking twin of ``repro.engine``).
+
+The seed checker interpreted formulas directly: every ``evaluate`` call
+re-derived the quantification domain, re-checked monotonicity, restarted
+every fixpoint from scratch, and scanned all states for each modality.
+This package compiles a formula once (:mod:`compiler`: positive normal
+form, per-occurrence fixpoint cells with dependency metadata, alternation
+depth, cost-ordered plans) and evaluates it with indexed machinery
+(:mod:`evaluator`: predecessor-index modalities, lazy LIVE-restricted
+quantifiers, version-keyed memoization, Emerson–Lei warm-started
+fixpoints). :mod:`onthefly` fuses the checker with
+:class:`repro.engine.Explorer` so safety/reachability formulas stop the
+state-space construction on the first witness or violation.
+
+:class:`repro.mucalc.ModelChecker` fronts this package; the seed-style
+recursive evaluator remains available (``compiled=False``) as the parity
+reference.
+"""
+
+from repro.mucalc.engine.compiler import (
+    CompiledFormula, FixpointCell, Plan, compile_formula, to_pnf)
+from repro.mucalc.engine.evaluator import (
+    CheckStats, CompiledChecker, box_states, deadlock_states,
+    diamond_states)
+from repro.mucalc.engine.onthefly import (
+    OnTheFlyVerifier, PropertyShape, evaluate_local, is_state_local,
+    recognize_shape)
+
+__all__ = [
+    "CheckStats", "CompiledChecker", "CompiledFormula", "FixpointCell",
+    "OnTheFlyVerifier", "Plan", "PropertyShape", "box_states",
+    "compile_formula", "deadlock_states", "diamond_states",
+    "evaluate_local", "is_state_local", "recognize_shape", "to_pnf",
+]

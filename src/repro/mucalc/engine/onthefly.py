@@ -1,0 +1,189 @@
+"""On-the-fly verification: fuse exploration with checking.
+
+Safety and reachability properties — the ``AG phi`` / ``EF phi`` fixpoint
+encodings of :mod:`repro.mucalc.ctl` — have verdicts that depend only on
+whether some reachable state satisfies a *state-local* body. For those, the
+full Table 1 route (build the entire abstraction, then run the fixpoint
+checker) is wasteful: the verdict is often decided by the first witness or
+violation discovered. This module provides
+
+* :func:`recognize_shape` — destructures ``mu Z. phi | <->Z`` and
+  ``nu Z. phi & [-]Z`` (in any argument order) into a
+  :class:`PropertyShape`, provided ``phi`` is *state-local*: no modalities,
+  fixpoints, or predicate variables, and every quantifier is LIVE-guarded
+  in the µLA shapes (``E x. LIVE(x) & ...`` / ``A x. LIVE(x) -> ...``), so
+  its range collapses to the state's own active domain;
+* :func:`evaluate_local` — evaluates a state-local body on a single
+  database instance, no transition system required;
+* :class:`OnTheFlyVerifier` — an :class:`repro.engine.Explorer` observer
+  that checks every discovered state and stops the exploration the moment
+  the verdict is decided.
+
+``pipeline.verify(..., on_the_fly=True)`` routes through here when the
+formula qualifies and falls back to the compiled offline checker otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Mapping, Optional
+
+from repro.fol.evaluation import holds
+from repro.mucalc.ast import (
+    Box, Diamond, Live, MAnd, MExists, MForall, MNot, MOr, Mu, MuFormula,
+    Nu, PredVar, QF)
+from repro.mucalc.engine.compiler import _exists_guard, _forall_guard
+from repro.relational.instance import Instance
+from repro.relational.values import Var
+from repro.semantics.transition_system import State
+from repro.utils import sorted_values
+
+
+@dataclass(frozen=True)
+class PropertyShape:
+    """A recognized on-the-fly-checkable property."""
+
+    kind: str  # "reachability" (EF body) or "invariant" (AG body)
+    body: MuFormula
+
+
+def is_state_local(formula: MuFormula) -> bool:
+    """Can the formula be decided on a single state's database?
+
+    True for modality/fixpoint-free formulas whose quantifiers are all
+    LIVE-guarded: the guard confines quantified values to the state's own
+    active domain, so no knowledge of the rest of the transition system
+    (its value set) is needed."""
+    if isinstance(formula, (Diamond, Box, Mu, Nu, PredVar)):
+        return False
+    if isinstance(formula, MExists):
+        if not frozenset(formula.variables) <= _exists_guard(formula.sub):
+            return False
+        return is_state_local(formula.sub)
+    if isinstance(formula, MForall):
+        if not frozenset(formula.variables) <= _forall_guard(formula.sub):
+            return False
+        return is_state_local(formula.sub)
+    if isinstance(formula, (QF, Live)):
+        return True
+    return all(is_state_local(child) for child in formula.children())
+
+
+def recognize_shape(formula: MuFormula) -> Optional[PropertyShape]:
+    """Destructure an EF/AG fixpoint encoding with a state-local body."""
+    from repro.mucalc.ctl import invariant_body, reachability_body
+
+    body = reachability_body(formula)
+    kind = "reachability"
+    if body is None:
+        body = invariant_body(formula)
+        kind = "invariant"
+    if body is None:
+        return None
+    if body.free_pvars() or body.free_ivars() or not is_state_local(body):
+        return None
+    return PropertyShape(kind, body)
+
+
+def evaluate_local(formula: MuFormula, instance: Instance,
+                   valuation: Optional[Mapping[Var, Any]] = None) -> bool:
+    """Truth of a state-local formula on one database instance."""
+    valuation = dict(valuation or {})
+    return _local(formula, instance, instance.active_domain(), valuation)
+
+
+def _local(formula: MuFormula, instance: Instance,
+           adom: FrozenSet[Any], valuation: Dict[Var, Any]) -> bool:
+    if isinstance(formula, QF):
+        relevant = {var: value for var, value in valuation.items()
+                    if var in formula.query.free_variables()}
+        return holds(formula.query, instance, relevant)
+    if isinstance(formula, Live):
+        for term in formula.terms:
+            value = valuation.get(term, term) if isinstance(term, Var) \
+                else term
+            if value not in adom:
+                return False
+        return True
+    if isinstance(formula, MNot):
+        return not _local(formula.sub, instance, adom, valuation)
+    if isinstance(formula, MAnd):
+        return all(_local(sub, instance, adom, valuation)
+                   for sub in formula.subs)
+    if isinstance(formula, MOr):
+        return any(_local(sub, instance, adom, valuation)
+                   for sub in formula.subs)
+    if isinstance(formula, (MExists, MForall)):
+        # The LIVE guard (checked by is_state_local) confines satisfying
+        # assignments to the active domain: dead values fail an
+        # existential's guard and satisfy a universal's guard vacuously.
+        candidates = sorted_values(adom)
+        exists = isinstance(formula, MExists)
+
+        def assignments(index: int) -> bool:
+            if index == len(formula.variables):
+                return _local(formula.sub, instance, adom, valuation)
+            var = formula.variables[index]
+            previous = valuation.get(var, _UNSET)
+            try:
+                for value in candidates:
+                    valuation[var] = value
+                    satisfied = assignments(index + 1)
+                    if satisfied == exists:
+                        return satisfied
+                return not exists
+            finally:
+                if previous is _UNSET:
+                    valuation.pop(var, None)
+                else:
+                    valuation[var] = previous
+
+        return assignments(0)
+    raise ValueError(f"not a state-local formula: {formula!r}")
+
+
+_UNSET = object()
+
+
+class OnTheFlyVerifier:
+    """Explorer observer that decides a recognized shape incrementally."""
+
+    def __init__(self, shape: PropertyShape):
+        self.shape = shape
+        self.states_checked = 0
+        self.stop_state: Optional[State] = None
+        self.stop_reason: Optional[str] = None
+
+    def observe(self, state: State, instance: Instance) -> Optional[str]:
+        """Per-state hook for :class:`repro.engine.Explorer`."""
+        self.states_checked += 1
+        satisfied = evaluate_local(self.shape.body, instance)
+        if self.shape.kind == "reachability" and satisfied:
+            self.stop_state = state
+            self.stop_reason = "witness-found"
+        elif self.shape.kind == "invariant" and not satisfied:
+            self.stop_state = state
+            self.stop_reason = "violation-found"
+        return self.stop_reason
+
+    @property
+    def stopped(self) -> bool:
+        return self.stop_state is not None
+
+    def verdict(self) -> bool:
+        """The property's truth at the initial state.
+
+        Only meaningful after the exploration either stopped early or
+        completed: a witness decides reachability positively, a violation
+        decides an invariant negatively, and exhaustion decides the rest."""
+        if self.shape.kind == "reachability":
+            return self.stopped
+        return not self.stopped
+
+    def stats_dict(self) -> Dict[str, Any]:
+        return {
+            "mode": "on-the-fly",
+            "shape": self.shape.kind,
+            "states_checked": self.states_checked,
+            "early_stop": self.stop_reason,
+        }

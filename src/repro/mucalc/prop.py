@@ -123,8 +123,16 @@ Labeling = Dict[str, FrozenSet[State]]
 
 def prop_check(ts: TransitionSystem, formula: PropFormula,
                labeling: Labeling) -> FrozenSet[State]:
-    """Standard propositional µ-calculus model checking (Emerson [22])."""
+    """Standard propositional µ-calculus model checking (Emerson [22]).
+
+    Modalities propagate backward along the transition system's
+    predecessor index (shared with the compiled first-order checker)
+    instead of scanning every state."""
+    from repro.mucalc.engine.evaluator import (
+        box_states, deadlock_states, diamond_states)
+
     states = ts.states
+    deadlocks = deadlock_states(ts)
 
     def evaluate(node: PropFormula,
                  env: Dict[str, FrozenSet[State]]) -> FrozenSet[State]:
@@ -148,12 +156,10 @@ def prop_check(ts: TransitionSystem, formula: PropFormula,
             return result
         if isinstance(node, PDiamond):
             target = evaluate(node.sub, env)
-            return frozenset(state for state in states
-                             if ts.successors(state) & target)
+            return diamond_states(ts, target)
         if isinstance(node, PBox):
             target = evaluate(node.sub, env)
-            return frozenset(state for state in states
-                             if ts.successors(state) <= target)
+            return box_states(ts, target, deadlocks)
         if isinstance(node, PVar):
             return env[node.name]
         if isinstance(node, (PMu, PNu)):

@@ -103,8 +103,13 @@ def _live_guard(node: MuFormula) -> Optional[Tuple[FrozenSet[Var], MuFormula]]:
     """Destructure ``LIVE(x...) & Phi`` or ``~LIVE(x...) | Phi``.
 
     Returns ``(guarded_vars, remainder)`` or ``None`` if the node does not
-    have either guarded shape.
+    have either guarded shape. A bare ``LIVE(x...)`` (or ``~LIVE(x...)``)
+    is the degenerate guard with remainder ``true``.
     """
+    if isinstance(node, Live):
+        return node.free_ivars(), QF_TRUE
+    if isinstance(node, MNot) and isinstance(node.sub, Live):
+        return node.sub.free_ivars(), QF_TRUE
     if isinstance(node, MAnd):
         guards = [sub for sub in node.subs if isinstance(sub, Live)]
         rest = [sub for sub in node.subs if not isinstance(sub, Live)]

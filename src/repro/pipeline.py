@@ -18,11 +18,18 @@ Everything else raises :class:`UndecidableFragment` citing the theorem that
 dooms it — unless ``force=True``, in which case the construction runs under
 its fuse anyway (it may succeed: the syntactic conditions are sufficient,
 not necessary).
+
+Checking itself runs on the compiled layer of :mod:`repro.mucalc.engine`;
+``on_the_fly=True`` additionally fuses exploration and checking for
+safety/reachability-shaped formulas (``AG phi`` / ``EF phi`` with a
+state-local body): the state space is only built until a witness or
+violation decides the verdict. Either way the report's ``checking_stats``
+records how the verdict was reached.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from repro.analysis.dataflow_graph import dataflow_graph
@@ -31,6 +38,7 @@ from repro.core.dcds import DCDS, ServiceSemantics
 from repro.errors import UndecidableFragment
 from repro.mucalc.ast import MuFormula
 from repro.mucalc.checker import ModelChecker
+from repro.mucalc.engine.onthefly import OnTheFlyVerifier, recognize_shape
 from repro.mucalc.syntax import Fragment, classify
 from repro.reductions.det_to_nondet import det_to_nondet
 from repro.semantics.abstract_det import build_det_abstraction
@@ -45,6 +53,10 @@ class VerificationReport:
     ``abstraction_stats`` merges the structural stats of the constructed
     transition system (states, edges, totality, ...) with the engine's
     exploration counters (states/sec, frontier peak, expansion counts).
+    ``checking_stats`` records the checking side: compiled-evaluator
+    counters (fixpoint iterations, resets, peak extension size, memo hits)
+    or, on the on-the-fly route, the early-stop reason and how many states
+    were checked before the verdict was decided.
     """
 
     dcds_name: str
@@ -55,6 +67,7 @@ class VerificationReport:
     abstraction_stats: Dict[str, Any]
     holds: bool
     transition_system: Optional[TransitionSystem] = None
+    checking_stats: Dict[str, Any] = field(default_factory=dict)
 
     def __repr__(self) -> str:
         verdict = "HOLDS" if self.holds else "FAILS"
@@ -70,23 +83,45 @@ def _merged_stats(ts: TransitionSystem) -> Dict[str, Any]:
 
 
 def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
-           force: bool = False, keep_ts: bool = True) -> VerificationReport:
-    """Verify ``dcds |= formula`` through the decidable routes of Table 1."""
+           force: bool = False, keep_ts: bool = True,
+           on_the_fly: bool = False) -> VerificationReport:
+    """Verify ``dcds |= formula`` through the decidable routes of Table 1.
+
+    With ``on_the_fly=True``, safety/reachability-shaped formulas fuse the
+    state-space construction with the checker and stop on the first
+    witness or refutation; other formulas fall back to the offline
+    compiled checker."""
     fragment = classify(formula)
 
     if dcds.has_mixed_semantics():
         return _verify_mixed(dcds, formula, fragment, max_states, force,
-                             keep_ts)
+                             keep_ts, on_the_fly)
     if dcds.semantics is ServiceSemantics.DETERMINISTIC:
         return _verify_det(dcds, formula, fragment, max_states, force,
-                           keep_ts)
+                           keep_ts, on_the_fly)
     return _verify_nondet(dcds, formula, fragment, max_states, force,
-                          keep_ts)
+                          keep_ts, on_the_fly)
+
+
+def _check(dcds: DCDS, formula: MuFormula, build, on_the_fly: bool):
+    """Run one route's construction + checking, possibly fused.
+
+    ``build`` maps an optional Explorer observer to the constructed
+    transition system. Returns ``(ts, holds, checking_stats)``."""
+    shape = recognize_shape(formula) if on_the_fly else None
+    if shape is not None:
+        verifier = OnTheFlyVerifier(shape)
+        ts = build(verifier.observe)
+        return ts, verifier.verdict(), verifier.stats_dict()
+    ts = build(None)
+    checker = ModelChecker(ts, extra_domain=dcds.known_constants())
+    holds = checker.models(formula)
+    return ts, holds, checker.last_checking_stats
 
 
 def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
-                max_states: int, force: bool,
-                keep_ts: bool) -> VerificationReport:
+                max_states: int, force: bool, keep_ts: bool,
+                on_the_fly: bool = False) -> VerificationReport:
     if fragment is Fragment.MU_L and not force:
         raise UndecidableFragment(
             "full µL admits no faithful finite abstraction even for "
@@ -100,18 +135,20 @@ def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
             f"{graph.violating_special_edge()}); run-boundedness cannot be "
             f"certified and is undecidable to check",
             theorem="Theorem 4.6 / 4.8")
-    ts = build_det_abstraction(dcds, max_states=max_states)
-    checker = ModelChecker(ts, extra_domain=dcds.known_constants())
-    holds = checker.models(formula)
+    ts, holds, checking = _check(
+        dcds, formula,
+        lambda observer: build_det_abstraction(
+            dcds, max_states=max_states, observer=observer),
+        on_the_fly)
     return VerificationReport(
         dcds.name, formula, fragment, "det-abstraction",
         "weakly-acyclic" if weakly_acyclic else "forced",
-        _merged_stats(ts), holds, ts if keep_ts else None)
+        _merged_stats(ts), holds, ts if keep_ts else None, checking)
 
 
 def _verify_nondet(dcds: DCDS, formula: MuFormula, fragment: Fragment,
-                   max_states: int, force: bool,
-                   keep_ts: bool) -> VerificationReport:
+                   max_states: int, force: bool, keep_ts: bool,
+                   on_the_fly: bool = False) -> VerificationReport:
     if fragment is not Fragment.MU_LP and not force:
         theorem = "Theorem 5.2" if fragment is Fragment.MU_LA \
             else "Theorem 5.1"
@@ -133,23 +170,25 @@ def _verify_nondet(dcds: DCDS, formula: MuFormula, fragment: Fragment,
             f"{graph.gr_plus_violation()!r}); state-boundedness cannot be "
             f"certified and is undecidable to check",
             theorem="Theorem 5.5 / 5.7")
-    ts = rcycl(dcds, max_states=max_states)
-    checker = ModelChecker(ts, extra_domain=dcds.known_constants())
-    holds = checker.models(formula)
+    ts, holds, checking = _check(
+        dcds, formula,
+        lambda observer: rcycl(
+            dcds, max_states=max_states, observer=observer),
+        on_the_fly)
     return VerificationReport(
         dcds.name, formula, fragment, "rcycl", condition, _merged_stats(ts),
-        holds, ts if keep_ts else None)
+        holds, ts if keep_ts else None, checking)
 
 
 def _verify_mixed(dcds: DCDS, formula: MuFormula, fragment: Fragment,
-                  max_states: int, force: bool,
-                  keep_ts: bool) -> VerificationReport:
+                  max_states: int, force: bool, keep_ts: bool,
+                  on_the_fly: bool = False) -> VerificationReport:
     deterministic_functions = [
         function.name for function in dcds.process.functions
         if dcds.is_deterministic(function.name)]
     rewritten = det_to_nondet(dcds, only_functions=deterministic_functions)
     report = _verify_nondet(rewritten, formula, fragment, max_states, force,
-                            keep_ts)
+                            keep_ts, on_the_fly)
     report.route = f"mixed->({report.route})"
     report.dcds_name = dcds.name
     return report

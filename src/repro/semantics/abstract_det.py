@@ -51,12 +51,15 @@ def build_det_abstraction(
     dcds: DCDS,
     max_states: int = 20000,
     max_depth: Optional[int] = None,
+    observer=None,
 ) -> TransitionSystem:
     """Build the abstract transition system of Theorem 4.3 by BFS.
 
     ``max_states`` is the divergence fuse; ``max_depth`` optionally truncates
     the construction (useful for growth probes on run-unbounded inputs —
-    truncated frontier states are marked on the result).
+    truncated frontier states are marked on the result). ``observer`` is the
+    per-state early-stop hook of :class:`repro.engine.Explorer` (the
+    on-the-fly verification route).
     """
     if dcds.semantics is not ServiceSemantics.DETERMINISTIC:
         raise ReproError(
@@ -65,7 +68,8 @@ def build_det_abstraction(
     explorer = Explorer(
         dcds.schema, name=f"abstract[{dcds.name}]",
         max_states=max_states, max_depth=max_depth,
-        on_budget="raise", budget_error=_diverged_error)
+        on_budget="raise", budget_error=_diverged_error,
+        observer=observer)
     result = explorer.run(DetAbstractionGenerator(dcds))
     return result.transition_system
 

@@ -49,29 +49,31 @@ class RcyclResult:
 
 
 def _rcycl_core(dcds: DCDS, max_states: int,
-                max_iterations: int) -> RcyclResult:
+                max_iterations: int, observer=None) -> RcyclResult:
     generator = RcyclGenerator(dcds, max_iterations=max_iterations)
     explorer = Explorer(
         dcds.schema, name=f"rcycl[{dcds.name}]",
-        max_states=max_states, on_budget="truncate")
+        max_states=max_states, on_budget="truncate", observer=observer)
     result = explorer.run(generator)
     return RcyclResult(result.transition_system, result.diverged,
                        generator.iterations, generator.minted_total)
 
 
 def rcycl(dcds: DCDS, max_states: int = 20000,
-          max_iterations: int = 2000000) -> TransitionSystem:
+          max_iterations: int = 2000000, observer=None) -> TransitionSystem:
     """Run Algorithm RCYCL and return the finite pruning it constructs.
 
     Raises :class:`AbstractionDiverged` when the fuse trips — the observable
     symptom of a state-unbounded DCDS (state-boundedness is undecidable,
     Theorem 5.5). Use :func:`rcycl_partial` to inspect the partial result.
+    ``observer`` is the per-state early-stop hook of
+    :class:`repro.engine.Explorer` (the on-the-fly verification route).
     """
     if dcds.semantics is not ServiceSemantics.NONDETERMINISTIC:
         raise ReproError(
             "rcycl requires nondeterministic semantics; use "
             "build_det_abstraction for deterministic services")
-    result = _rcycl_core(dcds, max_states, max_iterations)
+    result = _rcycl_core(dcds, max_states, max_iterations, observer)
     if result.diverged:
         sizes = _discovery_sizes(result.transition_system)
         raise AbstractionDiverged(

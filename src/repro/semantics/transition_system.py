@@ -41,6 +41,11 @@ class TransitionSystem:
     #: expensive); invalidated by :meth:`add_edge`.
     _sorted_cache: Dict[State, Tuple[State, ...]] = \
         field(default_factory=dict, repr=False, compare=False)
+    #: Lazy backward index for :meth:`predecessors` (built once on first use,
+    #: invalidated by :meth:`add_edge`); the compiled model checker's
+    #: ``Diamond``/``Box`` propagation is built on it.
+    _pred_cache: Optional[Dict[State, FrozenSet[State]]] = \
+        field(default=None, repr=False, compare=False)
 
     # -- construction -----------------------------------------------------------
 
@@ -61,6 +66,7 @@ class TransitionSystem:
             raise ReproError("both endpoints must be added before the edge")
         self._edges[source].add((label, target))
         self._sorted_cache.pop(source, None)
+        self._pred_cache = None
 
     def mark_truncated(self, state: State) -> None:
         self.truncated_states.add(state)
@@ -86,6 +92,27 @@ class TransitionSystem:
     def labeled_edges(self, state: State
                       ) -> FrozenSet[Tuple[Optional[str], State]]:
         return frozenset(self._edges.get(state, ()))
+
+    def predecessors(self, state: State) -> FrozenSet[State]:
+        """Distinct sources of edges into ``state``.
+
+        The full backward index is built lazily on first use (checking
+        happens after construction, so one build usually suffices) and
+        invalidated by :meth:`add_edge`. ``Diamond``/``Box`` extensions are
+        computed by propagating along this index instead of scanning all
+        states."""
+        if self._pred_cache is None:
+            index: Dict[State, Set[State]] = {}
+            for source, targets in self._edges.items():
+                for _, target in targets:
+                    index.setdefault(target, set()).add(source)
+            self._pred_cache = {target: frozenset(sources)
+                                for target, sources in index.items()}
+        return self._pred_cache.get(state, frozenset())
+
+    def out_degree(self, state: State) -> int:
+        """Number of *distinct* successor states."""
+        return len(self.sorted_successors(state))
 
     def edges(self) -> Iterator[Tuple[State, Optional[str], State]]:
         for source, targets in self._edges.items():

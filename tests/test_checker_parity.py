@@ -1,0 +1,226 @@
+"""Checker parity: the compiled engine reproduces the seed evaluator.
+
+The `ModelChecker` was refactored onto the compiled checking layer
+(`repro.mucalc.engine`): positive normal form, predecessor-index
+modalities, memoized subformula extensions, Emerson–Lei warm-started
+fixpoints. These tests pin `extension()` of the compiled path against the
+seed-style recursive evaluator (`compiled=False`) on every gallery DCDS ×
+formula pair, over the same Table 1 transition systems the pipeline
+builds — including alternating fixpoints, quantified LIVE-guarded
+properties, and formulas mixing constants into LIVE.
+"""
+
+import pytest
+
+from repro.core import ServiceSemantics
+from repro.gallery import (
+    audit_system, example_41, example_42, example_43, library_system,
+    request_system, student_registry)
+from repro.gallery.library import (
+    property_loaned_books_off_shelf, property_loans_returnable,
+    property_some_book_always_trackable)
+from repro.gallery.student import (
+    property_eventual_graduation_mu_la, property_eventual_graduation_mu_lp,
+    property_graduation_or_dropout_mu_lp, property_no_student_while_idle)
+from repro.gallery.travel import (
+    property_no_unpriced_acceptance_slim, property_request_eventually_decided)
+from repro.mucalc import (
+    AF, AG, EF, EG, EU, EX, AX, ModelChecker, MNot, parse_mu)
+from repro.mucalc.ast import Box, Diamond, MAnd, MOr, Mu, Nu, PredVar
+from repro.semantics import build_det_abstraction, rcycl
+
+
+def alternating_suite(probe):
+    """Fixpoint shapes around one state property, alternation depth 1-3."""
+    x, y, z = PredVar("X"), PredVar("Y"), PredVar("Z")
+    infinitely_often = Nu("X", Mu("Y", MOr.of(
+        MAnd.of(probe, Diamond(x)), Diamond(y))))
+    return [
+        probe,
+        EX(probe), AX(probe),
+        EF(probe), AG(probe), AF(probe), EG(probe),
+        EU(probe, MNot(probe)),
+        # mu inside nu: infinitely often probe.
+        infinitely_often,
+        # nu inside mu: eventually an invariant region.
+        Mu("Y", MOr.of(Nu("X", MAnd.of(probe, Box(x))), Diamond(y))),
+        # depth 3: eventually infinitely-often.
+        Mu("Z", MOr.of(infinitely_often, Diamond(z))),
+        # boolean dual pair (exercises PNF): ~EF ~probe == AG probe.
+        MNot(EF(MNot(probe))),
+    ]
+
+
+def assert_parity(ts, formulas, extra_domain=()):
+    compiled = ModelChecker(ts, extra_domain=extra_domain)
+    reference = ModelChecker(ts, extra_domain=extra_domain, compiled=False)
+    for formula in formulas:
+        assert compiled.evaluate(formula) == reference.evaluate(formula), \
+            f"extension mismatch on {formula!r}"
+
+
+# ---------------------------------------------------------------------------
+# gallery/basic.py — deterministic abstractions (Thm 4.4 route)
+# ---------------------------------------------------------------------------
+
+class TestBasicGalleryParity:
+    def test_ex41_det_abstraction(self, ex41_abstraction):
+        formulas = alternating_suite(parse_mu("R('a')")) + [
+            parse_mu("E x. live(x) & P(x)"),
+            parse_mu("A x. (live(x) -> (P(x) | R(x) | (E y. Q(x, y))))"),
+            parse_mu("mu Z. ((E x, y. live(x) & live(y) & Q(x, y)) "
+                     "| <-> Z)"),
+            # LIVE mixing a variable with a constant.
+            parse_mu("E x. live(x) & live('a') & Q('a', x)"),
+            parse_mu("nu X. ((A x. (live(x) & P(x) -> "
+                     "mu Y. (R(x) | <-> Y))) & [-] X)"),
+        ]
+        assert_parity(ex41_abstraction, formulas)
+
+    def test_ex42_det_abstraction(self, ex42_abstraction):
+        formulas = alternating_suite(parse_mu("Q('a', 'a')")) + [
+            parse_mu("E x. live(x) & Q(x, x)"),
+            parse_mu("nu X. (Q('a', 'a') & (<-> X | [-] false))"),
+        ]
+        assert_parity(ex42_abstraction, formulas)
+
+    def test_ex43_rcycl(self, ex43_rcycl):
+        formulas = alternating_suite(parse_mu("Q('a')")) + [
+            parse_mu("E x. live(x) & Q(x)"),
+            parse_mu("A x. (live(x) -> (Q(x) | R(x)))"),
+            parse_mu("live('a')"),
+        ]
+        assert_parity(ex43_rcycl, formulas)
+
+
+# ---------------------------------------------------------------------------
+# gallery/student.py — Examples 3.1-3.3 properties over RCYCL
+# ---------------------------------------------------------------------------
+
+class TestStudentGalleryParity:
+    def test_paper_properties(self, students_rcycl):
+        formulas = [
+            property_eventual_graduation_mu_la(),
+            property_eventual_graduation_mu_lp(),
+            property_graduation_or_dropout_mu_lp(),
+            property_no_student_while_idle(),
+        ]
+        assert_parity(students_rcycl, formulas)
+
+    def test_alternating_and_quantified(self, students_rcycl):
+        formulas = alternating_suite(
+            parse_mu("E x. live(x) & Stud(x)")) + [
+            parse_mu("A x, y. (live(x, y) -> (Grad(x, y) | ~Grad(x, y)))"),
+            parse_mu("E x. live(x) & Stud(x) & "
+                     "(mu Y. ((E y. live(y) & Grad(x, y)) "
+                     "| <-> (live(x) & Y)))"),
+        ]
+        assert_parity(students_rcycl, formulas)
+
+
+# ---------------------------------------------------------------------------
+# gallery/library.py and gallery/travel.py
+# ---------------------------------------------------------------------------
+
+class TestLibraryTravelParity:
+    def test_library_rcycl(self):
+        ts = rcycl(library_system(books=1, members=1))
+        formulas = [
+            property_loaned_books_off_shelf(),
+            property_loans_returnable(),
+            property_some_book_always_trackable(),
+        ] + alternating_suite(parse_mu("E b, m. live(b, m) & Loaned(b, m)"))
+        assert_parity(ts, formulas)
+
+    def test_request_system_rcycl(self):
+        ts = rcycl(request_system(slim=True))
+        formulas = [
+            property_request_eventually_decided(),
+            property_no_unpriced_acceptance_slim(),
+        ] + alternating_suite(parse_mu("Status('decided')"))
+        assert_parity(ts, formulas)
+
+    def test_audit_system_det_abstraction(self):
+        # property_audit_failure_propagates_slim() is parity-checked in
+        # benchmarks/bench_model_checking.py (it is the slowest reference
+        # evaluation in the repo); here cheaper quantified shapes cover the
+        # same connectives.
+        ts = build_det_abstraction(audit_system(slim=True))
+        formulas = alternating_suite(parse_mu("Status('audited')")) + [
+            parse_mu("E i. live(i) & (E n. live(n) & "
+                     "Travel(i, n, 'passedFalse'))"),
+            parse_mu("A i. (live(i) -> mu Y. (Status('audited') | <-> Y))"),
+        ]
+        assert_parity(ts, formulas)
+
+
+# ---------------------------------------------------------------------------
+# Divergent gallery members — parity over truncated constructions
+# ---------------------------------------------------------------------------
+
+class TestDivergentGalleryParity:
+    def test_ex52_partial_pruning(self, ex52):
+        from repro.semantics.rcycl import rcycl_partial
+
+        ts = rcycl_partial(ex52, max_states=40).transition_system
+        assert_parity(ts, alternating_suite(parse_mu("E x. live(x) & Q(x)")))
+
+    def test_ex53_partial_pruning(self, ex53):
+        from repro.semantics.rcycl import rcycl_partial
+
+        ts = rcycl_partial(ex53, max_states=40).transition_system
+        assert_parity(ts, alternating_suite(parse_mu("E x. live(x)")))
+
+    def test_theorem_45_witness_truncated(self):
+        from repro.gallery import theorem_45_witness
+
+        ts = build_det_abstraction(theorem_45_witness(), max_depth=3)
+        assert_parity(ts, alternating_suite(parse_mu("E x. live(x) & R(x)")))
+
+
+# ---------------------------------------------------------------------------
+# Valuations, predicate valuations, extra domains
+# ---------------------------------------------------------------------------
+
+class TestParameterParity:
+    def test_open_formula_with_valuation(self, ex41_abstraction):
+        from repro.fol import atom
+        from repro.relational.values import Var
+
+        compiled = ModelChecker(ex41_abstraction)
+        reference = ModelChecker(ex41_abstraction, compiled=False)
+        formula = parse_mu("mu Z. (P(x) | <-> Z)")
+        for value in sorted(ex41_abstraction.values(), key=repr)[:4]:
+            valuation = {Var("x"): value}
+            assert compiled.evaluate(formula, valuation) == \
+                reference.evaluate(formula, valuation)
+
+    def test_free_predicate_valuation(self, ex41_abstraction):
+        formula = MOr.of(parse_mu("R('a')"), Diamond(PredVar("W")))
+        some_states = frozenset(list(ex41_abstraction.states)[:3])
+        compiled = ModelChecker(ex41_abstraction)
+        reference = ModelChecker(ex41_abstraction, compiled=False)
+        assert compiled.evaluate(formula, predicates={"W": some_states}) \
+            == reference.evaluate(formula, predicates={"W": some_states})
+
+    def test_extra_domain_constants(self, ex43_rcycl):
+        # Dead extra-domain values: the guarded-quantifier restriction in
+        # the compiled path must not change extensions.
+        extra = ("ghost-1", "ghost-2")
+        formulas = [
+            parse_mu("E x. live(x) & Q(x)"),
+            parse_mu("A x. (live(x) -> (Q(x) | R(x)))"),
+            parse_mu("E x. Q(x)"),
+            parse_mu("A x. (Q(x) | ~Q(x))"),
+        ]
+        assert_parity(ex43_rcycl, formulas, extra_domain=extra)
+
+    def test_repeated_evaluation_is_stable(self, ex41_abstraction):
+        # The persistent memo/warm-start state must not leak between calls.
+        checker = ModelChecker(ex41_abstraction)
+        formula = alternating_suite(parse_mu("R('a')"))[8]
+        first = checker.evaluate(formula)
+        second = checker.evaluate(formula)
+        assert first == second
+        reference = ModelChecker(ex41_abstraction, compiled=False)
+        assert first == reference.evaluate(formula)

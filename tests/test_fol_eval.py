@@ -205,6 +205,17 @@ def test_holds_matches_brute_force(instance, formula, vx, vy):
     assert holds(formula, instance, valuation, domain) == expected
 
 
+def test_vacuous_exists_over_empty_domain():
+    # E x. (A x. S(x)) over the empty instance: the inner forall is
+    # vacuously true, but the outer existential still needs a witness value
+    # for x — over an empty domain it is false (hypothesis-discovered).
+    empty = Instance([])
+    formula = Exists((X,), Forall((X,), atom("S", X)))
+    assert not holds(formula, empty)
+    assert answers(formula, empty) == []
+    assert holds(Forall((X,), atom("S", X)), empty)
+
+
 @given(instances, formulas(2))
 @settings(max_examples=120, deadline=None)
 def test_answers_match_brute_force(instance, formula):

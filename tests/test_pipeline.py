@@ -134,3 +134,62 @@ class TestMixedRoute:
         report = verify(ex41, parse_mu("mu Z. (R('a') | <-> Z)"))
         assert "HOLDS" in repr(report)
         assert "example41" in repr(report)
+
+
+class TestCheckingStats:
+    def test_compiled_stats_surface(self, ex41):
+        report = verify(ex41, parse_mu("mu Z. (R('a') | <-> Z)"))
+        stats = report.checking_stats
+        assert stats["mode"] == "compiled"
+        assert stats["iterations"] >= 1
+        assert stats["alternation_depth"] == 1
+        assert "peak_extension" in stats and "resets" in stats
+
+
+class TestOnTheFlyRoute:
+    def test_reachability_early_stop(self, ex41):
+        formula = parse_mu("mu Z. (R('a') | <-> Z)")
+        offline = verify(ex41, formula)
+        fused = verify(ex41, formula, on_the_fly=True)
+        assert fused.holds == offline.holds
+        assert fused.checking_stats["mode"] == "on-the-fly"
+        assert fused.checking_stats["early_stop"] == "witness-found"
+        # The witness is found before the full 10-state space is built.
+        assert fused.abstraction_stats["states"] \
+            <= offline.abstraction_stats["states"]
+
+    def test_invariant_violation_early_stop(self, ex41):
+        # R does not hold initially: AG R refuted on the first state.
+        formula = parse_mu("nu X. (R('a') & [-] X)")
+        fused = verify(ex41, formula, on_the_fly=True)
+        assert not fused.holds
+        assert fused.checking_stats["early_stop"] == "violation-found"
+        assert fused.checking_stats["states_checked"] == 1
+        assert fused.abstraction_stats["states"] == 1
+
+    def test_invariant_that_holds_explores_fully(self, ex41):
+        # Some value is always live (true on all 10 abstract states).
+        formula = parse_mu("nu X. ((E x. live(x)) & [-] X)")
+        offline = verify(ex41, formula)
+        fused = verify(ex41, formula, on_the_fly=True)
+        assert fused.holds == offline.holds
+        assert fused.checking_stats["early_stop"] is None
+        assert fused.abstraction_stats["states"] \
+            == offline.abstraction_stats["states"]
+
+    def test_unrecognized_shape_falls_back_to_compiled(self, ex41):
+        formula = parse_mu("nu X. mu Y. ((R('a') & <-> X) | <-> Y)")
+        fused = verify(ex41, formula, on_the_fly=True)
+        offline = verify(ex41, formula)
+        assert fused.holds == offline.holds
+        assert fused.checking_stats["mode"] == "compiled"
+
+    def test_nondet_route_on_the_fly(self, students):
+        from repro.gallery.student import property_no_student_while_idle
+
+        formula = property_no_student_while_idle()
+        offline = verify(students, formula)
+        fused = verify(students, formula, on_the_fly=True)
+        assert fused.holds == offline.holds
+        assert fused.checking_stats["mode"] == "on-the-fly"
+        assert fused.route == "rcycl"
