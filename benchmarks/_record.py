@@ -1,0 +1,31 @@
+"""Shared BENCH_<date>.json writing for the benchmark scripts.
+
+Every script owns one or more top-level sections of the day's record
+(``engine_probes``, ``checker_probes``, ``parallel_probes``, ...); the
+merge convention lets them run in any order on the same day without
+clobbering each other: existing dict sections update key-by-key,
+everything else overwrites.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+def write_bench_record(out_dir, record: dict) -> Path:
+    """Merge ``record`` into ``out_dir/BENCH_<record['date']>.json``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{record['date']}.json"
+    if out_path.exists():
+        merged = json.loads(out_path.read_text())
+        for key, value in record.items():
+            if isinstance(value, dict) and isinstance(merged.get(key), dict):
+                merged[key].update(value)
+            else:
+                merged[key] = value
+        record = merged
+    out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out_path}")
+    return out_path

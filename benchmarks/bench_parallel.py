@@ -1,0 +1,169 @@
+#!/usr/bin/env python
+"""Parallel exploration sweep: worker counts x commitment-blowup sizes.
+
+For each ``commitment_blowup_dcds(n)`` configuration the script builds the
+Thm 4.3 deterministic abstraction sequentially (the baseline) and with
+:class:`repro.engine.ParallelExplorer` at each worker count, asserts the
+builds are bit-identical (state and edge counts — the differential harness
+covers the stronger property), and records wall times and speedups in the
+day's ``BENCH_<date>.json`` under ``parallel_probes`` (section-level merge,
+same convention as ``run_all.py``).
+
+The scaling target is >=1.8x at 4 workers on the largest configuration.
+That requires >=4 usable cores; the record always carries
+``available_cpus`` so a single-core container's numbers (pure coordination
+overhead, speedup < 1) are not mistaken for a scaling regression.
+
+Usage::
+
+    python benchmarks/bench_parallel.py            # full sweep -> BENCH json
+    python benchmarks/bench_parallel.py --quick    # CI smoke, no JSON write
+    python benchmarks/bench_parallel.py --sizes 6 7 --workers 1 2 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+SPEEDUP_TARGET = 1.8
+TARGET_WORKERS = 4
+
+
+def build_sequential(dcds, max_states):
+    from repro.engine import DetAbstractionGenerator, Explorer
+
+    started = time.perf_counter()
+    ts = Explorer(dcds.schema, max_states=max_states).run(
+        DetAbstractionGenerator(dcds)).transition_system
+    return ts, time.perf_counter() - started
+
+
+def build_parallel(dcds, max_states, workers, batch_size):
+    from repro.engine import DetAbstractionGenerator, ParallelExplorer
+
+    started = time.perf_counter()
+    ts = ParallelExplorer(
+        dcds.schema, max_states=max_states, workers=workers,
+        batch_size=batch_size,
+    ).run(DetAbstractionGenerator(dcds)).transition_system
+    return ts, time.perf_counter() - started
+
+
+def sweep(sizes, worker_counts, batch_size, repeats):
+    from repro.core.execution import clear_subproblem_caches
+    from repro.workloads import commitment_blowup_dcds
+
+    results = {}
+    for n in sizes:
+        dcds = commitment_blowup_dcds(n)
+        max_states = 400000
+        clear_subproblem_caches()
+        baseline_ts, baseline_sec = min(
+            (build_sequential(dcds, max_states) for _ in range(repeats)),
+            key=lambda pair: pair[1])
+        entry = {
+            "states": len(baseline_ts),
+            "edges": baseline_ts.edge_count(),
+            "sequential_sec": baseline_sec,
+            "workers": {},
+        }
+        for workers in worker_counts:
+            clear_subproblem_caches()
+            parallel_ts, parallel_sec = min(
+                (build_parallel(dcds, max_states, workers, batch_size)
+                 for _ in range(repeats)),
+                key=lambda pair: pair[1])
+            assert len(parallel_ts) == len(baseline_ts), (n, workers)
+            assert parallel_ts.edge_count() == baseline_ts.edge_count(), \
+                (n, workers)
+            entry["workers"][str(workers)] = {
+                "sec": parallel_sec,
+                "speedup_vs_sequential": baseline_sec / parallel_sec
+                if parallel_sec else None,
+            }
+            print(f"  blowup[{n}] workers={workers}: {parallel_sec:.3f}s "
+                  f"(sequential {baseline_sec:.3f}s, "
+                  f"{baseline_sec / parallel_sec:.2f}x)")
+        results[f"blowup[{n}]"] = entry
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", type=int, nargs="+", default=[6, 7, 8],
+                        help="commitment_blowup_dcds sizes to sweep")
+    parser.add_argument("--workers", type=int, nargs="+", default=[1, 2, 4],
+                        help="worker counts to sweep")
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repeats (best-of)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smallest config only, no BENCH json write "
+                             "(CI smoke)")
+    parser.add_argument("--out", default=str(REPO_ROOT),
+                        help="directory for the BENCH_<date>.json record")
+    args = parser.parse_args()
+
+    from repro.engine import default_workers
+
+    cpus = default_workers()
+
+    if args.quick:
+        sizes, worker_counts, repeats = [5], [1, 2], 1
+    else:
+        sizes, worker_counts, repeats = \
+            args.sizes, args.workers, args.repeats
+
+    print(f"parallel sweep: sizes={sizes} workers={worker_counts} "
+          f"(available cpus: {cpus})")
+    results = sweep(sizes, worker_counts, args.batch_size, repeats)
+
+    largest = f"blowup[{max(sizes)}]"
+    largest_entry = results[largest]
+    at_target = largest_entry["workers"].get(str(TARGET_WORKERS), {})
+    record_section = {
+        "available_cpus": cpus,
+        "batch_size": args.batch_size,
+        "sweep": results,
+        "largest_configuration": {
+            "config": largest,
+            "sequential_sec": largest_entry["sequential_sec"],
+            **{f"workers_{count}_{key}": value
+               for count, stats in largest_entry["workers"].items()
+               for key, value in stats.items()},
+            "speedup_target": SPEEDUP_TARGET,
+            "target_workers": TARGET_WORKERS,
+            "meets_target": (
+                at_target.get("speedup_vs_sequential") is not None
+                and at_target["speedup_vs_sequential"] >= SPEEDUP_TARGET),
+            "note": (
+                "target requires >= 4 usable cores; on fewer cores the "
+                "parallel build measures pure coordination overhead"
+                if cpus < TARGET_WORKERS else
+                "measured on >= 4 cores"),
+        },
+    }
+
+    if args.quick:
+        print("quick mode: smoke only, BENCH json not written")
+        print(json.dumps(record_section["largest_configuration"], indent=2))
+        return
+
+    from _record import write_bench_record
+
+    date = datetime.date.today().isoformat()
+    write_bench_record(
+        args.out, {"date": date, "parallel_probes": record_section})
+
+
+if __name__ == "__main__":
+    main()

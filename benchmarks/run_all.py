@@ -172,20 +172,9 @@ def main() -> None:
     if not args.skip_pytest:
         record["pytest_benchmarks"] = run_pytest_benchmarks(args.pattern)
 
-    out_dir = Path(args.out)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = out_dir / f"BENCH_{record['date']}.json"
-    if out_path.exists():
-        merged = json.loads(out_path.read_text())
-        for key, value in record.items():
-            if isinstance(value, dict) \
-                    and isinstance(merged.get(key), dict):
-                merged[key].update(value)
-            else:
-                merged[key] = value
-        record = merged
-    out_path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {out_path}")
+    from _record import write_bench_record
+
+    write_bench_record(args.out, record)
 
 
 if __name__ == "__main__":

@@ -103,6 +103,32 @@ class DCDS:
         return (len(self.schema) + len(self.process.actions) + effects
                 + len(self.process.rules))
 
+    def spec_signature(self) -> Tuple[Any, ...]:
+        """A hashable canonical summary of the whole specification.
+
+        Two DCDSs with equal signatures have the same schema, initial
+        instance, constraints, services, actions (with effects), CA rules,
+        and semantics — the structural-equality notion used by the
+        determinism regression tests and the differential harness. Renders
+        through ``repr``/sorted facts, which are deterministic for every
+        specification component.
+        """
+        return (
+            self.semantics.value,
+            repr(self.schema),
+            tuple(f.sort_key() for f in self.initial.sorted_facts()),
+            tuple(repr(c) for c in self.data.constraints),
+            # repr is name/arity only; the per-function deterministic
+            # override (Section 6 mixed semantics) changes verify() routing
+            # and must be part of the signature.
+            tuple((f.name, f.arity, f.deterministic)
+                  for f in self.process.functions),
+            tuple((action.name, tuple(repr(p) for p in action.params),
+                   tuple(repr(e) for e in action.effects))
+                  for action in self.process.actions),
+            tuple(repr(rule) for rule in self.process.rules),
+        )
+
     def describe(self) -> str:
         """Human-readable multi-line summary of the specification."""
         lines = [f"DCDS {self.name!r} ({self.semantics.value} services)"]

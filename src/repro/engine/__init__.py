@@ -11,6 +11,8 @@ All four state-space builders — the deterministic abstraction
 from repro.engine.explorer import (
     ExplorationBudgetExceeded, ExplorationResult, ExplorationStats, Explorer,
     SuccessorGenerator)
+from repro.engine.parallel import (
+    ParallelExplorer, default_workers, make_explorer)
 from repro.engine.fingerprint import (
     fingerprints_may_be_isomorphic, instance_fingerprint, value_profiles)
 from repro.engine.generators import (
@@ -21,8 +23,9 @@ from repro.engine.interning import InternEntry, InternStats, StateInterner
 __all__ = [
     "DetAbstractionGenerator", "DetState", "ExplorationBudgetExceeded",
     "ExplorationResult", "ExplorationStats", "Explorer", "InternEntry",
-    "InternStats", "OracleRunGenerator", "PoolDetGenerator",
-    "PoolNondetGenerator", "RcyclGenerator", "StateInterner",
-    "fingerprints_may_be_isomorphic", "instance_fingerprint", "sigma_label",
+    "InternStats", "OracleRunGenerator", "ParallelExplorer",
+    "PoolDetGenerator", "PoolNondetGenerator", "RcyclGenerator",
+    "StateInterner", "default_workers", "fingerprints_may_be_isomorphic",
+    "instance_fingerprint", "make_explorer", "sigma_label",
     "sorted_call_map", "value_profiles",
 ]

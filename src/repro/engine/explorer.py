@@ -45,7 +45,17 @@ class SuccessorGenerator:
     :meth:`on_new_state` the moment a previously unseen state is interned,
     so stateful generators (RCYCL's used-value pool) observe discoveries in
     exactly the order the seed algorithms did.
+
+    ``parallel_safe`` declares that :meth:`successors` is a pure function of
+    the state (no mutable cross-expansion state, picklable configuration,
+    never raises :class:`ExplorationBudgetExceeded`), so expansions may be
+    delegated to :class:`repro.engine.parallel.ParallelExplorer` workers.
+    RCYCL is *not* parallel-safe — its used-value pool makes each expansion
+    depend on the discovery order — and oracle runs are path-shaped, so
+    there is nothing to shard.
     """
+
+    parallel_safe = False
 
     def initial_state(self) -> Tuple[State, Instance]:
         raise NotImplementedError
@@ -72,6 +82,9 @@ class ExplorationStats:
     strategy: str = "bfs"
     intern: Dict[str, Any] = field(default_factory=dict)
     early_stop: Optional[str] = None
+    #: Filled by :class:`repro.engine.parallel.ParallelExplorer` with worker
+    #: pool counters (workers, batches, speculative waste).
+    parallel: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def states_per_sec(self) -> float:
@@ -93,6 +106,8 @@ class ExplorationStats:
             result["intern"] = dict(self.intern)
         if self.early_stop is not None:
             result["early_stop"] = self.early_stop
+        if self.parallel:
+            result["parallel"] = dict(self.parallel)
         return result
 
 
@@ -178,60 +193,64 @@ class Explorer:
 
     # -- the one frontier loop ------------------------------------------------
 
-    def run(self, generator: SuccessorGenerator) -> ExplorationResult:
-        started = time.perf_counter()
+    def _start(self, generator: SuccessorGenerator
+               ) -> Tuple[TransitionSystem, deque]:
+        """Intern the initial state and seed the frontier/stats/observer."""
         initial, initial_db = generator.initial_state()
         ts = TransitionSystem(self.schema, initial, name=self.name)
         self.ts = ts
         ts.add_state(initial, initial_db)
-
-        stats = self.stats
-        stats.growth = [1]
-        frontier: deque = deque([(initial, 0)])
-        stats.frontier_peak = 1
-        budget_hit = False
-
+        self.stats.growth = [1]
+        self.stats.frontier_peak = 1
         if self.observer is not None:
-            stats.early_stop = self.observer(initial, initial_db)
+            self.stats.early_stop = self.observer(initial, initial_db)
+        return ts, deque([(initial, 0)])
 
-        while frontier and stats.early_stop is None:
-            if self.strategy == "bfs":
-                state, depth = frontier.popleft()
-            else:
-                state, depth = frontier.pop()
-            if self.max_depth is not None and depth >= self.max_depth:
-                ts.mark_truncated(state)
+    def _apply_successors(self, generator: SuccessorGenerator,
+                          ts: TransitionSystem, frontier: deque,
+                          state: State, depth: int, successors,
+                          pending: int = 0) -> bool:
+        """Apply one state's successor list; return True on budget hit.
+
+        The single place interning, edge insertion, growth accounting, the
+        observer hook, and the state budget happen — shared by the
+        sequential loop and the :class:`~repro.engine.parallel
+        .ParallelExplorer` coordinator so the two cannot drift apart (the
+        parallel determinism contract is enforced by construction here).
+        ``pending`` is the number of popped-but-unapplied work items beyond
+        this one (always 0 sequentially); adding it makes
+        ``frontier_peak`` reflect the sequential frontier length.
+        """
+        stats = self.stats
+        for successor, db, label in successors:
+            is_new = successor not in ts
+            ts.add_state(successor, db)
+            ts.add_edge(state, successor, label)
+            stats.edges += 1
+            if not is_new:
                 continue
-            stats.expansions += 1
-            try:
-                for successor, db, label in generator.successors(state):
-                    is_new = successor not in ts
-                    ts.add_state(successor, db)
-                    ts.add_edge(state, successor, label)
-                    stats.edges += 1
-                    if is_new:
-                        while len(stats.growth) <= depth + 1:
-                            stats.growth.append(0)
-                        stats.growth[depth + 1] += 1
-                        generator.on_new_state(successor, db)
-                        if self.observer is not None:
-                            stats.early_stop = self.observer(successor, db)
-                            if stats.early_stop is not None:
-                                ts.mark_truncated(state)
-                                ts.mark_truncated(successor)
-                                break
-                        frontier.append((successor, depth + 1))
-                        if len(frontier) > stats.frontier_peak:
-                            stats.frontier_peak = len(frontier)
-                        if self.max_states is not None \
-                                and len(ts) > self.max_states:
-                            budget_hit = True
-                            break
-            except ExplorationBudgetExceeded:
-                budget_hit = True
-            if budget_hit:
-                break
+            while len(stats.growth) <= depth + 1:
+                stats.growth.append(0)
+            stats.growth[depth + 1] += 1
+            generator.on_new_state(successor, db)
+            if self.observer is not None:
+                stats.early_stop = self.observer(successor, db)
+                if stats.early_stop is not None:
+                    ts.mark_truncated(state)
+                    ts.mark_truncated(successor)
+                    return False
+            frontier.append((successor, depth + 1))
+            effective = len(frontier) + pending
+            if effective > stats.frontier_peak:
+                stats.frontier_peak = effective
+            if self.max_states is not None and len(ts) > self.max_states:
+                return True
+        return False
 
+    def _finish(self, ts: TransitionSystem, frontier: deque,
+                budget_hit: bool, started: float) -> ExplorationResult:
+        """Shared run epilogue: budget/early-stop truncation and stats."""
+        stats = self.stats
         stats.states = len(ts)
         stats.duration = time.perf_counter() - started
         if budget_hit:
@@ -245,3 +264,29 @@ class Explorer:
                 ts.mark_truncated(state)
         ts.exploration_stats = stats.as_dict()
         return ExplorationResult(ts, stats)
+
+    def run(self, generator: SuccessorGenerator) -> ExplorationResult:
+        started = time.perf_counter()
+        ts, frontier = self._start(generator)
+        stats = self.stats
+        budget_hit = False
+
+        while frontier and stats.early_stop is None:
+            if self.strategy == "bfs":
+                state, depth = frontier.popleft()
+            else:
+                state, depth = frontier.pop()
+            if self.max_depth is not None and depth >= self.max_depth:
+                ts.mark_truncated(state)
+                continue
+            stats.expansions += 1
+            try:
+                budget_hit = self._apply_successors(
+                    generator, ts, frontier, state, depth,
+                    generator.successors(state))
+            except ExplorationBudgetExceeded:
+                budget_hit = True
+            if budget_hit:
+                break
+
+        return self._finish(ts, frontier, budget_hit, started)

@@ -69,6 +69,12 @@ class DetState:
     def map_dict(self) -> Dict[ServiceCall, Any]:
         return dict(self.call_map)
 
+    def __reduce__(self):
+        # Identity only, no cached hash — parallel workers ship DetStates
+        # across process boundaries, where cached hashes would be stale
+        # (per-process PYTHONHASHSEED; see ServiceCall.__reduce__).
+        return DetState, (self.instance, self.call_map)
+
     def known_values(self) -> FrozenSet[Any]:
         """Every value this state has ever seen: current adom, call results,
         and call arguments (the history, Section 4.1)."""
@@ -112,6 +118,8 @@ class DetAbstractionGenerator(SuccessorGenerator):
     enumerate equality commitments for the fresh ones, apply, and keep the
     successors satisfying the equality constraints.
     """
+
+    parallel_safe = True
 
     def __init__(self, dcds: DCDS):
         self.dcds = dcds
@@ -245,6 +253,8 @@ class PoolDetGenerator(SuccessorGenerator):
     States are ``<I, M>`` and evaluations must agree with ``M``
     (Section 4.1)."""
 
+    parallel_safe = True
+
     def __init__(self, dcds: DCDS, pool: Sequence[Any]):
         self.dcds = dcds
         self.pool = list(pool)
@@ -279,6 +289,8 @@ class PoolNondetGenerator(SuccessorGenerator):
 
     States are instances and every call picks independently from the pool
     (Section 5.1)."""
+
+    parallel_safe = True
 
     def __init__(self, dcds: DCDS, pool: Sequence[Any]):
         self.dcds = dcds

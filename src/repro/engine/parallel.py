@@ -1,0 +1,249 @@
+"""Parallel sharded state-space exploration.
+
+:class:`ParallelExplorer` distributes the *expansion* work of the frontier
+loop — ``generator.successors(state)``, the expensive part: FOL evaluation,
+``DO()``, commitment enumeration, constraint checks — across a
+``multiprocessing`` worker pool, while the coordinator keeps sole ownership
+of everything order-sensitive: state interning (``successor not in ts``),
+edge insertion, growth accounting, budgets, truncation marking, and the
+observer hook.
+
+Determinism contract
+--------------------
+The constructed transition system is **bit-identical** to a sequential
+:class:`repro.engine.Explorer` run with the same configuration, for any
+worker count:
+
+* work items are popped from the frontier in exactly the sequential BFS
+  order and dispatched as batches; results are *applied* strictly in the
+  order the items were popped, so interning, edge, growth-trace, and
+  observer events replay the sequential interleaving verbatim;
+* workers never intern — they only expand, and the supported generators
+  (``parallel_safe = True``) yield successors in an order that depends
+  only on the state (all orderings are repr/``value_sort_key`` based,
+  never hash-order, so per-process ``PYTHONHASHSEED`` cannot leak in);
+* a budget or early-stop event mid-batch discards the not-yet-applied
+  results of that batch and of every in-flight batch — speculative worker
+  results never leak un-interned states into the transition system.
+
+RCYCL is deliberately excluded: its used-value candidate pool makes every
+expansion depend on the global discovery order, which is inherently
+sequential (``RcyclGenerator.parallel_safe`` is ``False``).
+
+The pool uses the ``fork`` start method where available (workers inherit
+the warmed ``lru_cache`` memo tables of :mod:`repro.core.execution` for
+free) and falls back to ``spawn`` elsewhere — which is why the relational
+layer's ``__reduce__`` implementations must drop per-process cached hashes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.engine.explorer import (
+    BudgetError, ExplorationResult, Explorer, SuccessorGenerator,
+    _default_budget_error)
+from repro.relational.instance import Instance
+from repro.relational.schema import DatabaseSchema
+from repro.semantics.transition_system import State
+
+# Worker-side generator, installed once per pool by :func:`_worker_init`.
+_WORKER_GENERATOR: Optional[SuccessorGenerator] = None
+
+
+def _worker_init(generator: SuccessorGenerator) -> None:
+    global _WORKER_GENERATOR
+    _WORKER_GENERATOR = generator
+
+
+def _expand_batch(states: List[State]
+                  ) -> List[List[Tuple[State, Instance, Optional[str]]]]:
+    """Expand a batch of states; one successor list per state, in order."""
+    generator = _WORKER_GENERATOR
+    return [list(generator.successors(state)) for state in states]
+
+
+def make_explorer(schema: DatabaseSchema, workers: Optional[int] = None,
+                  batch_size: int = 16, **kwargs: Any) -> Explorer:
+    """The one ``workers=``-dispatch point for the builder entry points.
+
+    ``workers=None`` (the default everywhere) is the sequential
+    :class:`Explorer`; an explicit count is a sharded
+    :class:`ParallelExplorer`. ``kwargs`` are the shared :class:`Explorer`
+    configuration (name, budgets, observer, ...).
+    """
+    if workers is None:
+        return Explorer(schema, **kwargs)
+    return ParallelExplorer(
+        schema, workers=workers, batch_size=batch_size, **kwargs)
+
+
+def default_workers() -> int:
+    """Worker-count default: the CPUs this process may run on."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+class ParallelExplorer(Explorer):
+    """A drop-in :class:`Explorer` whose expansions run on a worker pool.
+
+    Parameters beyond :class:`Explorer` (strategy is fixed to the paper's
+    BFS order — sharding a DFS frontier would reorder discoveries):
+
+    workers:
+        Pool size (default: :func:`default_workers`). ``workers=1`` still
+        exercises the full dispatch/apply machinery in a separate process,
+        which is what the differential harness pins against the sequential
+        engine.
+    batch_size:
+        Work items per dispatched batch. Batches amortize IPC: each round
+        trip ships ``batch_size`` states out and their successor lists back.
+    max_inflight:
+        Dispatch window (default ``2 * workers`` batches) — how far the
+        coordinator runs ahead of the oldest unapplied batch. Bounds both
+        memory and the speculative work discarded on budget/early-stop.
+    start_method:
+        ``multiprocessing`` start method (default: ``fork`` when available).
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        name: str = "",
+        max_states: Optional[int] = None,
+        max_depth: Optional[int] = None,
+        on_budget: str = "raise",
+        budget_error: BudgetError = _default_budget_error,
+        observer: Optional[
+            Callable[[State, Instance], Optional[str]]] = None,
+        workers: Optional[int] = None,
+        batch_size: int = 16,
+        max_inflight: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ):
+        super().__init__(
+            schema, name=name, max_states=max_states, max_depth=max_depth,
+            on_budget=on_budget, budget_error=budget_error, strategy="bfs",
+            observer=observer)
+        if workers is not None and workers < 1:
+            raise ReproError(f"workers must be >= 1, got {workers}")
+        if batch_size < 1:
+            raise ReproError(f"batch_size must be >= 1, got {batch_size}")
+        if max_inflight is not None and max_inflight < 1:
+            raise ReproError(
+                f"max_inflight must be >= 1, got {max_inflight}")
+        self.workers = workers if workers is not None else default_workers()
+        self.batch_size = batch_size
+        self.max_inflight = max_inflight if max_inflight is not None \
+            else 2 * self.workers
+        if start_method is None:
+            start_method = "fork" \
+                if "fork" in multiprocessing.get_all_start_methods() \
+                else None
+        self.start_method = start_method
+
+    # -- the sharded frontier loop ------------------------------------------
+
+    def run(self, generator: SuccessorGenerator) -> ExplorationResult:
+        if not getattr(generator, "parallel_safe", False):
+            raise ReproError(
+                f"{type(generator).__name__} is not parallel-safe "
+                f"(order-dependent expansion state); use the sequential "
+                f"Explorer")
+        started = time.perf_counter()
+        ts, frontier = self._start(generator)
+        stats = self.stats
+        stats.parallel = {
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "batches": 0,
+            "speculative_states_discarded": 0,
+        }
+        budget_hit = False
+
+        context = multiprocessing.get_context(self.start_method)
+        pool = None  # created lazily: an early-stopped or depth-zero run
+        # (e.g. an on-the-fly witness on the initial state) never pays
+        # worker startup.
+        # In-flight batches, oldest first: (entries, async_result) where
+        # entries is the popped ``(state, depth, expand)`` prefix of the
+        # sequential frontier and async_result covers its expandable states.
+        in_flight: deque = deque()
+        inflight_entries = 0  # popped but not yet applied, across batches
+        try:
+            while (frontier or in_flight) and not budget_hit \
+                    and stats.early_stop is None:
+                while frontier and len(in_flight) < self.max_inflight:
+                    entries: List[Tuple[State, int, bool]] = []
+                    expandable: List[State] = []
+                    while frontier and len(entries) < self.batch_size:
+                        state, depth = frontier.popleft()
+                        # The depth cut is decided here (it only needs the
+                        # pop-time depth) but *marked* at apply time, so
+                        # truncation marks land in sequential order.
+                        expand = self.max_depth is None \
+                            or depth < self.max_depth
+                        entries.append((state, depth, expand))
+                        if expand:
+                            expandable.append(state)
+                    if expandable and pool is None:
+                        pool = context.Pool(
+                            self.workers, initializer=_worker_init,
+                            initargs=(generator,))
+                    async_result = pool.apply_async(
+                        _expand_batch, (expandable,)) if expandable else None
+                    in_flight.append((entries, async_result))
+                    inflight_entries += len(entries)
+                    stats.parallel["batches"] += 1
+
+                entries, async_result = in_flight.popleft()
+                results = async_result.get() if async_result is not None \
+                    else []
+                results_iter = iter(results)
+                for position, (state, depth, expand) in enumerate(entries):
+                    inflight_entries -= 1
+                    if not expand:
+                        ts.mark_truncated(state)
+                        continue
+                    successors = next(results_iter)
+                    stats.expansions += 1
+                    # ``pending=inflight_entries``: every popped-but-unapplied
+                    # item beyond this one still counts toward what the
+                    # sequential frontier length would be at each append.
+                    budget_hit = self._apply_successors(
+                        generator, ts, frontier, state, depth, successors,
+                        pending=inflight_entries)
+                    if budget_hit or stats.early_stop is not None:
+                        # Re-queue the unapplied tail of this batch so the
+                        # epilogue treats it as frontier (exactly the states
+                        # a sequential run would still have queued). Their
+                        # computed successor lists are discarded unseen.
+                        tail = entries[position + 1:]
+                        inflight_entries -= len(tail)
+                        stats.parallel["speculative_states_discarded"] += \
+                            sum(1 for _, _, expand in tail if expand)
+                        frontier.extendleft(
+                            (state, depth)
+                            for state, depth, _ in reversed(tail))
+                        break
+                if budget_hit or stats.early_stop is not None:
+                    while in_flight:
+                        tail_entries, _ = in_flight.popleft()
+                        inflight_entries -= len(tail_entries)
+                        stats.parallel["speculative_states_discarded"] += \
+                            sum(1 for _, _, expand in tail_entries if expand)
+                        frontier.extend((state, depth)
+                                        for state, depth, _ in tail_entries)
+        finally:
+            if pool is not None:
+                pool.terminate()
+                pool.join()
+
+        return self._finish(ts, frontier, budget_hit, started)

@@ -84,13 +84,22 @@ def _merged_stats(ts: TransitionSystem) -> Dict[str, Any]:
 
 def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
            force: bool = False, keep_ts: bool = True,
-           on_the_fly: bool = False) -> VerificationReport:
+           on_the_fly: bool = False,
+           workers: Optional[int] = None) -> VerificationReport:
     """Verify ``dcds |= formula`` through the decidable routes of Table 1.
 
     With ``on_the_fly=True``, safety/reachability-shaped formulas fuse the
     state-space construction with the checker and stop on the first
     witness or refutation; other formulas fall back to the offline
-    compiled checker."""
+    compiled checker.
+
+    ``workers=N`` shards the deterministic-abstraction construction across
+    an ``N``-process pool (:class:`repro.engine.ParallelExplorer`); the
+    built state space — and therefore the verdict — is bit-identical to the
+    sequential build. The RCYCL route stays sequential regardless (its
+    used-value candidate pool is discovery-order dependent), so ``workers``
+    is ignored there; the pool counters of a sharded build appear under
+    ``abstraction_stats["parallel"]``."""
     fragment = classify(formula)
 
     if dcds.has_mixed_semantics():
@@ -98,7 +107,7 @@ def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
                              keep_ts, on_the_fly)
     if dcds.semantics is ServiceSemantics.DETERMINISTIC:
         return _verify_det(dcds, formula, fragment, max_states, force,
-                           keep_ts, on_the_fly)
+                           keep_ts, on_the_fly, workers)
     return _verify_nondet(dcds, formula, fragment, max_states, force,
                           keep_ts, on_the_fly)
 
@@ -121,7 +130,8 @@ def _check(dcds: DCDS, formula: MuFormula, build, on_the_fly: bool):
 
 def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
                 max_states: int, force: bool, keep_ts: bool,
-                on_the_fly: bool = False) -> VerificationReport:
+                on_the_fly: bool = False,
+                workers: Optional[int] = None) -> VerificationReport:
     if fragment is Fragment.MU_L and not force:
         raise UndecidableFragment(
             "full µL admits no faithful finite abstraction even for "
@@ -138,7 +148,8 @@ def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
     ts, holds, checking = _check(
         dcds, formula,
         lambda observer: build_det_abstraction(
-            dcds, max_states=max_states, observer=observer),
+            dcds, max_states=max_states, observer=observer,
+            workers=workers),
         on_the_fly)
     return VerificationReport(
         dcds.name, formula, fragment, "det-abstraction",

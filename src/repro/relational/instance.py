@@ -82,10 +82,20 @@ class Fact:
                 self.relation, tuple(value_sort_key(t) for t in self.terms))
         return self._sort_key
 
+    def __reduce__(self):
+        # Identity only — cached hashes are per-process (see
+        # ServiceCall.__reduce__) and the other caches are cheap to rebuild.
+        return Fact, (self.relation, self.terms)
+
 
 def fact(relation: str, *terms: Any) -> Fact:
     """Convenience constructor: ``fact("R", "a", 1)`` = ``R(a, 1)``."""
     return Fact(relation, tuple(terms))
+
+
+def _rebuild_instance(facts: Tuple[Fact, ...]) -> "Instance":
+    """Unpickling target of :meth:`Instance.__reduce__`."""
+    return Instance._trusted(frozenset(facts))
 
 
 _EMPTY_TUPLES: FrozenSet[Tuple[Any, ...]] = frozenset()
@@ -180,6 +190,11 @@ class Instance:
         rendered = ", ".join(
             repr(f) for f in sorted(self._facts, key=Fact.sort_key))
         return "{" + rendered + "}"
+
+    def __reduce__(self):
+        # Ship only the fact set; lazy views (adom, indexes, hash) rebuild
+        # in the receiving process so hashes use its own PYTHONHASHSEED.
+        return _rebuild_instance, (tuple(self._facts),)
 
     # -- semantics -------------------------------------------------------------
 

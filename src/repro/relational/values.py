@@ -89,6 +89,14 @@ class ServiceCall:
             self._repr = f"{self.function}({rendered})"
         return self._repr
 
+    def __reduce__(self):
+        # Pickle only the identity, never the cached hash: str hashes are
+        # per-process (PYTHONHASHSEED), so a cached hash carried across a
+        # process boundary would disagree with hashes computed in the
+        # receiving process and silently corrupt dict/set lookups. The
+        # parallel exploration workers round-trip calls on every batch.
+        return ServiceCall, (self.function, self.args)
+
     @property
     def arity(self) -> int:
         return len(self.args)

@@ -27,6 +27,7 @@ from repro.core.dcds import DCDS, ServiceSemantics
 from repro.engine.explorer import Explorer
 from repro.engine.generators import (
     CallMap, DetAbstractionGenerator, DetState, sorted_call_map)
+from repro.engine.parallel import make_explorer
 from repro.semantics.transition_system import TransitionSystem
 
 # Re-exported for backwards compatibility: DetState historically lived here.
@@ -52,6 +53,8 @@ def build_det_abstraction(
     max_states: int = 20000,
     max_depth: Optional[int] = None,
     observer=None,
+    workers: Optional[int] = None,
+    batch_size: int = 16,
 ) -> TransitionSystem:
     """Build the abstract transition system of Theorem 4.3 by BFS.
 
@@ -60,16 +63,21 @@ def build_det_abstraction(
     truncated frontier states are marked on the result). ``observer`` is the
     per-state early-stop hook of :class:`repro.engine.Explorer` (the
     on-the-fly verification route).
+
+    ``workers`` shards the frontier expansions across a
+    :class:`repro.engine.ParallelExplorer` worker pool (``batch_size`` states
+    per dispatch); the result is bit-identical to the sequential build for
+    any worker count.
     """
     if dcds.semantics is not ServiceSemantics.DETERMINISTIC:
         raise ReproError(
             "build_det_abstraction requires deterministic semantics; "
             "use rcycl() for nondeterministic services")
-    explorer = Explorer(
-        dcds.schema, name=f"abstract[{dcds.name}]",
-        max_states=max_states, max_depth=max_depth,
-        on_budget="raise", budget_error=_diverged_error,
-        observer=observer)
+    explorer = make_explorer(
+        dcds.schema, workers=workers, batch_size=batch_size,
+        name=f"abstract[{dcds.name}]", max_states=max_states,
+        max_depth=max_depth, on_budget="raise",
+        budget_error=_diverged_error, observer=observer)
     result = explorer.run(DetAbstractionGenerator(dcds))
     return result.transition_system
 

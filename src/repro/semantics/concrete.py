@@ -29,6 +29,7 @@ from repro.core.dcds import DCDS, ServiceSemantics
 from repro.engine.explorer import Explorer
 from repro.engine.generators import (
     Chooser, OracleRunGenerator, PoolDetGenerator, PoolNondetGenerator)
+from repro.engine.parallel import make_explorer
 from repro.relational.instance import Instance
 from repro.relational.values import Fresh, ServiceCall
 from repro.semantics.transition_system import TransitionSystem
@@ -134,6 +135,8 @@ def explore_concrete(
     pool: Iterable[Any],
     depth: int,
     max_states: int = 50000,
+    workers: Optional[int] = None,
+    batch_size: int = 16,
 ) -> TransitionSystem:
     """The concrete transition system with call results restricted to ``pool``.
 
@@ -141,6 +144,10 @@ def explore_concrete(
     with ``M`` (Section 4.1). Nondeterministic semantics: states are
     instances and every call picks independently from the pool (Section 5.1).
     States at the depth frontier are marked truncated.
+
+    ``workers`` shards the expansions across a
+    :class:`repro.engine.ParallelExplorer` pool; the result is bit-identical
+    to the sequential exploration for any worker count.
     """
     pool = sorted_values(set(pool))
     if dcds.semantics is ServiceSemantics.DETERMINISTIC:
@@ -149,8 +156,9 @@ def explore_concrete(
     else:
         generator = PoolNondetGenerator(dcds, pool)
         name = f"concrete-nondet[{dcds.name}]"
-    explorer = Explorer(
-        dcds.schema, name=name, max_states=max_states, max_depth=depth,
+    explorer = make_explorer(
+        dcds.schema, workers=workers, batch_size=batch_size,
+        name=name, max_states=max_states, max_depth=depth,
         on_budget="raise", budget_error=_fuse_error)
     return explorer.run(generator).transition_system
 

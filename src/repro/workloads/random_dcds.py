@@ -16,6 +16,16 @@ chosen up front:
 benchmark (§6: the abstract transition system is exponential in the DCDS
 size): one action issuing ``n`` independent service calls, so the first
 abstraction level enumerates all equality commitments over ``n`` calls.
+
+Determinism contract: ``random_dcds(seed, ...)`` is a pure function of its
+arguments — every random draw goes through the one ``random.Random(seed)``
+instance created at entry (threaded explicitly through the helper
+functions; the module-level ``random`` API must never be touched), and no
+draw is conditioned on anything but earlier draws and the arguments. The
+differential-testing harness (``tests/test_differential.py``) relies on
+this to reproduce failures from a seed alone, and
+``tests/test_workloads.py`` pins it with a same-seed structural-equality
+regression test.
 """
 
 from __future__ import annotations
@@ -57,9 +67,11 @@ def random_dcds(seed: int,
     builder.initial(", ".join(facts))
 
     # Which relation may an effect write into, given its body relation?
+    # The helpers take the seeded rng explicitly: every draw must come from
+    # the one Random(seed) instance (see the module determinism contract).
     sink_start = max(1, n_relations // 2)
 
-    def ordinary_target(source: int) -> Optional[int]:
+    def ordinary_target(rng: random.Random, source: int) -> Optional[int]:
         if shape == "weakly-acyclic":
             return rng.randint(source, n_relations - 1)
         if shape == "gr-acyclic":
@@ -70,7 +82,7 @@ def random_dcds(seed: int,
             return rng.randint(source + 1, n_relations - 1)  # strictly forward
         return rng.randint(0, n_relations - 1)
 
-    def special_target(source: int) -> Optional[int]:
+    def special_target(rng: random.Random, source: int) -> Optional[int]:
         if shape == "weakly-acyclic":
             if source >= n_relations - 1:
                 return None
@@ -88,10 +100,10 @@ def random_dcds(seed: int,
             body_vars = [f"x{i}" for i in range(arities[source])]
             body = f"R{source}({', '.join(body_vars)})"
             use_call = rng.random() < p_service_call
-            target = special_target(source) if use_call else None
+            target = special_target(rng, source) if use_call else None
             if target is None:
                 use_call = False
-                target = ordinary_target(source)
+                target = ordinary_target(rng, source)
             if target is None:
                 continue  # no legal head for this source in this shape
             head_terms = []

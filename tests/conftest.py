@@ -1,6 +1,15 @@
-"""Shared fixtures: gallery systems and their (session-cached) abstractions."""
+"""Shared fixtures: gallery systems and their (session-cached) abstractions.
+
+Also wires the ``slow_differential`` marker: the heavy seed sweep of
+``tests/test_differential.py`` always runs by default (CI keeps it honest,
+including a dedicated ``REPRO_WORKERS=4`` job step) but can be skipped
+locally with ``--skip-slow-differential`` or
+``REPRO_SKIP_SLOW_DIFFERENTIAL=1`` for quick iteration.
+"""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -9,6 +18,32 @@ from repro.gallery import (
     example_41, example_42, example_43, example_52, example_53,
     student_registry)
 from repro.semantics import build_det_abstraction, rcycl
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--skip-slow-differential", action="store_true", default=False,
+        help="skip the heavy seeded differential sweep "
+             "(also: REPRO_SKIP_SLOW_DIFFERENTIAL=1)")
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow_differential: heavy seeded differential sweep (skippable "
+        "locally via --skip-slow-differential, always run in CI)")
+
+
+def pytest_collection_modifyitems(config, items):
+    skip_requested = config.getoption("--skip-slow-differential") \
+        or os.environ.get("REPRO_SKIP_SLOW_DIFFERENTIAL", "") not in ("", "0")
+    if not skip_requested:
+        return
+    marker = pytest.mark.skip(
+        reason="slow_differential skipped (--skip-slow-differential)")
+    for item in items:
+        if "slow_differential" in item.keywords:
+            item.add_marker(marker)
 
 
 @pytest.fixture(scope="session")

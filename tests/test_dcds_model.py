@@ -63,6 +63,32 @@ class TestSemanticsFlags:
         assert not ex41.has_mixed_semantics()
 
 
+class TestSpecSignature:
+    def _build(self, **service_kwargs):
+        builder = _base_builder()
+        builder.service("g/1", **service_kwargs)
+        builder.action("go", "R(x) ~> R(f(x)), R(g(x))")
+        builder.rule("true", "go")
+        return builder.build(ServiceSemantics.NONDETERMINISTIC)
+
+    def test_equal_specs_equal_signatures(self):
+        assert self._build().spec_signature() \
+            == self._build().spec_signature()
+
+    def test_function_determinism_override_changes_signature(self):
+        """The per-function override flips verify() routing (mixed
+        semantics, Section 6), so it must be part of the signature."""
+        inherited = self._build()
+        overridden = self._build(deterministic=True)
+        assert inherited.has_mixed_semantics() \
+            != overridden.has_mixed_semantics()
+        assert inherited.spec_signature() != overridden.spec_signature()
+
+    def test_semantics_changes_signature(self, ex41):
+        flipped = ex41.with_semantics(ServiceSemantics.NONDETERMINISTIC)
+        assert ex41.spec_signature() != flipped.spec_signature()
+
+
 class TestMetadata:
     def test_known_constants(self):
         builder = _base_builder()

@@ -1,0 +1,183 @@
+"""Seeded property-based differential harness: parallel vs sequential.
+
+For a sweep of ``random_dcds`` seeds across all three acyclicity shapes and
+both service semantics, the :class:`ParallelExplorer` (workers 1, 2, and
+``REPRO_WORKERS``, default 4) must produce a transition system bit-identical
+to the sequential :class:`Explorer` — identical interned state sets,
+identical dbs, identical edge multisets, identical truncation flags, and
+identical growth traces — and ``verify()`` must answer identically
+end-to-end with and without ``workers=``.
+
+Every case is reproducible from its id alone (seed, shape, semantics). A
+fast subset always runs; the heavy tail is marked ``slow_differential``
+(skippable locally via ``--skip-slow-differential``, always run in CI,
+where a dedicated job step additionally re-runs the file with
+``REPRO_WORKERS=4``).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+
+import pytest
+
+from repro.core import ServiceSemantics
+from repro.engine import (
+    DetAbstractionGenerator, Explorer, ParallelExplorer, PoolNondetGenerator)
+from repro.errors import UndecidableFragment
+from repro.mucalc.parser import parse_mu
+from repro.pipeline import verify
+from repro.relational.values import Fresh
+from repro.workloads import random_dcds
+
+MAX_WORKERS = max(1, int(os.environ.get("REPRO_WORKERS", "4")))
+WORKER_COUNTS = tuple(sorted({1, 2, MAX_WORKERS}))
+SHAPES = ("weakly-acyclic", "gr-acyclic", "free")
+SEMANTICS = (ServiceSemantics.DETERMINISTIC,
+             ServiceSemantics.NONDETERMINISTIC)
+
+# 2 fast + 5 slow seeds x 3 shapes x 2 semantics = 42 differential cases.
+FAST_SEEDS = (0, 1)
+SLOW_SEEDS = (2, 3, 4, 5, 6)
+
+# Bounds keeping every random case finite (free-shape DCDSs may be
+# run-unbounded; truncate gracefully and compare the truncated prefixes).
+MAX_STATES = 3000
+MAX_DEPTH = 3
+POOL = ("c0", "c1", Fresh(90))
+
+
+def case_params(seeds):
+    return [
+        pytest.param(seed, shape, semantics,
+                     id=f"seed{seed}-{shape}-{semantics.value}")
+        for seed in seeds
+        for shape in SHAPES
+        for semantics in SEMANTICS
+    ]
+
+
+def explorer_config(dcds):
+    """The (generator factory, explorer kwargs) pair for one DCDS.
+
+    Deterministic services exercise the Thm 4.3 abstraction (equality
+    commitments); nondeterministic ones exercise the finite-pool concrete
+    semantics — RCYCL is sequential by design (order-dependent used-value
+    pool) and is therefore *not* a differential target.
+    """
+    if dcds.semantics is ServiceSemantics.DETERMINISTIC:
+        return (lambda: DetAbstractionGenerator(dcds),
+                dict(max_states=MAX_STATES, max_depth=MAX_DEPTH,
+                     on_budget="truncate"))
+    return (lambda: PoolNondetGenerator(dcds, list(POOL)),
+            dict(max_states=MAX_STATES, max_depth=MAX_DEPTH,
+                 on_budget="truncate"))
+
+
+def assert_isomorphic_builds(sequential, parallel):
+    """Bit-identical: states, dbs, edge multiset, truncation, stats."""
+    assert sequential.initial == parallel.initial
+    assert sequential.states == parallel.states
+    # Edge multiset: labeled edges with multiplicity.
+    sequential_edges = Counter(
+        (source, label, target)
+        for source, label, target in sequential.edges())
+    parallel_edges = Counter(
+        (source, label, target)
+        for source, label, target in parallel.edges())
+    assert sequential_edges == parallel_edges
+    assert sequential.truncated_states == parallel.truncated_states
+    for state in sequential.states:
+        assert sequential.db(state) == parallel.db(state)
+    for key in ("growth_trace", "expansions", "frontier_peak", "diverged",
+                "explored_states", "explored_edges"):
+        assert sequential.exploration_stats[key] \
+            == parallel.exploration_stats[key], key
+
+
+def run_differential_case(seed, shape, semantics):
+    dcds = random_dcds(seed, shape=shape, semantics=semantics)
+    generator_factory, config = explorer_config(dcds)
+    sequential = Explorer(dcds.schema, **config).run(
+        generator_factory()).transition_system
+    for workers in WORKER_COUNTS:
+        parallel = ParallelExplorer(
+            dcds.schema, workers=workers, batch_size=4, **config,
+        ).run(generator_factory()).transition_system
+        assert_isomorphic_builds(sequential, parallel)
+    return sequential
+
+
+class TestDifferentialFast:
+    @pytest.mark.parametrize("seed,shape,semantics", case_params(FAST_SEEDS))
+    def test_parallel_matches_sequential(self, seed, shape, semantics):
+        run_differential_case(seed, shape, semantics)
+
+
+@pytest.mark.slow_differential
+class TestDifferentialSweep:
+    @pytest.mark.parametrize("seed,shape,semantics", case_params(SLOW_SEEDS))
+    def test_parallel_matches_sequential(self, seed, shape, semantics):
+        run_differential_case(seed, shape, semantics)
+
+
+# ---------------------------------------------------------------------------
+# verify() end-to-end agreement
+# ---------------------------------------------------------------------------
+
+def reachability_formula(dcds):
+    """``EF (R0 nonempty)`` with LIVE-guarded quantifiers (µLP)."""
+    arity = dcds.schema.arity("R0")
+    variables = [f"x{i}" for i in range(arity)]
+    guards = " & ".join(f"live({v})" for v in variables)
+    quantifiers = " ".join(f"E {v}." for v in variables)
+    return parse_mu(
+        f"mu Z. (({quantifiers} {guards} & R0({', '.join(variables)}))"
+        f" | <-> Z)")
+
+
+def assert_verify_agrees(seed, shape, semantics):
+    dcds = random_dcds(seed, shape=shape, semantics=semantics)
+    formula = reachability_formula(dcds)
+    try:
+        baseline = verify(dcds, formula, max_states=MAX_STATES)
+    except UndecidableFragment as undecidable:
+        # The static precondition failed identically on both paths.
+        with pytest.raises(UndecidableFragment):
+            verify(dcds, formula, max_states=MAX_STATES,
+                   workers=MAX_WORKERS)
+        return
+    sharded = verify(dcds, formula, max_states=MAX_STATES,
+                     workers=MAX_WORKERS)
+    assert sharded.holds == baseline.holds
+    assert sharded.route == baseline.route
+    assert sharded.abstraction_stats["states"] \
+        == baseline.abstraction_stats["states"]
+    assert sharded.abstraction_stats["edges"] \
+        == baseline.abstraction_stats["edges"]
+
+
+class TestVerifyAgreementFast:
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_det_weakly_acyclic(self, seed):
+        assert_verify_agrees(seed, "weakly-acyclic",
+                             ServiceSemantics.DETERMINISTIC)
+
+    def test_nondet_route_accepts_workers(self):
+        """RCYCL stays sequential; workers= must be a no-op there."""
+        assert_verify_agrees(0, "gr-acyclic",
+                             ServiceSemantics.NONDETERMINISTIC)
+
+
+@pytest.mark.slow_differential
+class TestVerifyAgreementSweep:
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_det_weakly_acyclic(self, seed):
+        assert_verify_agrees(seed, "weakly-acyclic",
+                             ServiceSemantics.DETERMINISTIC)
+
+    @pytest.mark.parametrize("seed", SLOW_SEEDS[:2])
+    def test_nondet_gr_acyclic(self, seed):
+        assert_verify_agrees(seed, "gr-acyclic",
+                             ServiceSemantics.NONDETERMINISTIC)
