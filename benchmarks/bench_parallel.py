@@ -39,8 +39,13 @@ TARGET_WORKERS = 4
 
 
 def build_sequential(dcds, max_states):
+    # Cold caches for every timed build: the kernel's successor memo would
+    # otherwise replay the previous repeat's exploration for free and the
+    # best-of-N would measure a memo lookup, not a build.
+    from repro.core.execution import clear_subproblem_caches
     from repro.engine import DetAbstractionGenerator, Explorer
 
+    clear_subproblem_caches()
     started = time.perf_counter()
     ts = Explorer(dcds.schema, max_states=max_states).run(
         DetAbstractionGenerator(dcds)).transition_system
@@ -48,51 +53,96 @@ def build_sequential(dcds, max_states):
 
 
 def build_parallel(dcds, max_states, workers, batch_size):
+    from repro.core.execution import clear_subproblem_caches
     from repro.engine import DetAbstractionGenerator, ParallelExplorer
 
+    clear_subproblem_caches()
     started = time.perf_counter()
-    ts = ParallelExplorer(
+    result = ParallelExplorer(
         dcds.schema, max_states=max_states, workers=workers,
         batch_size=batch_size,
-    ).run(DetAbstractionGenerator(dcds)).transition_system
-    return ts, time.perf_counter() - started
+    ).run(DetAbstractionGenerator(dcds))
+    return result, time.perf_counter() - started
+
+
+def legacy_pickle_bytes(dcds, ts, batch_size):
+    """What the PR 3 transport would ship for this exploration.
+
+    Dispatch pickled every frontier state once; results pickled every
+    successor triple. Call this right after the sequential baseline: the
+    kernel's successor memo is still warm from that build, so the replay
+    costs pickling only (the parallel builds clear the caches again).
+    """
+    import pickle
+
+    from repro.engine import DetAbstractionGenerator
+
+    generator = DetAbstractionGenerator(dcds)
+    states = sorted(ts.states, key=repr)
+    sent = sum(
+        len(pickle.dumps(states[i:i + batch_size],
+                         pickle.HIGHEST_PROTOCOL))
+        for i in range(0, len(states), batch_size))
+    received = sum(
+        len(pickle.dumps(
+            [list(generator.successors(state))
+             for state in states[i:i + batch_size]],
+            pickle.HIGHEST_PROTOCOL))
+        for i in range(0, len(states), batch_size))
+    return sent + received
 
 
 def sweep(sizes, worker_counts, batch_size, repeats):
-    from repro.core.execution import clear_subproblem_caches
     from repro.workloads import commitment_blowup_dcds
 
     results = {}
     for n in sizes:
         dcds = commitment_blowup_dcds(n)
         max_states = 400000
-        clear_subproblem_caches()
         baseline_ts, baseline_sec = min(
             (build_sequential(dcds, max_states) for _ in range(repeats)),
             key=lambda pair: pair[1])
+        legacy_bytes = legacy_pickle_bytes(dcds, baseline_ts, batch_size)
         entry = {
             "states": len(baseline_ts),
             "edges": baseline_ts.edge_count(),
             "sequential_sec": baseline_sec,
+            "legacy_pickle_bytes_total": legacy_bytes,
+            "legacy_pickle_bytes_per_state":
+                legacy_bytes / len(baseline_ts),
             "workers": {},
         }
         for workers in worker_counts:
-            clear_subproblem_caches()
-            parallel_ts, parallel_sec = min(
+            parallel_result, parallel_sec = min(
                 (build_parallel(dcds, max_states, workers, batch_size)
                  for _ in range(repeats)),
                 key=lambda pair: pair[1])
+            parallel_ts = parallel_result.transition_system
             assert len(parallel_ts) == len(baseline_ts), (n, workers)
             assert parallel_ts.edge_count() == baseline_ts.edge_count(), \
                 (n, workers)
+            parallel_stats = parallel_result.stats.parallel
+            shipped = parallel_stats.get("states_shipped") or 1
+            wire_bytes = parallel_stats.get("ipc_bytes_sent", 0) \
+                + parallel_stats.get("ipc_bytes_received", 0)
             entry["workers"][str(workers)] = {
                 "sec": parallel_sec,
                 "speedup_vs_sequential": baseline_sec / parallel_sec
                 if parallel_sec else None,
+                "codec": parallel_stats.get("codec"),
+                "ipc_bytes_sent": parallel_stats.get("ipc_bytes_sent"),
+                "ipc_bytes_received":
+                    parallel_stats.get("ipc_bytes_received"),
+                "ipc_bytes_per_state": wire_bytes / shipped,
+                "coordinator_decode_sec":
+                    parallel_stats.get("coordinator_decode_sec"),
+                "coordinator_apply_sec":
+                    parallel_stats.get("coordinator_apply_sec"),
             }
             print(f"  blowup[{n}] workers={workers}: {parallel_sec:.3f}s "
                   f"(sequential {baseline_sec:.3f}s, "
-                  f"{baseline_sec / parallel_sec:.2f}x)")
+                  f"{baseline_sec / parallel_sec:.2f}x, "
+                  f"{wire_bytes / shipped:.0f} B/state)")
         results[f"blowup[{n}]"] = entry
     return results
 
@@ -130,9 +180,27 @@ def main() -> None:
     largest = f"blowup[{max(sizes)}]"
     largest_entry = results[largest]
     at_target = largest_entry["workers"].get(str(TARGET_WORKERS), {})
+    at_one = largest_entry["workers"].get("1", {})
+    wire_per_state = at_one.get("ipc_bytes_per_state")
+    legacy_per_state = largest_entry.get("legacy_pickle_bytes_per_state")
+    ipc_summary = {
+        "wire_bytes_per_state": wire_per_state,
+        "legacy_pickle_bytes_per_state": legacy_per_state,
+        "reduction_factor": (legacy_per_state / wire_per_state
+                             if wire_per_state and legacy_per_state
+                             else None),
+        "workers_1_overhead_ratio":
+            at_one.get("speedup_vs_sequential"),
+        "note": (
+            "workers_1_overhead_ratio is sequential_sec / workers-1 "
+            "wall time on the largest configuration; on a single-CPU "
+            "host coordinator and worker serialize, so every byte of "
+            "codec work shows up in the ratio"),
+    }
     record_section = {
         "available_cpus": cpus,
         "batch_size": args.batch_size,
+        "ipc": ipc_summary,
         "sweep": results,
         "largest_configuration": {
             "config": largest,

@@ -16,16 +16,17 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
-from repro.errors import ExecutionError, IllegalParameters
+from repro.errors import ExecutionError, IllegalParameters, InstanceError
 from repro.core.dcds import DCDS
 from repro.core.process_layer import Action, CARule, EffectSpec
 from repro.fol.ast import Formula
 from repro.fol.evaluation import (
     answers, evaluation_domain, has_answer, iter_answers)
 from repro.relational.instance import Fact, Instance
+from repro.relational.kernel import clear_kernel_caches, kernel_for
 from repro.relational.values import (
     Param, ServiceCall, Var, is_value, substitute_term)
-from repro.utils import value_sort_key
+from repro.utils import sorted_values, value_sort_key
 
 ParamSubstitution = Dict[Param, Any]
 CallEvaluation = Dict[ServiceCall, Any]
@@ -73,6 +74,12 @@ def legal_substitutions(
     returned on every call, so callers may mutate them.
     """
     action = dcds.process.action(rule.action)
+    kernel = kernel_for(dcds)
+    if kernel is not None:
+        items = kernel.legal_substitution_items(
+            rule, action.params, instance)
+        if items is not None:
+            return [dict(sigma_items) for sigma_items in items]
     items = _legal_subs_cached(rule, action.params, instance,
                                dcds.data.initial_adom)
     return [dict(sigma_items) for sigma_items in items]
@@ -200,7 +207,18 @@ def ground_effect(
     Memoized per ``(effect, sigma, instance)``: the same grounding
     subproblem recurs whenever a state is re-expanded by another builder
     (abstraction vs concrete validation) or a construction is repeated.
+
+    When the DCDS has a :mod:`repro.relational.kernel`, the grounding runs
+    on the compiled join plan over integer codes (observably identical
+    facts; the reference path below stays authoritative for parity tests
+    and as the fallback for uncompilable effects).
     """
+    kernel = kernel_for(dcds)
+    if kernel is not None:
+        produced = kernel.ground_effect(effect, _sigma_items(sigma),
+                                        instance)
+        if produced is not None:
+            return produced
     return _ground_effect_cached(effect, _sigma_items(sigma), instance,
                                  dcds.data.initial_adom)
 
@@ -249,12 +267,24 @@ def do_action(
     """``DO(I, alpha sigma)``: union of all grounded effects (Section 4.1).
 
     The result may contain ground service-call terms awaiting evaluation.
+    On the kernel path the pending instance is shared per
+    ``(action, sigma, instance)``, so its service-call set and coded form
+    stay warm when isomorphic regions of the state space replay the action.
     """
     declared = frozenset(action.params)
     if frozenset(sigma) != declared:
         raise IllegalParameters(
             f"substitution binds {sorted(sigma, key=repr)}, action "
             f"{action.name!r} declares {sorted(declared, key=repr)}")
+    kernel = kernel_for(dcds)
+    if kernel is not None:
+        sigma_items = _sigma_items(sigma)
+        pending = kernel.do_action_instance(
+            action, sigma_items, instance,
+            lambda effect: _ground_effect_cached(
+                effect, sigma_items, instance, dcds.data.initial_adom))
+        if pending is not None:
+            return pending
     produced: set = set()
     for effect in action.effects:
         produced.update(ground_effect(dcds, instance, effect, sigma))
@@ -275,7 +305,22 @@ def evaluate_calls(
     Returns the successor instance, or ``None`` when the evaluation violates
     some equality constraint (such successors do not exist — condition 4 of
     EXECS / N-EXECS).
+
+    On the kernel path the substitution and constraint check run over
+    integer codes and the successor comes back from the instance interner:
+    every distinct successor instance is materialized (and hashed) once per
+    process, and constraint-violating evaluations never materialize one.
     """
+    kernel = kernel_for(dcds)
+    if kernel is not None:
+        missing = pending.service_calls() - set(evaluation)
+        if missing:
+            raise InstanceError(
+                f"unresolved service calls: {sorted_values(missing)}")
+        handled, successor = kernel.evaluate_calls(
+            pending, evaluation, check_constraints)
+        if handled:
+            return successor
     successor = pending.apply_call_map(evaluation)
     if check_constraints and not dcds.data.satisfies_constraints(successor):
         return None
@@ -300,6 +345,7 @@ def clear_subproblem_caches() -> None:
     _substituted.cache_clear()
     instance_fingerprint.cache_clear()
     clear_domain_caches()
+    clear_kernel_caches()
 
 
 def successor_via(

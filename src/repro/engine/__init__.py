@@ -13,6 +13,7 @@ from repro.engine.explorer import (
     SuccessorGenerator)
 from repro.engine.parallel import (
     ParallelExplorer, default_workers, make_explorer)
+from repro.engine.wire import WireCodec, WireSession, make_codec
 from repro.engine.fingerprint import (
     fingerprints_may_be_isomorphic, instance_fingerprint, value_profiles)
 from repro.engine.generators import (
@@ -25,7 +26,7 @@ __all__ = [
     "ExplorationResult", "ExplorationStats", "Explorer", "InternEntry",
     "InternStats", "OracleRunGenerator", "ParallelExplorer",
     "PoolDetGenerator", "PoolNondetGenerator", "RcyclGenerator",
-    "StateInterner", "default_workers", "fingerprints_may_be_isomorphic",
-    "instance_fingerprint", "make_explorer", "sigma_label",
-    "sorted_call_map", "value_profiles",
+    "StateInterner", "WireCodec", "WireSession", "default_workers",
+    "fingerprints_may_be_isomorphic", "instance_fingerprint", "make_codec",
+    "make_explorer", "sigma_label", "sorted_call_map", "value_profiles",
 ]

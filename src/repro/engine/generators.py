@@ -28,6 +28,7 @@ from repro.core.dcds import DCDS
 from repro.core.execution import do_action, enabled_moves, evaluate_calls
 from repro.engine.explorer import ExplorationBudgetExceeded, SuccessorGenerator
 from repro.relational.instance import Instance
+from repro.relational.kernel import kernel_for
 from repro.relational.values import Fresh, ServiceCall
 from repro.semantics.commitments import enumerate_commitments
 from repro.semantics.transition_system import State
@@ -43,12 +44,13 @@ class DetState:
     cached.
     """
 
-    __slots__ = ("instance", "call_map", "_hash")
+    __slots__ = ("instance", "call_map", "_hash", "_known")
 
     def __init__(self, instance: Instance, call_map: CallMap):
         self.instance = instance
         self.call_map = call_map
         self._hash = None
+        self._known = None
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DetState):
@@ -77,12 +79,15 @@ class DetState:
 
     def known_values(self) -> FrozenSet[Any]:
         """Every value this state has ever seen: current adom, call results,
-        and call arguments (the history, Section 4.1)."""
-        values = set(self.instance.active_domain())
-        for call, result in self.call_map:
-            values.add(result)
-            values.update(call.args)
-        return frozenset(values)
+        and call arguments (the history, Section 4.1). Cached — states are
+        immutable and the set keys the commitment enumeration."""
+        if self._known is None:
+            values = set(self.instance.active_domain())
+            for call, result in self.call_map:
+                values.add(result)
+                values.update(call.args)
+            self._known = frozenset(values)
+        return self._known
 
 
 def sorted_call_map(mapping: Dict[ServiceCall, Any]) -> CallMap:
@@ -104,6 +109,36 @@ def sigma_key(sigma: Dict) -> tuple:
 
 
 Successor = Tuple[State, Instance, Optional[str]]
+
+
+def _kernel_successors(generator, key, state: State) -> Iterator[Successor]:
+    """Successor stream with the kernel's per-configuration replay memo.
+
+    Expansion is a pure function of the state for the generators using
+    this, so repeated constructions (validation runs, benchmark rounds)
+    replay from the memo instead of re-grounding. The stream stays lazy
+    and is memoized only when fully consumed: an observer early-stop or
+    state budget that abandons it mid-way (the explorer returns without
+    draining) neither pays for the unconsumed tail nor caches a truncated
+    list.
+    """
+    kernel = kernel_for(generator.dcds)
+    if kernel is None:
+        return generator._expand(state)
+    memo = kernel.successor_memo(key)
+    found = memo.get(state)
+    if found is not None:
+        return iter(found)
+    return _memoized_expansion(generator._expand(state), memo, state)
+
+
+def _memoized_expansion(expansion: Iterator[Successor], memo: dict,
+                        state: State) -> Iterator[Successor]:
+    collected = []
+    for successor in expansion:
+        collected.append(successor)
+        yield successor
+    memo[state] = tuple(collected)
 
 
 # ---------------------------------------------------------------------------
@@ -129,6 +164,10 @@ class DetAbstractionGenerator(SuccessorGenerator):
         return DetState(self.dcds.initial, ()), self.dcds.initial
 
     def successors(self, state: DetState) -> Iterator[Successor]:
+        return _kernel_successors(
+            self, ("det-abstraction", self.known_constants), state)
+
+    def _expand(self, state: DetState) -> Iterator[Successor]:
         dcds = self.dcds
         instance = state.instance
         call_map = state.map_dict()
@@ -263,6 +302,10 @@ class PoolDetGenerator(SuccessorGenerator):
         return DetState(self.dcds.initial, ()), self.dcds.initial
 
     def successors(self, state: DetState) -> Iterator[Successor]:
+        return _kernel_successors(
+            self, ("pool-det", tuple(self.pool)), state)
+
+    def _expand(self, state: DetState) -> Iterator[Successor]:
         dcds = self.dcds
         call_map = state.map_dict()
         for action, sigma in enabled_moves(dcds, state.instance):
@@ -300,6 +343,10 @@ class PoolNondetGenerator(SuccessorGenerator):
         return self.dcds.initial, self.dcds.initial
 
     def successors(self, instance: Instance) -> Iterator[Successor]:
+        return _kernel_successors(
+            self, ("pool-nondet", tuple(self.pool)), instance)
+
+    def _expand(self, instance: Instance) -> Iterator[Successor]:
         dcds = self.dcds
         for action, sigma in enabled_moves(dcds, instance):
             pending = do_action(dcds, instance, action, sigma)

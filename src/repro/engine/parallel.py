@@ -30,16 +30,31 @@ RCYCL is deliberately excluded: its used-value candidate pool makes every
 expansion depend on the global discovery order, which is inherently
 sequential (``RcyclGenerator.parallel_safe`` is ``False``).
 
-The pool uses the ``fork`` start method where available (workers inherit
-the warmed ``lru_cache`` memo tables of :mod:`repro.core.execution` for
-free) and falls back to ``spawn`` elsewhere — which is why the relational
-layer's ``__reduce__`` implementations must drop per-process cached hashes.
+Transport
+---------
+Each worker is a dedicated process with its own duplex pipe, so traffic per
+worker is FIFO — the property the wire codec's token protocol
+(:class:`repro.engine.wire.WireSession`) is built on: both pipe ends
+register states in the same event order and afterwards refer to them by
+small integer tokens instead of re-encoding. Batches are routed to the
+worker that already knows most of their states (affinity), which makes the
+common dispatch a stream of tokens. Generators without a DCDS kernel fall
+back to shipping pickled state/successor lists over the same links.
+
+The ``fork`` start method is preferred where available (workers inherit the
+warmed kernel interners and ``lru_cache`` memo tables for free) with
+``spawn`` supported elsewhere — which is why the relational layer's
+``__reduce__`` implementations must drop per-process cached hashes and the
+kernel construction order is deterministic (snapshot replay).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import queue
+import threading
 import time
 from collections import deque
 from typing import Any, Callable, List, Optional, Tuple
@@ -48,24 +63,143 @@ from repro.errors import ReproError
 from repro.engine.explorer import (
     BudgetError, ExplorationResult, Explorer, SuccessorGenerator,
     _default_budget_error)
+from repro.engine.wire import WireCodec, WireSession, make_codec
 from repro.relational.instance import Instance
+from repro.relational.kernel import kernel_for
 from repro.relational.schema import DatabaseSchema
 from repro.semantics.transition_system import State
 
-# Worker-side generator, installed once per pool by :func:`_worker_init`.
-_WORKER_GENERATOR: Optional[SuccessorGenerator] = None
+
+def _worker_codec(generator: SuccessorGenerator,
+                  snapshot: Optional[list]) -> Optional[WireCodec]:
+    if snapshot is None:
+        return None
+    kernel = kernel_for(generator.dcds)
+    if kernel is None:
+        return None
+    # Fork: the inherited table *is* the snapshot (replay verifies).
+    # Spawn: the freshly built kernel interned the deterministic
+    # constructor prefix; replay appends the coordinator's
+    # exploration-time codes in order, asserting alignment.
+    kernel.table.replay(snapshot)
+    return WireCodec(kernel, len(snapshot))
 
 
-def _worker_init(generator: SuccessorGenerator) -> None:
-    global _WORKER_GENERATOR
-    _WORKER_GENERATOR = generator
+def _worker_main(conn, generator: SuccessorGenerator,
+                 snapshot: Optional[list]) -> None:
+    """Worker loop: receive a batch payload, expand, reply; ``None`` exits.
+
+    Exceptions are relayed to the coordinator (tagged ``"exc"``) instead of
+    killing the link silently.
+    """
+    codec = _worker_codec(generator, snapshot)
+    session = WireSession(codec) if codec is not None else None
+    while True:
+        payload = conn.recv()
+        if payload is None:
+            return
+        try:
+            if session is not None:
+                states, parents = session.decode_dispatch(payload)
+                results = [list(generator.successors(state))
+                           for state in states]
+                reply = session.encode_results(parents, results)
+            else:
+                states = pickle.loads(payload)
+                reply = pickle.dumps(
+                    [list(generator.successors(state)) for state in states],
+                    pickle.HIGHEST_PROTOCOL)
+            conn.send(("ok", reply))
+        except BaseException as error:  # relayed, not swallowed
+            try:
+                conn.send(("exc", error))
+            except Exception:
+                # Unpicklable exception: relay a picklable stand-in so
+                # the coordinator sees the message, not a dead pipe.
+                conn.send(("exc", ReproError(
+                    f"worker failed with unpicklable "
+                    f"{type(error).__name__}: {error}")))
 
 
-def _expand_batch(states: List[State]
-                  ) -> List[List[Tuple[State, Instance, Optional[str]]]]:
-    """Expand a batch of states; one successor list per state, in order."""
-    generator = _WORKER_GENERATOR
-    return [list(generator.successors(state)) for state in states]
+class _WorkerLink:
+    """One dedicated worker process and its coordinator-side session.
+
+    Dispatches go through a per-link sender thread, so the coordinator
+    never blocks in ``conn.send`` — without it, a worker stuck sending a
+    large reply (pipe buffer full, coordinator not reading yet) and a
+    coordinator stuck sending the next large dispatch would deadlock.
+    Every worker process is started before any sender thread exists (see
+    ``start_links``): forking with live threads risks inheriting held
+    locks.
+    """
+
+    __slots__ = ("process", "conn", "session", "inflight", "_outbox",
+                 "_sender")
+
+    def __init__(self, context, generator: SuccessorGenerator,
+                 snapshot: Optional[list], codec: Optional[WireCodec]):
+        self.conn, child_conn = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main, args=(child_conn, generator, snapshot),
+            daemon=True)
+        self.process.start()
+        child_conn.close()
+        self.session = WireSession(codec) if codec is not None else None
+        self.inflight = 0
+        self._outbox: "queue.Queue" = queue.Queue()
+        self._sender: Optional[threading.Thread] = None
+
+    def start_sender(self) -> None:
+        self._sender = threading.Thread(target=self._send_loop, daemon=True)
+        self._sender.start()
+
+    def _send_loop(self) -> None:
+        while True:
+            payload = self._outbox.get()
+            try:
+                # ``None`` is forwarded: it is the worker's exit sentinel.
+                self.conn.send(payload)
+            except (BrokenPipeError, OSError):
+                return  # worker gone; receive() surfaces the EOF
+            if payload is None:
+                return
+
+    def send(self, payload) -> None:
+        self.inflight += 1
+        self._outbox.put(payload)
+
+    def receive(self):
+        tag, payload = self.conn.recv()
+        self.inflight -= 1
+        if tag == "exc":
+            raise payload
+        return payload
+
+    def shutdown(self) -> None:
+        # Graceful first: the exit sentinel travels through the sender
+        # thread (the pipe is never written from two threads). A worker
+        # blocked mid-send (discarded in-flight replies) will not read it,
+        # so terminate() is the backstop — killing the process breaks the
+        # pipe, which also unblocks a sender thread stuck in send().
+        self._outbox.put(None)
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join()
+        if self._sender is not None:
+            self._sender.join(timeout=1.0)
+        self.conn.close()
+
+
+def _start_links(context, workers: int, generator: SuccessorGenerator,
+                 snapshot: Optional[list], codec: Optional[WireCodec]
+                 ) -> List[_WorkerLink]:
+    """Fork/spawn every worker first, then start the sender threads."""
+    links = [_WorkerLink(context, generator, snapshot, codec)
+             for _ in range(workers)]
+    for link in links:
+        link.start_sender()
+    return links
 
 
 def make_explorer(schema: DatabaseSchema, workers: Optional[int] = None,
@@ -165,16 +299,26 @@ class ParallelExplorer(Explorer):
             "batch_size": self.batch_size,
             "batches": 0,
             "speculative_states_discarded": 0,
+            "codec": "pickle",
+            "states_shipped": 0,
+            "ipc_bytes_sent": 0,
+            "ipc_bytes_received": 0,
+            "coordinator_decode_sec": 0.0,
+            "coordinator_apply_sec": 0.0,
         }
         budget_hit = False
 
         context = multiprocessing.get_context(self.start_method)
-        pool = None  # created lazily: an early-stopped or depth-zero run
-        # (e.g. an on-the-fly witness on the initial state) never pays
-        # worker startup.
-        # In-flight batches, oldest first: (entries, async_result) where
+        links: List[_WorkerLink] = []  # started lazily: an early-stopped
+        # or depth-zero run (e.g. an on-the-fly witness on the initial
+        # state) never pays worker startup.
+        codec = None  # built with the links: its table snapshot is taken
+        # at fork/spawn time, so snapshot codes are shared vocabulary.
+        # In-flight batches, oldest first: (entries, link, parents) where
         # entries is the popped ``(state, depth, expand)`` prefix of the
-        # sequential frontier and async_result covers its expandable states.
+        # sequential frontier, link is the worker expanding its expandable
+        # states (None for all-truncated batches), and parents is the
+        # session's dispatch context (None on the legacy pickle path).
         in_flight: deque = deque()
         inflight_entries = 0  # popped but not yet applied, across batches
         try:
@@ -193,19 +337,47 @@ class ParallelExplorer(Explorer):
                         entries.append((state, depth, expand))
                         if expand:
                             expandable.append(state)
-                    if expandable and pool is None:
-                        pool = context.Pool(
-                            self.workers, initializer=_worker_init,
-                            initargs=(generator,))
-                    async_result = pool.apply_async(
-                        _expand_batch, (expandable,)) if expandable else None
-                    in_flight.append((entries, async_result))
+                    link = None
+                    parents = None
+                    if expandable:
+                        if not links:
+                            codec = make_codec(generator)
+                            snapshot = codec.snapshot() \
+                                if codec is not None else None
+                            if codec is not None:
+                                stats.parallel["codec"] = "wire"
+                            links = _start_links(
+                                context, self.workers, generator,
+                                snapshot, codec)
+                        link = self._route(links, expandable)
+                        if link.session is not None:
+                            payload, parents = \
+                                link.session.encode_dispatch(expandable)
+                        else:
+                            payload = pickle.dumps(
+                                expandable, pickle.HIGHEST_PROTOCOL)
+                        stats.parallel["ipc_bytes_sent"] += len(payload)
+                        link.send(payload)
+                        stats.parallel["states_shipped"] += len(expandable)
+                    in_flight.append((entries, link, parents))
                     inflight_entries += len(entries)
                     stats.parallel["batches"] += 1
 
-                entries, async_result = in_flight.popleft()
-                results = async_result.get() if async_result is not None \
-                    else []
+                entries, link, parents = in_flight.popleft()
+                if link is None:
+                    results = []
+                else:
+                    payload = link.receive()
+                    stats.parallel["ipc_bytes_received"] += len(payload)
+                    decode_started = time.perf_counter()
+                    if parents is not None:
+                        results = link.session.decode_results(
+                            payload, parents)
+                    else:
+                        results = pickle.loads(payload)
+                    stats.parallel["coordinator_decode_sec"] += \
+                        time.perf_counter() - decode_started
+                apply_started = time.perf_counter()
                 results_iter = iter(results)
                 for position, (state, depth, expand) in enumerate(entries):
                     inflight_entries -= 1
@@ -233,17 +405,48 @@ class ParallelExplorer(Explorer):
                             (state, depth)
                             for state, depth, _ in reversed(tail))
                         break
+                stats.parallel["coordinator_apply_sec"] += \
+                    time.perf_counter() - apply_started
                 if budget_hit or stats.early_stop is not None:
                     while in_flight:
-                        tail_entries, _ = in_flight.popleft()
+                        tail_entries, _, _ = in_flight.popleft()
                         inflight_entries -= len(tail_entries)
                         stats.parallel["speculative_states_discarded"] += \
                             sum(1 for _, _, expand in tail_entries if expand)
                         frontier.extend((state, depth)
                                         for state, depth, _ in tail_entries)
         finally:
-            if pool is not None:
-                pool.terminate()
-                pool.join()
+            for link in links:
+                link.shutdown()
 
         return self._finish(ts, frontier, budget_hit, started)
+
+    @staticmethod
+    def _route(links: List[_WorkerLink], expandable: List[State]
+               ) -> _WorkerLink:
+        """Pick the worker for a batch: load first, affinity second.
+
+        Affinity (a state travels as a token to a worker that already
+        knows it) must never override load balance: in a fresh run every
+        state is first known only to the worker that produced it, so
+        affinity-first routing would transitively pin the whole
+        exploration to one process. Instead the batch goes to the
+        highest-affinity link *among the least-loaded ones*.
+        """
+        if len(links) == 1:
+            return links[0]
+        least = min(link.inflight for link in links)
+        best = None
+        best_score = -1
+        for link in links:
+            if link.inflight > least:
+                continue
+            if link.session is not None:
+                knows = link.session.knows
+                score = sum(1 for state in expandable if knows(state))
+            else:
+                score = 0
+            if score > best_score:
+                best = link
+                best_score = score
+        return best

@@ -1,0 +1,535 @@
+"""Compile FO formulas into join plans over integer-coded instances.
+
+:mod:`repro.fol.evaluation` re-walks the formula AST with dict-valued
+valuations at every state. The kernel instead compiles each formula of a
+DCDS *once* into a :class:`CompiledQuery`: variables (and action parameters)
+become register slots, constants become term codes, and evaluation is a
+backtracking join over the per-relation int-tuple indexes of a
+:class:`~repro.relational.coding.CodedInstance`.
+
+Semantics contract
+------------------
+The compiled plan is observably equivalent to the reference evaluator (which
+stays authoritative — the parity tests in ``tests/test_kernel.py`` pin the
+two against each other):
+
+* answers agree as *sets* of bindings over the free variables (enumeration
+  order may differ; every consumer deduplicates, sorts, or checks
+  existence);
+* quantifiers and negation range over the same evaluation domain (active
+  domain + formula constants + caller extras, with action-parameter values
+  counted as constants exactly when the parameter occurs in the formula);
+* the vacuous-quantifier rule over an empty domain is preserved.
+
+Action parameters compile to pre-boundable slots, which subsumes both
+reference behaviours: evaluated with the slot unbound they act like the
+``@param`` variables of ``legal_substitutions``; pre-bound they act like the
+constants the reference substitutes into effect bodies.
+
+Anything the compiler cannot express (service calls inside formulas, exotic
+nodes) raises :class:`CompileError`; the kernel then falls back to the
+reference evaluator for that formula.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.fol.ast import (
+    And, Atom, Eq, Exists, FalseF, Forall, Formula, Not, Or, TrueF)
+from repro.relational.coding import UNBOUND, CodedInstance, TermTable
+from repro.relational.values import Param, ServiceCall, Var
+
+Regs = List[int]
+
+
+class CompileError(ReproError):
+    """The formula cannot be compiled; use the reference evaluator."""
+
+
+def _pad(regs: Regs, slots: Tuple[int, ...],
+         domain: FrozenSet[int]) -> Iterator[Regs]:
+    """Extensions of ``regs`` assigning every unbound slot over ``domain``."""
+    unbound = [slot for slot in slots if regs[slot] == UNBOUND]
+    if not unbound:
+        yield regs
+        return
+    stack = [(regs, 0)]
+    while stack:
+        current, index = stack.pop()
+        if index == len(unbound):
+            yield current
+            continue
+        slot = unbound[index]
+        for value in domain:
+            extended = current.copy()
+            extended[slot] = value
+            stack.append((extended, index + 1))
+
+
+class _Node:
+    """A compiled formula node.
+
+    ``iter_bindings`` yields register lists extending ``regs`` (never
+    mutating a yielded list in place — extensions are copies); ``holds``
+    decides closed truth under ``regs`` without touching it.
+    """
+
+    __slots__ = ()
+
+    def iter_bindings(self, coded: CodedInstance, regs: Regs,
+                      domain: FrozenSet[int]) -> Iterator[Regs]:
+        raise NotImplementedError
+
+    def holds(self, coded: CodedInstance, regs: Regs,
+              domain: FrozenSet[int]) -> bool:
+        raise NotImplementedError
+
+
+class _True(_Node):
+    __slots__ = ()
+
+    def iter_bindings(self, coded, regs, domain):
+        yield regs
+
+    def holds(self, coded, regs, domain):
+        return True
+
+
+class _False(_Node):
+    __slots__ = ()
+
+    def iter_bindings(self, coded, regs, domain):
+        return iter(())
+
+    def holds(self, coded, regs, domain):
+        return False
+
+
+class _Atom(_Node):
+    """Specs are ``(True, code)`` for constants, ``(False, slot)`` for
+    variables/parameters."""
+
+    __slots__ = ("relation", "specs")
+
+    def __init__(self, relation: int, specs: Tuple[Tuple[bool, int], ...]):
+        self.relation = relation
+        self.specs = specs
+
+    def iter_bindings(self, coded, regs, domain):
+        candidates = None
+        for position, (is_const, value) in enumerate(self.specs):
+            code = value if is_const else regs[value]
+            if code != UNBOUND:
+                candidates = coded.index(self.relation, position).get(code)
+                if candidates is None:
+                    return
+                break
+        if candidates is None:
+            candidates = coded.tuples(self.relation)
+        specs = self.specs
+        for terms in candidates:
+            extended: Optional[Regs] = None
+            matched = True
+            for (is_const, value), code in zip(specs, terms):
+                if is_const:
+                    if value != code:
+                        matched = False
+                        break
+                else:
+                    bound = regs[value] if extended is None \
+                        else extended[value]
+                    if bound == UNBOUND:
+                        if extended is None:
+                            extended = regs.copy()
+                        extended[value] = code
+                    elif bound != code:
+                        matched = False
+                        break
+            if matched:
+                yield extended if extended is not None else regs
+
+    def holds(self, coded, regs, domain):
+        resolved = []
+        for is_const, value in self.specs:
+            code = value if is_const else regs[value]
+            if code == UNBOUND:
+                # Mirrors the reference: a tuple containing an unbound
+                # variable matches nothing.
+                return False
+            resolved.append(code)
+        return coded.has(self.relation, tuple(resolved))
+
+
+class _Eq(_Node):
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Tuple[bool, int], right: Tuple[bool, int]):
+        self.left = left
+        self.right = right
+
+    def iter_bindings(self, coded, regs, domain):
+        l_const, l_value = self.left
+        r_const, r_value = self.right
+        left = l_value if l_const else regs[l_value]
+        right = r_value if r_const else regs[r_value]
+        if left != UNBOUND and right != UNBOUND:
+            if left == right:
+                yield regs
+            return
+        if left != UNBOUND:  # bind the right slot
+            extended = regs.copy()
+            extended[r_value] = left
+            yield extended
+            return
+        if right != UNBOUND:  # bind the left slot
+            extended = regs.copy()
+            extended[l_value] = right
+            yield extended
+            return
+        for value in domain:  # both unbound: enumerate one side
+            extended = regs.copy()
+            extended[l_value] = value
+            extended[r_value] = value
+            yield extended
+
+    def holds(self, coded, regs, domain):
+        l_const, l_value = self.left
+        r_const, r_value = self.right
+        left = l_value if l_const else regs[l_value]
+        right = r_value if r_const else regs[r_value]
+        if left == UNBOUND or right == UNBOUND:
+            # Reference resolves unbound variables to themselves: two
+            # occurrences of the same variable are equal, nothing else is.
+            return (not l_const and not r_const and left == UNBOUND
+                    and right == UNBOUND and l_value == r_value)
+        return left == right
+
+
+class _And(_Node):
+    """Conjunction with a compile-time greedy join order (see _order)."""
+
+    __slots__ = ("ordered", "original")
+
+    def __init__(self, ordered: Tuple[_Node, ...],
+                 original: Tuple[_Node, ...]):
+        self.ordered = ordered
+        self.original = original
+
+    def iter_bindings(self, coded, regs, domain):
+        return self._chain(0, coded, regs, domain)
+
+    def _chain(self, index, coded, regs, domain):
+        if index == len(self.ordered):
+            yield regs
+            return
+        following = index + 1
+        for extended in self.ordered[index].iter_bindings(
+                coded, regs, domain):
+            yield from self._chain(following, coded, extended, domain)
+
+    def holds(self, coded, regs, domain):
+        return all(sub.holds(coded, regs, domain) for sub in self.original)
+
+
+class _Or(_Node):
+    """Each branch pads the free slots it does not bind (active-domain
+    semantics of disjunction)."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Tuple[Tuple[_Node, Tuple[int, ...]], ...]):
+        self.children = children
+
+    def iter_bindings(self, coded, regs, domain):
+        for sub, others in self.children:
+            for extended in sub.iter_bindings(coded, regs, domain):
+                yield from _pad(extended, others, domain)
+
+    def holds(self, coded, regs, domain):
+        return any(sub.holds(coded, regs, domain)
+                   for sub, _ in self.children)
+
+
+class _Not(_Node):
+    __slots__ = ("sub", "free")
+
+    def __init__(self, sub: _Node, free: Tuple[int, ...]):
+        self.sub = sub
+        self.free = free
+
+    def iter_bindings(self, coded, regs, domain):
+        for padded in _pad(regs, self.free, domain):
+            if not self.sub.holds(coded, padded, domain):
+                yield padded
+
+    def holds(self, coded, regs, domain):
+        return not self.sub.holds(coded, regs, domain)
+
+
+class _Exists(_Node):
+    """Quantified variables are alpha-renamed to private slots at compile
+    time, so shadowing needs no runtime bookkeeping. ``vacuous`` marks a
+    quantified variable that does not occur in the body: over an empty
+    domain it has no witness, making the existential false (reference
+    semantics)."""
+
+    __slots__ = ("sub", "vacuous")
+
+    def __init__(self, sub: _Node, vacuous: bool):
+        self.sub = sub
+        self.vacuous = vacuous
+
+    def iter_bindings(self, coded, regs, domain):
+        if self.vacuous and not domain:
+            return
+        # Private slots leak bound in the yielded registers; no other node
+        # can read them (alpha-renaming), so no projection is needed.
+        yield from self.sub.iter_bindings(coded, regs, domain)
+
+    def holds(self, coded, regs, domain):
+        if self.vacuous and not domain:
+            return False
+        for _ in self.sub.iter_bindings(coded, regs, domain):
+            return True
+        return False
+
+
+class _Forall(_Node):
+    __slots__ = ("neg_exists", "free")
+
+    def __init__(self, neg_exists: _Exists, free: Tuple[int, ...]):
+        self.neg_exists = neg_exists
+        self.free = free
+
+    def iter_bindings(self, coded, regs, domain):
+        for padded in _pad(regs, self.free, domain):
+            if not self.neg_exists.holds(coded, padded, domain):
+                yield padded
+
+    def holds(self, coded, regs, domain):
+        return not self.neg_exists.holds(coded, regs, domain)
+
+
+class CompiledQuery:
+    """A formula compiled against a :class:`TermTable`.
+
+    Attributes
+    ----------
+    free_slots / param_slots:
+        Register slot of each free variable / action parameter. Parameters
+        may be pre-bound before evaluation (effect bodies) or left unbound
+        to be enumerated like free variables (rule queries).
+    const_codes:
+        Codes of the constants occurring in the formula; part of the
+        evaluation domain.
+    params:
+        Parameters occurring in the formula, in slot order. When a
+        parameter is pre-bound, its value joins the evaluation domain (the
+        reference evaluator substitutes it as a constant first).
+    """
+
+    __slots__ = ("formula", "n_slots", "free_slots", "param_slots",
+                 "const_codes", "params", "root")
+
+    def __init__(self, formula: Formula, table: TermTable,
+                 prebound_params: bool = False):
+        self.formula = formula
+        self.free_slots: Dict[Var, int] = {}
+        self.param_slots: Dict[Param, int] = {}
+        for var in sorted(formula.free_variables(), key=lambda v: v.name):
+            self.free_slots[var] = len(self.free_slots)
+        for param in sorted(formula.parameters(), key=lambda p: p.name):
+            self.param_slots[param] = len(self.free_slots) \
+                + len(self.param_slots)
+        self.params: Tuple[Param, ...] = tuple(self.param_slots)
+        self.const_codes: FrozenSet[int] = frozenset(
+            table.code(value) for value in formula.constants())
+        compiler = _Compiler(table, dict(self.free_slots),
+                             dict(self.param_slots),
+                             len(self.free_slots) + len(self.param_slots))
+        # ``prebound_params`` only steers the compile-time join-order
+        # simulation (effect bodies arrive with parameters bound, rule
+        # queries enumerate them); it never changes the answer set.
+        bound = frozenset(self.param_slots.values()) if prebound_params \
+            else frozenset()
+        self.root = compiler.compile(formula, bound)
+        self.n_slots = compiler.n_slots
+
+    def fresh_regs(self) -> Regs:
+        return [UNBOUND] * self.n_slots
+
+    def domain(self, coded: CodedInstance, table: TermTable,
+               extra: FrozenSet[int]) -> FrozenSet[int]:
+        """Coded evaluation domain: adom + formula constants + extras.
+
+        Cached per (query, extra) on the coded instance, mirroring the
+        reference ``_domain_cached`` memo.
+        """
+        cache = coded.domain_cache()
+        key = (id(self), extra)
+        found = cache.get(key)
+        if found is None:
+            found = coded.adom_codes(table) | self.const_codes | extra
+            cache[key] = found
+        return found
+
+    def iter_bindings(self, coded: CodedInstance, regs: Regs,
+                      domain: FrozenSet[int]) -> Iterator[Regs]:
+        """Register extensions under which the formula holds (may repeat)."""
+        return self.root.iter_bindings(coded, regs, domain)
+
+    def has_binding(self, coded: CodedInstance, regs: Regs,
+                    domain: FrozenSet[int]) -> bool:
+        for _ in self.root.iter_bindings(coded, regs, domain):
+            return True
+        return False
+
+
+class _Compiler:
+    """Single-pass compiler; allocates private slots for quantifiers."""
+
+    def __init__(self, table: TermTable, var_env: Dict[Var, int],
+                 param_slots: Dict[Param, int], n_slots: int):
+        self.table = table
+        self.var_env = var_env
+        self.param_slots = param_slots
+        self.n_slots = n_slots
+
+    def _term_spec(self, term: Any) -> Tuple[bool, int]:
+        if isinstance(term, Var):
+            slot = self.var_env.get(term)
+            if slot is None:
+                # A variable neither free nor quantified in scope cannot
+                # occur in a well-formed formula; free_variables() would
+                # have reported it.
+                raise CompileError(f"unscoped variable {term!r}")
+            return (False, slot)
+        if isinstance(term, Param):
+            return (False, self.param_slots[term])
+        if isinstance(term, ServiceCall):
+            raise CompileError(
+                f"service call {term!r} inside a query")
+        return (True, self.table.code(term))
+
+    def _free_param_slots(self, formula: Formula) -> Tuple[int, ...]:
+        """Slots of the free variables and parameters of a subformula.
+
+        Parameters ride along because an unbound parameter slot behaves
+        like the reference's ``@param`` free variable; pre-bound slots are
+        filtered at pad time.
+        """
+        slots = [self.var_env[var] for var in formula.free_variables()
+                 if var in self.var_env]
+        slots.extend(self.param_slots[param]
+                     for param in formula.parameters())
+        return tuple(sorted(set(slots)))
+
+    def compile(self, formula: Formula, bound: FrozenSet[int]) -> _Node:
+        return self._compile(formula, set(bound))
+
+    def _compile(self, formula: Formula, bound: set) -> _Node:
+        if isinstance(formula, TrueF):
+            return _True()
+        if isinstance(formula, FalseF):
+            return _False()
+        if isinstance(formula, Atom):
+            relation = self.table.code(formula.relation)
+            return _Atom(relation, tuple(
+                self._term_spec(term) for term in formula.terms))
+        if isinstance(formula, Eq):
+            return _Eq(self._term_spec(formula.left),
+                       self._term_spec(formula.right))
+        if isinstance(formula, And):
+            return self._compile_and(formula, bound)
+        if isinstance(formula, Or):
+            children = []
+            formula_slots = set(self._free_param_slots(formula))
+            for sub in formula.subs:
+                others = tuple(sorted(
+                    formula_slots - set(self._free_param_slots(sub))))
+                children.append((self._compile(sub, set(bound)), others))
+            return _Or(tuple(children))
+        if isinstance(formula, Not):
+            free = self._free_param_slots(formula)
+            return _Not(self._compile(formula.sub, set(bound) | set(free)),
+                        free)
+        if isinstance(formula, Exists):
+            return self._compile_exists(formula.variables, formula.sub,
+                                        bound)
+        if isinstance(formula, Forall):
+            free = self._free_param_slots(formula)
+            outer = set(bound) | set(free)
+            saved = {var: self.var_env.get(var) for var in formula.variables}
+            for var in formula.variables:
+                self.var_env[var] = self.n_slots
+                self.n_slots += 1
+            inner_free = self._free_param_slots(formula.sub)
+            sub = self._compile(formula.sub, outer | set(inner_free))
+            vacuous = any(
+                var not in formula.sub.free_variables()
+                for var in formula.variables)
+            self._restore(saved)
+            neg = _Exists(_Not(sub, inner_free), vacuous)
+            return _Forall(neg, free)
+        raise CompileError(f"cannot compile formula node {formula!r}")
+
+    def _compile_exists(self, variables, sub_formula: Formula,
+                        bound: FrozenSet[int]) -> _Exists:
+        saved = {var: self.var_env.get(var) for var in variables}
+        for var in variables:
+            self.var_env[var] = self.n_slots
+            self.n_slots += 1
+        sub = self._compile(sub_formula, set(bound))
+        vacuous = any(var not in sub_formula.free_variables()
+                      for var in variables)
+        self._restore(saved)
+        return _Exists(sub, vacuous)
+
+    def _restore(self, saved: Dict[Var, Optional[int]]) -> None:
+        for var, slot in saved.items():
+            if slot is None:
+                self.var_env.pop(var, None)
+            else:
+                self.var_env[var] = slot
+
+    def _compile_and(self, formula: And, bound: set) -> _Node:
+        """Greedy join order, simulated at compile time.
+
+        Mirrors the reference evaluator's per-call sort: prefer conjuncts
+        that bind variables cheaply (atoms), then equalities, then
+        negations/quantifiers, tie-broken by how many of their variables
+        are still unbound at that point (statically known — every conjunct
+        binds exactly its free variables and parameters).
+        """
+        remaining = list(enumerate(formula.subs))
+        known = set(bound)
+        compiled_at: Dict[int, _Node] = {}
+        ordered: List[_Node] = []
+        while remaining:
+            def cost(entry: Tuple[int, Formula]) -> Tuple[int, int]:
+                _, sub = entry
+                slots = self._free_param_slots(sub)
+                unbound = len([slot for slot in slots
+                               if slot not in known])
+                if isinstance(sub, (TrueF, FalseF)):
+                    return (0, 0)
+                if isinstance(sub, Atom):
+                    return (1, unbound)
+                if isinstance(sub, Eq):
+                    return (2, unbound)
+                return (3, unbound)
+
+            best = min(range(len(remaining)),
+                       key=lambda index: cost(remaining[index]))
+            position, chosen = remaining.pop(best)
+            node = self._compile(chosen, set(known))
+            compiled_at[position] = node
+            ordered.append(node)
+            known.update(self._free_param_slots(chosen))
+        # holds() follows the source order like the reference evaluator;
+        # the same compiled node serves both orders (one per occurrence).
+        original = tuple(compiled_at[position]
+                         for position in range(len(formula.subs)))
+        return _And(tuple(ordered), original)

@@ -52,7 +52,14 @@ class VerificationReport:
 
     ``abstraction_stats`` merges the structural stats of the constructed
     transition system (states, edges, totality, ...) with the engine's
-    exploration counters (states/sec, frontier peak, expansion counts).
+    exploration counters (states/sec, frontier peak, expansion counts),
+    the integer-coded kernel's counters under ``"kernel"`` (plan
+    evaluations, interned facts/instances, reference fallbacks), and — for
+    sharded builds — the worker-pool counters under ``"parallel"``,
+    including the wire codec's IPC traffic (``ipc_bytes_sent`` /
+    ``ipc_bytes_received`` / ``states_shipped``) and the coordinator's
+    deserialize/apply times (``coordinator_decode_sec`` /
+    ``coordinator_apply_sec``).
     ``checking_stats`` records the checking side: compiled-evaluator
     counters (fixpoint iterations, resets, peak extension size, memo hits)
     or, on the on-the-fly route, the early-stop reason and how many states

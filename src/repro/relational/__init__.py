@@ -1,5 +1,8 @@
-"""Relational substrate: values, schemas, facts, instances, isomorphism."""
+"""Relational substrate: values, schemas, facts, instances, isomorphism —
+plus the integer-coded encoding layer (term tables, coded instances, the
+per-DCDS kernel) the exploration hot path runs on."""
 
+from repro.relational.coding import CodedInstance, TermTable
 from repro.relational.instance import Fact, Instance, fact
 from repro.relational.isomorphism import (
     are_isomorphic, canonical_form, canonical_key, find_isomorphism,
@@ -11,9 +14,24 @@ from repro.relational.values import (
     term_parameters, term_service_calls, term_values, term_variables)
 
 __all__ = [
-    "DatabaseSchema", "Fact", "Fresh", "Instance", "Param", "RelationSchema",
-    "ServiceCall", "Var", "are_isomorphic", "canonical_form", "canonical_key",
-    "fact", "find_isomorphism", "is_value", "iter_isomorphisms",
-    "parse_relation_spec", "substitute_term", "term_parameters",
-    "term_service_calls", "term_values", "term_variables",
+    "CodedInstance", "DatabaseSchema", "Fact", "Fresh", "Instance", "Param",
+    "RelationSchema", "RelationalKernel", "ServiceCall", "TermTable", "Var",
+    "are_isomorphic", "canonical_form", "canonical_key",
+    "clear_kernel_caches", "fact", "find_isomorphism", "is_value",
+    "iter_isomorphisms", "kernel_for", "parse_relation_spec",
+    "substitute_term", "term_parameters", "term_service_calls",
+    "term_values", "term_variables",
 ]
+
+_KERNEL_EXPORTS = ("RelationalKernel", "clear_kernel_caches", "kernel_for")
+
+
+def __getattr__(name):
+    # Lazy: the kernel compiles formulas (repro.fol), and repro.fol's AST
+    # imports this package's values module — an eager import here would be
+    # circular.
+    if name in _KERNEL_EXPORTS:
+        from repro.relational import kernel
+
+        return getattr(kernel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,230 @@
+"""Integer coding of ground terms and instances — the encoding layer.
+
+The exploration hot path grounds condition-action rules over relational
+instances millions of times; doing that over Python object graphs pays for
+recursive ``hash``/``==`` on every comparison. This module gives each ground
+term (value or ground service call) a dense integer *code* in an append-only
+:class:`TermTable`, and represents an instance as a :class:`CodedInstance`:
+per-relation sorted arrays of int tuples. Equality, joins, and substitution
+become integer comparisons and dict lookups over small ints.
+
+The coding is a per-process acceleration structure, never part of the
+semantics: :mod:`repro.relational.kernel` decodes back to the very same
+:class:`~repro.relational.instance.Fact`/``Instance`` values at every
+boundary, and the wire codec (:mod:`repro.engine.wire`) ships codes between
+processes only together with definitions for any code the receiver may not
+know (codes themselves are process-local).
+
+Code assignment follows Python equality: terms that compare equal (e.g.
+``1`` and ``True``) share a code, exactly as they collapse inside a
+``frozenset`` of facts.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.relational.values import ServiceCall, is_value
+from repro.utils import value_sort_key
+
+#: Register value for "unbound" in compiled plans (codes are always >= 0).
+UNBOUND = -1
+
+
+class TermTable:
+    """Append-only interning of ground terms to dense int codes.
+
+    A *term* is a constant value or a ground :class:`ServiceCall`. Codes are
+    assigned in first-intern order and never change; the table also caches
+    each code's :func:`~repro.utils.value_sort_key` so deterministic
+    orderings never recompute sort keys for interned terms.
+
+    ``snapshot()`` lists the payload of every code in order; replaying a
+    snapshot into a table that was built by the same deterministic
+    constructor sequence reproduces the exact same code assignment — the
+    wire codec's cross-process contract (see :mod:`repro.engine.wire`).
+    """
+
+    __slots__ = ("_codes", "_terms", "_is_call", "_sort_keys")
+
+    def __init__(self) -> None:
+        self._codes: Dict[Any, int] = {}
+        self._terms: List[Any] = []
+        self._is_call: List[bool] = []
+        self._sort_keys: List[Optional[tuple]] = []
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def code(self, term: Any) -> int:
+        """The code of ``term``, interning it on first sight."""
+        found = self._codes.get(term)
+        if found is not None:
+            return found
+        code = len(self._terms)
+        self._codes[term] = code
+        self._terms.append(term)
+        self._is_call.append(isinstance(term, ServiceCall))
+        self._sort_keys.append(None)
+        return code
+
+    def get(self, term: Any) -> Optional[int]:
+        """The code of ``term`` if already interned, else ``None``."""
+        return self._codes.get(term)
+
+    def term(self, code: int) -> Any:
+        return self._terms[code]
+
+    def is_call(self, code: int) -> bool:
+        return self._is_call[code]
+
+    def sort_key(self, code: int) -> tuple:
+        """``value_sort_key`` of the coded term (computed once per code)."""
+        key = self._sort_keys[code]
+        if key is None:
+            key = value_sort_key(self._terms[code])
+            self._sort_keys[code] = key
+        return key
+
+    def codes(self, terms: Iterable[Any]) -> Tuple[int, ...]:
+        return tuple(self.code(term) for term in terms)
+
+    def snapshot(self) -> List[Any]:
+        """Payloads of every code, in code order (for cross-process replay).
+
+        Values are shipped as themselves; ground service calls as
+        ``("call", function, arg_codes)`` so the payload references earlier
+        codes instead of re-pickling argument values.
+        """
+        payloads: List[Any] = []
+        for code, term in enumerate(self._terms):
+            if self._is_call[code]:
+                payloads.append(
+                    ("call", term.function,
+                     tuple(self._codes[arg] for arg in term.args)))
+            else:
+                payloads.append(("value", term))
+        return payloads
+
+    def replay(self, payloads: List[Any]) -> None:
+        """Intern snapshot ``payloads`` in order, asserting code alignment.
+
+        Safe to call on a table that already holds a prefix of the snapshot
+        (the deterministic-constructor prefix); raises if any payload lands
+        on a different code than it had in the source table.
+        """
+        for expected, payload in enumerate(payloads):
+            kind, *rest = payload
+            if kind == "call":
+                function, arg_codes = rest
+                term = ServiceCall(
+                    function, tuple(self._terms[arg] for arg in arg_codes))
+            else:
+                term = rest[0]
+            code = self.code(term)
+            if code != expected:
+                raise ValueError(
+                    f"snapshot replay misaligned: payload {payload!r} "
+                    f"interned as {code}, expected {expected}")
+
+
+_EMPTY: Tuple[Tuple[int, ...], ...] = ()
+
+#: A coded fact: ``(relation_code, term_codes)``.
+CodedFact = Tuple[int, Tuple[int, ...]]
+
+
+class CodedInstance:
+    """An instance as per-relation sorted arrays of int tuples.
+
+    Built once per (immutable) :class:`~repro.relational.instance.Instance`
+    and cached by the kernel; per-position indexes and the coded active
+    domain are derived lazily, mirroring ``Instance.index``/``active_domain``
+    but over small ints.
+    """
+
+    __slots__ = ("by_relation", "_indexes", "_adom", "_domains", "_fact_set",
+                 "_sets")
+
+    def __init__(self, by_relation: Dict[int, Tuple[Tuple[int, ...], ...]]):
+        # Tuples sorted per relation: deterministic iteration for any
+        # consumer, independent of build order.
+        self.by_relation = {relation: tuple(sorted(tuples))
+                            for relation, tuples in by_relation.items()}
+        self._indexes: Optional[dict] = None
+        self._adom: Optional[FrozenSet[int]] = None
+        #: Per-(plan, extra-codes) evaluation-domain cache, mirroring
+        #: ``fol.evaluation._domain_cached`` (see CompiledQuery.domain).
+        self._domains: dict = {}
+        self._fact_set: Optional[FrozenSet[CodedFact]] = None
+        self._sets: Optional[dict] = None
+
+    @classmethod
+    def from_coded_facts(cls, facts: Iterable[CodedFact]) -> "CodedInstance":
+        grouped: Dict[int, list] = {}
+        for relation, terms in facts:
+            grouped.setdefault(relation, []).append(terms)
+        return cls({relation: tuple(tuples)
+                    for relation, tuples in grouped.items()})
+
+    def tuples(self, relation: int) -> Tuple[Tuple[int, ...], ...]:
+        return self.by_relation.get(relation, _EMPTY)
+
+    def index(self, relation: int, position: int
+              ) -> Dict[int, Tuple[Tuple[int, ...], ...]]:
+        """Tuples of ``relation`` grouped by the code at ``position``."""
+        if self._indexes is None:
+            self._indexes = {}
+        key = (relation, position)
+        found = self._indexes.get(key)
+        if found is None:
+            grouped: Dict[int, list] = {}
+            for terms in self.by_relation.get(relation, _EMPTY):
+                grouped.setdefault(terms[position], []).append(terms)
+            found = {code: tuple(tuples) for code, tuples in grouped.items()}
+            self._indexes[key] = found
+        return found
+
+    def has(self, relation: int, terms: Tuple[int, ...]) -> bool:
+        """Membership test with a lazy per-relation set (closed-atom checks)."""
+        if self._sets is None:
+            self._sets = {}
+        found = self._sets.get(relation)
+        if found is None:
+            found = set(self.by_relation.get(relation, _EMPTY))
+            self._sets[relation] = found
+        return terms in found
+
+    def adom_codes(self, table: TermTable) -> FrozenSet[int]:
+        """Coded ``ADOM``: value codes occurring in the instance.
+
+        Ground-service-call terms contribute their (already coded) value
+        arguments, not themselves — the coded mirror of
+        ``Instance.active_domain``.
+        """
+        if self._adom is None:
+            values = set()
+            for tuples in self.by_relation.values():
+                for terms in tuples:
+                    for code in terms:
+                        if table.is_call(code):
+                            call = table.term(code)
+                            values.update(
+                                table.code(arg) for arg in call.args
+                                if is_value(arg))
+                        else:
+                            values.add(code)
+            self._adom = frozenset(values)
+        return self._adom
+
+    def fact_set(self) -> FrozenSet[CodedFact]:
+        """The instance as a frozenset of coded facts (interning key)."""
+        if self._fact_set is None:
+            self._fact_set = frozenset(
+                (relation, terms)
+                for relation, tuples in self.by_relation.items()
+                for terms in tuples)
+        return self._fact_set
+
+    def domain_cache(self) -> dict:
+        return self._domains

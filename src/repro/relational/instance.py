@@ -109,7 +109,7 @@ class Instance:
     """
 
     __slots__ = ("_facts", "_adom", "_hash", "_by_relation", "_indexes",
-                 "_sorted", "_calls")
+                 "_sorted", "_calls", "_schema_ok")
 
     def __init__(self, facts: Iterable[Fact] = ()):
         normalized = []
@@ -132,6 +132,7 @@ class Instance:
         self._indexes = None
         self._sorted = None
         self._calls = None
+        self._schema_ok = None
 
     # -- construction helpers -------------------------------------------------
 
@@ -278,7 +279,14 @@ class Instance:
         return True
 
     def validate(self, schema: DatabaseSchema) -> None:
-        """Raise :class:`InstanceError` if the instance violates the schema."""
+        """Raise :class:`InstanceError` if the instance violates the schema.
+
+        Successful validation is remembered per schema *object*: interned
+        instances are re-added to transition systems across repeated
+        constructions, and re-walking the facts each time is pure waste.
+        """
+        if self._schema_ok is schema:
+            return
         for current in self._facts:
             if current.relation not in schema:
                 raise InstanceError(
@@ -288,6 +296,7 @@ class Instance:
                 raise InstanceError(
                     f"fact {current!r} has arity {current.arity}, "
                     f"schema says {expected}")
+        self._schema_ok = schema
 
     # -- transformations ---------------------------------------------------------
 

@@ -1,0 +1,734 @@
+"""The per-DCDS integer-coded relational kernel.
+
+One :class:`RelationalKernel` is built (lazily, once) per DCDS. It owns:
+
+* a :class:`~repro.relational.coding.TermTable` interning every ground term
+  the exploration touches to a dense int code;
+* each condition-action rule query, effect body, and equality constraint
+  compiled **once** into a :class:`~repro.fol.compile.CompiledQuery` join
+  plan over the integer indexes (the reference evaluator in
+  :mod:`repro.fol.evaluation` stays authoritative and is pinned against the
+  kernel by parity tests);
+* interners for facts and instances, so every distinct fact/instance is
+  materialized — and hashed — exactly once per process, and revisited
+  successors come back as the *same* objects with warm caches.
+
+The kernel is a pure accelerator: :mod:`repro.core.execution` consults it on
+the hot path and falls back to the reference implementation whenever a piece
+could not be compiled (service calls inside queries, exotic formula nodes)
+or the kernel is disabled via ``REPRO_NO_KERNEL=1``. Constructed state is
+process-local; pickling a DCDS drops the attached kernel (rebuilt on first
+use in the receiving process), and the deterministic construction order
+below is what lets :mod:`repro.engine.wire` align code assignments across
+processes by snapshot replay.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+from collections import OrderedDict
+from typing import (
+    Any, Dict, FrozenSet, Iterable, List, Optional, Tuple)
+
+from repro.errors import ExecutionError, IllegalParameters
+from repro.fol.compile import CompiledQuery, CompileError
+from repro.relational.coding import (
+    UNBOUND, CodedFact, CodedInstance, TermTable)
+from repro.relational.instance import Fact, Instance
+from repro.relational.values import Param, ServiceCall, Var
+from repro.utils import sorted_values
+
+SigmaItems = Tuple[Tuple[Param, Any], ...]
+
+#: Kernels alive in this process (for cache clearing).
+_LIVE_KERNELS: "weakref.WeakSet[RelationalKernel]" = weakref.WeakSet()
+
+
+def _unpickle_kernel_placeholder():
+    """Kernels never cross process boundaries; receivers rebuild lazily."""
+    return None
+
+
+class _Disabled:
+    """Sentinel attached to a DCDS when the kernel is switched off."""
+
+    def __reduce__(self):
+        # Survive pickling as the singleton, so identity checks keep
+        # working on DCDSs that cross process boundaries while disabled.
+        return _disabled_sentinel, ()
+
+
+def _disabled_sentinel() -> "_Disabled":
+    return _DISABLED
+
+
+_DISABLED = _Disabled()
+
+
+#: Structurally-equal DCDSs share one kernel: benchmarks and validation
+#: runs rebuild specifications freely, and a rebuilt spec should land on
+#: the warm plans and interners of its twin. Keyed by ``spec_signature()``;
+#: bounded LRU so sweeping over many generated specifications cannot pin
+#: unbounded memory.
+_KERNEL_REGISTRY: "OrderedDict[tuple, RelationalKernel]" = OrderedDict()
+_KERNEL_REGISTRY_LIMIT = 64
+
+
+def kernel_for(dcds) -> Optional["RelationalKernel"]:
+    """The kernel attached to ``dcds``, built (or adopted) on first use.
+
+    Returns ``None`` when disabled (``REPRO_NO_KERNEL=1``). The switch is
+    read when the kernel would first be attached to a DCDS, not on every
+    hot call — set the variable before touching the DCDS (the parity tests
+    construct fresh specifications per parametrization, so each sees the
+    switch).
+    """
+    kernel = getattr(dcds, "_relational_kernel", None)
+    if kernel is not None:
+        return None if kernel is _DISABLED else kernel
+    if os.environ.get("REPRO_NO_KERNEL"):
+        object.__setattr__(dcds, "_relational_kernel", _DISABLED)
+        return None
+    signature = dcds.spec_signature()
+    kernel = _KERNEL_REGISTRY.get(signature)
+    if kernel is None:
+        kernel = RelationalKernel(dcds)
+        _KERNEL_REGISTRY[signature] = kernel
+        while len(_KERNEL_REGISTRY) > _KERNEL_REGISTRY_LIMIT:
+            _KERNEL_REGISTRY.popitem(last=False)
+    else:
+        _KERNEL_REGISTRY.move_to_end(signature)
+        kernel.adopt(dcds)
+    object.__setattr__(dcds, "_relational_kernel", kernel)
+    return kernel
+
+
+def clear_kernel_caches() -> None:
+    """Release the interned instances/facts of every live kernel."""
+    _KERNEL_REGISTRY.clear()
+    for kernel in list(_LIVE_KERNELS):
+        kernel.clear_caches()
+
+
+def attach_kernel_stats(dcds, ts) -> None:
+    """Record the kernel's counters on a built transition system.
+
+    Surfaces as ``exploration_stats["kernel"]`` and from there through
+    ``VerificationReport.abstraction_stats``. A no-op when the kernel is
+    disabled.
+    """
+    kernel = getattr(dcds, "_relational_kernel", None)
+    if isinstance(kernel, RelationalKernel):
+        ts.exploration_stats["kernel"] = kernel.stats_dict()
+
+
+class _CompiledConstraint:
+    """An equality constraint with a compiled query and coded sides."""
+
+    __slots__ = ("query", "sides")
+
+    def __init__(self, constraint, table: TermTable):
+        self.query = CompiledQuery(constraint.query, table)
+        sides = []
+        for left, right in constraint.equalities:
+            sides.append((self._side(left, table), self._side(right, table)))
+        self.sides = tuple(sides)
+
+    def _side(self, term, table: TermTable) -> Tuple[bool, int]:
+        if isinstance(term, Var):
+            return (False, self.query.free_slots[term])
+        return (True, table.code(term))
+
+    def satisfied(self, coded: CodedInstance, table: TermTable,
+                  extra: FrozenSet[int]) -> bool:
+        domain = self.query.domain(coded, table, extra)
+        regs = self.query.fresh_regs()
+        for binding in self.query.iter_bindings(coded, regs, domain):
+            for (l_const, l_value), (r_const, r_value) in self.sides:
+                left = l_value if l_const else binding[l_value]
+                right = r_value if r_const else binding[r_value]
+                if left != right:
+                    return False
+        return True
+
+
+class _RuleContext:
+    """Everything precomputed for one condition-action rule."""
+
+    __slots__ = ("plan", "params", "param_slots", "answer_slots",
+                 "param_positions", "by_instance")
+
+    def __init__(self, plan: CompiledQuery, params: Tuple[Param, ...]):
+        self.plan = plan
+        self.params = params
+        # Reference ordering: answers() sorts full bindings by value over
+        # the sorted variable names, parameters rendering as "@name" (the
+        # @-variable rewrite of ``_param_query``); the result is then
+        # stably re-sorted by the parameter values alone.
+        named = sorted(
+            [(var.name, slot) for var, slot in plan.free_slots.items()]
+            + [(f"@{param.name}", slot)
+               for param, slot in plan.param_slots.items()])
+        self.answer_slots = tuple(slot for _, slot in named)
+        self.param_slots = tuple(plan.param_slots[param]
+                                 for param in params)
+        order = {slot: position
+                 for position, slot in enumerate(self.answer_slots)}
+        self.param_positions = tuple(order[slot]
+                                     for slot in self.param_slots)
+        self.by_instance: Dict[Instance, tuple] = {}
+
+
+class _SigmaContext:
+    """One effect under one parameter substitution: bound registers, the
+    evaluation-domain extras, the resolved head, per-instance results."""
+
+    __slots__ = ("regs", "extra", "head", "by_instance")
+
+    def __init__(self, regs: List[int], extra: FrozenSet[int], head: tuple):
+        self.regs = regs
+        self.extra = extra
+        self.head = head
+        self.by_instance: Dict[Instance, FrozenSet[Fact]] = {}
+
+
+class _EffectContext:
+    """A compiled effect: body plan + head template + per-sigma contexts."""
+
+    __slots__ = ("body", "head_specs", "sigmas")
+
+    def __init__(self, body: CompiledQuery, head_specs: tuple):
+        self.body = body
+        self.head_specs = head_specs
+        self.sigmas: Dict[SigmaItems, _SigmaContext] = {}
+
+
+class _ActionContext:
+    """``DO()`` memo: per (sigma, instance) pending-instance sharing."""
+
+    __slots__ = ("effects", "by_key")
+
+    def __init__(self, effects: tuple):
+        self.effects = effects
+        self.by_key: Dict[Tuple[SigmaItems, Instance], Instance] = {}
+
+
+class RelationalKernel:
+    """Integer-coded acceleration structures for one DCDS."""
+
+    def __init__(self, dcds):
+        _LIVE_KERNELS.add(self)
+        self.dcds = dcds
+        self.table = TermTable()
+        table = self.table
+        # Deterministic construction order — the spawn-side snapshot replay
+        # of the wire codec relies on two kernels for the same DCDS
+        # interning this prefix identically:
+        # 1. relation names in schema order;
+        for relation in dcds.schema.relations:
+            table.code(relation.name)
+        # 2. known constants (ADOM(I0) + process constants), sorted;
+        for value in sorted_values(dcds.known_constants()):
+            table.code(value)
+        self.initial_adom_codes: FrozenSet[int] = frozenset(
+            table.code(value) for value in dcds.data.initial_adom)
+        # 3. compiled plans in specification order (rules, then actions'
+        #    effects, then constraints) — compilation interns each
+        #    formula's constants.
+        self._rule_contexts: List[Optional[_RuleContext]] = [
+            self._compile_rule(dcds, rule) for rule in dcds.process.rules]
+        self._effect_contexts: List[Optional[_EffectContext]] = []
+        self._action_contexts: List[_ActionContext] = []
+        for action in dcds.process.actions:
+            for effect in action.effects:
+                self._effect_contexts.append(self._compile_effect(effect))
+            self._action_contexts.append(
+                _ActionContext(tuple(action.effects)))
+        # Hot-path lookups are by object id — no dataclass re-hashing.
+        # Every id registered here belongs to a specification kept alive in
+        # ``_adopted`` (ids stay stable, no reuse).
+        self._rules: Dict[int, Optional[_RuleContext]] = {}
+        self._effects: Dict[int, Optional[_EffectContext]] = {}
+        self._actions: Dict[int, _ActionContext] = {}
+        self._adopted: List[Any] = []
+        self._index_spec(dcds)
+        self._constraints: Optional[List[_CompiledConstraint]] = []
+        for constraint in dcds.data.constraints:
+            try:
+                self._constraints.append(
+                    _CompiledConstraint(constraint, table))
+            except (CompileError, KeyError):
+                self._constraints = None  # any failure: reference checks
+                break
+
+        # Interners (process-local; released by clear_caches).
+        self._facts: Dict[CodedFact, Fact] = {}
+        self._fact_codes: Dict[Fact, Tuple[int, Tuple[int, ...], bool]] = {}
+        self._calls: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        self._instances: Dict[FrozenSet[CodedFact], Instance] = {}
+        self._coded: Dict[Instance, CodedInstance] = {}
+        self._coded_facts: Dict[Instance, FrozenSet[CodedFact]] = {}
+        self._pending_entries: Dict[Instance, tuple] = {}
+        self._eval_memo: Dict[tuple, Tuple[bool, Optional[Instance]]] = {}
+        self._successor_memos: Dict[Any, dict] = {}
+        self.stats: Dict[str, int] = {
+            "legal_evals": 0, "effect_evals": 0, "evaluate_calls": 0,
+            "fallbacks": 0, "facts_interned": 0, "instances_interned": 0,
+            "instance_reuses": 0,
+        }
+
+    # -- construction helpers ------------------------------------------------
+
+    def _index_spec(self, dcds) -> None:
+        """Map one specification's rule/effect/action ids onto the shared
+        positional contexts (identical structure guaranteed by the
+        ``spec_signature`` registry key)."""
+        if len(self._adopted) >= 256:
+            # Id maps would otherwise grow with every structurally-equal
+            # rebuild; dropped specifications simply fall back to the
+            # reference path if still in use.
+            self._adopted.clear()
+            self._rules.clear()
+            self._effects.clear()
+            self._actions.clear()
+        self._adopted.append(dcds)
+        for rule, context in zip(dcds.process.rules, self._rule_contexts):
+            self._rules[id(rule)] = context
+        position = 0
+        for action, context in zip(dcds.process.actions,
+                                   self._action_contexts):
+            self._actions[id(action)] = context
+            for effect in action.effects:
+                self._effects[id(effect)] = self._effect_contexts[position]
+                position += 1
+
+    def adopt(self, dcds) -> None:
+        """Serve a structurally identical DCDS from the existing kernel."""
+        self._index_spec(dcds)
+
+    def _compile_rule(self, dcds, rule) -> Optional[_RuleContext]:
+        try:
+            plan = CompiledQuery(rule.query, self.table, False)
+        except CompileError:
+            return None
+        params = dcds.process.action(rule.action).params
+        if any(param not in plan.param_slots for param in params):
+            # A declared parameter the query never mentions: the reference
+            # path has its own (error) behaviour; don't emulate it here.
+            return None
+        return _RuleContext(plan, params)
+
+    def _compile_effect(self, effect) -> Optional[_EffectContext]:
+        """Compiled body + head template, or ``None`` (reference fallback).
+
+        Head term specs are ``("c", code)`` constant, ``("v", slot)`` body
+        variable, ``("p", param)`` action parameter resolved per sigma,
+        ``("call", function, arg_specs)`` service call, or ``("u", term)``
+        a variable the body never binds (raises like the reference when a
+        binding arrives).
+        """
+        try:
+            body = CompiledQuery(effect.body, self.table, True)
+            head = tuple(
+                (self.table.code(atom.relation),
+                 tuple(self._head_spec(term, body) for term in atom.terms))
+                for atom in effect.head)
+        except CompileError:
+            return None
+        return _EffectContext(body, head)
+
+    def _head_spec(self, term, body: CompiledQuery):
+        if isinstance(term, Var):
+            slot = body.free_slots.get(term)
+            if slot is None:
+                return ("u", term)
+            return ("v", slot)
+        if isinstance(term, Param):
+            return ("p", term)
+        if isinstance(term, ServiceCall):
+            args = []
+            for arg in term.args:
+                if isinstance(arg, ServiceCall):
+                    raise CompileError("nested service call in effect head")
+                args.append(self._head_spec(arg, body))
+            return ("call", term.function, tuple(args))
+        return ("c", self.table.code(term))
+
+    def clear_caches(self) -> None:
+        self._facts.clear()
+        self._fact_codes.clear()
+        self._calls.clear()
+        self._instances.clear()
+        self._coded.clear()
+        self._coded_facts.clear()
+        self._pending_entries.clear()
+        self._eval_memo.clear()
+        self._successor_memos.clear()
+        for rule_context in self._rule_contexts:
+            if rule_context is not None:
+                rule_context.by_instance.clear()
+        for effect_context in self._effect_contexts:
+            if effect_context is not None:
+                effect_context.sigmas.clear()
+        for action_context in self._action_contexts:
+            action_context.by_key.clear()
+
+    def __reduce__(self):
+        return _unpickle_kernel_placeholder, ()
+
+    # -- encoding ------------------------------------------------------------
+
+    def encode_fact(self, fact: Fact) -> Tuple[int, Tuple[int, ...], bool]:
+        """``(relation_code, term_codes, has_call)`` of a fact, interned."""
+        found = self._fact_codes.get(fact)
+        if found is not None:
+            return found
+        table = self.table
+        relation = table.code(fact.relation)
+        codes = tuple(table.code(term) for term in fact.terms)
+        has_call = any(table.is_call(code) for code in codes)
+        entry = (relation, codes, has_call)
+        self._fact_codes[fact] = entry
+        self._facts.setdefault((relation, codes), fact)
+        return entry
+
+    def intern_fact(self, relation: int, codes: Tuple[int, ...]) -> Fact:
+        """The shared :class:`Fact` for coded terms (hashed once, ever)."""
+        key = (relation, codes)
+        found = self._facts.get(key)
+        if found is None:
+            table = self.table
+            found = Fact(table.term(relation),
+                         tuple(table.term(code) for code in codes))
+            self._facts[key] = found
+            has_call = any(table.is_call(code) for code in codes)
+            self._fact_codes[found] = (relation, codes, has_call)
+            self.stats["facts_interned"] += 1
+        return found
+
+    def intern_call(self, function: str, arg_codes: Tuple[int, ...]) -> int:
+        """Code of the ground service call ``function(args)``."""
+        key = (function, arg_codes)
+        found = self._calls.get(key)
+        if found is None:
+            table = self.table
+            call = ServiceCall(
+                function, tuple(table.term(code) for code in arg_codes))
+            found = table.code(call)
+            self._calls[key] = found
+        return found
+
+    def encode_instance(self, instance: Instance) -> CodedInstance:
+        """The coded form of an instance (cached per instance)."""
+        found = self._coded.get(instance)
+        if found is None:
+            facts = self._coded_facts.get(instance)
+            if facts is not None:
+                found = CodedInstance.from_coded_facts(facts)
+            else:
+                grouped: Dict[int, list] = {}
+                for fact in instance:
+                    relation, codes, _ = self.encode_fact(fact)
+                    grouped.setdefault(relation, []).append(codes)
+                found = CodedInstance(
+                    {relation: tuple(codes) for relation, codes in
+                     grouped.items()})
+            self._coded[instance] = found
+        return found
+
+    def coded_fact_set(self, instance: Instance) -> FrozenSet[CodedFact]:
+        """The instance as coded facts, without materializing the full
+        :class:`CodedInstance` (per-relation grouping and join indexes are
+        only needed by evaluation — the wire codec just needs identities).
+        """
+        found = self._coded_facts.get(instance)
+        if found is None:
+            coded = self._coded.get(instance)
+            if coded is not None:
+                found = coded.fact_set()
+            else:
+                found = frozenset(
+                    self.encode_fact(fact)[:2] for fact in instance)
+            self._coded_facts[instance] = found
+        return found
+
+    def intern_instance(self, facts: Iterable[Fact]) -> Instance:
+        """The shared :class:`Instance` for a fact set.
+
+        Revisited successors return the same object — its hash, active
+        domain, and per-position indexes are computed once per distinct
+        instance instead of once per arrival.
+        """
+        coded = frozenset(self.encode_fact(fact)[:2] for fact in facts)
+        return self._intern_coded_instance(coded)
+
+    def _intern_coded_instance(self, coded: FrozenSet[CodedFact]) -> Instance:
+        found = self._instances.get(coded)
+        if found is None:
+            found = Instance._trusted(frozenset(
+                self.intern_fact(relation, codes)
+                for relation, codes in coded))
+            self._instances[coded] = found
+            # The CodedInstance (grouping + indexes) is built lazily by
+            # encode_instance when evaluation first needs it.
+            self._coded_facts[found] = coded
+            self.stats["instances_interned"] += 1
+        else:
+            self.stats["instance_reuses"] += 1
+        return found
+
+    # -- the hot-path operations --------------------------------------------
+
+    def legal_substitution_items(
+        self, rule, params: Tuple[Param, ...], instance: Instance
+    ) -> Optional[Tuple[SigmaItems, ...]]:
+        """Compiled twin of ``execution._legal_subs_cached``.
+
+        Returns the legal substitutions as ``(param, value)`` item tuples in
+        declaration order, sorted like the reference; ``None`` requests the
+        reference fallback.
+        """
+        context = self._rules.get(id(rule))
+        if context is None or context.params != params:
+            self.stats["fallbacks"] += 1
+            return None
+        found = context.by_instance.get(instance)
+        if found is not None:
+            return found
+        self.stats["legal_evals"] += 1
+        table = self.table
+        plan = context.plan
+        coded = self.encode_instance(instance)
+        domain = plan.domain(coded, table, self.initial_adom_codes)
+        if not params:
+            regs = plan.fresh_regs()
+            result: Tuple[SigmaItems, ...] = ((),) \
+                if plan.has_binding(coded, regs, domain) else ()
+            context.by_instance[instance] = result
+            return result
+
+        regs = plan.fresh_regs()
+        answer_slots = context.answer_slots
+        seen = set()
+        bindings: List[Tuple[int, ...]] = []
+        for extension in plan.iter_bindings(coded, regs, domain):
+            key = tuple(extension[slot] for slot in answer_slots)
+            if key not in seen:
+                seen.add(key)
+                bindings.append(key)
+        sort_key = table.sort_key
+        bindings.sort(key=lambda key: tuple(
+            sort_key(code) for code in key))
+        bindings.sort(key=lambda key: tuple(
+            sort_key(key[position])
+            for position in context.param_positions))
+        term = table.term
+        result = tuple(
+            tuple((param, term(key[position]))
+                  for param, position in zip(params,
+                                             context.param_positions))
+            for key in bindings)
+        context.by_instance[instance] = result
+        return result
+
+    def ground_effect(
+        self, effect, sigma_items: SigmaItems, instance: Instance
+    ) -> Optional[FrozenSet[Fact]]:
+        """Compiled twin of ``execution._ground_effect_cached``."""
+        context = self._effects.get(id(effect))
+        if context is None:
+            self.stats["fallbacks"] += 1
+            return None
+        sigma_context = context.sigmas.get(sigma_items)
+        if sigma_context is None:
+            sigma_context = self._bind_sigma(context, sigma_items)
+            context.sigmas[sigma_items] = sigma_context
+        found = sigma_context.by_instance.get(instance)
+        if found is not None:
+            return found
+        self.stats["effect_evals"] += 1
+        body = context.body
+        coded = self.encode_instance(instance)
+        domain = body.domain(coded, self.table, sigma_context.extra)
+        produced = set()
+        add = produced.add
+        intern_fact = self.intern_fact
+        for binding in body.iter_bindings(coded, sigma_context.regs.copy(),
+                                          domain):
+            for relation, specs, ready in sigma_context.head:
+                if ready is not None:
+                    add(ready)
+                    continue
+                codes = []
+                for spec in specs:
+                    kind = spec[0]
+                    if kind == "c":
+                        codes.append(spec[1])
+                    elif kind == "v":
+                        code = binding[spec[1]]
+                        if code == UNBOUND:
+                            raise ExecutionError(
+                                f"head term {spec!r} not grounded by "
+                                f"sigma/theta")
+                        codes.append(code)
+                    else:
+                        codes.append(self._resolve_head(spec, binding))
+                add(intern_fact(relation, tuple(codes)))
+        result = frozenset(produced)
+        sigma_context.by_instance[instance] = result
+        return result
+
+    def _bind_sigma(self, context: _EffectContext,
+                    sigma_items: SigmaItems) -> _SigmaContext:
+        """Pre-resolve one parameter substitution against an effect."""
+        body = context.body
+        sigma = dict(sigma_items)
+        missing = [param for param in body.params if param not in sigma]
+        if missing:
+            raise IllegalParameters(
+                f"effect body still has parameters "
+                f"{sorted(missing, key=repr)} after substitution")
+        table = self.table
+        sigma_codes = {param: table.code(sigma[param])
+                       for param in body.params}
+        regs = body.fresh_regs()
+        for param, code in sigma_codes.items():
+            regs[body.param_slots[param]] = code
+        # The reference substitutes sigma into the body first, so parameter
+        # values occurring in the formula count as constants of the
+        # evaluation domain.
+        extra = self.initial_adom_codes | frozenset(sigma_codes.values())
+        head = []
+        for relation, specs in context.head_specs:
+            resolved = tuple(self._apply_sigma(spec, sigma)
+                             for spec in specs)
+            ready = None
+            if all(spec[0] == "c" for spec in resolved):
+                ready = self.intern_fact(
+                    relation, tuple(spec[1] for spec in resolved))
+            head.append((relation, resolved, ready))
+        return _SigmaContext(regs, extra, tuple(head))
+
+    def _apply_sigma(self, spec, sigma: Dict[Param, Any]):
+        kind = spec[0]
+        if kind == "p":
+            return ("c", self.table.code(sigma[spec[1]]))
+        if kind == "call":
+            _, function, args = spec
+            resolved = tuple(self._apply_sigma(arg, sigma) for arg in args)
+            if all(arg[0] == "c" for arg in resolved):
+                return ("c", self.intern_call(
+                    function, tuple(arg[1] for arg in resolved)))
+            return ("call", function, resolved)
+        return spec
+
+    def _resolve_head(self, spec, binding: List[int]) -> int:
+        kind = spec[0]
+        if kind == "c":
+            return spec[1]
+        if kind == "v":
+            code = binding[spec[1]]
+            if code == UNBOUND:
+                raise ExecutionError(
+                    f"head term {spec!r} not grounded by sigma/theta")
+            return code
+        if kind == "call":
+            _, function, args = spec
+            return self.intern_call(function, tuple(
+                self._resolve_head(arg, binding) for arg in args))
+        # kind == "u": a variable the body never binds.
+        raise ExecutionError(
+            f"head term {spec[1]!r} not grounded by sigma/theta")
+
+    def do_action_instance(self, action, sigma_items: SigmaItems,
+                           instance: Instance, fallback
+                           ) -> Optional[Instance]:
+        """``DO(I, alpha sigma)`` with per-(sigma, instance) sharing.
+
+        The same pending instance recurs whenever isomorphic regions of the
+        state space replay an action; sharing the object keeps its
+        service-call set and coded form warm across all of them.
+        ``fallback`` computes one effect's facts the reference way when that
+        effect could not be compiled; an action object the kernel has never
+        indexed returns ``None`` (caller takes the reference path).
+        """
+        context = self._actions.get(id(action))
+        if context is None:
+            return None
+        key = (sigma_items, instance)
+        found = context.by_key.get(key)
+        if found is not None:
+            return found
+        produced: set = set()
+        for effect in context.effects:
+            facts = self.ground_effect(effect, sigma_items, instance)
+            if facts is None:
+                facts = fallback(effect)
+            produced.update(facts)
+        pending = Instance._trusted(frozenset(produced))
+        context.by_key[key] = pending
+        return pending
+
+    def evaluate_calls(
+        self, pending: Instance, evaluation: Dict[ServiceCall, Any],
+        check_constraints: bool = True,
+    ) -> Tuple[bool, Optional[Instance]]:
+        """Compiled twin of ``execution.evaluate_calls`` (after the
+        missing-call check): returns ``(handled, instance-or-None)`` where
+        an unhandled result requests the reference fallback."""
+        if check_constraints and self._constraints is None:
+            self.stats["fallbacks"] += 1
+            return (False, None)
+        self.stats["evaluate_calls"] += 1
+        table = self.table
+        code = table.code
+        mapping = {code(call): code(value)
+                   for call, value in evaluation.items()}
+        memo_key = (pending, tuple(sorted(mapping.items())),
+                    check_constraints)
+        found = self._eval_memo.get(memo_key)
+        if found is not None:
+            return found
+        entries = self._pending_entries.get(pending)
+        if entries is None:
+            entries = tuple(self.encode_fact(fact) for fact in pending)
+            self._pending_entries[pending] = entries
+        get = mapping.get
+        coded_facts = set()
+        for relation, codes, has_call in entries:
+            if has_call:
+                codes = tuple(get(c, c) for c in codes)
+            coded_facts.add((relation, codes))
+        result: Tuple[bool, Optional[Instance]] = (True, None)
+        violated = False
+        if check_constraints and self._constraints:
+            coded = CodedInstance.from_coded_facts(coded_facts)
+            for constraint in self._constraints:
+                if not constraint.satisfied(coded, table,
+                                            self.initial_adom_codes):
+                    violated = True
+                    break
+        if not violated:
+            result = (True,
+                      self._intern_coded_instance(frozenset(coded_facts)))
+        self._eval_memo[memo_key] = result
+        return result
+
+    def successor_memo(self, key) -> dict:
+        """A per-configuration successor cache for pure generators.
+
+        A ``parallel_safe`` generator's successor list is a pure function
+        of the state, so repeated constructions (validation runs,
+        benchmarks, bisimulation arenas) replay it from here instead of
+        re-grounding. Keyed by the generator's configuration; entries hold
+        the exact ``(state, instance, label)`` tuples previously yielded.
+        """
+        memo = self._successor_memos.get(key)
+        if memo is None:
+            memo = {}
+            self._successor_memos[key] = memo
+        return memo
+
+    def stats_dict(self) -> Dict[str, int]:
+        return dict(self.stats)

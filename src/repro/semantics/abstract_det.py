@@ -28,6 +28,7 @@ from repro.engine.explorer import Explorer
 from repro.engine.generators import (
     CallMap, DetAbstractionGenerator, DetState, sorted_call_map)
 from repro.engine.parallel import make_explorer
+from repro.relational.kernel import attach_kernel_stats
 from repro.semantics.transition_system import TransitionSystem
 
 # Re-exported for backwards compatibility: DetState historically lived here.
@@ -79,6 +80,7 @@ def build_det_abstraction(
         max_depth=max_depth, on_budget="raise",
         budget_error=_diverged_error, observer=observer)
     result = explorer.run(DetAbstractionGenerator(dcds))
+    attach_kernel_stats(dcds, result.transition_system)
     return result.transition_system
 
 

@@ -31,6 +31,7 @@ from repro.engine.generators import (
     Chooser, OracleRunGenerator, PoolDetGenerator, PoolNondetGenerator)
 from repro.engine.parallel import make_explorer
 from repro.relational.instance import Instance
+from repro.relational.kernel import attach_kernel_stats
 from repro.relational.values import Fresh, ServiceCall
 from repro.semantics.transition_system import TransitionSystem
 from repro.utils import sorted_values
@@ -160,7 +161,9 @@ def explore_concrete(
         dcds.schema, workers=workers, batch_size=batch_size,
         name=name, max_states=max_states, max_depth=depth,
         on_budget="raise", budget_error=_fuse_error)
-    return explorer.run(generator).transition_system
+    ts = explorer.run(generator).transition_system
+    attach_kernel_stats(dcds, ts)
+    return ts
 
 
 def _fuse_error(explorer: Explorer) -> AbstractionDiverged:

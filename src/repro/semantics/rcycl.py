@@ -33,6 +33,7 @@ from repro.errors import AbstractionDiverged, ReproError
 from repro.core.dcds import DCDS, ServiceSemantics
 from repro.engine.explorer import Explorer
 from repro.engine.generators import RcyclGenerator, sigma_key
+from repro.relational.kernel import attach_kernel_stats
 from repro.semantics.transition_system import TransitionSystem
 
 _sigma_key = sigma_key  # historical name, used by the ablations module
@@ -55,6 +56,7 @@ def _rcycl_core(dcds: DCDS, max_states: int,
         dcds.schema, name=f"rcycl[{dcds.name}]",
         max_states=max_states, on_budget="truncate", observer=observer)
     result = explorer.run(generator)
+    attach_kernel_stats(dcds, result.transition_system)
     return RcyclResult(result.transition_system, result.diverged,
                        generator.iterations, generator.minted_total)
 

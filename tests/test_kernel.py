@@ -1,0 +1,295 @@
+"""Parity tests pinning the integer-coded kernel to the reference semantics.
+
+The reference FO evaluator (:mod:`repro.fol.evaluation`) and the reference
+execution path (``REPRO_NO_KERNEL=1``) stay authoritative; every kernel
+result — compiled query answers, legal substitutions, effect grounding,
+call evaluation, and whole transition systems — must be observably
+identical to them.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter
+
+import pytest
+
+from repro.core import ServiceSemantics
+from repro.core.execution import (
+    clear_subproblem_caches, do_action, enabled_moves, evaluate_calls,
+    ground_effect, legal_substitutions)
+from repro.fol.ast import (
+    And, Atom, Eq, Exists, Forall, Not, Or, TRUE, exists, forall)
+from repro.fol.compile import CompiledQuery, CompileError
+from repro.fol.evaluation import answers, evaluation_domain
+from repro.gallery import (
+    example_41, example_42, example_43, library_system, request_system,
+    student_registry)
+from repro.relational.coding import CodedInstance, TermTable
+from repro.relational.instance import Instance, fact
+from repro.relational.kernel import (
+    RelationalKernel, clear_kernel_caches, kernel_for)
+from repro.relational.values import Var
+from repro.semantics import build_det_abstraction, rcycl
+from repro.semantics.concrete import explore_concrete
+from repro.workloads import chain_dcds, commitment_blowup_dcds, random_dcds
+
+x, y, z = Var("x"), Var("y"), Var("z")
+
+
+def encode_instance(table: TermTable, instance: Instance) -> CodedInstance:
+    grouped = {}
+    for current in instance:
+        relation = table.code(current.relation)
+        grouped.setdefault(relation, []).append(table.codes(current.terms))
+    return CodedInstance(
+        {relation: tuple(tuples) for relation, tuples in grouped.items()})
+
+
+def compiled_answer_set(formula, instance, extra=frozenset()):
+    table = TermTable()
+    plan = CompiledQuery(formula, table)
+    coded = encode_instance(table, instance)
+    extra_codes = frozenset(table.code(value) for value in extra)
+    domain = plan.domain(coded, table, extra_codes)
+    found = set()
+    for binding in plan.iter_bindings(coded, plan.fresh_regs(), domain):
+        found.add(frozenset(
+            (var.name, table.term(binding[slot]))
+            for var, slot in plan.free_slots.items()))
+    return found
+
+
+def reference_answer_set(formula, instance, extra=frozenset()):
+    domain = evaluation_domain(instance, formula, frozenset(extra))
+    return {
+        frozenset((var.name, theta[var])
+                  for var in formula.free_variables())
+        for theta in answers(formula, instance, domain=domain)}
+
+
+FORMULAS = [
+    Atom("R", (x, y)),
+    And.of(Atom("R", (x, y)), Atom("S", (y,))),
+    And.of(Atom("R", (x, y)), Not(Atom("S", (y,)))),
+    Or.of(Atom("S", (x,)), Atom("R", (x, x))),
+    Exists((y,), And.of(Atom("R", (x, y)), Atom("S", (y,)))),
+    Forall((y,), Or.of(Not(Atom("R", (x, y))), Atom("S", (y,)))),
+    And.of(Atom("R", (x, y)), Eq(x, "a")),
+    Eq(x, y),
+    Not(Eq(x, y)),
+    exists("y", And.of(Atom("R", (x, y)), exists("x", Atom("R", (y, x))))),
+    forall("x", Or.of(Not(Atom("S", (x,))),
+                      exists("y", Atom("R", (x, y))))),
+    And.of(Atom("T", (1, x, y)), Atom("R", (x, y))),
+    Or.of(And.of(Atom("R", (x, y)), Atom("S", (x,))), Eq(x, y)),
+    exists("w", Atom("S", (x,))),  # vacuous quantified variable
+    Exists((x,), TRUE),
+    Not(Atom("S", (x,))),
+    Forall((x,), Atom("S", (x,))),
+    And.of(Atom("R", (x, y)), Or.of(Atom("S", (x,)), Not(Atom("S", (y,))))),
+]
+
+INSTANCES = [
+    Instance([fact("R", "a", "b"), fact("R", "b", "c"), fact("R", "c", "c"),
+              fact("S", "a"), fact("S", "c"), fact("T", 1, "a", "b")]),
+    Instance([fact("S", "a")]),
+    Instance([]),
+]
+
+
+class TestCompiledQueryParity:
+    @pytest.mark.parametrize("index", range(len(FORMULAS)))
+    def test_answers_match_reference(self, index):
+        formula = FORMULAS[index]
+        for instance in INSTANCES:
+            for extra in (frozenset(), frozenset({"zz", 7}),
+                          frozenset({"a"})):
+                assert compiled_answer_set(formula, instance, extra) \
+                    == reference_answer_set(formula, instance, extra), \
+                    (formula, instance, extra)
+
+    def test_service_call_in_query_is_rejected(self):
+        from repro.relational.values import ServiceCall
+
+        table = TermTable()
+        with pytest.raises(CompileError):
+            CompiledQuery(Atom("R", (ServiceCall("f", ("a",)), y)), table)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_subproblem_caches()
+    yield
+    clear_subproblem_caches()
+
+
+def force_reference(dcds, monkeypatch):
+    """A structurally identical DCDS pinned to the reference path."""
+    monkeypatch.setenv("REPRO_NO_KERNEL", "1")
+    assert kernel_for(dcds) is None
+    return dcds
+
+
+class TestExecutionParity:
+    """Kernel vs reference on the execution primitives, state by state."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_primitives_on_random_dcds(self, seed, monkeypatch):
+        kernel_dcds = random_dcds(seed)
+        reference_dcds = force_reference(random_dcds(seed), monkeypatch)
+        monkeypatch.delenv("REPRO_NO_KERNEL")
+        assert kernel_for(kernel_dcds) is not None
+
+        instance = kernel_dcds.initial
+        for rule_k, rule_r in zip(kernel_dcds.process.rules,
+                                  reference_dcds.process.rules):
+            assert legal_substitutions(kernel_dcds, instance, rule_k) \
+                == legal_substitutions(reference_dcds, instance, rule_r)
+
+        moves_k = list(enabled_moves(kernel_dcds, instance))
+        moves_r = list(enabled_moves(reference_dcds, instance))
+        assert [(action.name, sorted((p.name, repr(v))
+                                     for p, v in sigma.items()))
+                for action, sigma in moves_k] \
+            == [(action.name, sorted((p.name, repr(v))
+                                     for p, v in sigma.items()))
+                for action, sigma in moves_r]
+
+        for (action_k, sigma_k), (action_r, sigma_r) in zip(
+                moves_k, moves_r):
+            pending_k = do_action(kernel_dcds, instance, action_k, sigma_k)
+            pending_r = do_action(reference_dcds, instance, action_r,
+                                  sigma_r)
+            assert pending_k == pending_r
+            for effect_k, effect_r in zip(action_k.effects,
+                                          action_r.effects):
+                assert ground_effect(kernel_dcds, instance, effect_k,
+                                     sigma_k) \
+                    == ground_effect(reference_dcds, instance, effect_r,
+                                     sigma_r)
+            evaluation = {call: "c0"
+                          for call in pending_k.service_calls()}
+            assert evaluate_calls(kernel_dcds, pending_k, evaluation) \
+                == evaluate_calls(reference_dcds, pending_r, evaluation)
+
+
+def edge_multiset(ts):
+    return Counter(ts.edges())
+
+
+GALLERY = {
+    "example_41": lambda: example_41(),
+    "example_42": lambda: example_42(),
+    "example_43-nondet": lambda: example_43(
+        ServiceSemantics.NONDETERMINISTIC),
+    "student_registry": lambda: student_registry(),
+    "request_system-slim": lambda: request_system(slim=True),
+    "library_system": lambda: library_system(),
+}
+
+
+class TestTransitionSystemParity:
+    """Whole constructions, kernel vs reference, bit-identical."""
+
+    @pytest.mark.parametrize("name", sorted(GALLERY))
+    def test_gallery_builds(self, name, monkeypatch):
+        kernel_ts = _build(GALLERY[name]())
+        monkeypatch.setenv("REPRO_NO_KERNEL", "1")
+        reference_ts = _build(GALLERY[name]())
+        assert kernel_ts.states == reference_ts.states
+        assert edge_multiset(kernel_ts) == edge_multiset(reference_ts)
+        assert {s: kernel_ts.db(s) for s in kernel_ts.states} \
+            == {s: reference_ts.db(s) for s in reference_ts.states}
+        assert kernel_ts.truncated_states == reference_ts.truncated_states
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_nondet_pool(self, seed, monkeypatch):
+        def build():
+            dcds = random_dcds(
+                seed, semantics=ServiceSemantics.NONDETERMINISTIC)
+            return explore_concrete(dcds, ["c0", "c1"], depth=3,
+                                    max_states=3000)
+        kernel_ts = build()
+        monkeypatch.setenv("REPRO_NO_KERNEL", "1")
+        reference_ts = build()
+        assert kernel_ts.states == reference_ts.states
+        assert edge_multiset(kernel_ts) == edge_multiset(reference_ts)
+
+    def test_repeat_build_identical(self):
+        """Warm-memo rebuilds replay the exact same transition system."""
+        dcds = commitment_blowup_dcds(3)
+        first = build_det_abstraction(dcds, 100000)
+        second = build_det_abstraction(dcds, 100000)
+        assert first.states == second.states
+        assert edge_multiset(first) == edge_multiset(second)
+
+
+def _build(dcds):
+    if dcds.semantics is ServiceSemantics.DETERMINISTIC:
+        return build_det_abstraction(dcds, max_states=20000)
+    return rcycl(dcds, max_states=20000)
+
+
+@pytest.mark.skipif(bool(os.environ.get("REPRO_NO_KERNEL")),
+                    reason="exercises the kernel itself")
+class TestKernelInfrastructure:
+    def test_registry_shares_kernel_across_equal_specs(self):
+        first = chain_dcds(2)
+        second = chain_dcds(2)
+        kernel_first = kernel_for(first)
+        kernel_second = kernel_for(second)
+        assert kernel_first is kernel_second
+
+    def test_distinct_specs_get_distinct_kernels(self):
+        assert kernel_for(chain_dcds(2)) is not kernel_for(chain_dcds(3))
+
+    def test_no_kernel_env_attaches_sentinel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_KERNEL", "1")
+        dcds = chain_dcds(2)
+        assert kernel_for(dcds) is None
+        # The decision sticks for this object even after unsetting.
+        monkeypatch.delenv("REPRO_NO_KERNEL")
+        assert kernel_for(dcds) is None
+
+    def test_duplicate_successor_instances_are_shared(self):
+        dcds = commitment_blowup_dcds(2)
+        ts = build_det_abstraction(dcds, 100000)
+        kernel = kernel_for(dcds)
+        assert kernel.stats["instances_interned"] > 0
+        # Equal database instances across distinct states are the *same*
+        # object: hashed once, caches warm for every later arrival.
+        representative = {}
+        for state in ts.states:
+            db = ts.db(state)
+            if db == dcds.initial:
+                continue  # the initial instance predates the interner
+            first = representative.setdefault(db, db)
+            assert first is db
+        assert len(representative) < len(ts.states)
+
+    def test_clear_caches_releases_interners(self):
+        dcds = commitment_blowup_dcds(2)
+        build_det_abstraction(dcds, 100000)
+        kernel = kernel_for(dcds)
+        assert kernel._instances
+        clear_kernel_caches()
+        assert not kernel._instances
+        # And the registry forgets, so a fresh equal spec builds anew.
+        assert kernel_for(commitment_blowup_dcds(2)) is not kernel
+
+    def test_pickled_dcds_drops_kernel(self):
+        import pickle
+
+        dcds = chain_dcds(2)
+        kernel = kernel_for(dcds)
+        assert kernel is not None
+        restored = pickle.loads(pickle.dumps(dcds))
+        assert getattr(restored, "_relational_kernel") is None
+        rebuilt = kernel_for(restored)
+        assert rebuilt is not None
+
+    def test_direct_kernel_constructor_is_deterministic(self):
+        first = RelationalKernel(chain_dcds(2))
+        second = RelationalKernel(chain_dcds(2))
+        assert first.table.snapshot() == second.table.snapshot()
