@@ -153,6 +153,7 @@ def bisimilar(
     ts1: TransitionSystem, ts2: TransitionSystem,
     mode: BisimMode = BisimMode.HISTORY,
     max_triples: int = 200000,
+    reduce_fixed: Optional[frozenset] = None,
 ) -> bool:
     """Full bisimilarity between two *finite* transition systems.
 
@@ -160,7 +161,29 @@ def bisimilar(
     ``(s1, h, s2)``, discovered on the fly from the initial isomorphisms.
     The triple space is finite (partial bijections over the two finite value
     sets); ``max_triples`` is a safety fuse.
+
+    ``reduce_fixed`` routes the game onto quotient transition systems:
+    both inputs are first replaced by their isomorphism quotients fixing
+    the given values (:func:`repro.semantics.quotient
+    .isomorphism_quotient`), collapsing the candidate-triple space. This
+    changes the question to *quotient-level* bisimilarity — sound for
+    comparing two constructions of the same state space, which conflate
+    classes identically; a quotient is not in general bisimilar to its
+    own original (see :mod:`repro.engine.symmetry`). Persistence mode
+    only: states merged by Lemma C.2 are at least pairwise
+    persistence-bisimilar, so the quotient never conflates
+    history-distinguishable behaviours it should keep apart for µLP-level
+    comparisons, while history mode could not tolerate any merging.
     """
+    if reduce_fixed is not None:
+        if mode is not BisimMode.PERSISTENCE:
+            raise ReproError(
+                "symmetry pre-reduction (reduce_fixed) is only sound for "
+                "persistence-preserving bisimilarity: the isomorphism "
+                "quotient of Lemma C.2 does not preserve history")
+        from repro.semantics.quotient import isomorphism_quotient
+        ts1 = isomorphism_quotient(ts1, reduce_fixed)[0]
+        ts2 = isomorphism_quotient(ts2, reduce_fixed)[0]
     if ts1.truncated_states or ts2.truncated_states:
         raise ReproError(
             "full bisimilarity needs fully expanded systems; "

@@ -20,13 +20,16 @@ from repro.engine.generators import (
     DetAbstractionGenerator, DetState, OracleRunGenerator, PoolDetGenerator,
     PoolNondetGenerator, RcyclGenerator, sigma_label, sorted_call_map)
 from repro.engine.interning import InternEntry, InternStats, StateInterner
+from repro.engine.symmetry import (
+    SYMMETRY_MODES, SymmetryReducer, resolve_symmetry)
 
 __all__ = [
     "DetAbstractionGenerator", "DetState", "ExplorationBudgetExceeded",
     "ExplorationResult", "ExplorationStats", "Explorer", "InternEntry",
     "InternStats", "OracleRunGenerator", "ParallelExplorer",
     "PoolDetGenerator", "PoolNondetGenerator", "RcyclGenerator",
-    "StateInterner", "WireCodec", "WireSession", "default_workers",
-    "fingerprints_may_be_isomorphic", "instance_fingerprint", "make_codec",
-    "make_explorer", "sigma_label", "sorted_call_map", "value_profiles",
+    "SYMMETRY_MODES", "StateInterner", "SymmetryReducer", "WireCodec",
+    "WireSession", "default_workers", "fingerprints_may_be_isomorphic",
+    "instance_fingerprint", "make_codec", "make_explorer",
+    "resolve_symmetry", "sigma_label", "sorted_call_map", "value_profiles",
 ]

@@ -53,9 +53,31 @@ class SuccessorGenerator:
     RCYCL is *not* parallel-safe — its used-value pool makes each expansion
     depend on the discovery order — and oracle runs are path-shaped, so
     there is nothing to shard.
+
+    ``quotient_safe`` declares that the generator's states carry their full
+    value history (the ``<I, M>`` call map), which is what makes merging
+    isomorphic states persistence-preserving: the call map embeds every
+    value ever seen, so a joint-state isomorphism is forced to thread
+    consistently through all future moves. Plain-instance generators must
+    stay ``False`` — without the history, a state quotient conflates
+    "value persists" with "value is replaced by an isomorphic twin"
+    transitions and breaks µLP (see :mod:`repro.engine.symmetry` for the
+    two-line counterexample); value symmetry for nondeterministic services
+    is what RCYCL's recycling already provides.
+
+    ``symmetry_values`` declares the closed value universe the generator
+    draws call results from (the finite-pool semantics), or ``None`` for
+    open fresh-value minting. The symmetry layer
+    (:class:`repro.engine.symmetry.SymmetryReducer`) must pick canonical
+    names *inside* that universe: renaming a pool value to a fresh name
+    would put the class representative outside the pool and change its
+    successor set (e.g. lose the "call returns the value already present"
+    self-loop).
     """
 
     parallel_safe = False
+    quotient_safe = False
+    symmetry_values: Optional[tuple] = None
 
     def initial_state(self) -> Tuple[State, Instance]:
         raise NotImplementedError

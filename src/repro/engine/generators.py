@@ -155,6 +155,7 @@ class DetAbstractionGenerator(SuccessorGenerator):
     """
 
     parallel_safe = True
+    quotient_safe = True  # states are <I, M>: history-carrying
 
     def __init__(self, dcds: DCDS):
         self.dcds = dcds
@@ -293,10 +294,12 @@ class PoolDetGenerator(SuccessorGenerator):
     (Section 4.1)."""
 
     parallel_safe = True
+    quotient_safe = True  # states are <I, M>: history-carrying
 
     def __init__(self, dcds: DCDS, pool: Sequence[Any]):
         self.dcds = dcds
         self.pool = list(pool)
+        self.symmetry_values = tuple(self.pool)
 
     def initial_state(self) -> Tuple[DetState, Instance]:
         return DetState(self.dcds.initial, ()), self.dcds.initial
@@ -334,6 +337,8 @@ class PoolNondetGenerator(SuccessorGenerator):
     (Section 5.1)."""
 
     parallel_safe = True
+    # No symmetry_values here: plain-instance states are not quotient_safe
+    # (see repro.engine.symmetry), so the reducer never reads it.
 
     def __init__(self, dcds: DCDS, pool: Sequence[Any]):
         self.dcds = dcds

@@ -1,19 +1,28 @@
-"""State interning: canonical forms computed only on fingerprint collisions.
+"""State interning: isomorphism classes, collision-lazy or canonical-first.
 
 :func:`repro.relational.isomorphism.canonical_form` is the most expensive
 primitive in the codebase (individualization-refinement search). The seed
 code ran it once per state wherever isomorphism classes were needed. The
-interner amortizes that cost:
+interner amortizes that cost in one of two modes:
 
-* every instance is first summarized by a cheap
-  :func:`~repro.engine.fingerprint.instance_fingerprint`;
-* a fresh fingerprint means the instance cannot be isomorphic to anything
-  seen before — it founds a new class with **no** canonical-form work;
-* only on a fingerprint collision are the bucket's members canonically
-  labeled (each at most once, memoized) to decide class membership.
+* ``mode="collision"`` (the default) defers canonical labeling:
+
+  - every instance is first summarized by a cheap
+    :func:`~repro.engine.fingerprint.instance_fingerprint`;
+  - a fresh fingerprint means the instance cannot be isomorphic to anything
+    seen before — it founds a new class with **no** canonical-form work;
+  - only on a fingerprint collision are the bucket's members canonically
+    labeled (each at most once, memoized) to decide class membership.
+
+* ``mode="canonical-first"`` makes the canonical key the *primary* index:
+  every new instance is canonically labeled up front and classes are a
+  single dict lookup by key. This is the symmetry layer's mode — the
+  post-hoc quotient (:mod:`repro.semantics.quotient`) and quotient-mode
+  exploration need the key for every state anyway, so deferring it buys
+  nothing and the fingerprint machinery is skipped entirely.
 
 Exact duplicates (equal instances) are resolved by a dict lookup without
-touching the fingerprint machinery at all.
+touching either path.
 """
 
 from __future__ import annotations
@@ -22,29 +31,51 @@ from dataclasses import dataclass
 from typing import Any, Dict, FrozenSet, Iterable, List, Optional
 
 from repro.engine.fingerprint import Fingerprint, instance_fingerprint
+from repro.errors import ReproError
 from repro.relational.instance import Instance
 from repro.relational.isomorphism import canonical_form
+
+#: The interner modes (see module docstring).
+INTERN_MODES = ("collision", "canonical-first")
 
 
 @dataclass
 class InternEntry:
-    """One isomorphism class discovered by the interner."""
+    """One isomorphism class discovered by the interner.
+
+    **Contract**: an entry belongs to one interner, and therefore to one
+    ``fixed`` set, for its whole lifetime — the cached canonical form and
+    key are only meaningful for the ``fixed`` they were computed with.
+    The first :meth:`canonical`/:meth:`key` call pins that set; calling
+    again with a different one raises :class:`~repro.errors.ReproError`
+    instead of silently answering for the wrong equivalence (the latent
+    misuse this used to permit).
+    """
 
     representative: Instance
-    fingerprint: Fingerprint
+    fingerprint: Optional[Fingerprint]
     _canonical: Optional[Instance] = None
     _key: Optional[tuple] = None
+    _fixed: Optional[FrozenSet[Any]] = None
 
     def canonical(self, fixed: FrozenSet[Any]) -> Instance:
         """The canonical form of the class (computed lazily, once)."""
+        fixed = frozenset(fixed)
         if self._canonical is None:
             self._canonical, _ = canonical_form(self.representative, fixed)
             self._key = tuple(
                 f.sort_key() for f in self._canonical.sorted_facts())
+            self._fixed = fixed
+        elif self._fixed != fixed:
+            raise ReproError(
+                f"InternEntry was canonicalized fixing "
+                f"{sorted(map(repr, self._fixed))} and cannot answer for "
+                f"fixed={sorted(map(repr, fixed))}; an entry belongs to one "
+                f"interner (one fixed set) for its lifetime")
         return self._canonical
 
     def key(self, fixed: FrozenSet[Any]) -> tuple:
-        """Hashable canonical key of the class."""
+        """Hashable canonical key of the class (same ``fixed`` contract)."""
         self.canonical(fixed)
         return self._key
 
@@ -79,23 +110,61 @@ class StateInterner:
 
     ``intern`` returns the :class:`InternEntry` of the instance's class; two
     instances get the same entry iff they are isomorphic via a bijection
-    fixing ``fixed``. Canonical labeling is deferred until a fingerprint
-    collision (or until :meth:`InternEntry.canonical` is called explicitly).
+    fixing ``fixed``. ``mode="collision"`` defers canonical labeling until
+    a fingerprint collision; ``mode="canonical-first"`` labels eagerly and
+    indexes classes by canonical key (see the module docstring).
+
+    The ``fixed`` set is pinned at construction: every entry the interner
+    creates inherits it and (per the :class:`InternEntry` contract) refuses
+    queries for any other set.
+
+    ``canonicalizer`` (canonical-first mode only) accelerates the eager
+    labeling: a callable ``instance -> (canonical_instance, key) | None``
+    — ``None`` falls back to the object-level ``canonical_form``. Pass
+    :func:`repro.relational.kernel.kernel_instance_canonicalizer` to run
+    labeling on a DCDS's integer-coded kernel. The collision mode cannot
+    take one: its entries label lazily through ``canonical_form``, and
+    keys from different labelers are not comparable.
     """
 
-    def __init__(self, fixed: Iterable[Any] = ()):
+    def __init__(self, fixed: Iterable[Any] = (), mode: str = "collision",
+                 canonicalizer=None):
+        if mode not in INTERN_MODES:
+            raise ReproError(
+                f"unknown interner mode {mode!r}; expected one of "
+                f"{INTERN_MODES}")
+        if canonicalizer is not None and mode != "canonical-first":
+            raise ReproError(
+                "a canonicalizer requires mode='canonical-first' "
+                "(collision-mode entries label lazily via canonical_form; "
+                "mixing labelers would make keys incomparable)")
         self.fixed: FrozenSet[Any] = frozenset(fixed)
+        canonicalizer_fixed = getattr(canonicalizer, "fixed", None)
+        if canonicalizer_fixed is not None \
+                and frozenset(canonicalizer_fixed) != self.fixed:
+            raise ReproError(
+                f"canonicalizer decides isomorphism fixing "
+                f"{sorted(map(repr, canonicalizer_fixed))}, interner fixes "
+                f"{sorted(map(repr, self.fixed))}; the fallback path would "
+                f"silently answer for a different equivalence")
+        self.mode = mode
+        self._canonicalizer = canonicalizer
         self.stats = InternStats()
+        self._entries: List[InternEntry] = []
         self._by_instance: Dict[Instance, InternEntry] = {}
         self._buckets: Dict[Fingerprint, List[InternEntry]] = {}
+        self._by_key: Dict[tuple, InternEntry] = {}
 
     def __len__(self) -> int:
         """Number of distinct isomorphism classes seen."""
-        return sum(len(bucket) for bucket in self._buckets.values())
+        return len(self._entries)
 
     def entries(self) -> List[InternEntry]:
-        return [entry for bucket in self._buckets.values()
-                for entry in bucket]
+        return list(self._entries)
+
+    def representative(self, instance: Instance) -> Instance:
+        """The canonical representative of the instance's class."""
+        return self.intern(instance).canonical(self.fixed)
 
     def _canonical_key(self, entry: InternEntry) -> tuple:
         if entry._key is None:
@@ -108,13 +177,38 @@ class StateInterner:
         if found is not None:
             self.stats.exact_hits += 1
             return found
+        if self.mode == "canonical-first":
+            return self._intern_canonical_first(instance)
+        return self._intern_collision(instance)
 
+    def _intern_canonical_first(self, instance: Instance) -> InternEntry:
+        self.stats.canonicalizations += 1
+        found = self._canonicalizer(instance) \
+            if self._canonicalizer is not None else None
+        if found is not None:
+            canonical, key = found
+        else:
+            canonical, _ = canonical_form(instance, self.fixed)
+            key = tuple(f.sort_key() for f in canonical.sorted_facts())
+        entry = self._by_key.get(key)
+        if entry is not None:
+            self.stats.iso_hits += 1
+        else:
+            entry = InternEntry(instance, None, _canonical=canonical,
+                                _key=key, _fixed=self.fixed)
+            self._by_key[key] = entry
+            self._entries.append(entry)
+        self._by_instance[instance] = entry
+        return entry
+
+    def _intern_collision(self, instance: Instance) -> InternEntry:
         fingerprint = instance_fingerprint(instance, self.fixed)
         bucket = self._buckets.get(fingerprint)
         if bucket is None:
             # Fresh fingerprint: provably not isomorphic to anything seen.
             entry = InternEntry(instance, fingerprint)
             self._buckets[fingerprint] = [entry]
+            self._entries.append(entry)
             self._by_instance[instance] = entry
             self.stats.new_fingerprints += 1
             return entry
@@ -129,8 +223,9 @@ class StateInterner:
                 self.stats.iso_hits += 1
                 self._by_instance[instance] = entry
                 return entry
-        entry = InternEntry(instance, fingerprint,
-                            _canonical=canonical, _key=new_key)
+        entry = InternEntry(instance, fingerprint, _canonical=canonical,
+                            _key=new_key, _fixed=self.fixed)
         bucket.append(entry)
+        self._entries.append(entry)
         self._by_instance[instance] = entry
         return entry

@@ -232,10 +232,13 @@ class ParallelExplorer(Explorer):
     BFS order — sharding a DFS frontier would reorder discoveries):
 
     workers:
-        Pool size (default: :func:`default_workers`). ``workers=1`` still
-        exercises the full dispatch/apply machinery in a separate process,
-        which is what the differential harness pins against the sequential
-        engine.
+        Pool size (default: :func:`default_workers`). ``workers=1``
+        short-circuits to the shared sequential apply loop in-process —
+        one worker cannot overlap with the coordinator, so a subprocess
+        round trip is pure overhead (measured 0.61–0.91x in PR 4). The
+        run records ``codec="inline"`` with zero IPC bytes; the dispatch
+        machinery itself is pinned by the differential harness at
+        ``workers>=2``.
     batch_size:
         Work items per dispatched batch. Batches amortize IPC: each round
         trip ships ``batch_size`` states out and their successor lists back.
@@ -283,6 +286,22 @@ class ParallelExplorer(Explorer):
                 else None
         self.start_method = start_method
 
+    def _initial_parallel_stats(self, codec: str) -> dict:
+        """One schema for the pool counters, whatever the transport —
+        consumers read abstraction_stats["parallel"] keys uniformly."""
+        return {
+            "workers": self.workers,
+            "batch_size": self.batch_size,
+            "batches": 0,
+            "speculative_states_discarded": 0,
+            "codec": codec,
+            "states_shipped": 0,
+            "ipc_bytes_sent": 0,
+            "ipc_bytes_received": 0,
+            "coordinator_decode_sec": 0.0,
+            "coordinator_apply_sec": 0.0,
+        }
+
     # -- the sharded frontier loop ------------------------------------------
 
     def run(self, generator: SuccessorGenerator) -> ExplorationResult:
@@ -291,21 +310,17 @@ class ParallelExplorer(Explorer):
                 f"{type(generator).__name__} is not parallel-safe "
                 f"(order-dependent expansion state); use the sequential "
                 f"Explorer")
+        if self.workers == 1:
+            # A single worker cannot overlap with the coordinator, so the
+            # pipe round trip is pure overhead: run the shared sequential
+            # apply loop in-process — same interning/edge/growth/observer
+            # order by construction — and record an inline transport.
+            self.stats.parallel = self._initial_parallel_stats("inline")
+            return super().run(generator)
         started = time.perf_counter()
         ts, frontier = self._start(generator)
         stats = self.stats
-        stats.parallel = {
-            "workers": self.workers,
-            "batch_size": self.batch_size,
-            "batches": 0,
-            "speculative_states_discarded": 0,
-            "codec": "pickle",
-            "states_shipped": 0,
-            "ipc_bytes_sent": 0,
-            "ipc_bytes_received": 0,
-            "coordinator_decode_sec": 0.0,
-            "coordinator_apply_sec": 0.0,
-        }
+        stats.parallel = self._initial_parallel_stats("pickle")
         budget_hit = False
 
         context = multiprocessing.get_context(self.start_method)

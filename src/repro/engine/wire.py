@@ -134,12 +134,41 @@ class WireCodec:
 
     # -- splice helpers (used by WireSession) ------------------------------
 
+    def _encode_map(self, call_map: tuple, defs, def_index) -> tuple:
+        """A call map encoded entry by entry (no parent assumption)."""
+        table = self.kernel.table
+        return tuple(
+            (self._ref(table.code(call), defs, def_index),
+             self._ref(table.code(value), defs, def_index))
+            for call, value in call_map)
+
+    def _decode_map(self, coded_map: tuple, resolved: List[int]) -> tuple:
+        table = self.kernel.table
+        return tuple(
+            (table.term(self._resolve(call_ref, resolved)),
+             table.term(self._resolve(value_ref, resolved)))
+            for call_ref, value_ref in coded_map)
+
+    @staticmethod
+    def _extends(parent_map: tuple, successor_map: tuple) -> bool:
+        """Do the parent entries form a subsequence of the successor's?
+
+        True for raw generator successors (commitments only *add* fresh
+        calls, both maps repr-sorted); false when the symmetry reducer
+        renamed dead history entries — those ship as full maps.
+        """
+        position = 0
+        n_parent = len(parent_map)
+        for entry in successor_map:
+            if position < n_parent and entry == parent_map[position]:
+                position += 1
+        return position == n_parent
+
     def _encode_splice(self, parent_map: tuple, successor_map: tuple,
                        defs, def_index) -> tuple:
         """New call-map entries with their positions in the successor tuple.
 
-        A successor's call map extends its parent's (commitments only bind
-        fresh calls), and both are repr-sorted — so the parent entries form
+        Only called when :meth:`_extends` holds — the parent entries form
         a subsequence and the coordinator can splice without sorting.
         """
         table = self.kernel.table
@@ -276,12 +305,12 @@ class WireSession:
             successors = []
             for entry in entries:
                 tag = entry[0]
-                if tag != "n":
+                if tag not in ("n", "f"):
                     _, token, label_ref = entry
                     state, _ = self._lookup(tag, token)
                     instance = state.instance if kind == "d" else state
                 else:
-                    _, removed, added, splice, label_ref = entry
+                    _, removed, added, map_part, label_ref = entry
                     removed_set = set(removed)
                     # The successor's agreed list: surviving parent facts
                     # in parent order, then added facts in message order —
@@ -297,9 +326,15 @@ class WireSession:
                     fact_list = tuple(fact_list)
                     instance = kernel._intern_coded_instance(
                         frozenset(fact_list))
-                    if kind == "d":
+                    if tag == "f":
+                        # Full call map: the symmetry reducer rewrote
+                        # parent history entries, no splice possible.
+                        state = DetState(
+                            instance,
+                            codec._decode_map(map_part, resolved))
+                    elif kind == "d":
                         call_map = codec._decode_splice(
-                            parent_map, splice, resolved)
+                            parent_map, map_part, resolved)
                         state = DetState(instance, call_map)
                     else:
                         state = instance
@@ -386,12 +421,23 @@ class WireSession:
                         code if code < snap else ref(code, defs, def_index)
                         for code in codes))
                     for relation, codes in added_facts)
-                if kind == "d":
-                    splice = codec._encode_splice(
-                        parent_map, successor.call_map, defs, def_index)
+                if kind == "d" and not codec._extends(
+                        parent_map, successor.call_map):
+                    # Dead-history renaming (symmetry reduction) rewrote
+                    # parent entries: ship the successor's map verbatim.
+                    map_part = codec._encode_map(
+                        successor.call_map, defs, def_index)
+                    entries.append(("f", removed, added, map_part,
+                                    label_ref))
                 else:
-                    splice = ()
-                entries.append(("n", removed, added, splice, label_ref))
+                    if kind == "d":
+                        map_part = codec._encode_splice(
+                            parent_map, successor.call_map, defs,
+                            def_index)
+                    else:
+                        map_part = ()
+                    entries.append(("n", removed, added, map_part,
+                                    label_ref))
                 removed_set = set(removed)
                 fact_list = tuple(
                     fact for index, fact in enumerate(parent_facts)

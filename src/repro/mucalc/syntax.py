@@ -170,6 +170,24 @@ def classify(formula: MuFormula) -> Fragment:
     return Fragment.MU_L
 
 
+def formula_constants(formula: MuFormula) -> frozenset:
+    """All data constants the formula mentions (QF atoms and LIVE guards).
+
+    The quotient-mode adequacy gate of :func:`repro.pipeline.verify` needs
+    these: canonical renaming fixes only the specification's known
+    constants, so a formula naming any *other* value would be evaluated
+    against renamed states and could change its verdict.
+    """
+    found = set()
+    for node in formula.walk():
+        if isinstance(node, QF):
+            found |= node.query.constants()
+        elif isinstance(node, Live):
+            found.update(term for term in node.terms
+                         if not isinstance(term, Var))
+    return frozenset(found)
+
+
 def is_in_fragment(formula: MuFormula, fragment: Fragment) -> bool:
     return fragment.includes(classify(formula))
 

@@ -35,15 +35,17 @@ from typing import Any, Dict, Optional
 from repro.analysis.dataflow_graph import dataflow_graph
 from repro.analysis.dependency_graph import dependency_graph
 from repro.core.dcds import DCDS, ServiceSemantics
-from repro.errors import UndecidableFragment
+from repro.engine.symmetry import resolve_symmetry
+from repro.errors import UndecidableFragment, VerificationError
 from repro.mucalc.ast import MuFormula
 from repro.mucalc.checker import ModelChecker
 from repro.mucalc.engine.onthefly import OnTheFlyVerifier, recognize_shape
-from repro.mucalc.syntax import Fragment, classify
+from repro.mucalc.syntax import Fragment, classify, formula_constants
 from repro.reductions.det_to_nondet import det_to_nondet
 from repro.semantics.abstract_det import build_det_abstraction
 from repro.semantics.rcycl import rcycl
 from repro.semantics.transition_system import TransitionSystem
+from repro.utils import sorted_values
 
 
 @dataclass
@@ -75,6 +77,10 @@ class VerificationReport:
     holds: bool
     transition_system: Optional[TransitionSystem] = None
     checking_stats: Dict[str, Any] = field(default_factory=dict)
+    #: Resolved exploration symmetry mode: ``"exact"`` or ``"quotient"``
+    #: (quotient mode verifies against the symmetry-reduced state space,
+    #: persistence-preserving bisimilar to the exact one by Lemma C.2).
+    symmetry: str = "exact"
 
     def __repr__(self) -> str:
         verdict = "HOLDS" if self.holds else "FAILS"
@@ -92,7 +98,8 @@ def _merged_stats(ts: TransitionSystem) -> Dict[str, Any]:
 def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
            force: bool = False, keep_ts: bool = True,
            on_the_fly: bool = False,
-           workers: Optional[int] = None) -> VerificationReport:
+           workers: Optional[int] = None,
+           symmetry: Optional[str] = None) -> VerificationReport:
     """Verify ``dcds |= formula`` through the decidable routes of Table 1.
 
     With ``on_the_fly=True``, safety/reachability-shaped formulas fuse the
@@ -106,17 +113,56 @@ def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
     sequential build. The RCYCL route stays sequential regardless (its
     used-value candidate pool is discovery-order dependent), so ``workers``
     is ignored there; the pool counters of a sharded build appear under
-    ``abstraction_stats["parallel"]``."""
+    ``abstraction_stats["parallel"]``.
+
+    ``symmetry="quotient"`` verifies against the symmetry-reduced state
+    space: the deterministic abstraction is explored quotient-by-
+    construction (:class:`repro.engine.SymmetryReducer`), merging states
+    isomorphic up to renaming of non-initial values (Lemma C.2) before
+    they are expanded. The quotient is persistence-preserving bisimilar
+    to the exact system, so quotient mode is gated to µLP formulas whose
+    constants are all known to the specification — anything else raises
+    :class:`~repro.errors.VerificationError`. The RCYCL route ignores the
+    request (plain-instance states admit no sound quotient; recycling is
+    the nondeterministic symmetry mechanism — see
+    :mod:`repro.engine.symmetry`). Default ``"exact"``; environment
+    default ``REPRO_SYMMETRY``, kill switch ``REPRO_NO_SYMMETRY=1``."""
     fragment = classify(formula)
+    symmetry = resolve_symmetry(symmetry)
 
     if dcds.has_mixed_semantics():
         return _verify_mixed(dcds, formula, fragment, max_states, force,
-                             keep_ts, on_the_fly)
+                             keep_ts, on_the_fly, symmetry)
     if dcds.semantics is ServiceSemantics.DETERMINISTIC:
         return _verify_det(dcds, formula, fragment, max_states, force,
-                           keep_ts, on_the_fly, workers)
+                           keep_ts, on_the_fly, workers, symmetry)
     return _verify_nondet(dcds, formula, fragment, max_states, force,
-                          keep_ts, on_the_fly)
+                          keep_ts, on_the_fly, symmetry)
+
+
+def _check_quotient_adequacy(dcds: DCDS, formula: MuFormula,
+                             fragment: Fragment) -> None:
+    """The Lemma C.2 adequacy gate for quotient-mode verification.
+
+    The isomorphism quotient is *persistence-preserving* bisimilar to the
+    exact system — it preserves µLP (Theorem 3.2) and nothing more — and
+    its canonical renamings fix only the specification's known constants,
+    so a formula naming any other value would be evaluated against renamed
+    states.
+    """
+    if fragment is not Fragment.MU_LP:
+        raise VerificationError(
+            f"symmetry='quotient' verifies only µLP properties: the "
+            f"isomorphism quotient is persistence-preserving bisimilar to "
+            f"the exact system (Lemma C.2 / Theorem 3.2), which does not "
+            f"preserve {fragment.value}; use symmetry='exact' or restrict "
+            f"the property to µLP")
+    foreign = formula_constants(formula) - dcds.known_constants()
+    if foreign:
+        raise VerificationError(
+            f"symmetry='quotient' requires every formula constant to be "
+            f"fixed by the quotient (ADOM(I0) and process constants); "
+            f"foreign constants: {sorted_values(foreign)!r}")
 
 
 def _check(dcds: DCDS, formula: MuFormula, build, on_the_fly: bool):
@@ -138,7 +184,10 @@ def _check(dcds: DCDS, formula: MuFormula, build, on_the_fly: bool):
 def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
                 max_states: int, force: bool, keep_ts: bool,
                 on_the_fly: bool = False,
-                workers: Optional[int] = None) -> VerificationReport:
+                workers: Optional[int] = None,
+                symmetry: str = "exact") -> VerificationReport:
+    if symmetry == "quotient":
+        _check_quotient_adequacy(dcds, formula, fragment)
     if fragment is Fragment.MU_L and not force:
         raise UndecidableFragment(
             "full µL admits no faithful finite abstraction even for "
@@ -156,17 +205,19 @@ def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
         dcds, formula,
         lambda observer: build_det_abstraction(
             dcds, max_states=max_states, observer=observer,
-            workers=workers),
+            workers=workers, symmetry=symmetry),
         on_the_fly)
     return VerificationReport(
         dcds.name, formula, fragment, "det-abstraction",
         "weakly-acyclic" if weakly_acyclic else "forced",
-        _merged_stats(ts), holds, ts if keep_ts else None, checking)
+        _merged_stats(ts), holds, ts if keep_ts else None, checking,
+        symmetry=symmetry)
 
 
 def _verify_nondet(dcds: DCDS, formula: MuFormula, fragment: Fragment,
                    max_states: int, force: bool, keep_ts: bool,
-                   on_the_fly: bool = False) -> VerificationReport:
+                   on_the_fly: bool = False,
+                   symmetry: str = "exact") -> VerificationReport:
     if fragment is not Fragment.MU_LP and not force:
         theorem = "Theorem 5.2" if fragment is Fragment.MU_LA \
             else "Theorem 5.1"
@@ -188,6 +239,12 @@ def _verify_nondet(dcds: DCDS, formula: MuFormula, fragment: Fragment,
             f"{graph.gr_plus_violation()!r}); state-boundedness cannot be "
             f"certified and is undecidable to check",
             theorem="Theorem 5.5 / 5.7")
+    # Quotient mode is a deterministic-route optimization: RCYCL's states
+    # are plain instances, which admit no sound state quotient (merging
+    # conflates value-persists with value-replaced transitions — see
+    # repro.engine.symmetry), and RCYCL's value *recycling* already is the
+    # paper's symmetry mechanism for nondeterministic services. The
+    # request is therefore ignored here, like ``workers``.
     ts, holds, checking = _check(
         dcds, formula,
         lambda observer: rcycl(
@@ -195,18 +252,19 @@ def _verify_nondet(dcds: DCDS, formula: MuFormula, fragment: Fragment,
         on_the_fly)
     return VerificationReport(
         dcds.name, formula, fragment, "rcycl", condition, _merged_stats(ts),
-        holds, ts if keep_ts else None, checking)
+        holds, ts if keep_ts else None, checking, symmetry="exact")
 
 
 def _verify_mixed(dcds: DCDS, formula: MuFormula, fragment: Fragment,
                   max_states: int, force: bool, keep_ts: bool,
-                  on_the_fly: bool = False) -> VerificationReport:
+                  on_the_fly: bool = False,
+                  symmetry: str = "exact") -> VerificationReport:
     deterministic_functions = [
         function.name for function in dcds.process.functions
         if dcds.is_deterministic(function.name)]
     rewritten = det_to_nondet(dcds, only_functions=deterministic_functions)
     report = _verify_nondet(rewritten, formula, fragment, max_states, force,
-                            keep_ts, on_the_fly)
+                            keep_ts, on_the_fly, symmetry)
     report.route = f"mixed->({report.route})"
     report.dcds_name = dcds.name
     return report

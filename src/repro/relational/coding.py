@@ -228,3 +228,118 @@ class CodedInstance:
 
     def domain_cache(self) -> dict:
         return self._domains
+
+
+# ---------------------------------------------------------------------------
+# Canonical labeling over coded facts (the symmetry layer's kernel primitive)
+# ---------------------------------------------------------------------------
+
+def _rank_colors(keys: Dict[int, tuple]) -> Dict[int, int]:
+    """Compress comparable colour keys to dense ranks (order-preserving)."""
+    distinct = sorted(set(keys.values()))
+    position = {key: index for index, key in enumerate(distinct)}
+    return {code: position[key] for code, key in keys.items()}
+
+
+def _partition_of(coloring: Dict[int, int]) -> frozenset:
+    groups: Dict[int, List[int]] = {}
+    for code, color in coloring.items():
+        groups.setdefault(color, []).append(code)
+    return frozenset(frozenset(members) for members in groups.values())
+
+
+def coded_canonical_order(
+    facts: Iterable[Tuple[tuple, Tuple[int, ...]]],
+    movable: Iterable[int],
+    sort_key,
+) -> Tuple[int, ...]:
+    """Canonical ordering of ``movable`` codes by individualization-refinement.
+
+    ``facts`` is a sequence of ``(rel_key, term_codes)`` where every term
+    code is either in ``movable`` or *fixed* and ``rel_key`` is an
+    isomorphism-invariant, mutually comparable identity (tuples of strings).
+    ``sort_key`` maps a code to an invariant total-order key (the
+    :meth:`TermTable.sort_key` of its term).
+
+    Returns the ordering of ``movable`` such that renaming ``movable[i]`` to
+    canonical rank ``i`` lexicographically minimizes the rendered sorted
+    fact list over all leaves of the search — the integer-coded twin of
+    :func:`repro.relational.isomorphism.canonical_form`: two coded fact
+    structures related by a bijection of their movable codes produce
+    renamings with equal images. Everything the search compares (base
+    colours, refinement contexts, leaf keys) derives from sort keys and
+    invariant colour ranks, never raw code numbers — so two processes whose
+    term tables assign different codes to the same values still agree on
+    the canonical order of the same state (the wire-level class-identity
+    contract of :mod:`repro.engine.wire`).
+    """
+    facts = tuple(facts)
+    movable = tuple(movable)
+    if not movable:
+        return ()
+    movable_set = set(movable)
+    all_codes = set(movable)
+    for _, codes in facts:
+        all_codes.update(codes)
+
+    base = _rank_colors({
+        code: ((1,) if code in movable_set else (0, sort_key(code)))
+        for code in all_codes})
+
+    def refine(coloring: Dict[int, int]) -> Dict[int, int]:
+        """Colour refinement (1-WL on the coded fact hypergraph)."""
+        current = coloring
+        while True:
+            contexts: Dict[int, List[tuple]] = {code: [] for code in all_codes}
+            for rel_key, codes in facts:
+                term_colors = tuple(current[c] for c in codes)
+                for position, c in enumerate(codes):
+                    contexts[c].append((rel_key, position, term_colors))
+            refined = _rank_colors({
+                code: (current[code], tuple(sorted(contexts[code])))
+                for code in all_codes})
+            if _partition_of(refined) == _partition_of(current):
+                return current
+            current = refined
+
+    best_key: List[Optional[tuple]] = [None]
+    best_order: List[Tuple[int, ...]] = [movable]
+
+    def leaf(order: List[int]) -> None:
+        position_of = {code: index for index, code in enumerate(order)}
+
+        def render(code: int) -> tuple:
+            position = position_of.get(code)
+            if position is not None:
+                return (1, position)
+            return (0, sort_key(code))
+
+        key = tuple(sorted(
+            (rel_key, tuple(render(c) for c in codes))
+            for rel_key, codes in facts))
+        if best_key[0] is None or key < best_key[0]:
+            best_key[0] = key
+            best_order[0] = tuple(order)
+
+    def search(coloring: Dict[int, int], order: List[int],
+               assigned: set) -> None:
+        refined = refine(coloring)
+        unassigned = [code for code in movable if code not in assigned]
+        if not unassigned:
+            leaf(order)
+            return
+        groups: Dict[int, List[int]] = {}
+        for code in unassigned:
+            groups.setdefault(refined[code], []).append(code)
+        cell = groups[min(groups)]
+        for chosen in sorted(cell, key=sort_key):
+            next_coloring = dict(refined)
+            # Individualize with a colour no rank can collide with
+            # (ranks are >= 0); re-ranked invariantly on the next refine.
+            next_coloring[chosen] = -(len(order) + 1)
+            assigned.add(chosen)
+            search(next_coloring, order + [chosen], assigned)
+            assigned.discard(chosen)
+
+    search(base, [], set())
+    return best_order[0]

@@ -209,8 +209,11 @@ def canonical_form(
         return instance, {}
 
     # Canonical names must not collide with fixed values that happen to be
-    # Fresh already (can occur when canonicalizing an already-canonical state).
-    reserved = {value.index for value in fixed & adom
+    # Fresh already (canonicalizing an already-canonical state, or a fixed
+    # Fresh constant currently absent from the instance — renaming a
+    # movable value onto an absent fixed value would merge instances no
+    # bijection fixing ``fixed`` relates).
+    reserved = {value.index for value in fixed
                 if isinstance(value, Fresh)}
     names: List[Fresh] = []
     index = 0
@@ -272,3 +275,47 @@ def canonical_key(instance: Instance, fixed: Iterable[Any] = ()) -> tuple:
     """A hashable key equal for exactly the ``fixed``-isomorphic instances."""
     canonical, _ = canonical_form(instance, fixed)
     return tuple(f.sort_key() for f in canonical.sorted_facts())
+
+
+def state_canonical_renaming(
+    instance: Instance, call_map: tuple = (), fixed: Iterable[Any] = (),
+    names: Optional[tuple] = None,
+) -> Dict[Any, Any]:
+    """Canonical renaming of a state's *dead history* values.
+
+    Each call-map entry contributes a pseudo-fact
+    ``__call__:f(args..., result)`` to an auxiliary instance, so the
+    canonical labeling sees the full ``<I, M>`` shape. Movable values are
+    those of the history outside both ``fixed`` and ``ADOM(I)`` — live
+    values are pinned alongside the constants, so the representative's
+    database equals its members' and value identity along quotient edges
+    stays real (renaming live values would manufacture persistence
+    between unrelated values, which µLP observes — see
+    :mod:`repro.engine.symmetry`). ``names`` substitutes a closed
+    canonical name universe for the default ``Fresh(0), Fresh(1), ...``
+    minting — the finite-pool semantics keep representatives inside the
+    pool this way; names already live in ``ADOM(I)`` are skipped. The
+    object-level twin of
+    :meth:`repro.relational.kernel.RelationalKernel.canonical_renaming`
+    (used when the kernel is disabled or the state has uncoded structure).
+    """
+    if not call_map:
+        return {}
+    pseudo = [Fact(f"__call__:{call.function}",
+                   tuple(call.args) + (value,))
+              for call, value in call_map]
+    aux = Instance._trusted(instance.facts | frozenset(pseudo))
+    adom = instance.active_domain()
+    _, renaming = canonical_form(aux, frozenset(fixed) | adom)
+    if names is None:
+        return renaming
+    # canonical_form assigns increasing Fresh indexes along the canonical
+    # order, so sorting by index recovers the order positions.
+    ordered = sorted(renaming.items(), key=lambda item: item[1].index)
+    available = [name for name in names if name not in adom]
+    if len(ordered) > len(available):
+        raise ValueError(
+            f"state holds {len(ordered)} movable values but only "
+            f"{len(available)} canonical names are free")
+    return {value: available[position]
+            for position, (value, _) in enumerate(ordered)}

@@ -34,9 +34,9 @@ from typing import (
 from repro.errors import ExecutionError, IllegalParameters
 from repro.fol.compile import CompiledQuery, CompileError
 from repro.relational.coding import (
-    UNBOUND, CodedFact, CodedInstance, TermTable)
+    UNBOUND, CodedFact, CodedInstance, TermTable, coded_canonical_order)
 from repro.relational.instance import Fact, Instance
-from repro.relational.values import Param, ServiceCall, Var
+from repro.relational.values import Fresh, Param, ServiceCall, Var, is_value
 from repro.utils import sorted_values
 
 SigmaItems = Tuple[Tuple[Param, Any], ...]
@@ -109,6 +109,35 @@ def clear_kernel_caches() -> None:
     _KERNEL_REGISTRY.clear()
     for kernel in list(_LIVE_KERNELS):
         kernel.clear_caches()
+
+
+def kernel_instance_canonicalizer(dcds):
+    """A ``StateInterner`` canonicalizer riding ``dcds``'s kernel.
+
+    Returns a callable ``instance -> (canonical_instance, key) | None``
+    for ``StateInterner(mode="canonical-first", canonicalizer=...)`` and
+    :func:`repro.semantics.quotient.isomorphism_quotient` — canonical
+    labeling then runs on the integer-coded kernel (memoized per kernel)
+    instead of the object-level search. Falls back (``None``) per
+    instance when the kernel is disabled or the instance has uncoded
+    structure.
+    """
+    def canonicalize(instance: Instance):
+        kernel = kernel_for(dcds)
+        if kernel is None:
+            return None
+        renaming = kernel.canonical_instance_renaming(instance)
+        if renaming is None:
+            return None
+        canonical = kernel.intern_instance(instance.rename(renaming)) \
+            if renaming else instance
+        return canonical, tuple(
+            f.sort_key() for f in canonical.sorted_facts())
+    # The equivalence this labeler decides; StateInterner refuses a
+    # canonicalizer whose fixed set differs from its own (keys from
+    # different equivalences are not comparable).
+    canonicalize.fixed = frozenset(dcds.known_constants())
+    return canonicalize
 
 
 def attach_kernel_stats(dcds, ts) -> None:
@@ -229,8 +258,16 @@ class RelationalKernel:
         for relation in dcds.schema.relations:
             table.code(relation.name)
         # 2. known constants (ADOM(I0) + process constants), sorted;
-        for value in sorted_values(dcds.known_constants()):
+        known = sorted_values(dcds.known_constants())
+        for value in known:
             table.code(value)
+        self.known_constant_codes: FrozenSet[int] = frozenset(
+            table.code(value) for value in known)
+        #: Fresh indexes occupied by known constants — canonical minting
+        #: must never hand these out, even when the constant is absent
+        #: from the state (see canonical_form's reserved discipline).
+        self._fixed_fresh_indexes: FrozenSet[int] = frozenset(
+            value.index for value in known if isinstance(value, Fresh))
         self.initial_adom_codes: FrozenSet[int] = frozenset(
             table.code(value) for value in dcds.data.initial_adom)
         # 3. compiled plans in specification order (rules, then actions'
@@ -272,10 +309,12 @@ class RelationalKernel:
         self._pending_entries: Dict[Instance, tuple] = {}
         self._eval_memo: Dict[tuple, Tuple[bool, Optional[Instance]]] = {}
         self._successor_memos: Dict[Any, dict] = {}
+        self._canonical_memo: Dict[tuple, Dict[Any, Fresh]] = {}
         self.stats: Dict[str, int] = {
             "legal_evals": 0, "effect_evals": 0, "evaluate_calls": 0,
             "fallbacks": 0, "facts_interned": 0, "instances_interned": 0,
-            "instance_reuses": 0,
+            "instance_reuses": 0, "canonical_evals": 0,
+            "canonical_memo_hits": 0,
         }
 
     # -- construction helpers ------------------------------------------------
@@ -365,6 +404,7 @@ class RelationalKernel:
         self._pending_entries.clear()
         self._eval_memo.clear()
         self._successor_memos.clear()
+        self._canonical_memo.clear()
         for rule_context in self._rule_contexts:
             if rule_context is not None:
                 rule_context.by_instance.clear()
@@ -714,6 +754,150 @@ class RelationalKernel:
                       self._intern_coded_instance(frozenset(coded_facts)))
         self._eval_memo[memo_key] = result
         return result
+
+    def canonical_renaming(
+        self, instance: Instance, call_map: tuple = (),
+        names: Optional[tuple] = None,
+    ) -> Optional[Dict[Any, Any]]:
+        """Canonical renaming of a state's *dead history* (Lemma C.2).
+
+        Movable values are those of the call map outside both the
+        specification's known constants and ``ADOM(I)`` — the dead
+        history. They are renamed to ``Fresh(0), Fresh(1), ...``
+        (skipping indexes live or fixed values occupy) so that two states
+        whose isomorphism fixes the shared live part get *equal* images.
+        Live values are never renamed: the representative's database
+        equals its members' and value identity along quotient edges stays
+        real — renaming live values would manufacture persistence between
+        unrelated values across an edge, which µLP observes (see
+        :mod:`repro.engine.symmetry`). The call map contributes
+        pseudo-facts ``(function, args..., result)`` to the coded
+        structure, so the refinement sees the full ``<I, M>`` shape.
+
+        ``names`` replaces the default fresh-name minting with a closed
+        canonical name universe: finite-pool semantics must keep
+        representatives *inside* the pool, so their reducer passes the
+        sorted movable pool values (see
+        ``SuccessorGenerator.symmetry_values``); names already live in
+        ``ADOM(I)`` are skipped per state.
+
+        Runs :func:`~repro.relational.coding.coded_canonical_order` over
+        int-tuple arrays and is memoized per kernel like facts/instances.
+        Returns ``None`` when the state holds unevaluated service calls
+        (callers fall back to the object-level path in
+        :mod:`repro.relational.isomorphism`; whether a state holds calls
+        is isomorphism-invariant, so every member of a class takes the
+        same path).
+        """
+        key = (instance, call_map, names)
+        found = self._canonical_memo.get(key)
+        if found is not None:
+            self.stats["canonical_memo_hits"] += 1
+            return found
+        table = self.table
+        fixed = self.known_constant_codes
+        facts: List[Tuple[tuple, Tuple[int, ...]]] = []
+        adom_codes = set()
+        history_codes = set()
+
+        for fact in instance:
+            relation, codes, has_call = self.encode_fact(fact)
+            if has_call:
+                return None
+            facts.append((("r", table.term(relation)), codes))
+            adom_codes.update(codes)
+        for call, value in call_map:
+            if not is_value(value) \
+                    or any(not is_value(arg) for arg in call.args):
+                return None
+            codes = tuple(table.code(arg) for arg in call.args) \
+                + (table.code(value),)
+            facts.append((("c", call.function), codes))
+            history_codes.update(codes)
+
+        movable = history_codes - adom_codes - fixed
+        if not movable:
+            self._canonical_memo[key] = {}
+            return {}
+        self.stats["canonical_evals"] += 1
+        ordered = coded_canonical_order(
+            facts, sorted(movable, key=table.sort_key), table.sort_key)
+        renaming: Dict[Any, Any] = {}
+        if names is not None:
+            # Pool universe: dead values become the canonically smallest
+            # pool names not occupied by live values.
+            available = [name for name in names
+                         if table.code(name) not in adom_codes]
+            if len(ordered) > len(available):
+                raise ExecutionError(
+                    f"state holds {len(ordered)} movable values but only "
+                    f"{len(available)} canonical names are free")
+            for position, code in enumerate(ordered):
+                renaming[table.term(code)] = available[position]
+        else:
+            # Fresh minting skips every index a live or fixed Fresh value
+            # occupies — fixed ones even when absent from the state (same
+            # discipline as canonical_form's reserved set).
+            reserved = set(self._fixed_fresh_indexes)
+            reserved.update(
+                table.term(code).index for code in adom_codes
+                if isinstance(table.term(code), Fresh))
+            index = 0
+            for code in ordered:
+                while index in reserved:
+                    index += 1
+                renaming[table.term(code)] = Fresh(index)
+                index += 1
+        self._canonical_memo[key] = renaming
+        return renaming
+
+    def canonical_instance_renaming(
+        self, instance: Instance
+    ) -> Optional[Dict[Any, Fresh]]:
+        """Full canonical renaming of a bare instance.
+
+        Every non-fixed active-domain value is movable and renamed to
+        ``Fresh(0), Fresh(1), ...`` — the kernel-coded twin of
+        :func:`repro.relational.isomorphism.canonical_form`: equal images
+        for exactly the instances isomorphic via a bijection fixing the
+        known constants (pinned against ``iter_isomorphisms`` ground truth
+        by the property tests). This is the comparison/interning primitive;
+        quotient-mode *states* use :meth:`canonical_renaming` instead,
+        which must keep live values in place.
+
+        Returns ``None`` when the instance holds unevaluated calls
+        (object-level fallback).
+        """
+        key = ("full", instance)
+        found = self._canonical_memo.get(key)
+        if found is not None:
+            self.stats["canonical_memo_hits"] += 1
+            return found
+        table = self.table
+        fixed = self.known_constant_codes
+        facts: List[Tuple[tuple, Tuple[int, ...]]] = []
+        movable = set()
+        reserved = set(self._fixed_fresh_indexes)
+        for fact in instance:
+            relation, codes, has_call = self.encode_fact(fact)
+            if has_call:
+                return None
+            facts.append((("r", table.term(relation)), codes))
+            for code in codes:
+                if code not in fixed:
+                    movable.add(code)
+        self.stats["canonical_evals"] += 1
+        ordered = coded_canonical_order(
+            facts, sorted(movable, key=table.sort_key), table.sort_key)
+        renaming: Dict[Any, Fresh] = {}
+        index = 0
+        for code in ordered:
+            while index in reserved:
+                index += 1
+            renaming[table.term(code)] = Fresh(index)
+            index += 1
+        self._canonical_memo[key] = renaming
+        return renaming
 
     def successor_memo(self, key) -> dict:
         """A per-configuration successor cache for pure generators.

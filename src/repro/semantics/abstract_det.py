@@ -28,6 +28,8 @@ from repro.engine.explorer import Explorer
 from repro.engine.generators import (
     CallMap, DetAbstractionGenerator, DetState, sorted_call_map)
 from repro.engine.parallel import make_explorer
+from repro.engine.symmetry import (
+    attach_symmetry_stats, reduced, resolve_symmetry)
 from repro.relational.kernel import attach_kernel_stats
 from repro.semantics.transition_system import TransitionSystem
 
@@ -56,6 +58,7 @@ def build_det_abstraction(
     observer=None,
     workers: Optional[int] = None,
     batch_size: int = 16,
+    symmetry: Optional[str] = None,
 ) -> TransitionSystem:
     """Build the abstract transition system of Theorem 4.3 by BFS.
 
@@ -69,6 +72,15 @@ def build_det_abstraction(
     :class:`repro.engine.ParallelExplorer` worker pool (``batch_size`` states
     per dispatch); the result is bit-identical to the sequential build for
     any worker count.
+
+    ``symmetry="quotient"`` explores the isomorphism quotient instead of
+    the exact system: every successor ``<I, M>`` is replaced by the
+    canonical representative of its class (bijections fixing the known
+    constants, Lemma C.2), so isomorphic states merge *before* expansion.
+    The result is persistence-preserving bisimilar to the exact build —
+    sound for µLP properties only. Default ``"exact"``; the environment
+    default is ``REPRO_SYMMETRY`` and ``REPRO_NO_SYMMETRY=1`` kills the
+    reduction (see :mod:`repro.engine.symmetry`).
     """
     if dcds.semantics is not ServiceSemantics.DETERMINISTIC:
         raise ReproError(
@@ -79,8 +91,11 @@ def build_det_abstraction(
         name=f"abstract[{dcds.name}]", max_states=max_states,
         max_depth=max_depth, on_budget="raise",
         budget_error=_diverged_error, observer=observer)
-    result = explorer.run(DetAbstractionGenerator(dcds))
+    generator = reduced(DetAbstractionGenerator(dcds),
+                        resolve_symmetry(symmetry))
+    result = explorer.run(generator)
     attach_kernel_stats(dcds, result.transition_system)
+    attach_symmetry_stats(generator, result.transition_system)
     return result.transition_system
 
 

@@ -30,6 +30,8 @@ from repro.engine.explorer import Explorer
 from repro.engine.generators import (
     Chooser, OracleRunGenerator, PoolDetGenerator, PoolNondetGenerator)
 from repro.engine.parallel import make_explorer
+from repro.engine.symmetry import (
+    attach_symmetry_stats, reduced, resolve_symmetry)
 from repro.relational.instance import Instance
 from repro.relational.kernel import attach_kernel_stats
 from repro.relational.values import Fresh, ServiceCall
@@ -138,6 +140,7 @@ def explore_concrete(
     max_states: int = 50000,
     workers: Optional[int] = None,
     batch_size: int = 16,
+    symmetry: Optional[str] = None,
 ) -> TransitionSystem:
     """The concrete transition system with call results restricted to ``pool``.
 
@@ -149,10 +152,21 @@ def explore_concrete(
     ``workers`` shards the expansions across a
     :class:`repro.engine.ParallelExplorer` pool; the result is bit-identical
     to the sequential exploration for any worker count.
+
+    ``symmetry="quotient"`` merges isomorphic ``<I, M>`` states (bijections
+    fixing the known constants, Lemma C.2) *during* the deterministic
+    exploration — movable pool values are interchangeable, so the quotient
+    can be exponentially smaller, and it stays persistence-preserving
+    bisimilar to the exact exploration because the call map carries the
+    full value history. The nondeterministic pool semantics has plain
+    instances for states, which admit no sound quotient (merging would
+    conflate value-persists with value-replaced transitions — see
+    :mod:`repro.engine.symmetry`), so quotient mode is ignored there.
     """
     pool = sorted_values(set(pool))
+    symmetry = resolve_symmetry(symmetry)  # validated on both branches
     if dcds.semantics is ServiceSemantics.DETERMINISTIC:
-        generator = PoolDetGenerator(dcds, pool)
+        generator = reduced(PoolDetGenerator(dcds, pool), symmetry)
         name = f"concrete-det[{dcds.name}]"
     else:
         generator = PoolNondetGenerator(dcds, pool)
@@ -163,6 +177,7 @@ def explore_concrete(
         on_budget="raise", budget_error=_fuse_error)
     ts = explorer.run(generator).transition_system
     attach_kernel_stats(dcds, ts)
+    attach_symmetry_stats(generator, ts)
     return ts
 
 

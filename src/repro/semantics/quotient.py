@@ -1,15 +1,25 @@
-"""Isomorphism quotient of a transition system.
+"""Isomorphism quotient of a transition system (the post-hoc path).
 
 Lemma C.2 shows that states isomorphic via a bijection fixing ``ADOM(I0)``
-are persistence-preserving bisimilar. The quotient therefore merges
-isomorphic states of a pruning while preserving all µLP properties; it is
-how we compare our RCYCL output (a pruning, not the minimum one) against the
-paper's hand-drawn abstract systems (e.g. Figure 7(b)).
+are persistence-preserving bisimilar *pairwise*. The quotient merges such
+states; it is how we compare our RCYCL output (a pruning, not the minimum
+one) against the paper's hand-drawn abstract systems (e.g. Figure 7(b)).
 
-Isomorphism classes are discovered through the engine's
-:class:`~repro.engine.StateInterner`, so the expensive canonical labeling
-only runs on instance-fingerprint collisions and is shared between states
-with equal databases.
+Caveat (made explicit by PR 5): the quotient *system* is not in general
+bisimilar to the original — merging two isomorphic plain-instance states
+conflates "value persists" with "value is replaced by an isomorphic twin"
+transitions between the same class pair, which µLP can observe (the
+counterexample lives in :mod:`repro.engine.symmetry`). The quotient is
+therefore a *comparison* structure — two constructions of the same state
+space quotient identically, so equality/bisimilarity of the quotients is
+meaningful — not a verification structure. Verification-grade in-flight
+reduction exists for the history-carrying ``<I, M>`` systems via
+:class:`repro.engine.SymmetryReducer`, whose call maps rule the
+conflation out.
+
+This module is a thin wrapper over the canonical-first
+:class:`~repro.engine.StateInterner`: every state's database is interned
+eagerly by canonical key, and the quotient is read off the key mapping.
 """
 
 from __future__ import annotations
@@ -21,19 +31,26 @@ from repro.semantics.transition_system import State, TransitionSystem
 
 
 def isomorphism_quotient(
-    ts: TransitionSystem, fixed: Iterable[Any] = ()
+    ts: TransitionSystem, fixed: Iterable[Any] = (),
+    canonicalizer=None,
 ) -> Tuple[TransitionSystem, Dict[State, State]]:
     """Merge states whose databases are isomorphic (fixing ``fixed``).
 
     Each equivalence class is represented by the canonical form of its
     members' databases. Returns the quotient system and the state mapping.
+    ``canonicalizer`` accelerates the labeling on a DCDS's integer kernel
+    (pass :func:`repro.relational.kernel.kernel_instance_canonicalizer`);
+    the default is the object-level ``canonical_form``.
 
     Note: for deterministic-service systems the state is ``<I, M>`` and the
     db alone under-approximates the state; this quotient is only meaningful
     for nondeterministic-service systems, whose states are plain instances
-    (Lemma C.2 applies to those).
+    (Lemma C.2 applies to those). Deterministic systems get their joint
+    ``<I, M>`` quotient from quotient-mode exploration
+    (:class:`repro.engine.SymmetryReducer`).
     """
-    interner = StateInterner(fixed)
+    interner = StateInterner(fixed, mode="canonical-first",
+                             canonicalizer=canonicalizer)
     mapping: Dict[State, State] = {}
     canonical_db: Dict[tuple, Any] = {}
 

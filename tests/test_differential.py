@@ -24,8 +24,9 @@ import pytest
 
 from repro.core import ServiceSemantics
 from repro.engine import (
-    DetAbstractionGenerator, Explorer, ParallelExplorer, PoolNondetGenerator)
-from repro.errors import UndecidableFragment
+    DetAbstractionGenerator, Explorer, ParallelExplorer, PoolNondetGenerator,
+    SymmetryReducer, resolve_symmetry)
+from repro.errors import UndecidableFragment, VerificationError
 from repro.mucalc.parser import parse_mu
 from repro.pipeline import verify
 from repro.relational.values import Fresh
@@ -33,6 +34,12 @@ from repro.workloads import random_dcds
 
 MAX_WORKERS = max(1, int(os.environ.get("REPRO_WORKERS", "4")))
 WORKER_COUNTS = tuple(sorted({1, 2, MAX_WORKERS}))
+#: CI re-runs this file with REPRO_SYMMETRY=quotient: the deterministic
+#: cases then explore quotient-by-construction on both the sequential and
+#: the parallel side, pinning the symmetry-reduced builds bit-identical at
+#: every worker count too (pool-nondet states admit no sound quotient and
+#: stay exact — see repro.engine.symmetry).
+SYMMETRY = resolve_symmetry(None)
 SHAPES = ("weakly-acyclic", "gr-acyclic", "free")
 SEMANTICS = (ServiceSemantics.DETERMINISTIC,
              ServiceSemantics.NONDETERMINISTIC)
@@ -67,7 +74,12 @@ def explorer_config(dcds):
     pool) and is therefore *not* a differential target.
     """
     if dcds.semantics is ServiceSemantics.DETERMINISTIC:
-        return (lambda: DetAbstractionGenerator(dcds),
+        def factory():
+            generator = DetAbstractionGenerator(dcds)
+            if SYMMETRY == "quotient":
+                generator = SymmetryReducer(generator)
+            return generator
+        return (factory,
                 dict(max_states=MAX_STATES, max_depth=MAX_DEPTH,
                      on_budget="truncate"))
     return (lambda: PoolNondetGenerator(dcds, list(POOL)),
@@ -142,9 +154,10 @@ def assert_verify_agrees(seed, shape, semantics):
     formula = reachability_formula(dcds)
     try:
         baseline = verify(dcds, formula, max_states=MAX_STATES)
-    except UndecidableFragment as undecidable:
-        # The static precondition failed identically on both paths.
-        with pytest.raises(UndecidableFragment):
+    except (UndecidableFragment, VerificationError) as failed:
+        # The static precondition (or, under REPRO_SYMMETRY=quotient, the
+        # µLP adequacy gate) failed — it must fail identically sharded.
+        with pytest.raises(type(failed)):
             verify(dcds, formula, max_states=MAX_STATES,
                    workers=MAX_WORKERS)
         return

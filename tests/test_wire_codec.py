@@ -5,7 +5,9 @@ kernels (emulating the coordinator/worker process split in-process), the
 token protocol replays identically on both ends, and parallel builds over
 the codec stay bit-identical to sequential ones under both ``fork`` and
 ``spawn`` at workers 1/2/4 — with the IPC counters recorded in the
-exploration stats.
+exploration stats. ``workers=1`` short-circuits to the in-process apply
+loop (``codec="inline"``, zero IPC — PR 5), so codec traffic is exercised
+at ``workers>=2`` and spawn coverage runs at ``workers=2``.
 """
 
 from __future__ import annotations
@@ -210,8 +212,8 @@ class TestParallelCodecDifferential:
     @pytest.mark.parametrize("workers", [1, 2, 4])
     @pytest.mark.parametrize("seed", [0, 3])
     def test_bit_identical_builds(self, seed, workers, start_method):
-        if start_method == "spawn" and workers > 1:
-            pytest.skip("spawn startup cost; covered at workers=1")
+        if start_method == "spawn" and workers != 2:
+            pytest.skip("spawn startup cost; covered at workers=2")
         dcds = random_dcds(seed)
         sequential = Explorer(
             dcds.schema, max_states=MAX_STATES, max_depth=MAX_DEPTH,
@@ -225,6 +227,14 @@ class TestParallelCodecDifferential:
             start_method=start_method).run(DetAbstractionGenerator(fresh))
         assert_bit_identical(sequential, result.transition_system)
         stats = result.stats.parallel
+        if workers == 1:
+            # One worker short-circuits to the in-process sequential apply
+            # loop: no pipes, no codec, zero IPC (PR 5 regression gate).
+            assert stats["codec"] == "inline"
+            assert stats["ipc_bytes_sent"] == 0
+            assert stats["ipc_bytes_received"] == 0
+            assert stats["states_shipped"] == 0
+            return
         assert stats["codec"] == "wire"
         if stats["states_shipped"]:
             assert stats["ipc_bytes_sent"] > 0
@@ -252,7 +262,7 @@ class TestParallelCodecDifferential:
         same object graphs (the PR 3 transport)."""
         dcds = commitment_blowup_dcds(5)
         result = ParallelExplorer(
-            dcds.schema, max_states=100000, workers=1,
+            dcds.schema, max_states=100000, workers=2,
             batch_size=32).run(DetAbstractionGenerator(dcds))
         ts = result.transition_system
         stats = result.stats.parallel
