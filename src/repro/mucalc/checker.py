@@ -36,6 +36,7 @@ from repro.fol.evaluation import holds
 from repro.mucalc.ast import (
     Box, Diamond, Live, MAnd, MExists, MForall, MNot, MOr, Mu, MuFormula,
     Nu, PredVar, QF)
+from repro.mucalc.engine.bitset import BitsetChecker, bitset_enabled
 from repro.mucalc.engine.compiler import compile_formula
 from repro.mucalc.engine.evaluator import CompiledChecker
 from repro.mucalc.syntax import check_monotone
@@ -64,7 +65,7 @@ class ModelChecker:
         # iteration via the PROP()-style helpers.
         self._monotone_ok: Set[MuFormula] = set()
         self._domain_cache: Dict[MuFormula, FrozenSet[Any]] = {}
-        self._engines: Dict[MuFormula, CompiledChecker] = {}
+        self._engines: Dict[Tuple[MuFormula, type], CompiledChecker] = {}
         #: Counters of the most recent compiled evaluation (iterations,
         #: resets, peak extension size, memo hits); surfaced by
         #: ``pipeline.verify`` as ``VerificationReport.checking_stats``.
@@ -98,12 +99,17 @@ class ModelChecker:
         """The extension ``(Phi)^Upsilon_{v,V}`` (Figure 1)."""
         self._ensure_monotone(formula)
         if self.compiled:
-            engine = self._engines.get(formula)
+            # Backend choice is re-read per formula: a kill-switch flip
+            # between evaluations gets a fresh engine rather than a stale
+            # cached one (the key carries the backend).
+            backend = BitsetChecker if bitset_enabled() else CompiledChecker
+            key = (formula, backend)
+            engine = self._engines.get(key)
             if engine is None:
-                engine = CompiledChecker(
+                engine = backend(
                     self.ts, compile_formula(formula),
                     self.domain(formula), adom=self._adom)
-                self._engines[formula] = engine
+                self._engines[key] = engine
             result = engine.evaluate(valuation, predicates)
             self.last_checking_stats = engine.last_stats
             return result

@@ -181,6 +181,7 @@ class CompiledChecker:
         self.run_stats.duration = time.perf_counter() - started
         self.last_stats = {
             "mode": "compiled",
+            "backend": "sets",
             **self.compiled.info(),
             **self.run_stats.as_dict(),
             "memo_entries": len(self._memo),

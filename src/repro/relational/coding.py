@@ -144,7 +144,7 @@ class CodedInstance:
     """
 
     __slots__ = ("by_relation", "_indexes", "_adom", "_domains", "_fact_set",
-                 "_sets")
+                 "_sets", "_columns", "_vector")
 
     def __init__(self, by_relation: Dict[int, Tuple[Tuple[int, ...], ...]]):
         # Tuples sorted per relation: deterministic iteration for any
@@ -158,6 +158,12 @@ class CodedInstance:
         self._domains: dict = {}
         self._fact_set: Optional[FrozenSet[CodedFact]] = None
         self._sets: Optional[dict] = None
+        # Columnar mirrors of by_relation for the vector backend. Both
+        # derive from the (immutable) sorted tuple arrays above, so like
+        # the per-position indexes they never need invalidating once
+        # materialized — a fresh CodedInstance is built per instance.
+        self._columns: Optional[dict] = None
+        self._vector: Optional[dict] = None
 
     @classmethod
     def from_coded_facts(cls, facts: Iterable[CodedFact]) -> "CodedInstance":
@@ -228,6 +234,37 @@ class CodedInstance:
 
     def domain_cache(self) -> dict:
         return self._domains
+
+    def columns(self, relation: int):
+        """The relation's tuples as one contiguous ``(n, arity)`` int64
+        numpy array (lazily materialized; rows follow the sorted
+        ``by_relation`` order, so row ``i`` is ``tuples(relation)[i]``).
+
+        Returns ``None`` when the relation is empty — the arity is not
+        recorded for absent relations, and every consumer short-circuits
+        on the empty case anyway. Requires numpy (the caller gates on
+        :func:`repro.relational.vector.vector_enabled`).
+        """
+        if self._columns is None:
+            self._columns = {}
+        found = self._columns.get(relation)
+        if found is None:
+            tuples = self.by_relation.get(relation, _EMPTY)
+            if not tuples:
+                return None
+            from repro.relational.vector import require_numpy
+
+            np = require_numpy()
+            found = np.array(tuples, dtype=np.int64)
+            self._columns[relation] = found
+        return found
+
+    def vector_cache(self) -> dict:
+        """Per-(plan-node, instance) scratch of the vector backend
+        (filtered atom columns and the like), mirroring ``domain_cache``."""
+        if self._vector is None:
+            self._vector = {}
+        return self._vector
 
 
 # ---------------------------------------------------------------------------

@@ -33,6 +33,7 @@ from typing import (
 
 from repro.errors import ExecutionError, IllegalParameters
 from repro.fol.compile import CompiledQuery, CompileError
+from repro.relational import vector
 from repro.relational.coding import (
     UNBOUND, CodedFact, CodedInstance, TermTable, coded_canonical_order)
 from repro.relational.instance import Fact, Instance
@@ -150,6 +151,7 @@ def attach_kernel_stats(dcds, ts) -> None:
     kernel = getattr(dcds, "_relational_kernel", None)
     if isinstance(kernel, RelationalKernel):
         ts.exploration_stats["kernel"] = kernel.stats_dict()
+        ts.exploration_stats["vector"] = kernel.vector_stats_dict()
 
 
 class _CompiledConstraint:
@@ -170,8 +172,17 @@ class _CompiledConstraint:
         return (True, table.code(term))
 
     def satisfied(self, coded: CodedInstance, table: TermTable,
-                  extra: FrozenSet[int]) -> bool:
+                  extra: FrozenSet[int],
+                  vector_stats: Optional[Dict[str, int]] = None) -> bool:
+        if not self.sides:
+            return True
         domain = self.query.domain(coded, table, extra)
+        matrix = vector.binding_matrix(self.query, coded, domain,
+                                       stats=vector_stats)
+        if matrix is not None:
+            if vector_stats is not None:
+                vector_stats["constraint_evals"] += 1
+            return vector.constraint_rows_hold(matrix, self.sides)
         regs = self.query.fresh_regs()
         for binding in self.query.iter_bindings(coded, regs, domain):
             for (l_const, l_value), (r_const, r_value) in self.sides:
@@ -180,6 +191,15 @@ class _CompiledConstraint:
                 if left != right:
                     return False
         return True
+
+
+def _collect_head_slots(spec, slots: set) -> None:
+    kind = spec[0]
+    if kind == "v":
+        slots.add(spec[1])
+    elif kind == "call":
+        for arg in spec[2]:
+            _collect_head_slots(arg, slots)
 
 
 class _RuleContext:
@@ -213,12 +233,22 @@ class _SigmaContext:
     """One effect under one parameter substitution: bound registers, the
     evaluation-domain extras, the resolved head, per-instance results."""
 
-    __slots__ = ("regs", "extra", "head", "by_instance")
+    __slots__ = ("regs", "extra", "head", "needed_slots", "by_instance")
 
     def __init__(self, regs: List[int], extra: FrozenSet[int], head: tuple):
         self.regs = regs
         self.extra = extra
         self.head = head
+        # Body slots the resolved head actually reads ("v" specs, service-
+        # call arguments). Fact production is a function of these alone, so
+        # the vector path grounds each *distinct* projection once instead
+        # of once per binding.
+        slots: set = set()
+        for _, specs, ready in head:
+            if ready is None:
+                for spec in specs:
+                    _collect_head_slots(spec, slots)
+        self.needed_slots: Tuple[int, ...] = tuple(sorted(slots))
         self.by_instance: Dict[Instance, FrozenSet[Fact]] = {}
 
 
@@ -315,6 +345,14 @@ class RelationalKernel:
             "fallbacks": 0, "facts_interned": 0, "instances_interned": 0,
             "instance_reuses": 0, "canonical_evals": 0,
             "canonical_memo_hits": 0,
+        }
+        #: Counters of the columnar backend (see repro.relational.vector):
+        #: how many rule/effect/constraint evaluations ran batched, how
+        #: many fell back mid-evaluation (row-budget overflow), and the
+        #: largest working set seen.
+        self.vector_stats: Dict[str, int] = {
+            "legal_evals": 0, "effect_evals": 0, "constraint_evals": 0,
+            "fallbacks": 0, "rows_peak": 0,
         }
 
     # -- construction helpers ------------------------------------------------
@@ -548,15 +586,21 @@ class RelationalKernel:
             context.by_instance[instance] = result
             return result
 
-        regs = plan.fresh_regs()
         answer_slots = context.answer_slots
-        seen = set()
-        bindings: List[Tuple[int, ...]] = []
-        for extension in plan.iter_bindings(coded, regs, domain):
-            key = tuple(extension[slot] for slot in answer_slots)
-            if key not in seen:
-                seen.add(key)
-                bindings.append(key)
+        matrix = vector.binding_matrix(plan, coded, domain,
+                                       stats=self.vector_stats)
+        if matrix is not None:
+            self.vector_stats["legal_evals"] += 1
+            bindings = vector.distinct_projection(matrix, answer_slots)
+        else:
+            regs = plan.fresh_regs()
+            seen = set()
+            bindings = []
+            for extension in plan.iter_bindings(coded, regs, domain):
+                key = tuple(extension[slot] for slot in answer_slots)
+                if key not in seen:
+                    seen.add(key)
+                    bindings.append(key)
         sort_key = table.sort_key
         bindings.sort(key=lambda key: tuple(
             sort_key(code) for code in key))
@@ -594,8 +638,31 @@ class RelationalKernel:
         produced = set()
         add = produced.add
         intern_fact = self.intern_fact
-        for binding in body.iter_bindings(coded, sigma_context.regs.copy(),
-                                          domain):
+        bindings = None
+        matrix = vector.binding_matrix(body, coded, domain,
+                                       regs=sigma_context.regs,
+                                       stats=self.vector_stats)
+        if matrix is not None:
+            self.vector_stats["effect_evals"] += 1
+            if not len(matrix):
+                bindings = ()
+            elif sigma_context.needed_slots:
+                # Re-inflate each distinct projection to a sparse register
+                # list so head resolution below reads slots as usual.
+                n_slots = body.n_slots
+                needed = sigma_context.needed_slots
+                bindings = []
+                for row in vector.distinct_projection(matrix, needed):
+                    binding = [UNBOUND] * n_slots
+                    for slot, code in zip(needed, row):
+                        binding[slot] = code
+                    bindings.append(binding)
+            else:  # head is fully ground; any binding produces it
+                bindings = (sigma_context.regs,)
+        if bindings is None:
+            bindings = body.iter_bindings(
+                coded, sigma_context.regs.copy(), domain)
+        for binding in bindings:
             for relation, specs, ready in sigma_context.head:
                 if ready is not None:
                     add(ready)
@@ -746,7 +813,8 @@ class RelationalKernel:
             coded = CodedInstance.from_coded_facts(coded_facts)
             for constraint in self._constraints:
                 if not constraint.satisfied(coded, table,
-                                            self.initial_adom_codes):
+                                            self.initial_adom_codes,
+                                            self.vector_stats):
                     violated = True
                     break
         if not violated:
@@ -916,3 +984,8 @@ class RelationalKernel:
 
     def stats_dict(self) -> Dict[str, int]:
         return dict(self.stats)
+
+    def vector_stats_dict(self) -> Dict[str, Any]:
+        found: Dict[str, Any] = dict(self.vector_stats)
+        found["enabled"] = vector.vector_enabled()
+        return found

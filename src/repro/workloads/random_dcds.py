@@ -136,6 +136,50 @@ def commitment_blowup_dcds(n_calls: int) -> DCDS:
     return builder.build(ServiceSemantics.DETERMINISTIC)
 
 
+def lattice_dcds(k: int) -> DCDS:
+    """A join-heavy grid workload: dense relational evaluation, tiny
+    state space.
+
+    The initial instance is a ``side x side`` grid graph (symmetric
+    ``E``, one diagonal per cell so triangles exist) with
+    ``side = 4*(k+1)``. One action copies ``E`` and materializes
+    triangle, open-wedge, and open-3-path summaries — multiway
+    self-joins with negation whose intermediate result grows like
+    ``|E| * degree^2``. No service calls and no feedback into ``E``, so
+    the abstraction closes after one application (trivially weakly
+    acyclic) and ``build_det_abstraction`` cost is almost entirely the
+    grounding joins: the benchmark family for the columnar vector
+    backend, complementing ``chain``/``blowup`` (many tiny instances).
+    """
+    side = 4 * (k + 1)
+    builder = DCDSBuilder(name=f"lattice[{k}]")
+    builder.schema("E/2", "Tri/1", "Wedge/1", "Far/1")
+    edges = set()
+    for row in range(side):
+        for column in range(side):
+            here = f"n{row}_{column}"
+            if column + 1 < side:
+                edges.add((here, f"n{row}_{column + 1}"))
+            if row + 1 < side:
+                edges.add((here, f"n{row + 1}_{column}"))
+            if row + 1 < side and column + 1 < side:
+                edges.add((here, f"n{row + 1}_{column + 1}"))
+    facts = []
+    for a, b in sorted(edges):
+        facts.append(f"E('{a}', '{b}')")
+        facts.append(f"E('{b}', '{a}')")
+    builder.initial(", ".join(facts))
+    builder.action(
+        "survey",
+        "E(x, y) ~> E(x, y)",
+        "E(x, y) & E(y, z) & E(z, x) ~> Tri(x)",
+        "E(x, y) & E(y, z) & ~E(x, z) ~> Wedge(x)",
+        "E(x, y) & E(y, z) & E(z, w) & ~E(x, w) ~> Far(x)",
+    )
+    builder.rule("true", "survey")
+    return builder.build(ServiceSemantics.DETERMINISTIC)
+
+
 def chain_dcds(length: int,
                semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC
                ) -> DCDS:
