@@ -26,7 +26,8 @@ from repro.mucalc import ModelChecker, parse_mu
 from repro.mucalc.ast import Box, Diamond, MAnd, MOr, Mu, Nu, PredVar, QF
 from repro.semantics import build_det_abstraction
 from repro.semantics.commitments import count_commitments
-from repro.workloads import chain_dcds, commitment_blowup_dcds, lattice_dcds
+from repro.workloads import (
+    chain_dcds, commitment_blowup_dcds, conveyor_dcds, lattice_dcds)
 
 
 class TestAbstractionBlowup:
@@ -77,6 +78,22 @@ class TestLatticeJoins:
         assert len(ts) == 2
 
 
+class TestConveyorFrontiers:
+    """Deep, wide-frontier exploration on the conveyor workload: many
+    small sibling instances per frontier sharing their static payload
+    relation — the configuration the frontier-batch tier targets (and
+    where ``REPRO_NO_BATCH=1`` CI runs time the per-state grounding on
+    identical inputs)."""
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_conveyor_abstraction(self, benchmark, k):
+        dcds = conveyor_dcds(k)
+        ts = benchmark(build_det_abstraction, dcds, 100000)
+        # Token positions are independent monotone counters: the space is
+        # exactly cells^tokens.
+        assert len(ts) == (2 * k + 3) ** (k + 1)
+
+
 class TestModelCheckingCost:
     @pytest.fixture(scope="class")
     def arena(self):
@@ -117,6 +134,7 @@ class TestModelCheckingCost:
 GATE_PROBES = {
     "abstraction-blowup[3]": lambda: _timed_build(commitment_blowup_dcds(3)),
     "chain[3]": lambda: _timed_build(chain_dcds(3)),
+    "conveyor[2]": lambda: _timed_build(conveyor_dcds(2)),
     "lattice[3]": lambda: _timed_build(lattice_dcds(3)),
 }
 

@@ -73,13 +73,16 @@ def engine_throughput_probes() -> dict:
     from repro.gallery import example_43, request_system
     from repro.core import ServiceSemantics
     from repro.semantics import build_det_abstraction, rcycl
-    from repro.workloads import chain_dcds, commitment_blowup_dcds
+    from repro.workloads import (
+        chain_dcds, commitment_blowup_dcds, conveyor_dcds)
 
     probes = {
         "det-abstraction/blowup[3]":
             lambda: build_det_abstraction(commitment_blowup_dcds(3), 100000),
         "det-abstraction/chain[3]":
             lambda: build_det_abstraction(chain_dcds(3), 100000),
+        "det-abstraction/conveyor[2]":
+            lambda: build_det_abstraction(conveyor_dcds(2), 100000),
         "rcycl/example43":
             lambda: rcycl(example_43(ServiceSemantics.NONDETERMINISTIC)),
         "rcycl/request-system[slim]":
@@ -247,6 +250,67 @@ def backend_comparison_probes() -> dict:
     return probes
 
 
+def batch_comparison_probes() -> dict:
+    """Frontier-batched vs per-state grounding abstraction builds.
+
+    Best-of-5 cold builds with the frontier-batch tier on (default) and
+    off (``REPRO_NO_BATCH=1``), plus the tier's own accounting from
+    ``abstraction_stats["batch"]``. The deep-frontier conveyor family is
+    the overhead-bound configuration the tier targets — wide frontiers
+    of small sibling instances sharing a static payload relation, so
+    per-state kernel/numpy constants dominate and cross-state dedup
+    collapses most evaluations. ``chain[3]`` and ``lattice[3]`` are the
+    honest contrast rows: thin frontiers (blocks below the width gate)
+    leave the tier standing aside, ratios ~1x — recorded as-is."""
+    import time
+
+    sys.path.insert(0, SRC)
+    from repro.core.execution import clear_subproblem_caches
+    from repro.semantics import build_det_abstraction
+    from repro.workloads import chain_dcds, conveyor_dcds, lattice_dcds
+
+    def best_build(factory, rounds=5):
+        def run():
+            clear_subproblem_caches()
+            dcds = factory()
+            started = time.perf_counter()
+            build_det_abstraction(dcds, 100000)
+            return time.perf_counter() - started
+        run()  # warmup
+        return min(run() for _ in range(rounds))
+
+    configs = {
+        "conveyor[2]": lambda: conveyor_dcds(2),
+        "chain[3]": lambda: chain_dcds(3),
+        "lattice[3]": lambda: lattice_dcds(3),
+    }
+    probes = {}
+    for name, factory in configs.items():
+        with _env_overrides(REPRO_NO_BATCH=None):
+            batched_sec = best_build(factory)
+        with _env_overrides(REPRO_NO_BATCH="1"):
+            per_state_sec = best_build(factory)
+        clear_subproblem_caches()
+        with _env_overrides(REPRO_NO_BATCH=None):
+            ts = build_det_abstraction(factory(), 100000)
+        batch = ts.exploration_stats.get("batch", {})
+        warmed = batch.get("warmed_entries", 0)
+        probes[name] = {
+            "batched_sec": batched_sec,
+            "per_state_sec": per_state_sec,
+            "batch_speedup": (per_state_sec / batched_sec
+                              if batched_sec else None),
+            "blocks": batch.get("blocks"),
+            "thin_blocks": batch.get("thin_blocks"),
+            "block_states_peak": batch.get("block_states_peak"),
+            "warmed_entries": warmed,
+            "dedup_hit_rate": (batch.get("dedup_hits", 0) / warmed
+                               if warmed else None),
+            "fallbacks": batch.get("fallbacks"),
+        }
+    return probes
+
+
 def profile_hot_path() -> None:
     """cProfile the two hot paths — a cold join-heavy abstraction build
     and an iteration-heavy checker run — and print the top 20 entries
@@ -308,6 +372,7 @@ def main() -> None:
         "engine_probes": engine_throughput_probes(),
         "checker_probes": checker_probes(),
         "backend_probes": backend_comparison_probes(),
+        "batch_probes": batch_comparison_probes(),
     }
     if not args.skip_pytest:
         record["pytest_benchmarks"] = run_pytest_benchmarks(args.pattern)

@@ -25,10 +25,17 @@ from dataclasses import dataclass, field
 from typing import (
     Any, Callable, Dict, Iterable, List, Optional, Tuple)
 
+from repro import env
 from repro.errors import AbstractionDiverged, ReproError
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema
 from repro.semantics.transition_system import State, TransitionSystem
+
+#: Frontier entries popped per batched expansion round. Large enough that
+#: a kernel-backed generator's block warm amortizes the per-plan columnar
+#: setup across many sibling states; small enough that one block's
+#: successor lists stay a modest working set.
+BATCH_BLOCK = 64
 
 
 class ExplorationBudgetExceeded(Exception):
@@ -85,6 +92,22 @@ class SuccessorGenerator:
     def successors(self, state: State
                    ) -> Iterable[Tuple[State, Instance, Optional[str]]]:
         raise NotImplementedError
+
+    def successors_batch(self, states: List[State]
+                         ) -> List[List[Tuple[State, Instance,
+                                              Optional[str]]]]:
+        """Successor lists of a frontier block, in block order.
+
+        The default is the per-state loop — identical to repeated
+        :meth:`successors` calls by definition, so generators without a
+        batched grounding path (RCYCL, oracle runs) are untouched.
+        Kernel-backed generators override this to warm the kernel's
+        rule/effect memos for the whole block in one columnar pass first
+        (see :func:`repro.engine.generators.warm_frontier_block`); the
+        per-state calls then replay from the warmed memos, keeping results
+        bit-identical by construction.
+        """
+        return [list(self.successors(state)) for state in states]
 
     def on_new_state(self, state: State, instance: Instance) -> None:
         """Hook invoked once per newly discovered state (default: no-op)."""
@@ -288,6 +311,10 @@ class Explorer:
         return ExplorationResult(ts, stats)
 
     def run(self, generator: SuccessorGenerator) -> ExplorationResult:
+        if self.strategy == "bfs" \
+                and getattr(generator, "parallel_safe", False) \
+                and not env.batch_disabled():
+            return self._run_batched(generator)
         started = time.perf_counter()
         ts, frontier = self._start(generator)
         stats = self.stats
@@ -310,5 +337,54 @@ class Explorer:
                 budget_hit = True
             if budget_hit:
                 break
+
+        return self._finish(ts, frontier, budget_hit, started)
+
+    def _run_batched(self, generator: SuccessorGenerator
+                     ) -> ExplorationResult:
+        """The frontier-batched twin of the sequential BFS loop.
+
+        Pops whole frontier blocks, expands them through
+        :meth:`SuccessorGenerator.successors_batch` (one warmed columnar
+        pass for kernel-backed generators), then applies the blocks'
+        successor lists strictly in pop order through the same
+        :meth:`_apply_successors` as the sequential loop — the
+        ParallelExplorer apply contract, so interning, edges, growth,
+        observer, and budget behaviour stay bit-identical. Expansion-
+        worthiness is decided at pop time but ``max_depth`` truncation is
+        marked (and ``expansions`` counted) at apply time; on a budget hit
+        or observer early-stop the block's unapplied tail is re-queued so
+        the epilogue marks it truncated exactly as it would the sequential
+        frontier. Only pure (``parallel_safe``) generators take this path
+        — expansion must be a function of the state alone for the
+        block-ahead generation to commute with application.
+        """
+        started = time.perf_counter()
+        ts, frontier = self._start(generator)
+        stats = self.stats
+        budget_hit = False
+
+        while frontier and stats.early_stop is None and not budget_hit:
+            block: List[Tuple[State, int, bool]] = []
+            while frontier and len(block) < BATCH_BLOCK:
+                state, depth = frontier.popleft()
+                expand = self.max_depth is None or depth < self.max_depth
+                block.append((state, depth, expand))
+            results = deque(generator.successors_batch(
+                [state for state, _, expand in block if expand]))
+            for position, (state, depth, expand) in enumerate(block):
+                if not expand:
+                    ts.mark_truncated(state)
+                    continue
+                stats.expansions += 1
+                budget_hit = self._apply_successors(
+                    generator, ts, frontier, state, depth,
+                    results.popleft(),
+                    pending=len(block) - 1 - position)
+                if budget_hit or stats.early_stop is not None:
+                    tail = [(state, depth)
+                            for state, depth, _ in block[position + 1:]]
+                    frontier.extendleft(reversed(tail))
+                    break
 
         return self._finish(ts, frontier, budget_hit, started)

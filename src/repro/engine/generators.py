@@ -24,9 +24,12 @@ from typing import (
     Any, Callable, Dict, FrozenSet, Iterable, Iterator, List, Optional,
     Sequence, Set, Tuple)
 
+from repro import env
 from repro.core.dcds import DCDS
-from repro.core.execution import do_action, enabled_moves, evaluate_calls
+from repro.core.execution import (
+    _sigma_items, do_action, enabled_moves, evaluate_calls)
 from repro.engine.explorer import ExplorationBudgetExceeded, SuccessorGenerator
+from repro.relational import vector
 from repro.relational.instance import Instance
 from repro.relational.kernel import kernel_for
 from repro.relational.values import Fresh, ServiceCall
@@ -141,6 +144,64 @@ def _memoized_expansion(expansion: Iterator[Successor], memo: dict,
     memo[state] = tuple(collected)
 
 
+def warm_frontier_block(generator, key, states: Sequence[State]) -> None:
+    """Warm the kernel's grounding memos for a whole frontier block.
+
+    The frontier-batch tier (``Explorer._run_batched`` →
+    ``successors_batch``): instead of every frontier state paying its own
+    per-plan vector call, the block's distinct instances are stacked into
+    one columnar join per compiled plan —
+    :meth:`~repro.relational.kernel.RelationalKernel
+    .warm_legal_substitutions` for every rule, then
+    :meth:`~repro.relational.kernel.RelationalKernel.warm_ground_effects`
+    for every ``(effect, sigma)`` group the warmed legal substitutions
+    enable. Warming only fills the same per-instance memos the per-state
+    entries read, so the ``_expand`` replay that follows is bit-identical
+    by construction; with the kernel disabled (or ``REPRO_NO_BATCH=1``)
+    this is a no-op and the per-state path runs exactly as before.
+
+    Blocks with fewer distinct unexpanded instances than
+    :data:`~repro.relational.vector.MIN_BATCH_GROUPS`, or stacking fewer
+    total tuples than :data:`~repro.relational.vector.MIN_BATCH_TUPLES`,
+    are skipped (stacking and splitting a handful of tiny groups costs
+    about what it saves); the skip is recorded as a thin block in
+    ``abstraction_stats["batch"]``.
+    """
+    kernel = kernel_for(generator.dcds)
+    if kernel is None or env.batch_disabled():
+        return
+    memo = kernel.successor_memo(key)
+    pending = [state for state in states if state not in memo]
+    instances = list(dict.fromkeys(
+        getattr(state, "instance", state) for state in pending))
+    if len(instances) < vector.MIN_BATCH_GROUPS \
+            or sum(len(instance) for instance in instances) \
+            < vector.MIN_BATCH_TUPLES:
+        kernel.note_batch_block(len(pending), thin=True)
+        return
+    kernel.note_batch_block(len(pending), thin=False)
+    dcds = generator.dcds
+    # Stage 1: legal substitutions of every rule, once per block.
+    for rule in dcds.process.rules:
+        action = dcds.process.action(rule.action)
+        kernel.warm_legal_substitutions(rule, action.params, instances)
+    # Stage 2: effect grounding. enabled_moves replays from the memos just
+    # warmed; frontier siblings mostly enable the same (effect, sigma)
+    # pairs, so grouping across states batches the effect bodies too.
+    groups: Dict[Tuple[int, tuple], Tuple[Any, tuple, List[Instance]]] = {}
+    for instance in instances:
+        for action, sigma in enabled_moves(dcds, instance):
+            items = _sigma_items(sigma)
+            for effect in action.effects:
+                entry = groups.get((id(effect), items))
+                if entry is None:
+                    groups[(id(effect), items)] = (effect, items, [instance])
+                else:
+                    entry[2].append(instance)
+    for effect, items, sharing in groups.values():
+        kernel.warm_ground_effects(effect, items, sharing)
+
+
 # ---------------------------------------------------------------------------
 # Deterministic abstraction (Theorem 4.3)
 # ---------------------------------------------------------------------------
@@ -164,9 +225,16 @@ class DetAbstractionGenerator(SuccessorGenerator):
     def initial_state(self) -> Tuple[DetState, Instance]:
         return DetState(self.dcds.initial, ()), self.dcds.initial
 
+    def _memo_key(self) -> tuple:
+        return ("det-abstraction", self.known_constants)
+
     def successors(self, state: DetState) -> Iterator[Successor]:
-        return _kernel_successors(
-            self, ("det-abstraction", self.known_constants), state)
+        return _kernel_successors(self, self._memo_key(), state)
+
+    def successors_batch(self, states: List[DetState]
+                         ) -> List[List[Successor]]:
+        warm_frontier_block(self, self._memo_key(), states)
+        return [list(self.successors(state)) for state in states]
 
     def _expand(self, state: DetState) -> Iterator[Successor]:
         dcds = self.dcds
@@ -304,9 +372,16 @@ class PoolDetGenerator(SuccessorGenerator):
     def initial_state(self) -> Tuple[DetState, Instance]:
         return DetState(self.dcds.initial, ()), self.dcds.initial
 
+    def _memo_key(self) -> tuple:
+        return ("pool-det", tuple(self.pool))
+
     def successors(self, state: DetState) -> Iterator[Successor]:
-        return _kernel_successors(
-            self, ("pool-det", tuple(self.pool)), state)
+        return _kernel_successors(self, self._memo_key(), state)
+
+    def successors_batch(self, states: List[DetState]
+                         ) -> List[List[Successor]]:
+        warm_frontier_block(self, self._memo_key(), states)
+        return [list(self.successors(state)) for state in states]
 
     def _expand(self, state: DetState) -> Iterator[Successor]:
         dcds = self.dcds
@@ -347,9 +422,16 @@ class PoolNondetGenerator(SuccessorGenerator):
     def initial_state(self) -> Tuple[Instance, Instance]:
         return self.dcds.initial, self.dcds.initial
 
+    def _memo_key(self) -> tuple:
+        return ("pool-nondet", tuple(self.pool))
+
     def successors(self, instance: Instance) -> Iterator[Successor]:
-        return _kernel_successors(
-            self, ("pool-nondet", tuple(self.pool)), instance)
+        return _kernel_successors(self, self._memo_key(), instance)
+
+    def successors_batch(self, states: List[Instance]
+                         ) -> List[List[Successor]]:
+        warm_frontier_block(self, self._memo_key(), states)
+        return [list(self.successors(state)) for state in states]
 
     def _expand(self, instance: Instance) -> Iterator[Successor]:
         dcds = self.dcds

@@ -101,13 +101,14 @@ def _worker_main(conn, generator: SuccessorGenerator,
         try:
             if session is not None:
                 states, parents = session.decode_dispatch(payload)
-                results = [list(generator.successors(state))
-                           for state in states]
+                # Batched grounding: the whole dispatch block is warmed in
+                # one columnar pass, like the sequential batch driver.
+                results = generator.successors_batch(states)
                 reply = session.encode_results(parents, results)
             else:
                 states = pickle.loads(payload)
                 reply = pickle.dumps(
-                    [list(generator.successors(state)) for state in states],
+                    generator.successors_batch(states),
                     pickle.HIGHEST_PROTOCOL)
             conn.send(("ok", reply))
         except BaseException as error:  # relayed, not swallowed

@@ -87,9 +87,9 @@ everywhere (mirroring ``REPRO_NO_KERNEL``).
 
 from __future__ import annotations
 
-import os
-from typing import Any, Dict, FrozenSet, Iterator, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
+from repro import env
 from repro.engine.explorer import SuccessorGenerator
 from repro.engine.generators import DetState, Successor, sorted_call_map
 from repro.errors import ReproError
@@ -111,12 +111,12 @@ def resolve_symmetry(symmetry: Optional[str] = None) -> str:
     matter what was requested.
     """
     if symmetry is None:
-        symmetry = os.environ.get("REPRO_SYMMETRY") or "exact"
+        symmetry = env.symmetry_default()
     if symmetry not in SYMMETRY_MODES:
         raise ReproError(
             f"unknown symmetry mode {symmetry!r}; expected one of "
             f"{SYMMETRY_MODES}")
-    if symmetry == "quotient" and os.environ.get("REPRO_NO_SYMMETRY"):
+    if symmetry == "quotient" and env.symmetry_disabled():
         return "exact"
     return symmetry
 
@@ -228,8 +228,18 @@ class SymmetryReducer(SuccessorGenerator):
         return rep, self._db_of(rep)
 
     def successors(self, state: State) -> Iterator[Successor]:
+        return self._reduce(self.inner.successors(state))
+
+    def successors_batch(self, states: List[State]
+                         ) -> List[List[Successor]]:
+        # The inner generator warms its kernel memos for the whole block;
+        # reduction stays per successor (canonicalization is memoized).
+        return [list(self._reduce(stream))
+                for stream in self.inner.successors_batch(states)]
+
+    def _reduce(self, stream: Iterator[Successor]) -> Iterator[Successor]:
         seen = set()
-        for successor, _, label in self.inner.successors(state):
+        for successor, _, label in stream:
             rep = self.representative(successor)
             key = (rep, label)
             if key in seen:

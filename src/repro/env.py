@@ -1,0 +1,78 @@
+"""Process-environment kill switches, consolidated.
+
+Every accelerator tier of the engine has an environment kill switch so CI
+(and a user chasing a miscompare) can force the slower-but-authoritative
+path without touching code. The parsing used to be scattered across the
+consuming modules; it lives here now, one helper per switch, with the
+semantics the switches always had:
+
+============================ ==============================================
+``REPRO_NO_KERNEL=1``        disable the integer-coded relational kernel
+                             (read when a kernel first attaches to a DCDS)
+``REPRO_NO_VECTOR=1``        disable the columnar numpy backend
+``REPRO_NO_NUMPY=1``         pretend numpy is not installed (test hook)
+``REPRO_NO_BATCH=1``         disable the frontier-batch tier (per-frontier
+                             grounding falls back to per-state calls)
+``REPRO_SYMMETRY=<mode>``    process default for the exploration symmetry
+                             mode (``exact``/``quotient``)
+``REPRO_NO_SYMMETRY=1``      force ``symmetry="exact"`` everywhere
+============================ ==============================================
+
+A switch is *on* when its variable is set to any non-empty string (``"0"``
+included — the value is never interpreted); unset or empty means off.
+
+Read-per-call semantics: these helpers go back to ``os.environ`` on every
+invocation — nothing is cached at import time — so tests can flip a switch
+between two builds without reloading modules. The one deliberate exception
+is documented where it happens: ``REPRO_NO_KERNEL`` binds when a kernel
+first attaches to a DCDS (see :func:`repro.relational.kernel.kernel_for`),
+not on every hot call.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def _flag(name: str) -> bool:
+    """True when the variable is set to a non-empty string."""
+    return bool(os.environ.get(name))
+
+
+def kernel_disabled() -> bool:
+    """``REPRO_NO_KERNEL``: run the reference relational layer only."""
+    return _flag("REPRO_NO_KERNEL")
+
+
+def vector_disabled() -> bool:
+    """``REPRO_NO_VECTOR``: keep the interpreted kernel joins in charge."""
+    return _flag("REPRO_NO_VECTOR")
+
+
+def numpy_hidden() -> bool:
+    """``REPRO_NO_NUMPY``: simulate an environment without numpy."""
+    return _flag("REPRO_NO_NUMPY")
+
+
+def batch_disabled() -> bool:
+    """``REPRO_NO_BATCH``: per-state grounding only (no frontier batching).
+
+    Kill switch of the frontier-batch tier: the block-batched explorer
+    driver reverts to the one-state-at-a-time loop and the kernel's
+    batch-warm entry points become no-ops.
+    """
+    return _flag("REPRO_NO_BATCH")
+
+
+def symmetry_default() -> str:
+    """``REPRO_SYMMETRY``: the process-wide default symmetry mode.
+
+    Returns ``"exact"`` when unset/empty; validation against the known
+    modes stays with :func:`repro.engine.symmetry.resolve_symmetry`.
+    """
+    return os.environ.get("REPRO_SYMMETRY") or "exact"
+
+
+def symmetry_disabled() -> bool:
+    """``REPRO_NO_SYMMETRY``: force exact exploration everywhere."""
+    return _flag("REPRO_NO_SYMMETRY")

@@ -328,14 +328,20 @@ class CompiledQuery:
         Parameters occurring in the formula, in slot order. When a
         parameter is pre-bound, its value joins the evaluation domain (the
         reference evaluator substitutes it as a constant first).
+    backoff:
+        Mutable scratch of the vector backend's adaptive backoff
+        (:func:`repro.relational.vector.binding_matrix`): ``None`` after a
+        win, else the consecutive-loss count; saturated means the plan is
+        pinned to the interpreted join.
     """
 
     __slots__ = ("formula", "n_slots", "free_slots", "param_slots",
-                 "const_codes", "params", "root")
+                 "const_codes", "params", "root", "backoff")
 
     def __init__(self, formula: Formula, table: TermTable,
                  prebound_params: bool = False):
         self.formula = formula
+        self.backoff: Optional[int] = None
         self.free_slots: Dict[Var, int] = {}
         self.param_slots: Dict[Param, int] = {}
         for var in sorted(formula.free_variables(), key=lambda v: v.name):

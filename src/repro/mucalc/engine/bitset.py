@@ -33,10 +33,10 @@ checker.
 from __future__ import annotations
 
 import itertools
-import os
 import time
 from typing import Any, Dict, FrozenSet, Iterable, List, Mapping, Optional
 
+from repro import env
 from repro.mucalc.engine.compiler import Plan
 from repro.mucalc.engine.evaluator import (
     _MISSING, CheckStats, CompiledChecker)
@@ -46,7 +46,7 @@ from repro.semantics.transition_system import State
 def bitset_enabled() -> bool:
     """Backend switch, read when an engine is constructed. Pure Python —
     available with or without numpy."""
-    return not os.environ.get("REPRO_NO_VECTOR")
+    return not env.vector_disabled()
 
 
 #: Set-bit positions per byte value — scatter/gather loops walk a mask's

@@ -25,14 +25,16 @@ processes by snapshot replay.
 
 from __future__ import annotations
 
-import os
 import weakref
 from collections import OrderedDict
 from typing import (
     Any, Dict, FrozenSet, Iterable, List, Optional, Tuple)
 
+from repro import env
 from repro.errors import ExecutionError, IllegalParameters
-from repro.fol.compile import CompiledQuery, CompileError
+from repro.fol.compile import (
+    CompiledQuery, CompileError, _And, _Atom, _Eq, _Exists, _Forall, _Not,
+    _Or)
 from repro.relational import vector
 from repro.relational.coding import (
     UNBOUND, CodedFact, CodedInstance, TermTable, coded_canonical_order)
@@ -88,7 +90,7 @@ def kernel_for(dcds) -> Optional["RelationalKernel"]:
     kernel = getattr(dcds, "_relational_kernel", None)
     if kernel is not None:
         return None if kernel is _DISABLED else kernel
-    if os.environ.get("REPRO_NO_KERNEL"):
+    if env.kernel_disabled():
         object.__setattr__(dcds, "_relational_kernel", _DISABLED)
         return None
     signature = dcds.spec_signature()
@@ -152,6 +154,7 @@ def attach_kernel_stats(dcds, ts) -> None:
     if isinstance(kernel, RelationalKernel):
         ts.exploration_stats["kernel"] = kernel.stats_dict()
         ts.exploration_stats["vector"] = kernel.vector_stats_dict()
+        ts.exploration_stats["batch"] = kernel.batch_stats_dict()
 
 
 class _CompiledConstraint:
@@ -348,12 +351,30 @@ class RelationalKernel:
         }
         #: Counters of the columnar backend (see repro.relational.vector):
         #: how many rule/effect/constraint evaluations ran batched, how
-        #: many fell back mid-evaluation (row-budget overflow), and the
-        #: largest working set seen.
+        #: many fell back mid-evaluation (row-budget overflow), the
+        #: largest working set seen, and the adaptive-backoff pins
+        #: (``plans_pinned`` plans demoted to the interpreted join,
+        #: ``pin_skips`` evaluations that short-circuited on a pin).
         self.vector_stats: Dict[str, int] = {
             "legal_evals": 0, "effect_evals": 0, "constraint_evals": 0,
-            "fallbacks": 0, "rows_peak": 0,
+            "fallbacks": 0, "rows_peak": 0, "plans_pinned": 0,
+            "pin_skips": 0,
         }
+        #: Counters of the frontier-batch tier (see warm_legal_
+        #: substitutions / warm_ground_effects): frontier blocks warmed
+        #: (and the widest one), blocks skipped as too thin, memo entries
+        #: filled by warming, distinct dedup groups actually evaluated,
+        #: entries served by dedup fan-out, and whole-plan fallbacks to
+        #: per-representative evaluation.
+        self.batch_stats: Dict[str, int] = {
+            "blocks": 0, "block_states_peak": 0, "thin_blocks": 0,
+            "warmed_entries": 0, "unique_groups": 0, "dedup_hits": 0,
+            "fallbacks": 0,
+        }
+        #: Per-plan read signature memo of the batch tier (plans are
+        #: kernel-owned, ids stable for the kernel's life; survives
+        #: clear_caches like the plans themselves).
+        self._plan_reads_memo: Dict[int, Tuple[tuple, bool]] = {}
 
     # -- construction helpers ------------------------------------------------
 
@@ -575,17 +596,21 @@ class RelationalKernel:
         if found is not None:
             return found
         self.stats["legal_evals"] += 1
-        table = self.table
+        result = self._legal_eval(context, params, instance)
+        context.by_instance[instance] = result
+        return result
+
+    def _legal_eval(self, context: _RuleContext, params: Tuple[Param, ...],
+                    instance: Instance) -> Tuple[SigmaItems, ...]:
+        """One rule evaluation, memo and counters left to the caller (the
+        per-state entry above, or a dedup-group representative in
+        :meth:`warm_legal_substitutions`)."""
         plan = context.plan
         coded = self.encode_instance(instance)
-        domain = plan.domain(coded, table, self.initial_adom_codes)
+        domain = plan.domain(coded, self.table, self.initial_adom_codes)
         if not params:
             regs = plan.fresh_regs()
-            result: Tuple[SigmaItems, ...] = ((),) \
-                if plan.has_binding(coded, regs, domain) else ()
-            context.by_instance[instance] = result
-            return result
-
+            return ((),) if plan.has_binding(coded, regs, domain) else ()
         answer_slots = context.answer_slots
         matrix = vector.binding_matrix(plan, coded, domain,
                                        stats=self.vector_stats)
@@ -601,6 +626,15 @@ class RelationalKernel:
                 if key not in seen:
                     seen.add(key)
                     bindings.append(key)
+        return self._legal_result(context, params, bindings)
+
+    def _legal_result(self, context: _RuleContext,
+                      params: Tuple[Param, ...],
+                      bindings: List[Tuple[int, ...]]
+                      ) -> Tuple[SigmaItems, ...]:
+        """Reference-ordered sigma items from answer-slot projections (any
+        input order: the two stable sorts are total over distinct keys)."""
+        table = self.table
         sort_key = table.sort_key
         bindings.sort(key=lambda key: tuple(
             sort_key(code) for code in key))
@@ -608,13 +642,11 @@ class RelationalKernel:
             sort_key(key[position])
             for position in context.param_positions))
         term = table.term
-        result = tuple(
+        return tuple(
             tuple((param, term(key[position]))
                   for param, position in zip(params,
                                              context.param_positions))
             for key in bindings)
-        context.by_instance[instance] = result
-        return result
 
     def ground_effect(
         self, effect, sigma_items: SigmaItems, instance: Instance
@@ -632,36 +664,55 @@ class RelationalKernel:
         if found is not None:
             return found
         self.stats["effect_evals"] += 1
+        result = self._effect_eval(context, sigma_context, instance)
+        sigma_context.by_instance[instance] = result
+        return result
+
+    def _effect_eval(self, context: _EffectContext,
+                     sigma_context: _SigmaContext, instance: Instance
+                     ) -> FrozenSet[Fact]:
+        """One effect grounding, memo and counters left to the caller."""
         body = context.body
         coded = self.encode_instance(instance)
         domain = body.domain(coded, self.table, sigma_context.extra)
-        produced = set()
-        add = produced.add
-        intern_fact = self.intern_fact
         bindings = None
         matrix = vector.binding_matrix(body, coded, domain,
                                        regs=sigma_context.regs,
                                        stats=self.vector_stats)
         if matrix is not None:
             self.vector_stats["effect_evals"] += 1
-            if not len(matrix):
-                bindings = ()
-            elif sigma_context.needed_slots:
-                # Re-inflate each distinct projection to a sparse register
-                # list so head resolution below reads slots as usual.
-                n_slots = body.n_slots
-                needed = sigma_context.needed_slots
-                bindings = []
-                for row in vector.distinct_projection(matrix, needed):
-                    binding = [UNBOUND] * n_slots
-                    for slot, code in zip(needed, row):
-                        binding[slot] = code
-                    bindings.append(binding)
-            else:  # head is fully ground; any binding produces it
-                bindings = (sigma_context.regs,)
+            bindings = self._matrix_bindings(sigma_context, body, matrix)
         if bindings is None:
             bindings = body.iter_bindings(
                 coded, sigma_context.regs.copy(), domain)
+        return self._produce_facts(sigma_context, bindings)
+
+    def _matrix_bindings(self, sigma_context: _SigmaContext,
+                         body: CompiledQuery, matrix):
+        """Binding rows for head resolution from a vector answer matrix."""
+        if not len(matrix):
+            return ()
+        if sigma_context.needed_slots:
+            # Re-inflate each distinct projection to a sparse register
+            # list so head resolution reads slots as usual.
+            n_slots = body.n_slots
+            needed = sigma_context.needed_slots
+            bindings = []
+            for row in vector.distinct_projection(matrix, needed):
+                binding = [UNBOUND] * n_slots
+                for slot, code in zip(needed, row):
+                    binding[slot] = code
+                bindings.append(binding)
+            return bindings
+        # Head is fully ground; any binding produces it.
+        return (sigma_context.regs,)
+
+    def _produce_facts(self, sigma_context: _SigmaContext, bindings
+                       ) -> FrozenSet[Fact]:
+        """Resolve the sigma-bound head over every binding row."""
+        produced: set = set()
+        add = produced.add
+        intern_fact = self.intern_fact
         for binding in bindings:
             for relation, specs, ready in sigma_context.head:
                 if ready is not None:
@@ -682,9 +733,7 @@ class RelationalKernel:
                     else:
                         codes.append(self._resolve_head(spec, binding))
                 add(intern_fact(relation, tuple(codes)))
-        result = frozenset(produced)
-        sigma_context.by_instance[instance] = result
-        return result
+        return frozenset(produced)
 
     def _bind_sigma(self, context: _EffectContext,
                     sigma_items: SigmaItems) -> _SigmaContext:
@@ -776,6 +825,176 @@ class RelationalKernel:
         pending = Instance._trusted(frozenset(produced))
         context.by_key[key] = pending
         return pending
+
+    # -- the frontier-batch tier ---------------------------------------------
+
+    def _plan_reads(self, plan: CompiledQuery) -> Tuple[tuple, bool]:
+        """``(relations read, uses evaluation domain)`` of a plan.
+
+        The answer set of a compiled plan over an instance is a function
+        of exactly these inputs: the contents of the relations its atoms
+        read, plus — only when some node enumerates or tests the
+        evaluation domain (equality enumeration, ``_pad`` under
+        negation/universals/disjunction branches, vacuous ``Exists``) —
+        the domain itself. ``uses_domain`` is conservative (node presence,
+        not reachability), which can only shrink dedup groups, never
+        corrupt them.
+        """
+        found = self._plan_reads_memo.get(id(plan))
+        if found is None:
+            relations: set = set()
+            uses_domain = False
+            stack = [plan.root]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, _Atom):
+                    relations.add(node.relation)
+                elif isinstance(node, _And):
+                    stack.extend(node.ordered)
+                elif isinstance(node, _Or):
+                    uses_domain = True
+                    stack.extend(sub for sub, _ in node.children)
+                elif isinstance(node, _Not):
+                    uses_domain = True
+                    stack.append(node.sub)
+                elif isinstance(node, _Forall):
+                    uses_domain = True
+                    stack.append(node.neg_exists)
+                elif isinstance(node, _Exists):
+                    if node.vacuous:
+                        uses_domain = True
+                    stack.append(node.sub)
+                elif isinstance(node, _Eq):
+                    uses_domain = True
+            found = (tuple(sorted(relations)), uses_domain)
+            self._plan_reads_memo[id(plan)] = found
+        return found
+
+    def _group_key(self, plan: CompiledQuery, coded: CodedInstance,
+                   domain: FrozenSet[int]) -> tuple:
+        """Cross-state dedup key: frontier siblings whose instances agree
+        on the plan's read relations (as fact sets — block tuple order is
+        interning-history dependent) share one evaluation."""
+        relations, uses_domain = self._plan_reads(plan)
+        key = tuple(frozenset(coded.by_relation.get(relation, ()))
+                    for relation in relations)
+        if uses_domain:
+            return key + (domain,)
+        return key
+
+    def _warm_plan(self, plan: CompiledQuery, regs: Optional[List[int]],
+                   extra: FrozenSet[int], memo: dict,
+                   instances: Iterable[Instance], convert, evaluate,
+                   stat_key: str) -> None:
+        """Fill ``memo`` for every not-yet-memoized instance in one pass.
+
+        Instances are grouped by :meth:`_group_key`; one representative
+        per group is evaluated — all representatives in a single
+        :func:`vector.binding_matrix_batch` call when the backend
+        cooperates (``convert`` maps each per-group answer split to the
+        memo value), else per representative via ``evaluate`` (the same
+        pure evaluator the per-state entry uses). Results fan out to every
+        group member, bumping the per-state counter ``stat_key`` once per
+        member so batch-on and batch-off report identical kernel stats.
+        """
+        todo = [instance for instance in dict.fromkeys(instances)
+                if instance not in memo]
+        if not todo:
+            return
+        groups: "OrderedDict[tuple, List[Instance]]" = OrderedDict()
+        domains: Dict[tuple, FrozenSet[int]] = {}
+        for instance in todo:
+            coded = self.encode_instance(instance)
+            domain = plan.domain(coded, self.table, extra)
+            key = self._group_key(plan, coded, domain)
+            members = groups.get(key)
+            if members is None:
+                groups[key] = [instance]
+                domains[key] = domain
+            else:
+                members.append(instance)
+        keys = list(groups)
+        self.batch_stats["unique_groups"] += len(keys)
+        matrix = vector.binding_matrix_batch(
+            plan, [self.encode_instance(groups[key][0]) for key in keys],
+            [domains[key] for key in keys], regs=regs,
+            stats=self.vector_stats)
+        if matrix is not None:
+            splits = vector.split_by_group(matrix, len(keys), plan.n_slots)
+            results = [convert(split) for split in splits]
+        else:
+            self.batch_stats["fallbacks"] += 1
+            results = [evaluate(groups[key][0]) for key in keys]
+        for key, result in zip(keys, results):
+            members = groups[key]
+            for member in members:
+                self.stats[stat_key] += 1
+                memo[member] = result
+            self.batch_stats["warmed_entries"] += len(members)
+            self.batch_stats["dedup_hits"] += len(members) - 1
+
+    def warm_legal_substitutions(self, rule, params: Tuple[Param, ...],
+                                 instances: Iterable[Instance]) -> None:
+        """Batch twin of :meth:`legal_substitution_items` over a frontier
+        block: one columnar pass fills the same per-instance memo the
+        per-state entry reads, so the later per-state calls are hits and
+        results stay bit-identical by construction. A no-op for rules the
+        kernel could not compile (the per-state calls fall back to the
+        reference path exactly as without batching)."""
+        context = self._rules.get(id(rule))
+        if context is None or context.params != params \
+                or env.batch_disabled():
+            return
+
+        def convert(split):
+            if not params:
+                return ((),) if len(split) else ()
+            return self._legal_result(
+                context, params,
+                vector.distinct_projection(split, context.answer_slots))
+
+        self._warm_plan(
+            context.plan, None, self.initial_adom_codes,
+            context.by_instance, instances, convert,
+            lambda instance: self._legal_eval(context, params, instance),
+            "legal_evals")
+
+    def warm_ground_effects(self, effect, sigma_items: SigmaItems,
+                            instances: Iterable[Instance]) -> None:
+        """Batch twin of :meth:`ground_effect` over the frontier states
+        sharing one ``(effect, sigma)``; same memo-warming contract as
+        :meth:`warm_legal_substitutions`."""
+        context = self._effects.get(id(effect))
+        if context is None or env.batch_disabled():
+            return
+        sigma_context = context.sigmas.get(sigma_items)
+        if sigma_context is None:
+            try:
+                sigma_context = self._bind_sigma(context, sigma_items)
+            except IllegalParameters:
+                return  # the per-state call raises where batch-off would
+            context.sigmas[sigma_items] = sigma_context
+
+        def convert(split):
+            return self._produce_facts(
+                sigma_context,
+                self._matrix_bindings(sigma_context, context.body, split))
+
+        self._warm_plan(
+            context.body, sigma_context.regs, sigma_context.extra,
+            sigma_context.by_instance, instances, convert,
+            lambda instance: self._effect_eval(
+                context, sigma_context, instance),
+            "effect_evals")
+
+    def note_batch_block(self, n_states: int, thin: bool) -> None:
+        """Record one frontier block offered to the batch tier."""
+        if thin:
+            self.batch_stats["thin_blocks"] += 1
+            return
+        self.batch_stats["blocks"] += 1
+        if n_states > self.batch_stats["block_states_peak"]:
+            self.batch_stats["block_states_peak"] = n_states
 
     def evaluate_calls(
         self, pending: Instance, evaluation: Dict[ServiceCall, Any],
@@ -988,4 +1207,9 @@ class RelationalKernel:
     def vector_stats_dict(self) -> Dict[str, Any]:
         found: Dict[str, Any] = dict(self.vector_stats)
         found["enabled"] = vector.vector_enabled()
+        return found
+
+    def batch_stats_dict(self) -> Dict[str, Any]:
+        found: Dict[str, Any] = dict(self.batch_stats)
+        found["enabled"] = not env.batch_disabled()
         return found

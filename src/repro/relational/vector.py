@@ -31,7 +31,7 @@ rather than raising, so callers need no numpy-conditional code.
 
 from __future__ import annotations
 
-import os
+import time
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 try:  # pragma: no cover - exercised via REPRO_NO_NUMPY in tests
@@ -39,6 +39,7 @@ try:  # pragma: no cover - exercised via REPRO_NO_NUMPY in tests
 except ImportError:  # pragma: no cover
     _np = None
 
+from repro import env
 from repro.errors import ReproError
 from repro.fol.compile import (
     CompiledQuery, _And, _Atom, _Eq, _Exists, _False, _Forall, _Node, _Not,
@@ -56,6 +57,26 @@ MAX_ROWS = 2_000_000
 #: searchsorted) exceeds the whole backtracking join.
 MIN_TUPLES = 24
 
+#: Frontier blocks warming fewer distinct instances than this skip the
+#: batched pass: stacking/splitting two or three groups costs about as
+#: much as the per-state calls it would replace.
+MIN_BATCH_GROUPS = 4
+
+#: ... and blocks whose distinct instances stack fewer total tuples than
+#: this skip it too: a batched numpy call must bring at least as much
+#: work as ``MIN_BATCH_GROUPS`` per-state calls each worth vectorizing,
+#: else the per-call constants eat the amortization (thin-instance
+#: families like ``chain``/``blowup`` land here and honestly show ~1x).
+MIN_BATCH_TUPLES = MIN_TUPLES * MIN_BATCH_GROUPS
+
+#: Adaptive per-plan backoff (see ``binding_matrix``): a vector evaluation
+#: counts as a *loss* when its wall time exceeds the interpreted-path
+#: estimate ``BACKOFF_NS_PER_TUPLE * (tuples + rows)``; after
+#: ``BACKOFF_AFTER`` consecutive losses the plan is pinned to the
+#: interpreted backend for the rest of the kernel's life.
+BACKOFF_AFTER = 12
+BACKOFF_NS_PER_TUPLE = 1200
+
 
 class VectorUnsupported(ReproError):
     """The evaluation cannot (or should not) run vectorized."""
@@ -64,18 +85,18 @@ class VectorUnsupported(ReproError):
 def numpy_available() -> bool:
     """Numpy importable and not hidden by ``REPRO_NO_NUMPY=1`` (the test
     hook simulating an uninstalled numpy)."""
-    return _np is not None and not os.environ.get("REPRO_NO_NUMPY")
+    return _np is not None and not env.numpy_hidden()
 
 
 def vector_enabled() -> bool:
     """The vector backend switch, read per call (cheap at per-evaluation
     granularity) so tests can flip ``REPRO_NO_VECTOR`` without worrying
     about kernels cached in the registry."""
-    return numpy_available() and not os.environ.get("REPRO_NO_VECTOR")
+    return numpy_available() and not env.vector_disabled()
 
 
 def require_numpy():
-    if _np is None or os.environ.get("REPRO_NO_NUMPY"):
+    if _np is None or env.numpy_hidden():
         raise VectorUnsupported("numpy is not available")
     return _np
 
@@ -192,6 +213,45 @@ def _member_rows(probe, tuples):
     return table[position] == p_ids
 
 
+# Per-(atom, instance) columnar info: tuples filtered by the atom's
+# constants and intra-atom duplicate-slot equalities, projected to the
+# first-occurrence column of each distinct slot. Cached on the coded
+# instance (plan nodes are kernel-owned, so ids are stable while the
+# kernel — and with it the instance cache — is alive). Shared by the
+# per-instance executor and the frontier-batch executor, so a block warm
+# and a later per-state evaluation reuse one filtered projection.
+def _atom_info_for(coded: CodedInstance, node: _Atom):
+    cache = coded.vector_cache()
+    key = ("atom", id(node))
+    found = cache.get(key)
+    if found is None:
+        np = _np
+        columns = coded.columns(node.relation)
+        if columns is None:
+            found = (None, ())
+        else:
+            mask = np.ones(len(columns), dtype=bool)
+            first_position: Dict[int, int] = {}
+            for position, (is_const, value) in enumerate(node.specs):
+                if is_const:
+                    mask &= columns[:, position] == value
+                else:
+                    first = first_position.get(value)
+                    if first is None:
+                        first_position[value] = position
+                    else:
+                        mask &= columns[:, position] \
+                            == columns[:, first]
+            slots = tuple(first_position)
+            filtered = columns[mask] if not mask.all() else columns
+            values = filtered[:, [first_position[slot]
+                                  for slot in slots]] \
+                if slots else filtered[:, :0]
+            found = (values, slots)
+        cache[key] = found
+    return found
+
+
 # ---------------------------------------------------------------------------
 # The batched evaluator
 # ---------------------------------------------------------------------------
@@ -234,8 +294,12 @@ class _Executor:
         if isinstance(node, _Eq):
             return self._eq_bindings(node, regs)
         if isinstance(node, _Exists):
-            if node.vacuous and not len(self.domain):
-                return self._empty(regs)
+            if node.vacuous:
+                vacuous = self._vacuous_mask(regs)
+                if vacuous is not None:
+                    keep = np.nonzero(~vacuous)[0]
+                    extended, parent = self.bindings(node.sub, regs[keep])
+                    return extended, keep[parent]
             return self.bindings(node.sub, regs)
         if isinstance(node, _Not):
             padded, parent = self._pad(node.free, regs)
@@ -270,41 +334,33 @@ class _Executor:
         if self.stats is not None and total > self.stats.get("rows_peak", 0):
             self.stats["rows_peak"] = total
 
-    # Per-(atom, instance) columnar info: tuples filtered by the atom's
-    # constants and intra-atom duplicate-slot equalities, projected to the
-    # first-occurrence column of each distinct slot. Cached on the coded
-    # instance (plan nodes are kernel-owned, so ids are stable while the
-    # kernel — and with it the instance cache — is alive).
     def _atom_info(self, node: _Atom):
-        cache = self.coded.vector_cache()
-        key = ("atom", id(node))
-        found = cache.get(key)
-        if found is None:
-            np = _np
-            columns = self.coded.columns(node.relation)
-            if columns is None:
-                found = (None, ())
-            else:
-                mask = np.ones(len(columns), dtype=bool)
-                first_position: Dict[int, int] = {}
-                for position, (is_const, value) in enumerate(node.specs):
-                    if is_const:
-                        mask &= columns[:, position] == value
-                    else:
-                        first = first_position.get(value)
-                        if first is None:
-                            first_position[value] = position
-                        else:
-                            mask &= columns[:, position] \
-                                == columns[:, first]
-                slots = tuple(first_position)
-                filtered = columns[mask] if not mask.all() else columns
-                values = filtered[:, [first_position[slot]
-                                      for slot in slots]] \
-                    if slots else filtered[:, :0]
-                found = (values, slots)
-            cache[key] = found
-        return found
+        return _atom_info_for(self.coded, node)
+
+    def _vacuous_mask(self, regs):
+        """Per-row mask marking rows whose evaluation domain is empty (a
+        vacuous ``Exists`` is false there), or ``None`` when no row
+        qualifies. The batch executor overrides this with a per-group
+        decision."""
+        if len(self.domain):
+            return None
+        return _np.ones(len(regs), dtype=bool)
+
+    def _expand_domain(self, regs, rows, slots: Sequence[int]):
+        """Cross ``rows`` (indexes into ``regs``) with the evaluation
+        domain: every input row repeats once per domain value, with every
+        slot in ``slots`` set to that value. Returns ``(extended,
+        row_sel)`` with ``row_sel[i]`` the ``regs`` index output row ``i``
+        came from. The batch executor overrides this with per-group
+        domains."""
+        np = _np
+        d = len(self.domain)
+        self._budget(len(rows) * d)
+        extended = np.repeat(regs[rows], d, axis=0)
+        assigned = np.tile(self.domain, len(rows))
+        for slot in slots:
+            extended[:, slot] = assigned
+        return extended, np.repeat(rows, d)
 
     def _atom_bindings(self, node: _Atom, regs):
         np = _np
@@ -383,14 +439,10 @@ class _Executor:
         neither = ~left_bound & ~right_bound
         if neither.any():  # enumerate one shared value over the domain
             rows = np.nonzero(neither)[0]
-            d = len(self.domain)
-            self._budget(len(rows) * d)
-            extended = np.repeat(regs[rows], d, axis=0)
-            assigned = np.tile(self.domain, len(rows))
-            extended[:, l_value] = assigned
-            extended[:, r_value] = assigned
+            extended, row_sel = self._expand_domain(
+                regs, rows, (l_value, r_value))
             parts.append(extended)
-            parents.append(np.repeat(rows, d))
+            parents.append(row_sel)
         if not parts:
             return self._empty(regs)
         return (np.concatenate(parts),
@@ -407,14 +459,11 @@ class _Executor:
             unbound = regs[:, slot] == UNBOUND
             if not unbound.any():
                 continue
-            d = len(self.domain)
             rows = np.nonzero(unbound)[0]
-            self._budget(len(regs) - len(rows) + len(rows) * d)
-            expanded = np.repeat(regs[rows], d, axis=0)
-            expanded[:, slot] = np.tile(self.domain, len(rows))
+            expanded, row_sel = self._expand_domain(regs, rows, (slot,))
             regs = np.concatenate([regs[~unbound], expanded])
-            parent = np.concatenate(
-                [parent[~unbound], np.repeat(parent[rows], d)])
+            parent = np.concatenate([parent[~unbound], parent[row_sel]])
+            self._budget(len(regs))
         return regs, parent
 
     # -- holds --------------------------------------------------------------
@@ -443,11 +492,12 @@ class _Executor:
         if isinstance(node, _Eq):
             return self._eq_holds(node, regs)
         if isinstance(node, _Exists):
-            if node.vacuous and not len(self.domain):
-                return np.zeros(n, dtype=bool)
+            vacuous = self._vacuous_mask(regs) if node.vacuous else None
             _, parent = self.bindings(node.sub, regs)
             mask = np.zeros(n, dtype=bool)
             mask[parent] = True
+            if vacuous is not None:
+                mask &= ~vacuous
             return mask
         if isinstance(node, _Forall):
             return ~self.holds(node.neg_exists, regs)
@@ -496,6 +546,137 @@ class _Executor:
 
 
 # ---------------------------------------------------------------------------
+# The frontier-batch executor
+# ---------------------------------------------------------------------------
+
+class _BatchExecutor(_Executor):
+    """Evaluates one compiled node tree over a *block* of coded instances
+    in one pass.
+
+    Register matrices carry one extra trailing column — ``gid_slot``, the
+    index of the group (distinct frontier instance) a row belongs to. The
+    trick that makes the whole inherited join machinery batch-correct
+    unchanged: every atom's column block and every relation's raw tuple
+    matrix get the group id appended as an extra column, and the gid slot
+    joins like any other *always-bound* register. ``_encode_keys`` then
+    folds the state id into the mixed-radix packed keys, so one sort-merge
+    join per atom serves the whole frontier and rows never match across
+    groups. Only three primitives see groups explicitly: atom column
+    stacking, domain expansion (per-group domains, a gid sort-merge join
+    against the stacked domain table), and the vacuous-``Exists`` mask
+    (groups with empty domains).
+    """
+
+    __slots__ = ("codeds", "gid_slot", "domain_gids", "domain_values",
+                 "_empty_gids", "_atom_cache", "_columns_cache")
+
+    def __init__(self, codeds: Sequence[CodedInstance],
+                 domains: Sequence[FrozenSet[int]], gid_slot: int,
+                 stats: Optional[Dict[str, int]] = None):
+        np = _np
+        self.coded = None
+        self.domain = None
+        self.stats = stats
+        self.codeds = codeds
+        self.gid_slot = gid_slot
+        self._atom_cache: Dict[int, tuple] = {}
+        self._columns_cache: Dict[str, object] = {}
+        gids, values, empty = [], [], []
+        for gid, domain in enumerate(domains):
+            if not domain:
+                empty.append(gid)
+                continue
+            ordered = np.fromiter(sorted(domain), dtype=np.int64,
+                                  count=len(domain))
+            gids.append(np.full(len(ordered), gid, dtype=np.int64))
+            values.append(ordered)
+        self.domain_gids = np.concatenate(gids) if gids \
+            else np.empty(0, dtype=np.int64)
+        self.domain_values = np.concatenate(values) if values \
+            else np.empty(0, dtype=np.int64)
+        self._empty_gids = np.array(empty, dtype=np.int64)
+
+    def _atom_info(self, node: _Atom):
+        found = self._atom_cache.get(id(node))
+        if found is None:
+            np = _np
+            parts, slots = [], None
+            for gid, coded in enumerate(self.codeds):
+                values, group_slots = _atom_info_for(coded, node)
+                if values is None:
+                    continue
+                slots = group_slots  # a function of the node alone
+                if not len(values):
+                    continue
+                parts.append(np.concatenate(
+                    [values, np.full((len(values), 1), gid,
+                                     dtype=np.int64)], axis=1))
+            if slots is None:  # relation absent in every group
+                found = (None, ())
+            else:
+                stacked = np.concatenate(parts) if parts \
+                    else np.empty((0, len(slots) + 1), dtype=np.int64)
+                found = (stacked, slots + (self.gid_slot,))
+            self._atom_cache[id(node)] = found
+            return found
+        return found
+
+    def _stacked_columns(self, relation):
+        """Raw tuple matrix of ``relation`` across the block, gid column
+        appended; ``None`` when the relation is empty everywhere."""
+        if relation in self._columns_cache:
+            return self._columns_cache[relation]
+        np = _np
+        parts = []
+        for gid, coded in enumerate(self.codeds):
+            columns = coded.columns(relation)
+            if columns is None or not len(columns):
+                continue
+            parts.append(np.concatenate(
+                [columns, np.full((len(columns), 1), gid,
+                                  dtype=np.int64)], axis=1))
+        found = np.concatenate(parts) if parts else None
+        self._columns_cache[relation] = found
+        return found
+
+    def _atom_holds(self, node: _Atom, regs):
+        np = _np
+        n = len(regs)
+        specs = node.specs
+        tuples = self._stacked_columns(node.relation)
+        if tuples is None:
+            return np.zeros(n, dtype=bool)
+        resolved = np.empty((n, len(specs) + 1), dtype=np.int64)
+        ok = np.ones(n, dtype=bool)
+        for position, (is_const, value) in enumerate(specs):
+            if is_const:
+                resolved[:, position] = value
+            else:
+                column = regs[:, value]
+                resolved[:, position] = column
+                ok &= column != UNBOUND
+        resolved[:, len(specs)] = regs[:, self.gid_slot]
+        return ok & _member_rows(resolved, tuples)
+
+    def _vacuous_mask(self, regs):
+        if not len(self._empty_gids):
+            return None
+        return _np.isin(regs[:, self.gid_slot], self._empty_gids)
+
+    def _expand_domain(self, regs, rows, slots: Sequence[int]):
+        # Per-group domains: sort-merge join of each row's gid against the
+        # stacked (gid, value) domain table.
+        row_sel, dom_sel = _join_ids(regs[rows, self.gid_slot],
+                                     self.domain_gids)
+        self._budget(len(row_sel))
+        extended = regs[rows][row_sel]
+        assigned = self.domain_values[dom_sel]
+        for slot in slots:
+            extended[:, slot] = assigned
+        return extended, rows[row_sel]
+
+
+# ---------------------------------------------------------------------------
 # Kernel-facing entry points (all return None to request fallback)
 # ---------------------------------------------------------------------------
 
@@ -504,21 +685,45 @@ def binding_matrix(plan: CompiledQuery, coded: CodedInstance,
                    regs: Optional[List[int]] = None,
                    stats: Optional[Dict[str, int]] = None):
     """All satisfying register rows as an ``(n, n_slots)`` int64 matrix,
-    or ``None`` when the backend is off, the instance is too small, or
-    the evaluation overflows its row budget (callers fall back to the
-    interpreted join)."""
-    if not vector_enabled() or not worth_vectorizing(coded):
+    or ``None`` when the backend is off, the instance is too small, the
+    plan has backed off to the interpreted backend, or the evaluation
+    overflows its row budget (callers fall back to the interpreted join).
+
+    Adaptive per-plan backoff: small plans over small instances can lose
+    to the interpreted join even past :data:`MIN_TUPLES` (the numpy
+    constants per call dwarf the work). Each evaluation is timed against
+    the linear estimate ``BACKOFF_NS_PER_TUPLE * (tuples + answer rows)``;
+    :data:`BACKOFF_AFTER` *consecutive* losses pin the plan (its
+    ``backoff`` counter saturates) and later calls return ``None``
+    immediately. A single win resets the streak. The estimate — not a
+    trial run of the interpreted join — keeps the decision deterministic
+    enough for the hot-path gate and costs nothing extra."""
+    if not worth_vectorizing(coded) or not vector_enabled():
+        return None
+    if plan.backoff is not None and plan.backoff >= BACKOFF_AFTER:
+        if stats is not None:
+            stats["pin_skips"] = stats.get("pin_skips", 0) + 1
         return None
     np = _np
     base = np.array(
         [plan.fresh_regs() if regs is None else regs], dtype=np.int64)
     executor = _Executor(coded, domain, stats)
+    started = time.perf_counter()
     try:
         matrix, _ = executor.bindings(plan.root, base)
     except VectorUnsupported:
         if stats is not None:
             stats["fallbacks"] = stats.get("fallbacks", 0) + 1
         return None
+    elapsed = time.perf_counter() - started
+    budget = BACKOFF_NS_PER_TUPLE * (
+        _total_tuples(coded) + len(matrix)) * 1e-9
+    if elapsed > budget:
+        plan.backoff = (plan.backoff or 0) + 1
+        if plan.backoff == BACKOFF_AFTER and stats is not None:
+            stats["plans_pinned"] = stats.get("plans_pinned", 0) + 1
+    else:
+        plan.backoff = None
     return matrix
 
 
@@ -540,6 +745,52 @@ def distinct_projection(matrix, columns: Iterable[int]
     else:
         distinct = np.unique(sub, axis=0)
     return list(map(tuple, distinct.tolist()))
+
+
+def binding_matrix_batch(plan: CompiledQuery,
+                         codeds: Sequence[CodedInstance],
+                         domains: Sequence[FrozenSet[int]],
+                         regs: Optional[List[int]] = None,
+                         stats: Optional[Dict[str, int]] = None):
+    """All satisfying register rows of ``plan`` over a *block* of coded
+    instances, as one ``(n, n_slots + 1)`` int64 matrix whose trailing
+    column is the group id; split per group with :func:`split_by_group`.
+
+    ``regs`` is the shared seed row (parameter bindings are kernel-global
+    codes, so frontier siblings share it). The per-instance
+    :data:`MIN_TUPLES` gate and plan backoff pins do not apply here —
+    amortizing tiny per-state evaluations over the block is the point of
+    batching; the caller gates on block *width* instead
+    (:data:`MIN_BATCH_GROUPS`). Returns ``None`` to request the per-state
+    fallback."""
+    if not vector_enabled() or not codeds:
+        return None
+    np = _np
+    gid_slot = plan.n_slots
+    base = np.empty((len(codeds), gid_slot + 1), dtype=np.int64)
+    base[:, :gid_slot] = np.array(
+        [plan.fresh_regs() if regs is None else regs], dtype=np.int64)
+    base[:, gid_slot] = np.arange(len(codeds), dtype=np.int64)
+    executor = _BatchExecutor(codeds, domains, gid_slot, stats)
+    try:
+        matrix, _ = executor.bindings(plan.root, base)
+    except VectorUnsupported:
+        if stats is not None:
+            stats["fallbacks"] = stats.get("fallbacks", 0) + 1
+        return None
+    return matrix
+
+
+def split_by_group(matrix, n_groups: int, gid_slot: int):
+    """Split a batched binding matrix into its per-group matrices, gid
+    column dropped (it is the trailing column by construction)."""
+    np = _np
+    order = np.argsort(matrix[:, gid_slot], kind="stable")
+    ordered = matrix[order]
+    bounds = np.searchsorted(ordered[:, gid_slot],
+                             np.arange(n_groups + 1))
+    return [ordered[bounds[gid]:bounds[gid + 1], :gid_slot]
+            for gid in range(n_groups)]
 
 
 def constraint_rows_hold(matrix, sides) -> bool:

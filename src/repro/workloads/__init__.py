@@ -1,7 +1,8 @@
 """Workload generators for benchmarks and property-based tests."""
 
 from repro.workloads.random_dcds import (
-    chain_dcds, commitment_blowup_dcds, lattice_dcds, random_dcds)
+    chain_dcds, commitment_blowup_dcds, conveyor_dcds, lattice_dcds,
+    random_dcds)
 
-__all__ = ["chain_dcds", "commitment_blowup_dcds", "lattice_dcds",
-           "random_dcds"]
+__all__ = ["chain_dcds", "commitment_blowup_dcds", "conveyor_dcds",
+           "lattice_dcds", "random_dcds"]

@@ -180,6 +180,56 @@ def lattice_dcds(k: int) -> DCDS:
     return builder.build(ServiceSemantics.DETERMINISTIC)
 
 
+def conveyor_dcds(k: int) -> DCDS:
+    """A deep, wide-frontier workload: distinguishable tokens on a line.
+
+    ``k + 1`` tokens sit on a ``2*k + 3``-cell conveyor (``Next`` chain);
+    the parameterized action ``advance(t)`` moves one token monotonically
+    (its trail of visited cells is kept, so states are position vectors
+    and the space is ``cells^tokens`` with diameter ``tokens * (cells-1)``).
+    Every application re-derives a 3-way self-join summary ``M`` over the
+    **static** payload graph ``P`` (a bidirectional grid), so per-state
+    grounding cost is join-dominated while the instances in a frontier
+    share their ``P`` block verbatim — the benchmark family for
+    frontier-batched grounding with cross-state dedup, complementing
+    ``lattice`` (one huge state) and ``chain`` (thin frontiers). No
+    service calls, so the system is trivially weakly acyclic and the
+    exact space is finite.
+    """
+    tokens = k + 1
+    cells = 2 * k + 3
+    builder = DCDSBuilder(name=f"conveyor[{k}]")
+    builder.schema("At/2", "Next/2", "P/2", "M/1")
+    facts = []
+    for cell in range(cells - 1):
+        facts.append(f"Next('c{cell}', 'c{cell + 1}')")
+    for token in range(tokens):
+        facts.append(f"At('t{token}', 'c0')")
+    side = 4
+    edges = set()
+    for row in range(side):
+        for column in range(side):
+            here = f"p{row}_{column}"
+            if column + 1 < side:
+                edges.add((here, f"p{row}_{column + 1}"))
+            if row + 1 < side:
+                edges.add((here, f"p{row + 1}_{column}"))
+    for a, b in sorted(edges):
+        facts.append(f"P('{a}', '{b}')")
+        facts.append(f"P('{b}', '{a}')")
+    builder.initial(", ".join(facts))
+    builder.action(
+        "advance(t)",
+        "P(x, y) ~> P(x, y)",
+        "P(x, y) & P(y, z) & P(z, w) ~> M(x)",
+        "At(u, x) ~> At(u, x)",
+        "Next(x, y) ~> Next(x, y)",
+        "At($t, x) & Next(x, y) ~> At($t, y)",
+    )
+    builder.rule("exists x, y. At($t, x) & Next(x, y)", "advance")
+    return builder.build(ServiceSemantics.DETERMINISTIC)
+
+
 def chain_dcds(length: int,
                semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC
                ) -> DCDS:

@@ -17,12 +17,14 @@ where a dedicated job step additionally re-runs the file with
 
 from __future__ import annotations
 
+import contextlib
 import os
 from collections import Counter
 
 import pytest
 
 from repro.core import ServiceSemantics
+from repro.core.execution import clear_subproblem_caches
 from repro.engine import (
     DetAbstractionGenerator, Explorer, ParallelExplorer, PoolNondetGenerator,
     SymmetryReducer, resolve_symmetry)
@@ -108,6 +110,23 @@ def assert_isomorphic_builds(sequential, parallel):
             == parallel.exploration_stats[key], key
 
 
+@contextlib.contextmanager
+def forced_env(name, value):
+    """Set (or, with ``value=None``, unset) a variable for the block."""
+    saved = os.environ.get(name)
+    try:
+        if value is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = value
+        yield
+    finally:
+        if saved is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = saved
+
+
 def run_differential_case(seed, shape, semantics):
     dcds = random_dcds(seed, shape=shape, semantics=semantics)
     generator_factory, config = explorer_config(dcds)
@@ -118,6 +137,22 @@ def run_differential_case(seed, shape, semantics):
             dcds.schema, workers=workers, batch_size=4, **config,
         ).run(generator_factory()).transition_system
         assert_isomorphic_builds(sequential, parallel)
+    # Frontier-batch mirror: the batched driver (REPRO_NO_BATCH unset)
+    # and the per-state driver (REPRO_NO_BATCH=1) must produce
+    # bit-identical builds — states, dbs, edge multisets, truncation
+    # flags, growth traces. Successor memos are keyed by spec signature
+    # and survive rebuilds, so each side starts from cleared caches;
+    # otherwise the second build would replay the first one's warmed
+    # memos instead of exercising its own grounding tier.
+    batch_builds = {}
+    for forced in (None, "1"):
+        with forced_env("REPRO_NO_BATCH", forced):
+            clear_subproblem_caches()
+            batch_builds[forced] = Explorer(dcds.schema, **config).run(
+                generator_factory()).transition_system
+    clear_subproblem_caches()
+    assert_isomorphic_builds(batch_builds[None], batch_builds["1"])
+    assert_isomorphic_builds(sequential, batch_builds["1"])
     return sequential
 
 
