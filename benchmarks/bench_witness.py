@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Witness-extraction overhead: verify() with and without certificates.
+
+Certificate extraction (PR 8) runs after the verdict on the hot
+verification path: a rank-annotated backward BFS over the already-built
+transition system plus a forward descent. This sweep measures end-to-end
+``verify()`` wall-clock with extraction enabled against the
+``REPRO_NO_WITNESS=1`` kill switch on gate-probe-style configurations
+(the gallery properties and seeded random workloads), records the
+overhead into the day's ``BENCH_<date>.json`` under ``witness_probes``,
+and checks the <10% overhead target.
+
+Honesty notes baked into the record:
+
+* the verdict, route, and state/edge counts must be identical on both
+  sides of every pair (the kill switch is behavioral-drift-free — also
+  pinned by ``tests/test_witness.py``);
+* every certificate produced while timing is fed through the
+  *independent* replay checker (:mod:`repro.mucalc.certify`), so the
+  measured path is the real, validated one;
+* overhead is reported from the min of several alternating runs (the
+  standard robust estimator: systematic cost survives the min, scheduler
+  noise does not); on sub-20ms configs even that is jitter-bound, so the
+  target check there uses the extractor's own clock
+  (``extraction_sec``, measured inside ``verify()`` and free of build
+  noise) — the per-config record says which basis was used.
+
+Usage::
+
+    python benchmarks/bench_witness.py            # full sweep -> BENCH json
+    python benchmarks/bench_witness.py --quick    # CI smoke, no JSON write
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import statistics
+import sys
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+OVERHEAD_TARGET_PCT = 10.0
+REPEATS = 7
+#: Below this build time, end-to-end deltas are scheduler jitter; the
+#: target check falls back to the extractor's own clock.
+MACRO_FLOOR_SEC = 0.02
+
+
+def reachability_formula(dcds):
+    """``EF (R0 nonempty)`` with LIVE-guarded quantifiers (µLP)."""
+    from repro.mucalc import parse_mu
+
+    arity = dcds.schema.arity("R0")
+    variables = [f"x{i}" for i in range(arity)]
+    guards = " & ".join(f"live({v})" for v in variables)
+    quantifiers = " ".join(f"E {v}." for v in variables)
+    return parse_mu(
+        f"mu Z. (({quantifiers} {guards} & R0({', '.join(variables)}))"
+        f" | <-> Z)")
+
+
+def timed_verify(dcds, formula, disable_witness):
+    from repro.core.execution import clear_subproblem_caches
+    from repro.pipeline import verify
+
+    saved = os.environ.pop("REPRO_NO_WITNESS", None)
+    try:
+        if disable_witness:
+            os.environ["REPRO_NO_WITNESS"] = "1"
+        clear_subproblem_caches()
+        started = time.perf_counter()
+        report = verify(dcds, formula, max_states=100000)
+        elapsed = time.perf_counter() - started
+    finally:
+        os.environ.pop("REPRO_NO_WITNESS", None)
+        if saved is not None:
+            os.environ["REPRO_NO_WITNESS"] = saved
+    return report, elapsed
+
+
+def measure(name, make_dcds, make_formula, results):
+    from repro.mucalc.certify import validate
+
+    dcds = make_dcds()
+    formula = make_formula(dcds)
+    enabled_runs, disabled_runs = [], []
+    baseline = None
+    for _ in range(REPEATS):
+        # Alternate the two sides so drift (cache warmth, CPU frequency)
+        # hits both equally.
+        enabled, enabled_sec = timed_verify(dcds, formula, False)
+        disabled, disabled_sec = timed_verify(dcds, formula, True)
+        enabled_runs.append(enabled_sec)
+        disabled_runs.append(disabled_sec)
+
+        # Kill switch honored, zero behavioral drift.
+        assert disabled.witness is None and disabled.violation is None, name
+        assert disabled.checking_stats["witness"] == {"enabled": False}
+        assert disabled.holds == enabled.holds, name
+        assert disabled.route == enabled.route, name
+        assert disabled.abstraction_stats["states"] \
+            == enabled.abstraction_stats["states"], name
+
+        # The timed certificate is real: the independent oracle takes it.
+        certificate = enabled.witness or enabled.violation
+        if certificate is not None:
+            validate(enabled.transition_system, certificate)
+        baseline = enabled
+
+    enabled_min = min(enabled_runs)
+    disabled_min = min(disabled_runs)
+    overhead_pct = 100.0 * (enabled_min - disabled_min) / disabled_min \
+        if disabled_min else 0.0
+    extraction_sec = baseline.checking_stats["witness"].get(
+        "extraction_sec") or 0.0
+    extraction_share_pct = 100.0 * extraction_sec / disabled_min \
+        if disabled_min else 0.0
+    macro = disabled_min >= MACRO_FLOOR_SEC
+    certificate = baseline.witness or baseline.violation
+    entry = {
+        "holds": baseline.holds,
+        "states": baseline.abstraction_stats["states"],
+        "certificate": None if certificate is None else certificate.kind,
+        "certificate_steps": None if certificate is None
+        else len(certificate.steps),
+        "outcome": baseline.checking_stats["witness"]["outcome"],
+        "extraction_sec": extraction_sec,
+        "enabled_sec": enabled_min,
+        "disabled_sec": disabled_min,
+        "overhead_pct": overhead_pct,
+        "extraction_share_pct": extraction_share_pct,
+        "target_basis": "end-to-end" if macro else "extractor-clock",
+        "target_overhead_pct": overhead_pct if macro
+        else extraction_share_pct,
+        "jitter_pct": 100.0 * (max(disabled_runs) - disabled_min)
+        / disabled_min if disabled_min else 0.0,
+    }
+    results[name] = entry
+    print(f"  {name}: enabled {enabled_min:.4f}s vs disabled "
+          f"{disabled_min:.4f}s ({overhead_pct:+.1f}% end-to-end, "
+          f"{extraction_share_pct:.2f}% extractor-clock, "
+          f"basis={entry['target_basis']}), "
+          f"certificate={entry['certificate']} "
+          f"({entry['certificate_steps']} steps)")
+    return entry
+
+
+def sweep(quick):
+    from repro.core import ServiceSemantics
+    from repro.gallery import example_41, student_registry
+    from repro.gallery.student import property_eventual_graduation_mu_lp
+    from repro.mucalc import parse_mu
+    from repro.workloads import random_dcds
+
+    results = {}
+    measure("ex41-EF-witness", example_41,
+            lambda _: parse_mu("mu Z. (R('a') | <-> Z)"), results)
+    measure("ex41-AG-violation", example_41,
+            lambda _: parse_mu("nu X. (R('a') & [-] X)"), results)
+    measure("random[1]-det-EF",
+            lambda: random_dcds(1, shape="weakly-acyclic",
+                                semantics=ServiceSemantics.DETERMINISTIC),
+            reachability_formula, results)
+    if not quick:
+        measure("students-EF-graduation-witness", student_registry,
+                lambda _: parse_mu(
+                    "mu Z. ((E x, y. live(x) & live(y) & Grad(x, y))"
+                    " | <-> Z)"), results)
+        measure("students-nested-invariant-no-certificate",
+                student_registry,
+                lambda _: property_eventual_graduation_mu_lp(), results)
+        for seed in (3, 4, 6):
+            measure(f"random[{seed}]-det-EF",
+                    lambda seed=seed: random_dcds(
+                        seed, shape="weakly-acyclic",
+                        semantics=ServiceSemantics.DETERMINISTIC),
+                    reachability_formula, results)
+        measure("random[1]-heavy-det-EF",
+                lambda: random_dcds(
+                    1, n_actions=3, n_services=3, p_service_call=0.8,
+                    semantics=ServiceSemantics.DETERMINISTIC),
+                reachability_formula, results)
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small subset, assertions only, no BENCH "
+                             "json write (CI smoke)")
+    parser.add_argument("--out", default=str(REPO_ROOT),
+                        help="directory for the BENCH_<date>.json record")
+    args = parser.parse_args()
+
+    print("witness-extraction overhead: verify() with certificates vs "
+          "REPRO_NO_WITNESS=1")
+    results = sweep(args.quick)
+
+    worst_name, worst = max(
+        results.items(), key=lambda item: item[1]["target_overhead_pct"])
+    section = {
+        "overhead_target_pct": OVERHEAD_TARGET_PCT,
+        "meets_target": worst["target_overhead_pct"]
+        <= OVERHEAD_TARGET_PCT,
+        "worst_overhead": {
+            "config": worst_name,
+            "target_basis": worst["target_basis"],
+            "target_overhead_pct": worst["target_overhead_pct"],
+            "enabled_sec": worst["enabled_sec"],
+            "disabled_sec": worst["disabled_sec"],
+        },
+        "configs": results,
+        "note": (
+            "extraction is a post-verdict backward BFS over the built "
+            "transition system; on these gate probes it is microseconds "
+            "against millisecond-and-up builds. Sub-20ms configs are "
+            "scored by the extractor's own clock (end-to-end deltas "
+            "there are scheduler jitter — recorded anyway, alongside "
+            "the observed jitter band). Every timed certificate was "
+            "accepted by the independent replay checker; both sides of "
+            "every pair agreed on verdict, route, and state counts"),
+    }
+    print(json.dumps(section["worst_overhead"], indent=2))
+
+    if args.quick:
+        print("quick mode: smoke only, BENCH json not written")
+        return
+
+    from _record import write_bench_record
+
+    date = datetime.date.today().isoformat()
+    write_bench_record(
+        args.out, {"date": date, "witness_probes": section})
+
+
+if __name__ == "__main__":
+    main()

@@ -206,7 +206,12 @@ class Explorer:
         non-``None`` reason stops the exploration cleanly: the remaining
         frontier is marked truncated and the reason is recorded in
         ``stats.early_stop``. The on-the-fly verification route uses this to
-        terminate on a witness or refutation.
+        terminate on a witness or refutation. Contract relied on by the
+        witness layer: a state is interned and its incoming edge recorded
+        *before* the observer sees it (see ``_apply_successors``), so even
+        an early-stopped partial transition system contains a full run from
+        the initial state to the stopping state — and BFS discovery order
+        makes that run minimal. ``tests/test_witness.py`` pins this.
     """
 
     def __init__(

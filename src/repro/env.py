@@ -16,6 +16,8 @@ semantics the switches always had:
 ``REPRO_SYMMETRY=<mode>``    process default for the exploration symmetry
                              mode (``exact``/``quotient``)
 ``REPRO_NO_SYMMETRY=1``      force ``symmetry="exact"`` everywhere
+``REPRO_NO_WITNESS=1``       skip witness/counterexample certificate
+                             extraction in ``pipeline.verify``
 ============================ ==============================================
 
 A switch is *on* when its variable is set to any non-empty string (``"0"``
@@ -76,3 +78,15 @@ def symmetry_default() -> str:
 def symmetry_disabled() -> bool:
     """``REPRO_NO_SYMMETRY``: force exact exploration everywhere."""
     return _flag("REPRO_NO_SYMMETRY")
+
+
+def witness_disabled() -> bool:
+    """``REPRO_NO_WITNESS``: verdicts only, no certificate extraction.
+
+    Kill switch of the witness layer: :func:`repro.pipeline.verify` skips
+    witness/violation extraction entirely (``report.witness`` /
+    ``report.violation`` stay ``None``). Verdicts, routes, and every
+    exploration/checking statistic are unaffected — the switch must be
+    behaviorally invisible outside the certificate fields.
+    """
+    return _flag("REPRO_NO_WITNESS")

@@ -1,0 +1,335 @@
+"""Independent replay-checking of witness/violation certificates.
+
+This is the test oracle of the witness layer: given a
+:class:`~repro.mucalc.witness.Certificate` and the transition system it
+claims to certify, :func:`replay` re-validates every claim against the raw
+states and edges — *without* consulting the fixpoint engines that produced
+the certificate. The only shared machinery is the AST, the syntactic
+shape destructurers (:mod:`repro.mucalc.ctl` — pure pattern matching), and
+the base first-order evaluator over a single database
+(:func:`repro.fol.evaluation.holds`); the state-set semantics
+(quantifier confinement, guard liveness, terminal conditions, minimality,
+shortestness) are re-implemented here from the definitions.
+
+Checked, in order:
+
+1. **structure** — non-empty run starting at the initial state, every hop
+   an actual labeled edge, honest rank and service-call-binding fields;
+2. **shape** — the certificate's ``body``/``guard`` really are the
+   destructuring of its ``formula``, and the guard is ground;
+3. **semantics** — witness: the final state satisfies the body and every
+   *entered* state keeps the guard live; violation: the final state
+   refutes the body, or (guarded encoding, at least one step taken) drops
+   a guard value;
+4. **minimality** (optional) — no strict prefix certifies;
+5. **shortestness** (optional) — an independent forward BFS confirms no
+   certifying run is shorter.
+
+Use :func:`validate` to raise on the first problem instead of collecting a
+report.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import (
+    Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple)
+
+from repro.errors import ReproError
+from repro.fol.evaluation import holds
+from repro.mucalc.ast import (
+    Live, MAnd, MExists, MForall, MNot, MOr, MuFormula, QF)
+from repro.mucalc.ctl import invariant_shape, reachability_shape
+from repro.mucalc.witness import Certificate, Violation, Witness
+from repro.relational.instance import Instance
+from repro.relational.values import Var
+from repro.semantics.transition_system import State, TransitionSystem
+from repro.utils import sorted_values
+
+
+class CertificateError(ReproError):
+    """A certificate failed replay (or is structurally unevaluable)."""
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Outcome of replaying one certificate."""
+
+    ok: bool
+    failures: Tuple[str, ...]
+    checked_steps: int
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+# ---------------------------------------------------------------------------
+# Independent state-local evaluation
+# ---------------------------------------------------------------------------
+
+def _covered_exists(sub: MuFormula) -> Set[Var]:
+    """Variables a LIVE guard confines in ``E x. (LIVE(x) & ...)``."""
+    conjuncts = sub.subs if isinstance(sub, MAnd) else (sub,)
+    covered: Set[Var] = set()
+    for conjunct in conjuncts:
+        if isinstance(conjunct, Live):
+            covered |= {t for t in conjunct.terms if isinstance(t, Var)}
+    return covered
+
+
+def _covered_forall(sub: MuFormula) -> Set[Var]:
+    """Variables a LIVE guard confines in ``A x. (~LIVE(x) | ...)``."""
+    disjuncts = sub.subs if isinstance(sub, MOr) else (sub,)
+    covered: Set[Var] = set()
+    for disjunct in disjuncts:
+        if isinstance(disjunct, MNot) and isinstance(disjunct.sub, Live):
+            covered |= {t for t in disjunct.sub.terms
+                        if isinstance(t, Var)}
+    return covered
+
+
+def state_holds(formula: MuFormula, instance: Instance,
+                valuation: Optional[Dict[Var, Any]] = None) -> bool:
+    """Truth of a state-local body on one database instance.
+
+    Quantifiers must be LIVE-guarded (the µLA shapes) so enumeration over
+    the instance's active domain is exhaustive: dead values fail an
+    existential's guard and satisfy a universal's vacuously. Raises
+    :class:`CertificateError` on modalities, fixpoints, predicate
+    variables, or unguarded quantifiers — such a body cannot appear in a
+    well-formed certificate.
+    """
+    adom = instance.active_domain()
+    return _holds(formula, instance, adom, dict(valuation or {}))
+
+
+def _holds(formula: MuFormula, instance: Instance, adom: FrozenSet[Any],
+           valuation: Dict[Var, Any]) -> bool:
+    if isinstance(formula, QF):
+        relevant = {var: value for var, value in valuation.items()
+                    if var in formula.query.free_variables()}
+        return holds(formula.query, instance, relevant)
+    if isinstance(formula, Live):
+        for term in formula.terms:
+            value = valuation.get(term, term) if isinstance(term, Var) \
+                else term
+            if value not in adom:
+                return False
+        return True
+    if isinstance(formula, MNot):
+        return not _holds(formula.sub, instance, adom, valuation)
+    if isinstance(formula, MAnd):
+        return all(_holds(sub, instance, adom, valuation)
+                   for sub in formula.subs)
+    if isinstance(formula, MOr):
+        return any(_holds(sub, instance, adom, valuation)
+                   for sub in formula.subs)
+    if isinstance(formula, (MExists, MForall)):
+        exists = isinstance(formula, MExists)
+        covered = _covered_exists(formula.sub) if exists \
+            else _covered_forall(formula.sub)
+        if not frozenset(formula.variables) <= covered:
+            raise CertificateError(
+                f"certificate body has an unguarded quantifier: {formula!r}")
+        candidates = sorted_values(adom)
+        for combo in itertools.product(candidates,
+                                       repeat=len(formula.variables)):
+            extended = dict(valuation)
+            extended.update(zip(formula.variables, combo))
+            satisfied = _holds(formula.sub, instance, adom, extended)
+            if satisfied == exists:
+                return exists
+        return not exists
+    raise CertificateError(
+        f"certificate body is not state-local: {formula!r}")
+
+
+def _guard_live(guard: Tuple[Any, ...], instance: Instance) -> bool:
+    if not guard:
+        return True
+    adom = instance.active_domain()
+    return all(value in adom for value in guard)
+
+
+# ---------------------------------------------------------------------------
+# Independent shortest certifying run
+# ---------------------------------------------------------------------------
+
+def shortest_certifying_length(
+        ts: TransitionSystem,
+        terminal: Callable[[State, bool], bool],
+        enterable: Callable[[State], bool]) -> Optional[int]:
+    """Length (edges) of a shortest certifying run, by forward BFS.
+
+    ``terminal(state, entered)`` decides whether a run may end at
+    ``state`` given whether it was entered by a step; ``enterable`` gates
+    which states a step may enter at all. ``None`` when no run certifies.
+    """
+    if terminal(ts.initial, False):
+        return 0
+    seen = {ts.initial}
+    frontier = [ts.initial]
+    depth = 0
+    while frontier:
+        depth += 1
+        next_frontier: List[State] = []
+        for state in frontier:
+            for successor in ts.sorted_successors(state):
+                if not enterable(successor):
+                    continue
+                if terminal(successor, True):
+                    return depth
+                if successor not in seen:
+                    seen.add(successor)
+                    next_frontier.append(successor)
+        frontier = next_frontier
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+
+def replay(ts: TransitionSystem, certificate: Certificate, *,
+           minimal: bool = True, shortest: bool = True) -> ReplayReport:
+    """Validate a certificate against the transition system it talks about.
+
+    Collects every failed claim (it does not stop at the first); a
+    certificate whose body cannot even be evaluated yields a single
+    structural failure entry rather than an exception.
+    """
+    failures: List[str] = []
+    steps = certificate.steps
+    if not steps:
+        return ReplayReport(False, ("certificate has no steps",), 0)
+
+    # 1. structure ----------------------------------------------------------
+    if steps[0].state != ts.initial:
+        failures.append("run does not start at the initial state")
+    if steps[0].action is not None:
+        failures.append("initial step carries an action label")
+    if steps[0].call_bindings:
+        failures.append("initial step carries call bindings")
+    for index, step in enumerate(steps):
+        if step.state not in ts:
+            failures.append(f"step {index}: state not in transition system")
+        expected_rank = len(steps) - 1 - index
+        if step.rank != expected_rank:
+            failures.append(
+                f"step {index}: rank {step.rank} != {expected_rank}")
+    for index in range(1, len(steps)):
+        source, step = steps[index - 1].state, steps[index]
+        if (step.action, step.state) not in ts.labeled_edges(source):
+            failures.append(
+                f"step {index}: no edge --[{step.action}]--> to its state")
+            continue
+        source_map = getattr(source, "call_map", None)
+        target_map = getattr(step.state, "call_map", None)
+        if source_map is not None and target_map is not None:
+            known = set(source_map)
+            minted = tuple(entry for entry in target_map
+                           if entry not in known)
+            if step.call_bindings != minted:
+                failures.append(
+                    f"step {index}: call bindings "
+                    f"{step.call_bindings!r} != minted {minted!r}")
+    if failures:
+        # Semantic claims are meaningless over a broken run.
+        return ReplayReport(False, tuple(failures), len(steps))
+
+    # 2. shape --------------------------------------------------------------
+    if isinstance(certificate, Witness):
+        shape = reachability_shape(certificate.formula)
+        kind = "witness"
+    elif isinstance(certificate, Violation):
+        shape = invariant_shape(certificate.formula)
+        kind = "violation"
+    else:
+        return ReplayReport(
+            False, ("certificate is neither Witness nor Violation",),
+            len(steps))
+    if shape is None:
+        failures.append("formula does not destructure to the claimed shape")
+    elif shape.body != certificate.body or shape.guard != certificate.guard:
+        failures.append("certificate body/guard do not match its formula")
+    if any(isinstance(term, Var) for term in certificate.guard):
+        failures.append("guard is not ground")
+    if failures:
+        return ReplayReport(False, tuple(failures), len(steps))
+
+    body, guard = certificate.body, certificate.guard
+
+    def bad(state: State) -> bool:
+        return not state_holds(body, ts.db(state))
+
+    def live(state: State) -> bool:
+        return _guard_live(guard, ts.db(state))
+
+    # 3. semantics ----------------------------------------------------------
+    try:
+        if kind == "witness":
+            if bad(steps[-1].state):
+                failures.append("final state does not satisfy the body")
+            for index, step in enumerate(steps[1:], start=1):
+                if not live(step.state):
+                    failures.append(
+                        f"step {index}: guard value dead in entered state")
+        else:
+            final = steps[-1].state
+            discharged = bad(final) or (
+                bool(guard) and len(steps) > 1 and not live(final))
+            if not discharged:
+                failures.append(
+                    "final state neither refutes the body nor (after a "
+                    "step) drops a guard value")
+
+        # 4. minimality -----------------------------------------------------
+        if minimal and not failures:
+            for index, step in enumerate(steps[:-1]):
+                if kind == "witness":
+                    if not bad(step.state):
+                        failures.append(
+                            f"not minimal: prefix ending at step {index} "
+                            f"already satisfies the body")
+                else:
+                    if bad(step.state) or (
+                            bool(guard) and index > 0
+                            and not live(step.state)):
+                        failures.append(
+                            f"not minimal: prefix ending at step {index} "
+                            f"already certifies the violation")
+
+        # 5. shortestness ---------------------------------------------------
+        if shortest and not failures:
+            if kind == "witness":
+                best = shortest_certifying_length(
+                    ts,
+                    lambda state, entered: not bad(state),
+                    live)
+            else:
+                best = shortest_certifying_length(
+                    ts,
+                    lambda state, entered: bad(state) or (
+                        bool(guard) and entered and not live(state)),
+                    lambda state: True)
+            if best is None:
+                failures.append(
+                    "independent search finds no certifying run at all")
+            elif best != certificate.length:
+                failures.append(
+                    f"not shortest: run has {certificate.length} steps, "
+                    f"a {best}-step run certifies")
+    except CertificateError as error:
+        failures.append(str(error))
+
+    return ReplayReport(not failures, tuple(failures), len(steps))
+
+
+def validate(ts: TransitionSystem, certificate: Certificate, *,
+             minimal: bool = True, shortest: bool = True) -> None:
+    """:func:`replay`, raising :class:`CertificateError` on any failure."""
+    report = replay(ts, certificate, minimal=minimal, shortest=shortest)
+    if not report.ok:
+        raise CertificateError(
+            "certificate failed replay: " + "; ".join(report.failures))

@@ -135,6 +135,18 @@ class ModelChecker:
     def holding_states(self, formula: MuFormula) -> FrozenSet[State]:
         return self.evaluate(formula)
 
+    def engine_for(self, formula: MuFormula) -> Optional[CompiledChecker]:
+        """The cached compiled engine of ``formula``'s last evaluation.
+
+        Used by the witness layer to read the converged fixpoint cells
+        (:meth:`CompiledChecker.fixpoint_extension`) without re-evaluating.
+        ``None`` on the reference path or before the first ``evaluate`` of
+        the formula with the currently selected backend."""
+        if not self.compiled:
+            return None
+        backend = BitsetChecker if bitset_enabled() else CompiledChecker
+        return self._engines.get((formula, backend))
+
     # -- shared plumbing -------------------------------------------------------
 
     def _ensure_monotone(self, formula: MuFormula) -> None:

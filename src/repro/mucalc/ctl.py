@@ -12,7 +12,8 @@ enabled action); on such states ``[-]Phi`` holds vacuously.
 from __future__ import annotations
 
 import itertools
-from typing import Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
 
 from repro.mucalc.ast import (
     Box, Diamond, Live, MAnd, MNot, MOr, Mu, MuFormula, Nu, PredVar,
@@ -156,3 +157,81 @@ def invariant_body(formula: MuFormula) -> Optional[MuFormula]:
         return None
     body = MAnd.of(*rest)
     return None if formula.var in body.free_pvars() else body
+
+
+# -- guarded encoding inverses (witness layer) ------------------------------
+
+@dataclass(frozen=True)
+class GuardedShape:
+    """A destructured EF/AG encoding, guard included.
+
+    ``guard`` is the tuple of LIVE terms conjoined with the recursion
+    variable inside the modality — empty for the plain :func:`EF`/:func:`AG`
+    encodings, the persistence terms for :func:`EF_live`/:func:`AG_live`.
+    Terms are returned verbatim (values or :class:`Var`); callers that need
+    ground guards — the certificate extractor — must check for themselves.
+    """
+
+    body: MuFormula
+    guard: Tuple[Any, ...]
+
+
+def _guarded_loop_terms(sub, variable: str, modal_type
+                        ) -> Optional[Tuple[Any, ...]]:
+    """Guard terms of ``<->(live(t...) & Z)`` / ``[-](live(t...) & Z)``.
+
+    Returns ``()`` for the unguarded ``<->Z`` / ``[-]Z``, the flattened
+    LIVE terms for the guarded conjunction form, ``None`` when ``sub`` is
+    not a self-loop modality at all (including the implication-form boxes,
+    whose violation semantics differ — those stay unrecognized)."""
+    if not isinstance(sub, modal_type):
+        return None
+    inner = sub.sub
+    if isinstance(inner, PredVar):
+        return () if inner.name == variable else None
+    if not isinstance(inner, MAnd):
+        return None
+    terms, seen_var = [], False
+    for conjunct in inner.subs:
+        if isinstance(conjunct, PredVar) and conjunct.name == variable \
+                and not seen_var:
+            seen_var = True
+        elif isinstance(conjunct, Live):
+            terms.extend(conjunct.terms)
+        else:
+            return None
+    return tuple(terms) if seen_var else None
+
+
+def _guarded_shape(formula: MuFormula, fix_type, bool_type, modal_type,
+                   rebuild) -> Optional[GuardedShape]:
+    if not isinstance(formula, fix_type):
+        return None
+    subs = formula.sub.subs if isinstance(formula.sub, bool_type) \
+        else (formula.sub,)
+    rest, guard = [], None
+    for sub in subs:
+        terms = None if guard is not None else \
+            _guarded_loop_terms(sub, formula.var, modal_type)
+        if terms is None:
+            rest.append(sub)
+        else:
+            guard = terms
+    if guard is None or not rest:
+        return None
+    body = rebuild(*rest)
+    if formula.var in body.free_pvars():
+        return None
+    return GuardedShape(body, guard)
+
+
+def reachability_shape(formula: MuFormula) -> Optional[GuardedShape]:
+    """Inverse of :func:`EF` *and* :func:`EF_live`:
+    ``mu Z. phi | <->(live(t...) & Z)`` gives ``(phi, (t...))``."""
+    return _guarded_shape(formula, Mu, MOr, Diamond, MOr.of)
+
+
+def invariant_shape(formula: MuFormula) -> Optional[GuardedShape]:
+    """Inverse of :func:`AG` *and* :func:`AG_live`:
+    ``nu Z. phi & [-](live(t...) & Z)`` gives ``(phi, (t...))``."""
+    return _guarded_shape(formula, Nu, MAnd, Box, MAnd.of)

@@ -14,7 +14,9 @@ state-space construction on the first witness or violation.
 
 :class:`repro.mucalc.ModelChecker` fronts this package; the seed-style
 recursive evaluator remains available (``compiled=False``) as the parity
-reference.
+reference. :mod:`witness` reuses the predecessor index to walk converged
+fixpoints backwards into minimal certifying runs (fronted by
+:mod:`repro.mucalc.witness`).
 """
 
 from repro.mucalc.engine.compiler import (
@@ -25,10 +27,13 @@ from repro.mucalc.engine.evaluator import (
 from repro.mucalc.engine.onthefly import (
     OnTheFlyVerifier, PropertyShape, evaluate_local, is_state_local,
     recognize_shape)
+from repro.mucalc.engine.witness import (
+    reach_ranks, violation_trace, witness_trace)
 
 __all__ = [
     "CheckStats", "CompiledChecker", "CompiledFormula", "FixpointCell",
     "OnTheFlyVerifier", "Plan", "PropertyShape", "box_states",
     "compile_formula", "deadlock_states", "diamond_states",
-    "evaluate_local", "is_state_local", "recognize_shape", "to_pnf",
+    "evaluate_local", "is_state_local", "reach_ranks", "recognize_shape",
+    "to_pnf", "violation_trace", "witness_trace",
 ]

@@ -78,6 +78,15 @@ class BitsetChecker(CompiledChecker):
         #: per fixpoint run instead of O(iterations * edges).
         self._diamond_memo: Dict[int, Tuple[int, int]] = {}
 
+    def fixpoint_extension(self, index: int) -> Optional[FrozenSet[State]]:
+        """Cell exposure in set terms (cells hold int masks here)."""
+        approx = self._cells[index].approx
+        return None if approx is None else self._to_states(approx)
+
+    def _as_state_set(self, result) -> FrozenSet[State]:
+        """``body_extension`` combines int masks here; expose states."""
+        return self._to_states(result)
+
     # -- representation -------------------------------------------------------
 
     def _to_mask(self, states: Iterable[State]) -> int:

@@ -188,6 +188,49 @@ class CompiledChecker:
         }
         return result
 
+    def fixpoint_extension(self, index: int) -> Optional[FrozenSet[State]]:
+        """Final approximation of fixpoint cell ``index`` as a state set.
+
+        Read-only view for the witness layer: after :meth:`evaluate`
+        converged, the cell of the outermost ``mu``/``nu`` holds that
+        fixpoint's extension, which bounds the support of any certifying
+        run. ``None`` when the cell was never evaluated (e.g. short-circuit
+        skipped its subtree)."""
+        approx = self._cells[index].approx
+        return approx
+
+    def body_extension(self) -> Optional[FrozenSet[State]]:
+        """Extension of the root fixpoint's predicate-variable-free operand.
+
+        For the certificate shapes ``mu Z. body | <->(...)`` and ``nu Z.
+        body & [-](...)`` the ``body`` compiles to exactly the pvar-free
+        children of the connective under the root fixpoint, and the
+        converged run already evaluated each of them — reading the set
+        back here is a pure memo hit (their keys carry no cell versions).
+        ``None`` when the root shape does not decompose that way or the
+        candidate parts are open. Callers should only rely on this for
+        state-local bodies (a closed nested fixpoint part would re-iterate
+        its cell rather than hit the memo)."""
+        root = self.compiled.root
+        if root.kind != "fix" or not root.children:
+            return None
+        inner = root.children[0]
+        if inner.kind not in ("and", "or"):
+            return None
+        parts = [child for child in inner.children if not child.free_pvars]
+        if not parts or any(part.free_ivars for part in parts):
+            return None
+        combined = self._eval(parts[0], {}, {})
+        for part in parts[1:]:
+            result = self._eval(part, {}, {})
+            combined = combined | result if inner.kind == "or" \
+                else combined & result
+        return self._as_state_set(combined)
+
+    def _as_state_set(self, result) -> FrozenSet[State]:
+        """Hook for mask-based subclasses (sets backend: identity)."""
+        return result
+
     # -- plumbing -------------------------------------------------------------
 
     def _default_adom(self, state: State) -> FrozenSet[Any]:

@@ -29,9 +29,11 @@ records how the verdict was reached.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro import env
 from repro.analysis.dataflow_graph import dataflow_graph
 from repro.analysis.dependency_graph import dependency_graph
 from repro.core.dcds import DCDS, ServiceSemantics
@@ -41,6 +43,7 @@ from repro.mucalc.ast import MuFormula
 from repro.mucalc.checker import ModelChecker
 from repro.mucalc.engine.onthefly import OnTheFlyVerifier, recognize_shape
 from repro.mucalc.syntax import Fragment, classify, formula_constants
+from repro.mucalc.witness import Certificate, Violation, Witness, extract
 from repro.reductions.det_to_nondet import det_to_nondet
 from repro.semantics.abstract_det import build_det_abstraction
 from repro.semantics.rcycl import rcycl
@@ -65,7 +68,8 @@ class VerificationReport:
     ``checking_stats`` records the checking side: compiled-evaluator
     counters (fixpoint iterations, resets, peak extension size, memo hits)
     or, on the on-the-fly route, the early-stop reason and how many states
-    were checked before the verdict was decided.
+    were checked before the verdict was decided; its ``"witness"`` entry
+    records whether and why (not) a certificate was extracted.
     """
 
     dcds_name: str
@@ -81,6 +85,13 @@ class VerificationReport:
     #: (quotient mode verifies against the symmetry-reduced state space,
     #: persistence-preserving bisimilar to the exact one by Lemma C.2).
     symmetry: str = "exact"
+    #: Minimal certifying run for a *positive* EF-shaped verdict, replayable
+    #: through :mod:`repro.mucalc.certify`; ``None`` when the formula shape
+    #: or polarity admits no finite certificate (see
+    #: ``checking_stats["witness"]["outcome"]``) or ``REPRO_NO_WITNESS=1``.
+    witness: Optional[Certificate] = None
+    #: Minimal violating run for a *negative* AG-shaped verdict (dual).
+    violation: Optional[Certificate] = None
 
     def __repr__(self) -> str:
         verdict = "HOLDS" if self.holds else "FAILS"
@@ -165,20 +176,54 @@ def _check_quotient_adequacy(dcds: DCDS, formula: MuFormula,
             f"foreign constants: {sorted_values(foreign)!r}")
 
 
+def _certify(ts: TransitionSystem, formula: MuFormula, holds: bool,
+             checking: Dict[str, Any],
+             checker: Optional[ModelChecker] = None
+             ) -> Optional[Certificate]:
+    """Witness-layer hook: certify the verdict when the shape admits it.
+
+    Extraction is a pure function of the (possibly partial) transition
+    system — the on-the-fly route's early-stopped state space always
+    contains the certifying run, since the explorer records the edge into
+    a state before the observer can stop on it. The offline checker's
+    converged root fixpoint cell, when available, bounds the search.
+    Records an entry under ``checking["witness"]`` either way.
+    """
+    if env.witness_disabled():
+        checking["witness"] = {"enabled": False}
+        return None
+    started = time.perf_counter()
+    engine = checker.engine_for(formula) if checker is not None else None
+    outcome = extract(ts, formula, holds, engine)
+    certificate = outcome.certificate
+    checking["witness"] = {
+        "enabled": True,
+        "outcome": outcome.reason,
+        "steps": len(certificate.steps) if certificate is not None else 0,
+        "extraction_sec": time.perf_counter() - started,
+    }
+    return certificate
+
+
 def _check(dcds: DCDS, formula: MuFormula, build, on_the_fly: bool):
     """Run one route's construction + checking, possibly fused.
 
     ``build`` maps an optional Explorer observer to the constructed
-    transition system. Returns ``(ts, holds, checking_stats)``."""
+    transition system. Returns ``(ts, holds, checking_stats,
+    certificate)``."""
     shape = recognize_shape(formula) if on_the_fly else None
     if shape is not None:
         verifier = OnTheFlyVerifier(shape)
         ts = build(verifier.observe)
-        return ts, verifier.verdict(), verifier.stats_dict()
+        holds = verifier.verdict()
+        checking = verifier.stats_dict()
+        return ts, holds, checking, _certify(ts, formula, holds, checking)
     ts = build(None)
     checker = ModelChecker(ts, extra_domain=dcds.known_constants())
     holds = checker.models(formula)
-    return ts, holds, checker.last_checking_stats
+    checking = dict(checker.last_checking_stats)
+    return ts, holds, checking, _certify(ts, formula, holds, checking,
+                                         checker)
 
 
 def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
@@ -201,7 +246,7 @@ def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
             f"{graph.violating_special_edge()}); run-boundedness cannot be "
             f"certified and is undecidable to check",
             theorem="Theorem 4.6 / 4.8")
-    ts, holds, checking = _check(
+    ts, holds, checking, certificate = _check(
         dcds, formula,
         lambda observer: build_det_abstraction(
             dcds, max_states=max_states, observer=observer,
@@ -211,7 +256,10 @@ def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
         dcds.name, formula, fragment, "det-abstraction",
         "weakly-acyclic" if weakly_acyclic else "forced",
         _merged_stats(ts), holds, ts if keep_ts else None, checking,
-        symmetry=symmetry)
+        symmetry=symmetry,
+        witness=certificate if isinstance(certificate, Witness) else None,
+        violation=certificate if isinstance(certificate, Violation)
+        else None)
 
 
 def _verify_nondet(dcds: DCDS, formula: MuFormula, fragment: Fragment,
@@ -245,14 +293,17 @@ def _verify_nondet(dcds: DCDS, formula: MuFormula, fragment: Fragment,
     # repro.engine.symmetry), and RCYCL's value *recycling* already is the
     # paper's symmetry mechanism for nondeterministic services. The
     # request is therefore ignored here, like ``workers``.
-    ts, holds, checking = _check(
+    ts, holds, checking, certificate = _check(
         dcds, formula,
         lambda observer: rcycl(
             dcds, max_states=max_states, observer=observer),
         on_the_fly)
     return VerificationReport(
         dcds.name, formula, fragment, "rcycl", condition, _merged_stats(ts),
-        holds, ts if keep_ts else None, checking, symmetry="exact")
+        holds, ts if keep_ts else None, checking, symmetry="exact",
+        witness=certificate if isinstance(certificate, Witness) else None,
+        violation=certificate if isinstance(certificate, Violation)
+        else None)
 
 
 def _verify_mixed(dcds: DCDS, formula: MuFormula, fragment: Fragment,

@@ -41,6 +41,12 @@ class TransitionSystem:
     #: expensive); invalidated by :meth:`add_edge`.
     _sorted_cache: Dict[State, Tuple[State, ...]] = \
         field(default_factory=dict, repr=False, compare=False)
+    #: Per-state memo for :meth:`sorted_labeled_edges` (same repr-key
+    #: cost; the witness extractor's descent re-reads the same states);
+    #: invalidated by :meth:`add_edge`.
+    _sorted_edge_cache: Dict[State, Tuple[Tuple[Optional[str], State],
+                                          ...]] = \
+        field(default_factory=dict, repr=False, compare=False)
     #: Lazy backward index for :meth:`predecessors` (built once on first use,
     #: invalidated by :meth:`add_edge`); the compiled model checker's
     #: ``Diamond``/``Box`` propagation is built on it.
@@ -66,6 +72,7 @@ class TransitionSystem:
             raise ReproError("both endpoints must be added before the edge")
         self._edges[source].add((label, target))
         self._sorted_cache.pop(source, None)
+        self._sorted_edge_cache.pop(source, None)
         self._pred_cache = None
 
     def mark_truncated(self, state: State) -> None:
@@ -138,10 +145,16 @@ class TransitionSystem:
 
     def sorted_labeled_edges(
             self, state: State) -> Tuple[Tuple[Optional[str], State], ...]:
-        """Outgoing ``(label, target)`` pairs in deterministic order."""
-        return tuple(sorted(
-            self._edges.get(state, ()),
-            key=lambda edge: (edge[0] or "", repr(edge[1]))))
+        """Outgoing ``(label, target)`` pairs in deterministic order.
+
+        Memoized per state like :meth:`sorted_successors`."""
+        found = self._sorted_edge_cache.get(state)
+        if found is None:
+            found = tuple(sorted(
+                self._edges.get(state, ()),
+                key=lambda edge: (edge[0] or "", repr(edge[1]))))
+            self._sorted_edge_cache[state] = found
+        return found
 
     def sorted_edges(self) -> Iterator[Tuple[State, Optional[str], State]]:
         """All edges in deterministic (source, label, target) order."""

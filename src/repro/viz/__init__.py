@@ -1,7 +1,8 @@
 """Visualization: DOT export of transition systems and analysis graphs."""
 
 from repro.viz.dot import (
-    dataflow_graph_to_dot, dependency_graph_to_dot, transition_system_to_dot)
+    certificate_to_dot, dataflow_graph_to_dot, dependency_graph_to_dot,
+    transition_system_to_dot)
 
-__all__ = ["dataflow_graph_to_dot", "dependency_graph_to_dot",
-           "transition_system_to_dot"]
+__all__ = ["certificate_to_dot", "dataflow_graph_to_dot",
+           "dependency_graph_to_dot", "transition_system_to_dot"]

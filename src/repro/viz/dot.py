@@ -19,29 +19,68 @@ def _escape(text: str) -> str:
 
 
 def transition_system_to_dot(ts: TransitionSystem,
-                             max_states: Optional[int] = None) -> str:
-    """Render a transition system (Figures 2–4, 6, 7 style)."""
+                             max_states: Optional[int] = None,
+                             highlight: Optional[object] = None) -> str:
+    """Render a transition system (Figures 2–4, 6, 7 style).
+
+    ``highlight`` accepts a :class:`~repro.mucalc.witness.Certificate` (or
+    any object with a ``states`` tuple and ``steps`` carrying
+    ``action``/``state``): its run is drawn in red with thick edges, the
+    terminal state double-bordered. Highlighted states are always
+    included, even past a ``max_states`` truncation.
+    """
+    path_states: tuple = ()
+    path_edges = set()
+    if highlight is not None:
+        path_states = tuple(highlight.states)
+        for position in range(1, len(highlight.steps)):
+            step = highlight.steps[position]
+            path_edges.add((path_states[position - 1], step.action,
+                            step.state))
     lines = [f'digraph "{_escape(ts.name or "ts")}" {{',
              "  rankdir=TB;",
              '  node [shape=box, fontsize=10];']
     states = sorted(ts.states, key=repr)
     if max_states is not None:
         states = states[:max_states]
+        for state in path_states:
+            if state not in set(states):
+                states.append(state)
     included = set(states)
+    on_path = set(path_states)
     index = {state: f"s{i}" for i, state in enumerate(states)}
     for state in states:
         label = _escape(repr(ts.db(state)))
         style = ', style=bold' if state == ts.initial else ""
         trunc = ', color=gray' if state in ts.truncated_states else ""
-        lines.append(f'  {index[state]} [label="{label}"{style}{trunc}];')
+        mark = ""
+        if state in on_path:
+            mark = ', color=red, penwidth=2'
+            if path_states and state == path_states[-1]:
+                mark = ', color=red, penwidth=2, peripheries=2'
+        lines.append(
+            f'  {index[state]} [label="{label}"{style}{trunc}{mark}];')
     # sorted_edges: edge storage is a hash set, so plain edges() would make
     # the rendering differ between runs.
     for source, label, target in ts.sorted_edges():
         if source in included and target in included:
-            edge_label = f' [label="{_escape(label)}"]' if label else ""
-            lines.append(f"  {index[source]} -> {index[target]}{edge_label};")
+            attributes = []
+            if label:
+                attributes.append(f'label="{_escape(label)}"')
+            if (source, label, target) in path_edges:
+                attributes.append("color=red, penwidth=2")
+            rendered = f' [{", ".join(attributes)}]' if attributes else ""
+            lines.append(f"  {index[source]} -> {index[target]}{rendered};")
     lines.append("}")
     return "\n".join(lines)
+
+
+def certificate_to_dot(ts: TransitionSystem, certificate,
+                       max_states: Optional[int] = None) -> str:
+    """Convenience: the transition system with a certificate's run
+    highlighted (``report.witness`` / ``report.violation``)."""
+    return transition_system_to_dot(ts, max_states=max_states,
+                                    highlight=certificate)
 
 
 def dependency_graph_to_dot(graph: DependencyGraph) -> str:

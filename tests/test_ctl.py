@@ -4,9 +4,10 @@ import pytest
 
 from repro.gallery import student_registry
 from repro.mucalc import (
-    AF, AG, AG_live, AU, AU_live, EF, EF_live, EG, EU, Fragment, classify,
-    parse_mu)
-from repro.mucalc.ast import Mu, Nu
+    AF, AG, AG_live, AU, AU_live, EF, EF_live, EG, EU, Fragment,
+    GuardedShape, classify, invariant_body, invariant_shape, parse_mu,
+    reachability_body, reachability_shape)
+from repro.mucalc.ast import Box, Diamond, MAnd, MOr, Mu, Nu, PredVar
 from repro.mucalc.checker import ModelChecker
 from repro.relational import DatabaseSchema, Instance, fact
 from repro.semantics import TransitionSystem
@@ -103,3 +104,106 @@ class TestSemantics:
         enrolled_states = checker.evaluate(exists_live("x", stud))
         assert enrolled_states  # there are states with students
         assert not checker.models(formula)  # initial state has no student
+
+
+class TestDestructurers:
+    """Direct coverage for the encoding inverses, including malformed
+    shapes (the witness layer depends on these answering None rather
+    than mis-destructuring)."""
+
+    def test_reachability_body_roundtrip(self):
+        phi = parse_mu("P('v')")
+        assert reachability_body(EF(phi)) == phi
+
+    def test_invariant_body_roundtrip(self):
+        phi = parse_mu("P('v')")
+        assert invariant_body(AG(phi)) == phi
+
+    def test_bodies_tolerate_argument_order(self):
+        flipped = Mu("Z", MOr.of(Diamond(PredVar("Z")), parse_mu("P('v')")))
+        assert reachability_body(flipped) == parse_mu("P('v')")
+        flipped = Nu("Z", MAnd.of(Box(PredVar("Z")), parse_mu("P('v')")))
+        assert invariant_body(flipped) == parse_mu("P('v')")
+
+    def test_wrong_fixpoint_type(self):
+        assert reachability_body(AG(parse_mu("P('v')"))) is None
+        assert invariant_body(EF(parse_mu("P('v')"))) is None
+
+    def test_missing_self_loop(self):
+        assert reachability_body(parse_mu("mu Z. P('v')")) is None
+        assert reachability_body(
+            parse_mu("mu Z. (P('v') | <-> P('w'))")) is None
+        assert invariant_body(parse_mu("nu Z. P('v')")) is None
+
+    def test_wrong_modality(self):
+        assert reachability_body(parse_mu("mu Z. (P('v') | [-] Z)")) is None
+        assert invariant_body(parse_mu("nu Z. (P('v') & <-> Z)")) is None
+
+    def test_variable_free_in_body_rejected(self):
+        assert reachability_body(
+            parse_mu("mu Z. ((P('v') & Z) | <-> Z)")) is None
+        assert invariant_body(
+            parse_mu("nu Z. ((P('v') | Z) & [-] Z)")) is None
+
+    def test_self_loop_only_rejected(self):
+        # ``mu Z. <-> Z`` has no body at all.
+        assert reachability_body(parse_mu("mu Z. <-> Z")) is None
+
+
+class TestGuardedShapes:
+    def test_plain_encoding_gives_empty_guard(self):
+        shape = reachability_shape(parse_mu("mu Z. (P('v') | <-> Z)"))
+        assert shape == GuardedShape(parse_mu("P('v')"), ())
+        shape = invariant_shape(parse_mu("nu Z. (P('v') & [-] Z)"))
+        assert shape == GuardedShape(parse_mu("P('v')"), ())
+
+    def test_guarded_encoding_recovers_terms(self):
+        shape = reachability_shape(
+            parse_mu("mu Z. (P('v') | <-> (live('c') & Z))"))
+        assert shape is not None
+        assert shape.body == parse_mu("P('v')")
+        assert shape.guard == ("c",)
+
+    def test_multiple_live_conjuncts_flatten(self):
+        shape = invariant_shape(
+            parse_mu("nu Z. (P('v') & [-] (live('x') & live('y') & Z))"))
+        assert shape is not None
+        assert shape.guard == ("x", "y")
+
+    def test_conjunct_order_inside_modality_tolerated(self):
+        shape = reachability_shape(
+            parse_mu("mu Z. (<-> (Z & live('c')) | P('v'))"))
+        assert shape is not None
+        assert shape.guard == ("c",)
+        assert shape.body == parse_mu("P('v')")
+
+    def test_implication_form_box_stays_unrecognized(self):
+        # ``[-](live -> Z)`` has different violation semantics; the
+        # destructurer must not conflate it with the conjunction form.
+        assert invariant_shape(
+            parse_mu("nu Z. (P('v') & [-] (live('c') -> Z))")) is None
+
+    def test_duplicate_recursion_variable_rejected(self):
+        assert reachability_shape(
+            parse_mu("mu Z. (P('v') | <-> (Z & Z & live('c')))")) is None
+
+    def test_foreign_conjunct_inside_modality_rejected(self):
+        assert reachability_shape(
+            parse_mu("mu Z. (P('v') | <-> (live('c') & Q('q') & Z))")) \
+            is None
+
+    def test_variable_free_in_body_rejected(self):
+        assert invariant_shape(
+            parse_mu("nu Z. ((P('v') | Z) & [-] (live('c') & Z))")) is None
+
+    def test_non_fixpoint_and_missing_loop(self):
+        assert reachability_shape(parse_mu("P('v')")) is None
+        assert invariant_shape(parse_mu("nu Z. P('v')")) is None
+
+    def test_shape_guard_may_carry_variables(self):
+        # Non-ground guards are returned verbatim; groundness is the
+        # certificate extractor's concern, not the destructurer's.
+        shape = reachability_shape(
+            parse_mu("mu Z. (P('v') | <-> (live(x) & Z))"))
+        assert shape is not None
+        assert len(shape.guard) == 1

@@ -69,3 +69,86 @@ class TestRendering:
 
     def test_shortest_path_none_for_empty_targets(self, ex41_abstraction):
         assert shortest_path_to(ex41_abstraction, frozenset()) is None
+
+
+class TestFixpointDestructuring:
+    """The diagnostics accept the full fixpoint encodings and recover the
+    state property through the ctl destructurers."""
+
+    def test_witness_accepts_full_ef_encoding(self, ex41_abstraction):
+        plain = witness(ex41_abstraction, parse_mu("R('a')"))
+        encoded = witness(ex41_abstraction,
+                          parse_mu("mu Z. (R('a') | <-> Z)"))
+        assert encoded == plain
+
+    def test_counterexample_accepts_full_ag_encoding(self, ex41_abstraction):
+        plain = counterexample(ex41_abstraction, parse_mu("Q('a', 'a')"))
+        encoded = counterexample(ex41_abstraction,
+                                 parse_mu("nu Z. (Q('a', 'a') & [-] Z)"))
+        assert encoded == plain
+
+    def test_malformed_encoding_is_taken_literally(self, ex41_abstraction):
+        # A Nu without the box self-loop is not an AG encoding; the
+        # formula is then evaluated as-is (here: equivalent to its body).
+        trace = counterexample(ex41_abstraction,
+                               parse_mu("nu Z. Q('a', 'a')"))
+        assert trace is not None
+        assert trace == counterexample(ex41_abstraction,
+                                       parse_mu("Q('a', 'a')"))
+
+    def test_explicit_checker_is_reused(self, ex41_abstraction):
+        from repro.mucalc.checker import ModelChecker
+        checker = ModelChecker(ex41_abstraction)
+        trace = witness(ex41_abstraction, parse_mu("R('a')"),
+                        checker=checker)
+        assert trace is not None
+
+
+class TestShortestPath:
+    def test_path_is_shortest(self, ex41_abstraction):
+        ts = ex41_abstraction
+        # BFS depth levels give the exact distance of each state.
+        for depth, level in enumerate(ts.depth_levels()[:3]):
+            for target in level:
+                trace = shortest_path_to(ts, frozenset([target]))
+                assert trace is not None
+                assert len(trace) == depth + 1
+
+    def test_initial_in_targets_is_trivial(self, ex41_abstraction):
+        ts = ex41_abstraction
+        trace = shortest_path_to(ts, frozenset([ts.initial]))
+        assert trace == [(ts.initial, ts.db(ts.initial), None)]
+
+    def test_unreachable_targets_give_none(self, ex41_abstraction):
+        ts = ex41_abstraction
+        trace = shortest_path_to(ts, frozenset(["not-a-state"]))
+        assert trace is None
+
+
+class TestCertificateInterop:
+    """Certificates speak the diagnostics trace dialect."""
+
+    def test_witness_certificate_trace_renders(self, ex41_abstraction):
+        from repro.mucalc.checker import ModelChecker
+        from repro.mucalc.witness import extract
+        ts = ex41_abstraction
+        formula = parse_mu("mu Z. (R('a') | <-> Z)")
+        holds = ModelChecker(ts).models(formula)
+        outcome = extract(ts, formula, holds)
+        assert outcome.certificate is not None
+        trace = outcome.certificate.trace(ts)
+        assert [state for state, _, _ in trace] \
+            == list(outcome.certificate.states)
+        text = render_trace(trace)
+        assert "-->" in text
+
+    def test_certificate_agrees_with_diagnostics_length(
+            self, ex41_abstraction):
+        from repro.mucalc.checker import ModelChecker
+        from repro.mucalc.witness import extract
+        ts = ex41_abstraction
+        formula = parse_mu("mu Z. (R('a') | <-> Z)")
+        outcome = extract(ts, formula, ModelChecker(ts).models(formula))
+        diagnostic = witness(ts, parse_mu("R('a')"))
+        # Both are shortest runs to an R('a') state.
+        assert len(outcome.certificate.steps) == len(diagnostic)

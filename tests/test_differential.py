@@ -8,6 +8,12 @@ identical dbs, identical edge multisets, identical truncation flags, and
 identical growth traces — and ``verify()`` must answer identically
 end-to-end with and without ``workers=``.
 
+Certificates ride the same harness: both sides of every differential
+pair must emit witness/violation certificates that the independent
+replay-checker (:mod:`repro.mucalc.certify`) accepts, the certificates
+must be bit-identical across sides, and verdict + certificate must agree
+with the uncompiled reference evaluator (``compiled=False``).
+
 Every case is reproducible from its id alone (seed, shape, semantics). A
 fast subset always runs; the heavy tail is marked ``slow_differential``
 (skippable locally via ``--skip-slow-differential``, always run in CI,
@@ -23,13 +29,17 @@ from collections import Counter
 
 import pytest
 
+from repro import env
 from repro.core import ServiceSemantics
 from repro.core.execution import clear_subproblem_caches
 from repro.engine import (
     DetAbstractionGenerator, Explorer, ParallelExplorer, PoolNondetGenerator,
     SymmetryReducer, resolve_symmetry)
 from repro.errors import UndecidableFragment, VerificationError
+from repro.mucalc.certify import replay
+from repro.mucalc.checker import ModelChecker
 from repro.mucalc.parser import parse_mu
+from repro.mucalc.witness import extract
 from repro.pipeline import verify
 from repro.relational.values import Fresh
 from repro.workloads import random_dcds
@@ -127,6 +137,27 @@ def forced_env(name, value):
             os.environ[name] = saved
 
 
+def assert_certificates_agree(dcds, ts_a, ts_b):
+    """Both sides of a differential pair certify identically.
+
+    Extraction is a pure function of the transition system, so two
+    bit-identical builds must yield the same verdict, the same outcome
+    token, and (when one exists) the same certificate — and every emitted
+    certificate must pass the independent replay-checker.
+    """
+    formula = reachability_formula(dcds)
+    sides = []
+    for ts in (ts_a, ts_b):
+        checker = ModelChecker(ts, extra_domain=dcds.known_constants())
+        holds = checker.models(formula)
+        outcome = extract(ts, formula, holds, checker.engine_for(formula))
+        if outcome.certificate is not None:
+            report = replay(ts, outcome.certificate)
+            assert report.ok, report.failures
+        sides.append((holds, outcome.reason, outcome.certificate))
+    assert sides[0] == sides[1]
+
+
 def run_differential_case(seed, shape, semantics):
     dcds = random_dcds(seed, shape=shape, semantics=semantics)
     generator_factory, config = explorer_config(dcds)
@@ -153,6 +184,7 @@ def run_differential_case(seed, shape, semantics):
     clear_subproblem_caches()
     assert_isomorphic_builds(batch_builds[None], batch_builds["1"])
     assert_isomorphic_builds(sequential, batch_builds["1"])
+    assert_certificates_agree(dcds, sequential, batch_builds["1"])
     return sequential
 
 
@@ -184,9 +216,51 @@ def reachability_formula(dcds):
         f" | <-> Z)")
 
 
-def assert_verify_agrees(seed, shape, semantics):
+def invariant_formula(dcds):
+    """``AG (R0 empty)`` in guarded-universal form (µLP) — violated on
+    any run that ever populates R0, exercising violation certificates."""
+    arity = dcds.schema.arity("R0")
+    variables = [f"x{i}" for i in range(arity)]
+    if not variables:
+        return parse_mu("nu Z. (~R0() & [-] Z)")
+    vars_csv = ", ".join(variables)
+    return parse_mu(
+        f"nu Z. ((A {vars_csv}. (~live({vars_csv}) | ~R0({vars_csv})))"
+        f" & [-] Z)")
+
+
+def assert_report_certified(report, dcds, formula):
+    """The report's certificate passes the independent replay oracle and
+    its verdict agrees with the uncompiled reference evaluator."""
+    certificate = report.witness or report.violation
+    if env.witness_disabled():
+        assert certificate is None
+        assert report.checking_stats["witness"] == {"enabled": False}
+        return None
+    if certificate is not None:
+        oracle = replay(report.transition_system, certificate)
+        assert oracle.ok, oracle.failures
+    reference = ModelChecker(report.transition_system,
+                             extra_domain=dcds.known_constants(),
+                             compiled=False)
+    assert reference.models(formula) == report.holds
+    if certificate is not None:
+        # The certificate's terminal discharges the shape's body exactly
+        # when the reference evaluator says so: a witness ends in a
+        # formula-satisfying state, a violation ends outside the
+        # invariant's extension.
+        satisfying = reference.evaluate(formula)
+        if report.witness is not None:
+            assert certificate.final in satisfying
+        else:
+            assert certificate.final not in satisfying
+    return certificate
+
+
+def assert_verify_agrees(seed, shape, semantics,
+                         formula_factory=reachability_formula):
     dcds = random_dcds(seed, shape=shape, semantics=semantics)
-    formula = reachability_formula(dcds)
+    formula = formula_factory(dcds)
     try:
         baseline = verify(dcds, formula, max_states=MAX_STATES)
     except (UndecidableFragment, VerificationError) as failed:
@@ -204,6 +278,12 @@ def assert_verify_agrees(seed, shape, semantics):
         == baseline.abstraction_stats["states"]
     assert sharded.abstraction_stats["edges"] \
         == baseline.abstraction_stats["edges"]
+    # Certificates: both sides of the pair replay green through the
+    # independent oracle, agree with the reference evaluator, and are
+    # bit-identical (same offline extraction route on identical builds).
+    baseline_cert = assert_report_certified(baseline, dcds, formula)
+    sharded_cert = assert_report_certified(sharded, dcds, formula)
+    assert baseline_cert == sharded_cert
 
 
 class TestVerifyAgreementFast:
@@ -217,6 +297,19 @@ class TestVerifyAgreementFast:
         assert_verify_agrees(0, "gr-acyclic",
                              ServiceSemantics.NONDETERMINISTIC)
 
+    @pytest.mark.parametrize("seed", FAST_SEEDS)
+    def test_invariant_det_weakly_acyclic(self, seed):
+        """The AG pack fails on these workloads, so the agreement check
+        exercises violation certificates end to end."""
+        assert_verify_agrees(seed, "weakly-acyclic",
+                             ServiceSemantics.DETERMINISTIC,
+                             formula_factory=invariant_formula)
+
+    def test_invariant_nondet_gr_acyclic(self):
+        assert_verify_agrees(0, "gr-acyclic",
+                             ServiceSemantics.NONDETERMINISTIC,
+                             formula_factory=invariant_formula)
+
 
 @pytest.mark.slow_differential
 class TestVerifyAgreementSweep:
@@ -229,3 +322,15 @@ class TestVerifyAgreementSweep:
     def test_nondet_gr_acyclic(self, seed):
         assert_verify_agrees(seed, "gr-acyclic",
                              ServiceSemantics.NONDETERMINISTIC)
+
+    @pytest.mark.parametrize("seed", SLOW_SEEDS)
+    def test_invariant_det_weakly_acyclic(self, seed):
+        assert_verify_agrees(seed, "weakly-acyclic",
+                             ServiceSemantics.DETERMINISTIC,
+                             formula_factory=invariant_formula)
+
+    @pytest.mark.parametrize("seed", SLOW_SEEDS[:2])
+    def test_invariant_nondet_gr_acyclic(self, seed):
+        assert_verify_agrees(seed, "gr-acyclic",
+                             ServiceSemantics.NONDETERMINISTIC,
+                             formula_factory=invariant_formula)

@@ -19,6 +19,7 @@ FLAG_HELPERS = [
     ("REPRO_NO_NUMPY", env.numpy_hidden),
     ("REPRO_NO_BATCH", env.batch_disabled),
     ("REPRO_NO_SYMMETRY", env.symmetry_disabled),
+    ("REPRO_NO_WITNESS", env.witness_disabled),
 ]
 
 
