@@ -13,6 +13,9 @@ from repro.engine.explorer import (
     SuccessorGenerator)
 from repro.engine.parallel import (
     ParallelExplorer, default_workers, make_explorer)
+from repro.engine.checkpoint import (
+    Checkpoint, CheckpointInterrupted, CheckpointWriter, load_checkpoint)
+from repro.engine.faults import FaultEvent, FaultPlan
 from repro.engine.wire import WireCodec, WireSession, make_codec
 from repro.engine.fingerprint import (
     fingerprints_may_be_isomorphic, instance_fingerprint, value_profiles)
@@ -24,12 +27,14 @@ from repro.engine.symmetry import (
     SYMMETRY_MODES, SymmetryReducer, resolve_symmetry)
 
 __all__ = [
+    "Checkpoint", "CheckpointInterrupted", "CheckpointWriter",
     "DetAbstractionGenerator", "DetState", "ExplorationBudgetExceeded",
-    "ExplorationResult", "ExplorationStats", "Explorer", "InternEntry",
-    "InternStats", "OracleRunGenerator", "ParallelExplorer",
-    "PoolDetGenerator", "PoolNondetGenerator", "RcyclGenerator",
-    "SYMMETRY_MODES", "StateInterner", "SymmetryReducer", "WireCodec",
-    "WireSession", "default_workers", "fingerprints_may_be_isomorphic",
-    "instance_fingerprint", "make_codec", "make_explorer",
-    "resolve_symmetry", "sigma_label", "sorted_call_map", "value_profiles",
+    "ExplorationResult", "ExplorationStats", "Explorer", "FaultEvent",
+    "FaultPlan", "InternEntry", "InternStats", "OracleRunGenerator",
+    "ParallelExplorer", "PoolDetGenerator", "PoolNondetGenerator",
+    "RcyclGenerator", "SYMMETRY_MODES", "StateInterner", "SymmetryReducer",
+    "WireCodec", "WireSession", "default_workers",
+    "fingerprints_may_be_isomorphic", "instance_fingerprint",
+    "load_checkpoint", "make_codec", "make_explorer", "resolve_symmetry",
+    "sigma_label", "sorted_call_map", "value_profiles",
 ]

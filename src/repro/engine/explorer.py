@@ -19,6 +19,7 @@ exploration, marks the unexpanded frontier as truncated, and reports
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -26,7 +27,7 @@ from typing import (
     Any, Callable, Dict, Iterable, List, Optional, Tuple)
 
 from repro import env
-from repro.errors import AbstractionDiverged, ReproError
+from repro.errors import AbstractionDiverged, CheckpointError, ReproError
 from repro.relational.instance import Instance
 from repro.relational.schema import DatabaseSchema
 from repro.semantics.transition_system import State, TransitionSystem
@@ -212,6 +213,16 @@ class Explorer:
         an early-stopped partial transition system contains a full run from
         the initial state to the stopping state — and BFS discovery order
         makes that run minimal. ``tests/test_witness.py`` pins this.
+    checkpoint:
+        Optional crash-safe persistence: a filesystem path (or a
+        :class:`repro.engine.checkpoint.Checkpoint` handle) where the
+        run's progress is periodically written. When the path already
+        holds a valid checkpoint for the same specification and
+        configuration, :meth:`run` *resumes* from it instead of starting
+        over, and the finished build is bit-identical to an undisturbed
+        one. Only pure (``parallel_safe``) generators are checkpointed —
+        for others (RCYCL's order-dependent pool) the option is ignored,
+        exactly like ``workers=``. See :mod:`repro.engine.checkpoint`.
     """
 
     def __init__(
@@ -225,6 +236,7 @@ class Explorer:
         strategy: str = "bfs",
         observer: Optional[
             Callable[[State, Instance], Optional[str]]] = None,
+        checkpoint=None,
     ):
         if on_budget not in ("raise", "truncate"):
             raise ReproError(f"unknown budget behaviour {on_budget!r}")
@@ -238,6 +250,14 @@ class Explorer:
         self.budget_error = budget_error
         self.strategy = strategy
         self.observer = observer
+        if checkpoint is not None:
+            from repro.engine.checkpoint import Checkpoint
+            checkpoint = Checkpoint.of(checkpoint)
+        self.checkpoint = checkpoint
+        self._ckpt_writer = None
+        self._ckpt_edges: Optional[List[Tuple[State, State,
+                                              Optional[str]]]] = None
+        self._restored_result: Optional[ExplorationResult] = None
         self.stats = ExplorationStats(strategy=strategy)
         self.ts: Optional[TransitionSystem] = None
 
@@ -245,7 +265,19 @@ class Explorer:
 
     def _start(self, generator: SuccessorGenerator
                ) -> Tuple[TransitionSystem, deque]:
-        """Intern the initial state and seed the frontier/stats/observer."""
+        """Intern the initial state and seed the frontier/stats/observer.
+
+        With ``checkpoint=`` configured (and a pure generator), this is
+        also the resume point: a valid on-disk checkpoint restores the
+        transition system, frontier, and counters instead of a fresh
+        start, and a writer is (re)opened for the rest of the run.
+        """
+        checkpointing = self.checkpoint is not None \
+            and getattr(generator, "parallel_safe", False)
+        if checkpointing:
+            prepared = self._start_from_checkpoint(generator)
+            if prepared is not None:
+                return prepared
         initial, initial_db = generator.initial_state()
         ts = TransitionSystem(self.schema, initial, name=self.name)
         self.ts = ts
@@ -254,7 +286,50 @@ class Explorer:
         self.stats.frontier_peak = 1
         if self.observer is not None:
             self.stats.early_stop = self.observer(initial, initial_db)
+        if checkpointing:
+            from repro.engine.checkpoint import CheckpointWriter
+            self._ckpt_writer = CheckpointWriter(
+                self.checkpoint, generator, self)
+            self._ckpt_edges = []
         return ts, deque([(initial, 0)])
+
+    def _start_from_checkpoint(self, generator: SuccessorGenerator
+                               ) -> Optional[Tuple[TransitionSystem,
+                                                   deque]]:
+        """Restore from ``self.checkpoint`` (``None`` when no file yet).
+
+        The observer is replayed over the restored discovery order —
+        supported observers are pure functions of the state, so this
+        reconstructs on-the-fly verification state exactly. A *complete*
+        checkpoint short-circuits: the stored result is handed back by
+        ``run`` without re-entering the loop.
+        """
+        from repro.engine.checkpoint import CheckpointWriter, load_checkpoint
+        restored = load_checkpoint(self.checkpoint, generator, self)
+        if restored is None:
+            return None
+        ts = restored.ts
+        self.ts = ts
+        stats = self.stats
+        stats.growth = list(restored.stats["growth"])
+        stats.expansions = restored.stats["expansions"]
+        stats.edges = restored.stats["edges"]
+        stats.frontier_peak = restored.stats["frontier_peak"]
+        if self.observer is not None:
+            for state in restored.states:
+                self.observer(state, ts.db(state))
+        if restored.complete:
+            final = restored.final or {}
+            stats.states = len(ts)
+            stats.diverged = bool(final.get("diverged"))
+            stats.early_stop = final.get("early_stop")
+            stats.duration = final.get("duration", 0.0)
+            self._restored_result = ExplorationResult(ts, stats)
+            return ts, deque()
+        self._ckpt_writer = CheckpointWriter(
+            self.checkpoint, generator, self, restored=restored)
+        self._ckpt_edges = []
+        return ts, deque(restored.frontier)
 
     def _apply_successors(self, generator: SuccessorGenerator,
                           ts: TransitionSystem, frontier: deque,
@@ -272,10 +347,13 @@ class Explorer:
         ``frontier_peak`` reflect the sequential frontier length.
         """
         stats = self.stats
+        ckpt_edges = self._ckpt_edges
         for successor, db, label in successors:
             is_new = successor not in ts
             ts.add_state(successor, db)
             ts.add_edge(state, successor, label)
+            if ckpt_edges is not None:
+                ckpt_edges.append((state, successor, label))
             stats.edges += 1
             if not is_new:
                 continue
@@ -306,6 +384,12 @@ class Explorer:
         if budget_hit:
             stats.diverged = True
             if self.on_budget == "raise":
+                if self._ckpt_writer is not None:
+                    # The divergence fuse is deterministic — resuming
+                    # would trip it again — but the data written so far
+                    # stays valid for inspection.
+                    self._ckpt_writer.close()
+                    self._ckpt_writer = None
                 raise self.budget_error(self)
             for state, _ in frontier:
                 ts.mark_truncated(state)
@@ -313,6 +397,10 @@ class Explorer:
             for state, _ in frontier:
                 ts.mark_truncated(state)
         ts.exploration_stats = stats.as_dict()
+        if self._ckpt_writer is not None:
+            self._ckpt_writer.finalize(ts, stats, self._ckpt_edges)
+            self._ckpt_writer = None
+            self._ckpt_edges = None
         return ExplorationResult(ts, stats)
 
     def run(self, generator: SuccessorGenerator) -> ExplorationResult:
@@ -322,6 +410,8 @@ class Explorer:
             return self._run_batched(generator)
         started = time.perf_counter()
         ts, frontier = self._start(generator)
+        if self._restored_result is not None:
+            return self._restored_result
         stats = self.stats
         budget_hit = False
 
@@ -342,8 +432,30 @@ class Explorer:
                 budget_hit = True
             if budget_hit:
                 break
+            if self._ckpt_writer is not None \
+                    and stats.early_stop is None:
+                self._ckpt_writer.maybe_write(
+                    ts, frontier, stats, self._ckpt_edges)
 
         return self._finish(ts, frontier, budget_hit, started)
+
+    def resume(self, generator: SuccessorGenerator) -> ExplorationResult:
+        """Resume from the configured checkpoint, which must exist.
+
+        :meth:`run` already auto-resumes when a valid checkpoint is on
+        disk; this entry point is for callers that *require* prior
+        progress — it raises :class:`~repro.errors.CheckpointError`
+        instead of silently starting a fresh exploration when the
+        checkpoint is missing.
+        """
+        if self.checkpoint is None:
+            raise CheckpointError(
+                "resume() needs a checkpoint= configured on the explorer")
+        if not os.path.exists(self.checkpoint.manifest_path):
+            raise CheckpointError(
+                f"no checkpoint manifest at "
+                f"{self.checkpoint.manifest_path}; nothing to resume")
+        return self.run(generator)
 
     def _run_batched(self, generator: SuccessorGenerator
                      ) -> ExplorationResult:
@@ -366,6 +478,8 @@ class Explorer:
         """
         started = time.perf_counter()
         ts, frontier = self._start(generator)
+        if self._restored_result is not None:
+            return self._restored_result
         stats = self.stats
         budget_hit = False
 
@@ -391,5 +505,9 @@ class Explorer:
                             for state, depth, _ in block[position + 1:]]
                     frontier.extendleft(reversed(tail))
                     break
+            if self._ckpt_writer is not None and not budget_hit \
+                    and stats.early_stop is None:
+                self._ckpt_writer.maybe_write(
+                    ts, frontier, stats, self._ckpt_edges)
 
         return self._finish(ts, frontier, budget_hit, started)

@@ -39,35 +39,82 @@ register states in the same event order and afterwards refer to them by
 small integer tokens instead of re-encoding. Batches are routed to the
 worker that already knows most of their states (affinity), which makes the
 common dispatch a stream of tokens. Generators without a DCDS kernel fall
-back to shipping pickled state/successor lists over the same links.
+back to shipping CRC-framed pickled state/successor lists over the same
+links.
 
 The ``fork`` start method is preferred where available (workers inherit the
 warmed kernel interners and ``lru_cache`` memo tables for free) with
 ``spawn`` supported elsewhere — which is why the relational layer's
 ``__reduce__`` implementations must drop per-process cached hashes and the
 kernel construction order is deterministic (snapshot replay).
+
+Supervision and recovery
+------------------------
+Links are supervised: every coordinator-side receive runs a liveness poll
+loop (``dispatch_timeout`` deadline, ``is_alive``/exitcode checks, a
+``send_failed`` flag raised by the sender thread instead of the old silent
+swallow), so a dead, hung, or unreachable worker surfaces as a structured
+:class:`~repro.errors.WorkerCrashError` instead of blocking forever. A
+failed link is *recycled* — terminated (``kill()`` backstop, never a
+zombie), replaced by a fresh process with a fresh symmetric
+:class:`WireSession` — and every batch that was awaiting a reply on it is
+re-encoded and redispatched to the surviving pool, with exponential
+backoff and a per-batch ``retry_limit``.
+
+Redispatch preserves the determinism contract for free: expansion is a
+pure function of the dispatched states, and results are applied in pop
+order regardless of which link computed them. The one subtlety is token
+alignment — replies on a link must be decoded in that link's *send* order
+(the worker processes its pipe FIFO), which after a redispatch is no
+longer the global apply order. Each link therefore keeps a ``pending``
+queue of its unanswered batches: replies are decoded against the queue
+head (keeping the session's result space aligned) and parked on the batch
+record until the apply loop reaches it.
+
+Failure taxonomy at the receive site:
+
+* ``WorkerCrashError`` (died / hung / send-failed) — recycle + redispatch;
+* :class:`~repro.errors.WireIntegrityError` — a corrupted frame; the CRC
+  check fires *before* any token registration, but the two ends of the
+  link can no longer be trusted to agree, so the link is recycled too;
+* relayed ``MemoryError`` — transient pressure; recycling the worker
+  frees its memory and the batch retries after backoff;
+* any other relayed exception is deterministic (a sequential run would
+  hit it on the same state) and propagates unchanged.
+
+Fault injection (``REPRO_FAULTS``, :mod:`repro.engine.faults`) drives all
+of these paths deterministically in the chaos tests; respawned
+replacement workers never carry a fault schedule, so recovery always can
+converge.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-import pickle
 import queue
 import threading
 import time
 from collections import deque
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.errors import ReproError
+from repro.errors import ReproError, WireIntegrityError, WorkerCrashError
 from repro.engine.explorer import (
     BudgetError, ExplorationResult, Explorer, SuccessorGenerator,
     _default_budget_error)
-from repro.engine.wire import WireCodec, WireSession, make_codec
+from repro.engine.faults import FaultPlan, WorkerFaults
+from repro.engine.wire import (
+    WireCodec, WireSession, _dumps, _loads, make_codec)
 from repro.relational.instance import Instance
 from repro.relational.kernel import kernel_for
 from repro.relational.schema import DatabaseSchema
 from repro.semantics.transition_system import State
+
+#: Liveness poll slice while waiting for a reply: how often the receive
+#: loop re-checks worker aliveness, the send-failed flag, and the dispatch
+#: deadline. Data arriving mid-slice wakes ``poll`` immediately, so the
+#: fault-free hot path pays at most one slice of latency per reply.
+_POLL_INTERVAL = 0.05
 
 
 def _worker_codec(generator: SuccessorGenerator,
@@ -77,28 +124,34 @@ def _worker_codec(generator: SuccessorGenerator,
     kernel = kernel_for(generator.dcds)
     if kernel is None:
         return None
-    # Fork: the inherited table *is* the snapshot (replay verifies).
-    # Spawn: the freshly built kernel interned the deterministic
-    # constructor prefix; replay appends the coordinator's
-    # exploration-time codes in order, asserting alignment.
+    # Fork: the inherited table *is* the snapshot (replay verifies) — or a
+    # longer table when this worker is a mid-run respawn, in which case
+    # replay checks the prefix. Spawn: the freshly built kernel interned
+    # the deterministic constructor prefix; replay appends the
+    # coordinator's exploration-time codes in order, asserting alignment.
     kernel.table.replay(snapshot)
     return WireCodec(kernel, len(snapshot))
 
 
 def _worker_main(conn, generator: SuccessorGenerator,
-                 snapshot: Optional[list]) -> None:
+                 snapshot: Optional[list], index: int = 0,
+                 faults: Optional[WorkerFaults] = None) -> None:
     """Worker loop: receive a batch payload, expand, reply; ``None`` exits.
 
     Exceptions are relayed to the coordinator (tagged ``"exc"``) instead of
-    killing the link silently.
+    killing the link silently. ``faults`` is this worker's injection
+    schedule (chaos tests only): counted per dispatch before expansion,
+    and applied to the encoded reply bytes.
     """
     codec = _worker_codec(generator, snapshot)
-    session = WireSession(codec) if codec is not None else None
+    session = WireSession(codec, index) if codec is not None else None
     while True:
         payload = conn.recv()
         if payload is None:
             return
         try:
+            if faults is not None:
+                faults.before_dispatch()
             if session is not None:
                 states, parents = session.decode_dispatch(payload)
                 # Batched grounding: the whole dispatch block is warmed in
@@ -106,10 +159,12 @@ def _worker_main(conn, generator: SuccessorGenerator,
                 results = generator.successors_batch(states)
                 reply = session.encode_results(parents, results)
             else:
-                states = pickle.loads(payload)
-                reply = pickle.dumps(
-                    generator.successors_batch(states),
-                    pickle.HIGHEST_PROTOCOL)
+                states = _loads(payload, index)
+                reply = _dumps(generator.successors_batch(states))
+            if faults is not None:
+                reply = faults.mangle_reply(reply)
+                if reply is None:  # injected message drop
+                    continue
             conn.send(("ok", reply))
         except BaseException as error:  # relayed, not swallowed
             try:
@@ -122,6 +177,33 @@ def _worker_main(conn, generator: SuccessorGenerator,
                     f"{type(error).__name__}: {error}")))
 
 
+class _Batch:
+    """One dispatched frontier block, from pop to apply.
+
+    ``entries`` is the popped ``(state, depth, expand)`` prefix of the
+    sequential frontier; ``expandable`` the subset shipped to a worker
+    (kept so a lost batch can be re-encoded on any session); ``link`` /
+    ``parents`` the worker currently expanding it and that session's
+    dispatch context (``None`` for all-truncated batches and, for
+    ``parents``, on the pickle path); ``results`` the decoded successor
+    lists, parked here by the link drain until the apply loop reaches
+    this batch; ``retries`` how many times the batch has been
+    redispatched after a link failure.
+    """
+
+    __slots__ = ("entries", "expandable", "link", "parents", "results",
+                 "retries")
+
+    def __init__(self, entries: List[Tuple[State, int, bool]],
+                 expandable: List[State]):
+        self.entries = entries
+        self.expandable = expandable
+        self.link: Optional["_WorkerLink"] = None
+        self.parents = None
+        self.results: Optional[list] = [] if not expandable else None
+        self.retries = 0
+
+
 class _WorkerLink:
     """One dedicated worker process and its coordinator-side session.
 
@@ -130,23 +212,34 @@ class _WorkerLink:
     large reply (pipe buffer full, coordinator not reading yet) and a
     coordinator stuck sending the next large dispatch would deadlock.
     Every worker process is started before any sender thread exists (see
-    ``start_links``): forking with live threads risks inheriting held
-    locks.
+    ``_start_links``): forking with live threads risks inheriting held
+    locks. (A mid-run respawn *does* fork with sender threads alive; the
+    child only ever touches its own pipe end and imports nothing lazily,
+    so none of the parent's per-link locks can be needed.)
+
+    ``pending`` is the supervision ledger: the link's unanswered batches
+    in send order. Replies decode against its head (token alignment), and
+    on failure it is exactly the set of batches to redispatch.
     """
 
-    __slots__ = ("process", "conn", "session", "inflight", "_outbox",
-                 "_sender")
+    __slots__ = ("index", "process", "conn", "session", "pending",
+                 "send_failed", "_outbox", "_sender")
 
     def __init__(self, context, generator: SuccessorGenerator,
-                 snapshot: Optional[list], codec: Optional[WireCodec]):
+                 snapshot: Optional[list], codec: Optional[WireCodec],
+                 index: int = 0, faults: Optional[WorkerFaults] = None):
+        self.index = index
         self.conn, child_conn = context.Pipe(duplex=True)
         self.process = context.Process(
-            target=_worker_main, args=(child_conn, generator, snapshot),
+            target=_worker_main,
+            args=(child_conn, generator, snapshot, index, faults),
             daemon=True)
         self.process.start()
         child_conn.close()
-        self.session = WireSession(codec) if codec is not None else None
-        self.inflight = 0
+        self.session = WireSession(codec, index) \
+            if codec is not None else None
+        self.pending: "deque[_Batch]" = deque()
+        self.send_failed = threading.Event()
         self._outbox: "queue.Queue" = queue.Queue()
         self._sender: Optional[threading.Thread] = None
 
@@ -161,43 +254,111 @@ class _WorkerLink:
                 # ``None`` is forwarded: it is the worker's exit sentinel.
                 self.conn.send(payload)
             except (BrokenPipeError, OSError):
-                return  # worker gone; receive() surfaces the EOF
+                # Worker gone. Flag it — the supervisor's receive loop
+                # turns the flag into a structured WorkerCrashError; the
+                # old behaviour (silent return) left the coordinator
+                # blocked in recv until EOF happened to arrive.
+                if payload is not None:
+                    self.send_failed.set()
+                return
             if payload is None:
                 return
 
     def send(self, payload) -> None:
-        self.inflight += 1
         self._outbox.put(payload)
 
-    def receive(self):
-        tag, payload = self.conn.recv()
-        self.inflight -= 1
+    def receive(self, timeout: Optional[float] = None):
+        """The next raw reply payload, supervised.
+
+        Polls in :data:`_POLL_INTERVAL` slices so worker death (process
+        exit, broken send pipe) and the ``timeout`` deadline are noticed
+        while waiting; raises :class:`WorkerCrashError` for all three,
+        and re-raises relayed worker exceptions (``"exc"`` frames)
+        unchanged.
+        """
+        deadline = None if timeout is None \
+            else time.monotonic() + timeout
+        while not self.conn.poll(_POLL_INTERVAL):
+            if self.send_failed.is_set():
+                raise WorkerCrashError(
+                    f"worker {self.index}: dispatch pipe broke mid-send "
+                    f"with {len(self.pending)} batch(es) in flight",
+                    worker=self.index, reason="send-failed",
+                    exitcode=self.process.exitcode,
+                    batches_lost=len(self.pending))
+            if not self.process.is_alive() and not self.conn.poll(0):
+                raise WorkerCrashError(
+                    f"worker {self.index} died (exitcode "
+                    f"{self.process.exitcode}) with {len(self.pending)} "
+                    f"batch(es) in flight",
+                    worker=self.index, reason="died",
+                    exitcode=self.process.exitcode,
+                    batches_lost=len(self.pending))
+            if deadline is not None and time.monotonic() > deadline:
+                raise WorkerCrashError(
+                    f"worker {self.index} hung: no reply within the "
+                    f"{timeout:g}s dispatch timeout, {len(self.pending)} "
+                    f"batch(es) in flight",
+                    worker=self.index, reason="hung",
+                    exitcode=self.process.exitcode,
+                    batches_lost=len(self.pending))
+        try:
+            tag, payload = self.conn.recv()
+        except (EOFError, OSError) as error:
+            raise WorkerCrashError(
+                f"worker {self.index} died mid-reply "
+                f"({type(error).__name__}) with {len(self.pending)} "
+                f"batch(es) in flight",
+                worker=self.index, reason="died",
+                exitcode=self.process.exitcode,
+                batches_lost=len(self.pending)) from error
         if tag == "exc":
             raise payload
         return payload
 
-    def shutdown(self) -> None:
-        # Graceful first: the exit sentinel travels through the sender
-        # thread (the pipe is never written from two threads). A worker
-        # blocked mid-send (discarded in-flight replies) will not read it,
-        # so terminate() is the backstop — killing the process breaks the
-        # pipe, which also unblocks a sender thread stuck in send().
-        self._outbox.put(None)
-        self.process.join(timeout=1.0)
+    def shutdown(self, graceful: bool = True) -> None:
+        """Stop the worker; never hangs, never leaves a zombie.
+
+        Graceful first (``graceful=True``): the exit sentinel travels
+        through the sender thread (the pipe is never written from two
+        threads) and the process gets a short join. A worker that will
+        not read it — blocked mid-send, hung, already crashed — is
+        terminated, with ``kill()`` as the backstop for a process that
+        ignores SIGTERM; every path ends in a full ``join``, so no
+        zombie survives (the old ``join(timeout=1.0)``-then-``terminate``
+        sequence could leak one when terminate lost a race with a
+        stuck-in-send child). Killing the process breaks the pipe, which
+        also unblocks a sender thread stuck in ``send``.
+        """
+        if graceful:
+            self._outbox.put(None)
+            self.process.join(timeout=1.0)
         if self.process.is_alive():
             self.process.terminate()
+            self.process.join(timeout=2.0)
+        if self.process.is_alive():
+            self.process.kill()
             self.process.join()
+        if not graceful:
+            # Release a sender thread parked in ``get`` (the broken pipe
+            # already released one parked in ``send``).
+            self._outbox.put(None)
         if self._sender is not None:
             self._sender.join(timeout=1.0)
-        self.conn.close()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
 
 
 def _start_links(context, workers: int, generator: SuccessorGenerator,
-                 snapshot: Optional[list], codec: Optional[WireCodec]
-                 ) -> List[_WorkerLink]:
+                 snapshot: Optional[list], codec: Optional[WireCodec],
+                 plan: Optional[FaultPlan] = None) -> List[_WorkerLink]:
     """Fork/spawn every worker first, then start the sender threads."""
-    links = [_WorkerLink(context, generator, snapshot, codec)
-             for _ in range(workers)]
+    links = [
+        _WorkerLink(context, generator, snapshot, codec, index,
+                    plan.for_worker(index) if plan is not None else None)
+        for index in range(workers)]
     for link in links:
         link.start_sender()
     return links
@@ -249,6 +410,21 @@ class ParallelExplorer(Explorer):
         memory and the speculative work discarded on budget/early-stop.
     start_method:
         ``multiprocessing`` start method (default: ``fork`` when available).
+    dispatch_timeout:
+        Seconds a link may stay silent (while owed a reply) before it is
+        declared hung and recycled. Generous by default — a legitimate
+        expansion of a huge instance must never trip it.
+    retry_limit:
+        How many times one batch may be redispatched after link failures
+        before the run gives up with ``reason="retries-exhausted"``.
+        ``0`` disables recovery: the first failure propagates.
+    retry_backoff:
+        Base backoff in seconds before redispatching; doubles with each
+        retry of the failing batch (``backoff * 2**(retries-1)``).
+    faults:
+        A :class:`~repro.engine.faults.FaultPlan` injected into the
+        worker pool (chaos tests / benchmarks). Default: parsed from
+        ``REPRO_FAULTS`` at run time; ``None`` there too in production.
     """
 
     def __init__(
@@ -265,11 +441,16 @@ class ParallelExplorer(Explorer):
         batch_size: int = 16,
         max_inflight: Optional[int] = None,
         start_method: Optional[str] = None,
+        dispatch_timeout: float = 120.0,
+        retry_limit: int = 3,
+        retry_backoff: float = 0.05,
+        faults: Optional[FaultPlan] = None,
+        checkpoint=None,
     ):
         super().__init__(
             schema, name=name, max_states=max_states, max_depth=max_depth,
             on_budget=on_budget, budget_error=budget_error, strategy="bfs",
-            observer=observer)
+            observer=observer, checkpoint=checkpoint)
         if workers is not None and workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
         if batch_size < 1:
@@ -277,6 +458,15 @@ class ParallelExplorer(Explorer):
         if max_inflight is not None and max_inflight < 1:
             raise ReproError(
                 f"max_inflight must be >= 1, got {max_inflight}")
+        if dispatch_timeout <= 0:
+            raise ReproError(
+                f"dispatch_timeout must be > 0, got {dispatch_timeout}")
+        if retry_limit < 0:
+            raise ReproError(
+                f"retry_limit must be >= 0, got {retry_limit}")
+        if retry_backoff < 0:
+            raise ReproError(
+                f"retry_backoff must be >= 0, got {retry_backoff}")
         self.workers = workers if workers is not None else default_workers()
         self.batch_size = batch_size
         self.max_inflight = max_inflight if max_inflight is not None \
@@ -286,6 +476,10 @@ class ParallelExplorer(Explorer):
                 if "fork" in multiprocessing.get_all_start_methods() \
                 else None
         self.start_method = start_method
+        self.dispatch_timeout = dispatch_timeout
+        self.retry_limit = retry_limit
+        self.retry_backoff = retry_backoff
+        self.faults = faults
 
     def _initial_parallel_stats(self, codec: str) -> dict:
         """One schema for the pool counters, whatever the transport —
@@ -301,6 +495,15 @@ class ParallelExplorer(Explorer):
             "ipc_bytes_received": 0,
             "coordinator_decode_sec": 0.0,
             "coordinator_apply_sec": 0.0,
+            # Supervision counters: link failures survived (by reason),
+            # replacement workers started, batches re-sent after a
+            # failure, corrupted frames rejected by the CRC check, and
+            # the wall-clock the coordinator spent recovering.
+            "crashes": 0,
+            "respawns": 0,
+            "redispatches": 0,
+            "integrity_errors": 0,
+            "recovery_sec": 0.0,
         }
 
     # -- the sharded frontier loop ------------------------------------------
@@ -320,6 +523,8 @@ class ParallelExplorer(Explorer):
             return super().run(generator)
         started = time.perf_counter()
         ts, frontier = self._start(generator)
+        if self._restored_result is not None:
+            return self._restored_result
         stats = self.stats
         stats.parallel = self._initial_parallel_stats("pickle")
         budget_hit = False
@@ -330,12 +535,9 @@ class ParallelExplorer(Explorer):
         # state) never pays worker startup.
         codec = None  # built with the links: its table snapshot is taken
         # at fork/spawn time, so snapshot codes are shared vocabulary.
-        # In-flight batches, oldest first: (entries, link, parents) where
-        # entries is the popped ``(state, depth, expand)`` prefix of the
-        # sequential frontier, link is the worker expanding its expandable
-        # states (None for all-truncated batches), and parents is the
-        # session's dispatch context (None on the legacy pickle path).
-        in_flight: deque = deque()
+        snapshot = None  # kept for the run: respawned workers replay it.
+        # In-flight batches, oldest first; applied strictly in this order.
+        in_flight: "deque[_Batch]" = deque()
         inflight_entries = 0  # popped but not yet applied, across batches
         try:
             while (frontier or in_flight) and not budget_hit \
@@ -353,8 +555,7 @@ class ParallelExplorer(Explorer):
                         entries.append((state, depth, expand))
                         if expand:
                             expandable.append(state)
-                    link = None
-                    parents = None
+                    batch = _Batch(entries, expandable)
                     if expandable:
                         if not links:
                             codec = make_codec(generator)
@@ -362,40 +563,27 @@ class ParallelExplorer(Explorer):
                                 if codec is not None else None
                             if codec is not None:
                                 stats.parallel["codec"] = "wire"
+                            plan = self.faults if self.faults is not None \
+                                else FaultPlan.from_env()
                             links = _start_links(
                                 context, self.workers, generator,
-                                snapshot, codec)
-                        link = self._route(links, expandable)
-                        if link.session is not None:
-                            payload, parents = \
-                                link.session.encode_dispatch(expandable)
-                        else:
-                            payload = pickle.dumps(
-                                expandable, pickle.HIGHEST_PROTOCOL)
-                        stats.parallel["ipc_bytes_sent"] += len(payload)
-                        link.send(payload)
-                        stats.parallel["states_shipped"] += len(expandable)
-                    in_flight.append((entries, link, parents))
+                                snapshot, codec, plan)
+                        self._dispatch(batch, self._route(
+                            links, expandable), stats)
+                    in_flight.append(batch)
                     inflight_entries += len(entries)
                     stats.parallel["batches"] += 1
 
-                entries, link, parents = in_flight.popleft()
-                if link is None:
-                    results = []
-                else:
-                    payload = link.receive()
-                    stats.parallel["ipc_bytes_received"] += len(payload)
-                    decode_started = time.perf_counter()
-                    if parents is not None:
-                        results = link.session.decode_results(
-                            payload, parents)
-                    else:
-                        results = pickle.loads(payload)
-                    stats.parallel["coordinator_decode_sec"] += \
-                        time.perf_counter() - decode_started
+                batch = in_flight.popleft()
+                results = batch.results
+                if results is None:
+                    results = self._await_results(
+                        batch, links, context, generator, snapshot,
+                        codec, stats)
                 apply_started = time.perf_counter()
                 results_iter = iter(results)
-                for position, (state, depth, expand) in enumerate(entries):
+                for position, (state, depth, expand) in enumerate(
+                        batch.entries):
                     inflight_entries -= 1
                     if not expand:
                         ts.mark_truncated(state)
@@ -413,7 +601,7 @@ class ParallelExplorer(Explorer):
                         # epilogue treats it as frontier (exactly the states
                         # a sequential run would still have queued). Their
                         # computed successor lists are discarded unseen.
-                        tail = entries[position + 1:]
+                        tail = batch.entries[position + 1:]
                         inflight_entries -= len(tail)
                         stats.parallel["speculative_states_discarded"] += \
                             sum(1 for _, _, expand in tail if expand)
@@ -423,19 +611,147 @@ class ParallelExplorer(Explorer):
                         break
                 stats.parallel["coordinator_apply_sec"] += \
                     time.perf_counter() - apply_started
+                if self._ckpt_writer is not None and not budget_hit \
+                        and stats.early_stop is None:
+                    # Safe point: all applied sources have complete edge
+                    # sets, and the in-flight entry tails prepended to
+                    # the frontier are exactly the sequential frontier.
+                    self._ckpt_writer.maybe_write(
+                        ts, frontier, stats, self._ckpt_edges,
+                        extra_entries=(
+                            (state, depth) for pending in in_flight
+                            for state, depth, _ in pending.entries))
                 if budget_hit or stats.early_stop is not None:
                     while in_flight:
-                        tail_entries, _, _ = in_flight.popleft()
-                        inflight_entries -= len(tail_entries)
+                        tail_batch = in_flight.popleft()
+                        inflight_entries -= len(tail_batch.entries)
                         stats.parallel["speculative_states_discarded"] += \
-                            sum(1 for _, _, expand in tail_entries if expand)
-                        frontier.extend((state, depth)
-                                        for state, depth, _ in tail_entries)
+                            sum(1 for _, _, expand in tail_batch.entries
+                                if expand)
+                        frontier.extend(
+                            (state, depth)
+                            for state, depth, _ in tail_batch.entries)
         finally:
             for link in links:
                 link.shutdown()
 
         return self._finish(ts, frontier, budget_hit, started)
+
+    # -- dispatch / receive / recovery --------------------------------------
+
+    def _dispatch(self, batch: _Batch, link: _WorkerLink,
+                  stats) -> None:
+        """Encode the batch on the link's session and queue it for send."""
+        if link.session is not None:
+            payload, parents = link.session.encode_dispatch(
+                batch.expandable)
+        else:
+            payload = _dumps(batch.expandable)
+            parents = None
+        batch.link = link
+        batch.parents = parents
+        stats.parallel["ipc_bytes_sent"] += len(payload)
+        stats.parallel["states_shipped"] += len(batch.expandable)
+        link.send(payload)
+        link.pending.append(batch)
+
+    def _await_results(self, batch: _Batch, links: List[_WorkerLink],
+                       context, generator: SuccessorGenerator,
+                       snapshot: Optional[list],
+                       codec: Optional[WireCodec], stats) -> list:
+        """Drain the batch's link until this batch's results are decoded.
+
+        Replies are decoded against the head of the link's ``pending``
+        queue — the link's own send order, which keeps both sessions'
+        token spaces aligned — and parked on each batch record; after a
+        redispatch the wanted batch may sit behind globally-newer ones,
+        so this can decode (and park) several replies before returning.
+        Link failures recover in place: recycle, redispatch, continue
+        waiting on whichever link now owns the batch.
+        """
+        while batch.results is None:
+            link = batch.link
+            head = link.pending[0]
+            try:
+                payload = link.receive(self.dispatch_timeout)
+                stats.parallel["ipc_bytes_received"] += len(payload)
+                decode_started = time.perf_counter()
+                if head.parents is not None:
+                    decoded = link.session.decode_results(
+                        payload, head.parents)
+                else:
+                    decoded = _loads(payload, link.index)
+                stats.parallel["coordinator_decode_sec"] += \
+                    time.perf_counter() - decode_started
+            except WorkerCrashError as error:
+                self._recover(links, link, error, context, generator,
+                              snapshot, codec, stats)
+                continue
+            except WireIntegrityError as error:
+                stats.parallel["integrity_errors"] += 1
+                self._recover(links, link, error, context, generator,
+                              snapshot, codec, stats)
+                continue
+            except MemoryError as error:
+                # Relayed memory pressure: transient by contract — the
+                # recycle frees the worker's memory and the batch retries
+                # after backoff. (Any other relayed exception is
+                # deterministic and propagates: a sequential run would
+                # raise it on the same state.)
+                self._recover(links, link, error, context, generator,
+                              snapshot, codec, stats)
+                continue
+            head.results = decoded
+            link.pending.popleft()
+        return batch.results
+
+    def _recover(self, links: List[_WorkerLink], link: _WorkerLink,
+                 error: BaseException, context,
+                 generator: SuccessorGenerator, snapshot: Optional[list],
+                 codec: Optional[WireCodec], stats) -> None:
+        """Recycle a failed link and redispatch everything it owed.
+
+        The replacement process replays the run's original codec snapshot
+        (shared vocabulary) behind a fresh symmetric session, and never
+        inherits a fault schedule. Lost batches re-encode on whichever
+        link the router picks — token-or-full encoding makes any session
+        valid — with retry accounting and exponential backoff charged to
+        the batch that was actually being expanded when the link failed
+        (its collateral queue-mates redispatch for free).
+        """
+        recovery_started = time.perf_counter()
+        lost = list(link.pending)
+        link.pending.clear()
+        link.shutdown(graceful=False)
+        replacement = _WorkerLink(
+            context, generator, snapshot, codec, link.index, None)
+        replacement.start_sender()
+        links[link.index] = replacement
+        stats.parallel["crashes"] += 1
+        stats.parallel["respawns"] += 1
+        try:
+            if lost:
+                head = lost[0]
+                head.retries += 1
+                if head.retries > self.retry_limit:
+                    raise WorkerCrashError(
+                        f"batch exhausted its retry budget "
+                        f"({self.retry_limit}) after worker {link.index} "
+                        f"failed: {error}",
+                        worker=link.index, reason="retries-exhausted",
+                        exitcode=link.process.exitcode,
+                        batches_lost=len(lost)) from error
+                backoff = self.retry_backoff * (2 ** (head.retries - 1))
+                if backoff:
+                    time.sleep(backoff)
+                for lost_batch in lost:
+                    self._dispatch(
+                        lost_batch,
+                        self._route(links, lost_batch.expandable), stats)
+                    stats.parallel["redispatches"] += 1
+        finally:
+            stats.parallel["recovery_sec"] += \
+                time.perf_counter() - recovery_started
 
     @staticmethod
     def _route(links: List[_WorkerLink], expandable: List[State]
@@ -451,11 +767,11 @@ class ParallelExplorer(Explorer):
         """
         if len(links) == 1:
             return links[0]
-        least = min(link.inflight for link in links)
+        least = min(len(link.pending) for link in links)
         best = None
         best_score = -1
         for link in links:
-            if link.inflight > least:
+            if len(link.pending) > least:
                 continue
             if link.session is not None:
                 knows = link.session.knows

@@ -36,10 +36,12 @@ kernel fall back to the legacy pickle path in
 from __future__ import annotations
 
 import pickle
+import struct
 import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.generators import DetState
+from repro.errors import WireIntegrityError
 from repro.relational.kernel import RelationalKernel, kernel_for
 
 #: ``(kind, state, coded_fact_list, call_map)`` for each dispatched state;
@@ -54,14 +56,45 @@ _NO_LABEL = -1
 #: crosses the process boundary.
 _ZLIB_LEVEL = 3
 
+#: Frame layout: ``b"RW1" + <u32 body length> + <u32 CRC32(body)> + body``.
+#: The checksum turns a truncated pipe read, a corrupted payload, or a
+#: torn checkpoint record into a structured :class:`WireIntegrityError`
+#: instead of a ``zlib``/unpickle traceback deep inside the codec.
+_FRAME_MAGIC = b"RW1"
+_FRAME_HEADER = struct.Struct("<3sII")
+FRAME_OVERHEAD = _FRAME_HEADER.size
+
 
 def _dumps(message: Any) -> bytes:
-    return zlib.compress(
+    body = zlib.compress(
         pickle.dumps(message, pickle.HIGHEST_PROTOCOL), _ZLIB_LEVEL)
+    return _FRAME_HEADER.pack(_FRAME_MAGIC, len(body),
+                              zlib.crc32(body)) + body
 
 
-def _loads(payload: bytes) -> Any:
-    return pickle.loads(zlib.decompress(payload))
+def _loads(payload: bytes, link: Optional[int] = None) -> Any:
+    if len(payload) < FRAME_OVERHEAD:
+        raise WireIntegrityError(
+            f"wire frame truncated: {len(payload)} bytes is shorter than "
+            f"the {FRAME_OVERHEAD}-byte frame header", link=link)
+    magic, length, checksum = _FRAME_HEADER.unpack_from(payload)
+    if magic != _FRAME_MAGIC:
+        raise WireIntegrityError(
+            f"wire frame misframed: bad magic {magic!r}", link=link)
+    body = payload[FRAME_OVERHEAD:]
+    if len(body) != length:
+        raise WireIntegrityError(
+            f"wire frame truncated: header promises {length} body bytes, "
+            f"got {len(body)}", link=link)
+    if zlib.crc32(body) != checksum:
+        raise WireIntegrityError(
+            "wire frame corrupted: CRC32 checksum mismatch", link=link)
+    try:
+        return pickle.loads(zlib.decompress(body))
+    except Exception as error:  # CRC passed but payload still unusable
+        raise WireIntegrityError(
+            f"wire frame undecodable despite a valid checksum: "
+            f"{type(error).__name__}: {error}", link=link) from error
 
 
 def make_codec(generator) -> Optional["WireCodec"]:
@@ -226,8 +259,12 @@ class WireSession:
     frontier state returns to the worker that produced it.
     """
 
-    def __init__(self, codec: WireCodec):
+    def __init__(self, codec: WireCodec, link_id: Optional[int] = None):
         self.codec = codec
+        #: Worker slot this session serves, stamped onto every
+        #: :class:`WireIntegrityError` its decode paths raise so the
+        #: supervisor knows which link to recycle.
+        self.link_id = link_id
         #: Registered states with their *agreed* coded-fact list. The list
         #: order is fixed by the message that introduced the state (never
         #: by local code order, which differs per process past the
@@ -264,6 +301,11 @@ class WireSession:
         def_index: Dict[int, int] = {}
         entries = []
         parents: List[ParentInfo] = []
+        # Fact code tuples repeat massively across a batch's states (a
+        # frontier shares most of its facts), so translated tuples are
+        # memoized per message — the defs/def_index they reference are
+        # per-message, which bounds the memo's validity.
+        translated: Dict[tuple, tuple] = {}
         for state in states:
             if isinstance(state, DetState):
                 kind, instance, call_map = \
@@ -277,11 +319,20 @@ class WireSession:
                 parents.append((kind, state, fact_list, call_map))
                 continue
             fact_list = tuple(sorted(kernel.coded_fact_set(instance)))
-            facts = tuple(
-                (relation, tuple(
-                    code if code < snap else ref(code, defs, def_index)
-                    for code in codes))
-                for relation, codes in fact_list)
+            facts_out = []
+            for relation, codes in fact_list:
+                moved = translated.get(codes)
+                if moved is None:
+                    if not codes or max(codes) < snap:
+                        moved = codes  # all shared vocabulary: ship as-is
+                    else:
+                        moved = tuple(
+                            code if code < snap
+                            else ref(code, defs, def_index)
+                            for code in codes)
+                    translated[codes] = moved
+                facts_out.append((relation, moved))
+            facts = tuple(facts_out)
             coded_map = tuple(
                 (ref(table_code(call), defs, def_index),
                  ref(table_code(value), defs, def_index))
@@ -297,7 +348,7 @@ class WireSession:
         kernel = codec.kernel
         table = kernel.table
         snap = codec.snapshot_size
-        defs, encoded = _loads(payload)
+        defs, encoded = _loads(payload, self.link_id)
         resolved = codec._resolve_defs(defs)
         results: List[List[tuple]] = []
         for (kind, _, parent_facts, parent_map), entries in zip(
@@ -353,7 +404,7 @@ class WireSession:
         kernel = codec.kernel
         table = kernel.table
         snap = codec.snapshot_size
-        defs, entries = _loads(payload)
+        defs, entries = _loads(payload, self.link_id)
         resolved = codec._resolve_defs(defs)
         states: List[Any] = []
         parents: List[ParentInfo] = []

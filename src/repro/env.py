@@ -18,6 +18,10 @@ semantics the switches always had:
 ``REPRO_NO_SYMMETRY=1``      force ``symmetry="exact"`` everywhere
 ``REPRO_NO_WITNESS=1``       skip witness/counterexample certificate
                              extraction in ``pipeline.verify``
+``REPRO_FAULTS=<spec>``      seeded fault-injection plan for the parallel
+                             engine (``kind:worker@nth[:arg]`` events,
+                             comma-separated; parsed by
+                             ``repro.engine.faults.FaultPlan``)
 ============================ ==============================================
 
 A switch is *on* when its variable is set to any non-empty string (``"0"``
@@ -90,3 +94,16 @@ def witness_disabled() -> bool:
     behaviorally invisible outside the certificate fields.
     """
     return _flag("REPRO_NO_WITNESS")
+
+
+def faults_spec() -> str:
+    """``REPRO_FAULTS``: the raw fault-injection spec, ``""`` when unset.
+
+    Unlike the boolean switches above, the *value* carries the plan —
+    ``kind:worker@nth[:arg]`` events, comma-separated, e.g.
+    ``"kill:1@2,corrupt:0@3,seed:7"``. Parsing and the event vocabulary
+    live in :class:`repro.engine.faults.FaultPlan`; this helper only
+    reads the variable (per call, never cached) so the chaos tests can
+    flip plans between builds without reloading modules.
+    """
+    return os.environ.get("REPRO_FAULTS", "")

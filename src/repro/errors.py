@@ -76,6 +76,44 @@ class AbstractionDiverged(ReproError):
         self.partial_states = partial_states
 
 
+class WorkerCrashError(ReproError):
+    """A parallel worker died, hung past its dispatch timeout, or a batch
+    exhausted its retry budget.
+
+    Carries the worker slot (``worker``), why the link was declared lost
+    (``reason``: ``"died"``/``"hung"``/``"send-failed"``/
+    ``"retries-exhausted"``), the worker process exit code when one exists,
+    and how many dispatched batches were in flight on the link.
+    """
+
+    def __init__(self, message: str, worker: int = -1, reason: str = "",
+                 exitcode: int | None = None, batches_lost: int = 0):
+        super().__init__(message)
+        self.worker = worker
+        self.reason = reason
+        self.exitcode = exitcode
+        self.batches_lost = batches_lost
+
+
+class WireIntegrityError(ReproError):
+    """A wire frame failed its CRC32 checksum or was truncated/misframed.
+
+    ``link`` is the worker slot whose session decoded the frame (``None``
+    outside the parallel transport — e.g. a corrupted checkpoint record,
+    which :mod:`repro.engine.checkpoint` re-raises as
+    :class:`CheckpointError`).
+    """
+
+    def __init__(self, message: str, link: int | None = None):
+        super().__init__(message)
+        self.link = link
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, torn, corrupt, or belongs to a
+    different specification/configuration than the resuming run."""
+
+
 class UndecidableFragment(ReproError):
     """The requested verification task falls in an undecidable cell of Table 1."""
 

@@ -110,7 +110,8 @@ def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
            force: bool = False, keep_ts: bool = True,
            on_the_fly: bool = False,
            workers: Optional[int] = None,
-           symmetry: Optional[str] = None) -> VerificationReport:
+           symmetry: Optional[str] = None,
+           checkpoint=None) -> VerificationReport:
     """Verify ``dcds |= formula`` through the decidable routes of Table 1.
 
     With ``on_the_fly=True``, safety/reachability-shaped formulas fuse the
@@ -137,7 +138,16 @@ def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
     request (plain-instance states admit no sound quotient; recycling is
     the nondeterministic symmetry mechanism — see
     :mod:`repro.engine.symmetry`). Default ``"exact"``; environment
-    default ``REPRO_SYMMETRY``, kill switch ``REPRO_NO_SYMMETRY=1``."""
+    default ``REPRO_SYMMETRY``, kill switch ``REPRO_NO_SYMMETRY=1``.
+
+    ``checkpoint=<path>`` makes the deterministic-abstraction
+    construction crash-safe: progress is periodically persisted
+    (:mod:`repro.engine.checkpoint`) and a rerun with the same
+    ``checkpoint=`` resumes from the last durable chunk instead of
+    starting over — the resumed state space, and therefore the verdict,
+    is bit-identical to an undisturbed build. Like ``workers`` and
+    ``symmetry``, the RCYCL route ignores the request (its exploration is
+    discovery-order dependent)."""
     fragment = classify(formula)
     symmetry = resolve_symmetry(symmetry)
 
@@ -146,7 +156,8 @@ def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
                              keep_ts, on_the_fly, symmetry)
     if dcds.semantics is ServiceSemantics.DETERMINISTIC:
         return _verify_det(dcds, formula, fragment, max_states, force,
-                           keep_ts, on_the_fly, workers, symmetry)
+                           keep_ts, on_the_fly, workers, symmetry,
+                           checkpoint)
     return _verify_nondet(dcds, formula, fragment, max_states, force,
                           keep_ts, on_the_fly, symmetry)
 
@@ -230,7 +241,8 @@ def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
                 max_states: int, force: bool, keep_ts: bool,
                 on_the_fly: bool = False,
                 workers: Optional[int] = None,
-                symmetry: str = "exact") -> VerificationReport:
+                symmetry: str = "exact",
+                checkpoint=None) -> VerificationReport:
     if symmetry == "quotient":
         _check_quotient_adequacy(dcds, formula, fragment)
     if fragment is Fragment.MU_L and not force:
@@ -250,7 +262,7 @@ def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
         dcds, formula,
         lambda observer: build_det_abstraction(
             dcds, max_states=max_states, observer=observer,
-            workers=workers, symmetry=symmetry),
+            workers=workers, symmetry=symmetry, checkpoint=checkpoint),
         on_the_fly)
     return VerificationReport(
         dcds.name, formula, fragment, "det-abstraction",

@@ -59,6 +59,7 @@ def build_det_abstraction(
     workers: Optional[int] = None,
     batch_size: int = 16,
     symmetry: Optional[str] = None,
+    checkpoint=None,
 ) -> TransitionSystem:
     """Build the abstract transition system of Theorem 4.3 by BFS.
 
@@ -72,6 +73,11 @@ def build_det_abstraction(
     :class:`repro.engine.ParallelExplorer` worker pool (``batch_size`` states
     per dispatch); the result is bit-identical to the sequential build for
     any worker count.
+
+    ``checkpoint`` (a path or :class:`repro.engine.checkpoint.Checkpoint`)
+    persists the build's progress crash-safely; an interrupted build
+    rerun with the same ``checkpoint=`` resumes from the last durable
+    chunk and still converges to the bit-identical transition system.
 
     ``symmetry="quotient"`` explores the isomorphism quotient instead of
     the exact system: every successor ``<I, M>`` is replaced by the
@@ -90,7 +96,8 @@ def build_det_abstraction(
         dcds.schema, workers=workers, batch_size=batch_size,
         name=f"abstract[{dcds.name}]", max_states=max_states,
         max_depth=max_depth, on_budget="raise",
-        budget_error=_diverged_error, observer=observer)
+        budget_error=_diverged_error, observer=observer,
+        checkpoint=checkpoint)
     generator = reduced(DetAbstractionGenerator(dcds),
                         resolve_symmetry(symmetry))
     result = explorer.run(generator)

@@ -51,6 +51,25 @@ class TestFlagParsing:
         assert helper() is False
 
 
+class TestFaultsSpec:
+    def test_unset_is_empty(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert env.faults_spec() == ""
+
+    def test_value_passes_through_unvalidated(self, monkeypatch):
+        # Validation belongs to FaultPlan.parse, not the env reader.
+        monkeypatch.setenv("REPRO_FAULTS", "kill:0@2,seed:7")
+        assert env.faults_spec() == "kill:0@2,seed:7"
+        monkeypatch.setenv("REPRO_FAULTS", "not a spec")
+        assert env.faults_spec() == "not a spec"
+
+    def test_read_per_call(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        assert env.faults_spec() == ""
+        monkeypatch.setenv("REPRO_FAULTS", "oom:*@1")
+        assert env.faults_spec() == "oom:*@1"
+
+
 class TestSymmetryDefault:
     def test_unset_is_exact(self, monkeypatch):
         monkeypatch.delenv("REPRO_SYMMETRY", raising=False)

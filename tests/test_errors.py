@@ -3,10 +3,11 @@
 import pytest
 
 from repro.errors import (
-    AbstractionDiverged, ConstraintViolation, ExecutionError, FormulaError,
-    FragmentError, IllegalParameters, InstanceError, MonotonicityError,
-    ParseError, ProcessError, ReproError, SchemaError, UndecidableFragment,
-    VerificationError)
+    AbstractionDiverged, CheckpointError, ConstraintViolation,
+    ExecutionError, FormulaError, FragmentError, IllegalParameters,
+    InstanceError, MonotonicityError, ParseError, ProcessError, ReproError,
+    SchemaError, UndecidableFragment, VerificationError, WireIntegrityError,
+    WorkerCrashError)
 
 
 class TestHierarchy:
@@ -14,7 +15,8 @@ class TestHierarchy:
         SchemaError, InstanceError, ConstraintViolation, FormulaError,
         ParseError, FragmentError, MonotonicityError, ProcessError,
         ExecutionError, IllegalParameters, AbstractionDiverged,
-        UndecidableFragment, VerificationError,
+        UndecidableFragment, VerificationError, WorkerCrashError,
+        WireIntegrityError, CheckpointError,
     ])
     def test_all_derive_from_repro_error(self, exc):
         assert issubclass(exc, ReproError)
@@ -45,6 +47,26 @@ class TestPayloads:
     def test_undecidable_fragment_theorem(self):
         error = UndecidableFragment("nope", theorem="Theorem 5.2")
         assert error.theorem == "Theorem 5.2"
+
+    def test_worker_crash_payload(self):
+        error = WorkerCrashError("worker 2 died", worker=2, reason="died",
+                                 exitcode=17, batches_lost=3)
+        assert error.worker == 2
+        assert error.reason == "died"
+        assert error.exitcode == 17
+        assert error.batches_lost == 3
+
+    def test_worker_crash_defaults(self):
+        error = WorkerCrashError("boom")
+        assert error.worker == -1
+        assert error.reason == ""
+        assert error.exitcode is None
+        assert error.batches_lost == 0
+
+    def test_wire_integrity_link(self):
+        error = WireIntegrityError("crc mismatch", link=4)
+        assert error.link == 4
+        assert WireIntegrityError("short frame").link is None
 
     def test_one_catch_all(self):
         with pytest.raises(ReproError):

@@ -31,7 +31,10 @@ from repro.core.execution import clear_subproblem_caches
 from repro.engine import (
     DetAbstractionGenerator, Explorer, ParallelExplorer,
     PoolNondetGenerator)
-from repro.engine.wire import WireCodec, WireSession, make_codec
+from repro.engine.faults import corrupt_payload
+from repro.engine.wire import (
+    FRAME_OVERHEAD, WireCodec, WireSession, _dumps, _loads, make_codec)
+from repro.errors import WireIntegrityError
 from repro.relational.kernel import RelationalKernel
 from repro.relational.values import Fresh
 from repro.workloads import commitment_blowup_dcds, random_dcds
@@ -188,6 +191,57 @@ class TestRoundTrip:
         decoded, _ = worker.decode_dispatch(payload)
         # Same process, so equal states must have equal (cached) hashes.
         assert {hash(s) for s in states} == {hash(s) for s in decoded}
+
+
+class TestFraming:
+    """The CRC32 frame around every wire/checkpoint payload."""
+
+    def test_round_trip(self):
+        message = {"batch": [1, 2, 3], "labels": ("a", None)}
+        assert _loads(_dumps(message)) == message
+
+    def test_frame_layout(self):
+        payload = _dumps([1, 2, 3])
+        assert payload[:3] == b"RW1"
+        assert len(payload) >= FRAME_OVERHEAD
+
+    def test_short_frame_rejected(self):
+        with pytest.raises(WireIntegrityError, match="truncated"):
+            _loads(b"RW")
+
+    def test_bad_magic_rejected(self):
+        payload = b"XX9" + _dumps([1])[3:]
+        with pytest.raises(WireIntegrityError, match="bad magic"):
+            _loads(payload)
+
+    def test_truncated_body_rejected(self):
+        payload = _dumps(list(range(100)))
+        with pytest.raises(WireIntegrityError, match="truncated"):
+            _loads(payload[:-5])
+
+    def test_crc_mismatch_names_link(self):
+        payload = bytearray(_dumps(list(range(100))))
+        payload[-1] ^= 0xFF
+        with pytest.raises(WireIntegrityError, match="CRC32") as excinfo:
+            _loads(bytes(payload), link=3)
+        assert excinfo.value.link == 3
+
+    def test_corrupt_payload_is_caught(self):
+        # The fault injector's corruption always lands past the header,
+        # so the checksum (not a zlib traceback) reports it.
+        payload = _dumps({"states": list(range(64))})
+        for seed in range(8):
+            mangled = corrupt_payload(payload, seed=seed)
+            assert mangled != payload
+            with pytest.raises(WireIntegrityError):
+                _loads(mangled, link=1)
+
+    def test_corruption_is_deterministic(self):
+        payload = _dumps(list(range(32)))
+        assert corrupt_payload(payload, seed=5) \
+            == corrupt_payload(payload, seed=5)
+        assert corrupt_payload(payload, seed=5) \
+            != corrupt_payload(payload, seed=6)
 
 
 def edge_multiset(ts):
