@@ -23,18 +23,23 @@ from repro.engine.generators import (
     DetAbstractionGenerator, DetState, OracleRunGenerator, PoolDetGenerator,
     PoolNondetGenerator, RcyclGenerator, sigma_label, sorted_call_map)
 from repro.engine.interning import InternEntry, InternStats, StateInterner
+from repro.engine.store import (
+    BudgetedDict, MemoryBudget, PagedStore, RamStore, StateCodec,
+    StateStore, StoredTransitionSystem, resolve_memory_budget)
 from repro.engine.symmetry import (
     SYMMETRY_MODES, SymmetryReducer, resolve_symmetry)
 
 __all__ = [
-    "Checkpoint", "CheckpointInterrupted", "CheckpointWriter",
-    "DetAbstractionGenerator", "DetState", "ExplorationBudgetExceeded",
-    "ExplorationResult", "ExplorationStats", "Explorer", "FaultEvent",
-    "FaultPlan", "InternEntry", "InternStats", "OracleRunGenerator",
-    "ParallelExplorer", "PoolDetGenerator", "PoolNondetGenerator",
-    "RcyclGenerator", "SYMMETRY_MODES", "StateInterner", "SymmetryReducer",
-    "WireCodec", "WireSession", "default_workers",
-    "fingerprints_may_be_isomorphic", "instance_fingerprint",
-    "load_checkpoint", "make_codec", "make_explorer", "resolve_symmetry",
+    "BudgetedDict", "Checkpoint", "CheckpointInterrupted",
+    "CheckpointWriter", "DetAbstractionGenerator", "DetState",
+    "ExplorationBudgetExceeded", "ExplorationResult", "ExplorationStats",
+    "Explorer", "FaultEvent", "FaultPlan", "InternEntry", "InternStats",
+    "MemoryBudget", "OracleRunGenerator", "PagedStore", "ParallelExplorer",
+    "PoolDetGenerator", "PoolNondetGenerator", "RamStore",
+    "RcyclGenerator", "SYMMETRY_MODES", "StateCodec", "StateInterner",
+    "StateStore", "StoredTransitionSystem", "SymmetryReducer", "WireCodec",
+    "WireSession", "default_workers", "fingerprints_may_be_isomorphic",
+    "instance_fingerprint", "load_checkpoint", "make_codec",
+    "make_explorer", "resolve_memory_budget", "resolve_symmetry",
     "sigma_label", "sorted_call_map", "value_profiles",
 ]

@@ -18,13 +18,15 @@ A checkpoint is two files, both owned by :class:`CheckpointWriter`:
     *header*: format version, the specification's ``spec_signature()``,
     the generator identity, the explorer configuration that affects the
     construction (strategy, ``max_depth``), the transport
-    (``"wire"``/``"pickle"``), and — for the wire transport — the term
-    table snapshot the chunk payloads are encoded against. Every further
-    record is a *chunk*: the states discovered since the last chunk (in
-    discovery order, encoded through one :class:`WireSession` exactly
-    like a worker dispatch), the edges added since the last chunk (as
-    global state indexes), and full snapshots of the truncated set, the
-    effective frontier, and the progress counters.
+    (``"wire"``/``"pickle"``/``"store"``), and — for the wire and store
+    transports — the term table snapshot the chunk payloads are encoded
+    against. Every further record is a *chunk*: the states discovered
+    since the last chunk (in discovery order, encoded through one
+    :class:`WireSession` exactly like a worker dispatch — or, for the
+    store transport, as the paged store's canonical per-state frames,
+    read back from its pages rather than re-encoded), the edges added
+    since the last chunk (as global state indexes), and full snapshots of
+    the truncated set, the effective frontier, and the progress counters.
 
 ``<path>.manifest``
     A small JSON file naming how much of the data file is valid:
@@ -67,9 +69,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.engine import frames
 from repro.engine.generators import DetState
-from repro.engine.wire import (
-    FRAME_OVERHEAD, WireCodec, WireSession, _FRAME_HEADER, _dumps, _loads)
+from repro.engine.wire import WireCodec, WireSession
 from repro.errors import CheckpointError, WireIntegrityError
 from repro.relational.kernel import kernel_for
 from repro.semantics.transition_system import TransitionSystem
@@ -136,38 +138,30 @@ def _signature_sha(signature) -> str:
     return hashlib.sha256(repr(signature).encode()).hexdigest()[:16]
 
 
-def _write_record(handle, record: Any) -> int:
-    payload = _dumps(record)
-    handle.write(payload)
-    return len(payload)
+#: The framed-record helpers are shared with the wire codec and the paged
+#: state store (see :mod:`repro.engine.frames`); only the error dressing
+#: is checkpoint-specific.
+_write_record = frames.write_record
 
 
 def _read_record(handle, remaining: int) -> Tuple[Any, int]:
     """The next framed record, bounded by the manifest-covered bytes."""
-    if remaining < FRAME_OVERHEAD:
-        raise CheckpointError(
-            f"checkpoint data ends mid-frame ({remaining} bytes left "
-            f"inside the manifest-covered region)")
-    header = handle.read(FRAME_OVERHEAD)
-    if len(header) < FRAME_OVERHEAD:
-        raise CheckpointError(
-            "checkpoint data file is shorter than its manifest promises")
-    _, length, _ = _FRAME_HEADER.unpack(header)
-    if remaining < FRAME_OVERHEAD + length:
-        raise CheckpointError(
-            "checkpoint record extends past the manifest-covered region")
-    body = handle.read(length)
     try:
-        record = _loads(header + body)
+        return frames.read_record(handle, remaining)
     except WireIntegrityError as error:
         raise CheckpointError(
-            f"corrupted checkpoint record: {error}") from error
-    return record, FRAME_OVERHEAD + length
+            f"corrupted or truncated checkpoint record: {error}") from error
 
 
 @dataclass
 class RestoredRun:
-    """Everything a resuming explorer needs from a checkpoint."""
+    """Everything a resuming explorer needs from a checkpoint.
+
+    ``states`` is the restored discovery order as live objects — empty
+    for a store-format restore that adopted its frames into a paged
+    store, where ``state_count`` (set on every restore) lets the
+    observer replay stream through the store instead.
+    """
 
     ts: TransitionSystem
     frontier: List[Tuple[Any, int]]
@@ -177,6 +171,7 @@ class RestoredRun:
     header: Dict[str, Any]
     manifest: Dict[str, Any]
     states: List[Any] = field(default_factory=list)
+    state_count: int = 0
 
 
 class CheckpointWriter:
@@ -193,10 +188,24 @@ class CheckpointWriter:
                  restored: Optional[RestoredRun] = None):
         self.config = config
         self.generator = generator
+        #: Store transport: the explorer's paged store (chunks read raw
+        #: frames off its pages) or — resuming a store-format file from a
+        #: plain run — just the canonical codec (chunks re-encode).
+        self._store = None
+        self._state_codec = None
         if restored is None:
-            codec = self._fresh_codec(generator)
-            self._session = WireSession(codec) if codec is not None \
-                else None
+            store = getattr(explorer, "_store", None)
+            if store is not None:
+                self._session = None
+                self._store = store
+                self._state_codec = store.codec
+                codec_name, snapshot = "store", store.codec.snapshot()
+            else:
+                codec = self._fresh_codec(generator)
+                self._session = WireSession(codec) if codec is not None \
+                    else None
+                codec_name = "wire" if codec is not None else "pickle"
+                snapshot = codec.snapshot() if codec is not None else None
             header = {
                 "version": CHECKPOINT_VERSION,
                 "signature": _signature_of(generator),
@@ -206,9 +215,8 @@ class CheckpointWriter:
                 "strategy": explorer.strategy,
                 "max_depth": explorer.max_depth,
                 "name": explorer.name,
-                "codec": "wire" if codec is not None else "pickle",
-                "snapshot": codec.snapshot() if codec is not None
-                else None,
+                "codec": codec_name,
+                "snapshot": snapshot,
             }
             self._handle = open(config.path, "wb")
             self.data_bytes = _write_record(self._handle, header)
@@ -224,6 +232,22 @@ class CheckpointWriter:
                 # stay decodable in one pass with the old ones.
                 codec = WireCodec(kernel, len(header["snapshot"]))
                 self._session = WireSession(codec)
+            elif header["codec"] == "store":
+                self._session = None
+                store = getattr(restored.ts, "store", None)
+                if store is not None:
+                    # The loader adopted the old frames into this store;
+                    # new chunks read their frames straight off its pages.
+                    self._store = store
+                    self._state_codec = store.codec
+                else:
+                    # Plain (unbudgeted) run resuming a store-format
+                    # file: keep appending store-codec chunks, encoded
+                    # against the header snapshot the old ones use.
+                    from repro.engine.store import StateCodec
+                    self._state_codec = StateCodec(
+                        kernel_for(generator.dcds),
+                        len(header["snapshot"]))
             else:
                 self._session = None
             self._handle = open(config.path, "r+b")
@@ -231,7 +255,7 @@ class CheckpointWriter:
             self._handle.seek(0, os.SEEK_END)
             self.data_bytes = restored.manifest["data_bytes"]
             self.chunks = restored.manifest["chunks"]
-            self.states_written = len(restored.states)
+            self.states_written = restored.state_count
             self._index = {state: index for index, state
                            in enumerate(restored.states)}
         self.signature_sha = _signature_sha(header["signature"])
@@ -267,35 +291,39 @@ class CheckpointWriter:
     def write_chunk(self, ts: TransitionSystem, frontier, stats, edges,
                     extra_entries=(), final: Optional[dict] = None
                     ) -> None:
-        index = self._index
-        new_states = list(itertools.islice(
-            ts._db.keys(), self.states_written, None))
-        for state in new_states:
-            index[state] = self.states_written
-            self.states_written += 1
-        if self._session is not None:
-            states_payload, _ = self._session.encode_dispatch(new_states)
-            raw_states = None
+        if self._state_codec is not None:
+            chunk = self._store_chunk(ts, frontier, edges, extra_entries)
         else:
-            states_payload = None
-            raw_states = new_states
-        chunk = {
-            "states": states_payload,
-            "raw_states": raw_states,
-            "edges": [(index[source], index[target], label)
-                      for source, target, label in edges],
-            "truncated": sorted(
-                index[state] for state in ts.truncated_states),
-            "frontier": [(index[state], depth) for state, depth
-                         in itertools.chain(extra_entries, frontier)],
-            "stats": {
-                "growth": list(stats.growth),
-                "expansions": stats.expansions,
-                "edges": stats.edges,
-                "frontier_peak": stats.frontier_peak,
-            },
-            "final": final,
+            index = self._index
+            new_states = list(itertools.islice(
+                ts._db.keys(), self.states_written, None))
+            for state in new_states:
+                index[state] = self.states_written
+                self.states_written += 1
+            if self._session is not None:
+                states_payload, _ = self._session.encode_dispatch(
+                    new_states)
+                raw_states = None
+            else:
+                states_payload = None
+                raw_states = new_states
+            chunk = {
+                "states": states_payload,
+                "raw_states": raw_states,
+                "edges": [(index[source], index[target], label)
+                          for source, target, label in edges],
+                "truncated": sorted(
+                    index[state] for state in ts.truncated_states),
+                "frontier": [(index[state], depth) for state, depth
+                             in itertools.chain(extra_entries, frontier)],
+            }
+        chunk["stats"] = {
+            "growth": list(stats.growth),
+            "expansions": stats.expansions,
+            "edges": stats.edges,
+            "frontier_peak": stats.frontier_peak,
         }
+        chunk["final"] = final
         del edges[:]
         self.data_bytes += _write_record(self._handle, chunk)
         self._handle.flush()
@@ -308,6 +336,49 @@ class CheckpointWriter:
             self.close()
             raise CheckpointInterrupted(
                 f"injected interruption after chunk {self.chunks}")
+
+    def _store_chunk(self, ts: TransitionSystem, frontier, edges,
+                     extra_entries) -> dict:
+        """The store-transport chunk body.
+
+        In store mode everything is already id-keyed — the explorer's
+        edge/frontier/truncation records carry dense state ids — and the
+        new states' canonical frames are *read back* from the store's
+        pages, never re-encoded. On a plain-mode resume of a store-format
+        file, new states are encoded through the header's canonical codec
+        and id-mapped here instead.
+        """
+        if self._store is not None:
+            store = self._store
+            states_payload = [store.raw_frame(sid) for sid
+                              in range(self.states_written, len(store))]
+            self.states_written = len(store)
+            return {
+                "states": states_payload,
+                "raw_states": None,
+                "edges": list(edges),
+                "truncated": sorted(ts._truncated_ids),
+                "frontier": list(
+                    itertools.chain(extra_entries, frontier)),
+            }
+        index = self._index
+        codec = self._state_codec
+        states_payload = []
+        for state in itertools.islice(
+                ts._db.keys(), self.states_written, None):
+            index[state] = self.states_written
+            self.states_written += 1
+            states_payload.append(codec.encode_state(state))
+        return {
+            "states": states_payload,
+            "raw_states": None,
+            "edges": [(index[source], index[target], label)
+                      for source, target, label in edges],
+            "truncated": sorted(
+                index[state] for state in ts.truncated_states),
+            "frontier": [(index[state], depth) for state, depth
+                         in itertools.chain(extra_entries, frontier)],
+        }
 
     def _write_manifest(self, complete: bool) -> None:
         manifest = {
@@ -375,6 +446,9 @@ def load_checkpoint(config: Checkpoint, generator, explorer
         header, consumed = _read_record(handle, remaining)
         remaining -= consumed
         _check_header(header, generator, explorer)
+        if header["codec"] == "store":
+            return _load_store_checkpoint(
+                handle, remaining, manifest, header, generator, explorer)
         session = _loader_session(header, generator)
         ts = None
         states: List[Any] = []
@@ -419,7 +493,95 @@ def load_checkpoint(config: Checkpoint, generator, explorer
     return RestoredRun(
         ts=ts, frontier=frontier, stats=last_chunk["stats"],
         complete=bool(manifest.get("complete")), final=final,
-        header=header, manifest=manifest, states=states)
+        header=header, manifest=manifest, states=states,
+        state_count=len(states))
+
+
+def _load_store_checkpoint(handle, remaining: int, manifest, header,
+                           generator, explorer) -> Optional[RestoredRun]:
+    """Restore a store-transport checkpoint.
+
+    When the resuming explorer runs in store mode (its paged store is
+    still empty — nothing interned before the resume point), the old
+    frames are *adopted* byte-for-byte into that store (no re-encoding;
+    the codec is re-anchored on the header snapshot so new frames stay
+    canonical against the old vocabulary) and the run continues on a
+    :class:`~repro.engine.store.StoredTransitionSystem` with id-level
+    edges/truncation/frontier passed straight through.
+
+    A plain (unbudgeted) run can resume the same file: every frame is
+    decoded through a standalone canonical codec and the restore falls
+    back to the ordinary in-RAM transition system.
+    """
+    from repro.engine.store import StateCodec, StoredTransitionSystem
+    dcds = getattr(generator, "dcds", None)
+    kernel = kernel_for(dcds) if dcds is not None else None
+    if kernel is None:
+        raise CheckpointError(
+            "checkpoint was written with the paged-store codec but no "
+            "kernel is available to decode it (REPRO_NO_KERNEL set?)")
+    try:
+        kernel.table.replay(header["snapshot"])
+    except (ValueError, AssertionError) as error:
+        raise CheckpointError(
+            f"checkpoint term-table snapshot does not align with this "
+            f"process's kernel: {error}") from error
+    store = getattr(explorer, "_store", None)
+    adopt = store is not None and len(store) == 0
+    if adopt:
+        store.rebase_snapshot(len(header["snapshot"]))
+        codec = store.codec
+    else:
+        codec = StateCodec(kernel, len(header["snapshot"]))
+    states: List[Any] = []
+    edges: List[Tuple[int, int, Optional[str]]] = []
+    last_chunk = None
+    count = 0
+    for _ in range(manifest["chunks"]):
+        chunk, consumed = _read_record(handle, remaining)
+        remaining -= consumed
+        last_chunk = chunk
+        for frame in chunk["states"]:
+            if adopt:
+                sid, is_new = store.adopt_frame(frame)
+                if sid != count or not is_new:
+                    raise CheckpointError(
+                        f"checkpoint frame {count} is out of order or "
+                        f"duplicated (adopted as state {sid})")
+            else:
+                states.append(codec.decode_state(frame))
+            count += 1
+        edges.extend(chunk["edges"])
+    if last_chunk is None or count == 0:
+        return None
+    if adopt:
+        ts: TransitionSystem = StoredTransitionSystem(
+            explorer.schema, store.fetch(0), store,
+            name=header.get("name", ""))
+        for source, target, label in edges:
+            ts.add_edge_id(source, target, label)
+        for sid in last_chunk["truncated"]:
+            ts.mark_truncated_id(sid)
+        frontier = [(sid, depth) for sid, depth in last_chunk["frontier"]]
+    else:
+        ts = TransitionSystem(
+            explorer.schema, states[0], name=header.get("name", ""))
+        for state in states:
+            ts.add_state(state, _state_db(state))
+        for source, target, label in edges:
+            ts.add_edge(states[source], states[target], label)
+        for position in last_chunk["truncated"]:
+            ts.mark_truncated(states[position])
+        frontier = [(states[position], depth)
+                    for position, depth in last_chunk["frontier"]]
+    final = last_chunk.get("final")
+    if final is not None:
+        ts.exploration_stats = final["exploration_stats"]
+    return RestoredRun(
+        ts=ts, frontier=frontier, stats=last_chunk["stats"],
+        complete=bool(manifest.get("complete")), final=final,
+        header=header, manifest=manifest, states=states,
+        state_count=count)
 
 
 def _check_header(header: Dict[str, Any], generator, explorer) -> None:

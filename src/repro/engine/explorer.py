@@ -131,6 +131,9 @@ class ExplorationStats:
     #: Filled by :class:`repro.engine.parallel.ParallelExplorer` with worker
     #: pool counters (workers, batches, speculative waste).
     parallel: Dict[str, Any] = field(default_factory=dict)
+    #: Filled by a memory-budgeted run with the paged store's counters
+    #: (pages written/read, rehydrations, evictions, budget high water).
+    store: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def states_per_sec(self) -> float:
@@ -154,6 +157,8 @@ class ExplorationStats:
             result["early_stop"] = self.early_stop
         if self.parallel:
             result["parallel"] = dict(self.parallel)
+        if self.store:
+            result["store"] = dict(self.store)
         return result
 
 
@@ -237,6 +242,7 @@ class Explorer:
         observer: Optional[
             Callable[[State, Instance], Optional[str]]] = None,
         checkpoint=None,
+        memory_budget: Optional[int] = None,
     ):
         if on_budget not in ("raise", "truncate"):
             raise ReproError(f"unknown budget behaviour {on_budget!r}")
@@ -254,12 +260,103 @@ class Explorer:
             from repro.engine.checkpoint import Checkpoint
             checkpoint = Checkpoint.of(checkpoint)
         self.checkpoint = checkpoint
+        self.memory_budget = memory_budget
+        self._store = None
+        self._memory_budget_account = None
+        self._budget_detachers: List[Callable[[], None]] = []
         self._ckpt_writer = None
         self._ckpt_edges: Optional[List[Tuple[State, State,
                                               Optional[str]]]] = None
         self._restored_result: Optional[ExplorationResult] = None
         self.stats = ExplorationStats(strategy=strategy)
         self.ts: Optional[TransitionSystem] = None
+
+    # -- the storage layer (out-of-core state store) ---------------------------
+
+    def _setup_store(self, generator: SuccessorGenerator) -> None:
+        """Switch this run to the paged state store when it qualifies.
+
+        Store mode needs an effective ``memory_budget`` (explicit or the
+        ``REPRO_MEMORY_BUDGET`` default, vetoed by ``REPRO_NO_SPILL``), the
+        paper's BFS order (frontier ids reload in pop order and edge
+        sources arrive contiguously only under BFS), a pure
+        (``parallel_safe``) generator (rehydration re-expands states, so
+        expansion must be a function of the state alone), and a relational
+        kernel (the canonical frame codec is coded-term based). Anything
+        else keeps today's in-RAM path, exactly as before. Must run before
+        the checkpoint load: a store-format checkpoint adopts its frames
+        into the (still empty) store.
+        """
+        if self._store is not None:
+            return
+        from repro.engine.store import (
+            MemoryBudget, PagedStore, resolve_memory_budget)
+        budget_bytes = resolve_memory_budget(self.memory_budget)
+        if budget_bytes is None:
+            return
+        if self.strategy != "bfs" \
+                or not getattr(generator, "parallel_safe", False):
+            return
+        from repro.relational.kernel import kernel_for
+        dcds = getattr(generator, "dcds", None)
+        kernel = kernel_for(dcds) if dcds is not None else None
+        if kernel is None:
+            return
+        budget = MemoryBudget(budget_bytes)
+        self._memory_budget_account = budget
+        self._store = PagedStore(kernel, budget)
+        kernel.attach_memo_budget(budget)
+        self._budget_detachers.append(kernel.detach_memo_budget)
+        attach = getattr(generator, "attach_memory_budget", None)
+        if attach is not None:
+            attach(budget)
+            self._budget_detachers.append(lambda: attach(None))
+
+    def _demote_store(self) -> None:
+        """Abandon store mode (a checkpoint written by a plain run is
+        being resumed): detach the budget hooks and drop the empty store —
+        the run continues exactly as an unbudgeted one."""
+        store = self._store
+        self._detach_budget()
+        self._store = None
+        self._memory_budget_account = None
+        if store is not None:
+            store.close()
+
+    def _detach_budget(self) -> None:
+        """Undo the kernel/generator budget hooks (end of run; the store
+        itself stays alive — the returned transition system rehydrates
+        through it on demand)."""
+        detachers, self._budget_detachers = self._budget_detachers, []
+        for detach in detachers:
+            detach()
+
+    def _entry_state(self, entry) -> Tuple[State, int, Optional[int]]:
+        """``(state, depth, state-id)`` of a frontier entry.
+
+        Plain mode keys the frontier by live state objects (id ``None``);
+        store mode by dense state ids, rehydrated here in pop order — the
+        spilled cold tail reloads through the store's hot LRU.
+        """
+        key, depth = entry
+        if self._store is not None:
+            return self.ts.fetch(key), depth, key
+        return key, depth, None
+
+    def _mark_entry_truncated(self, ts: TransitionSystem, entry) -> None:
+        if self._store is not None:
+            ts.mark_truncated_id(entry[0])
+        else:
+            ts.mark_truncated(entry[0])
+
+    def _note_store_frontier(self, frontier) -> None:
+        """Record how much of the frontier is cold (on pages only)."""
+        store = self._store
+        if store is None:
+            return
+        hot = store._hot
+        store.note_frontier_cold(
+            sum(1 for key, _ in frontier if key not in hot))
 
     # -- the one frontier loop ------------------------------------------------
 
@@ -272,6 +369,7 @@ class Explorer:
         transition system, frontier, and counters instead of a fresh
         start, and a writer is (re)opened for the rest of the run.
         """
+        self._setup_store(generator)
         checkpointing = self.checkpoint is not None \
             and getattr(generator, "parallel_safe", False)
         if checkpointing:
@@ -279,9 +377,17 @@ class Explorer:
             if prepared is not None:
                 return prepared
         initial, initial_db = generator.initial_state()
-        ts = TransitionSystem(self.schema, initial, name=self.name)
-        self.ts = ts
-        ts.add_state(initial, initial_db)
+        if self._store is not None:
+            from repro.engine.store import StoredTransitionSystem
+            ts = StoredTransitionSystem(
+                self.schema, initial, self._store, name=self.name)
+            self.ts = ts
+            first_key, _ = ts.intern_state(initial, initial_db)
+        else:
+            ts = TransitionSystem(self.schema, initial, name=self.name)
+            self.ts = ts
+            ts.add_state(initial, initial_db)
+            first_key = initial
         self.stats.growth = [1]
         self.stats.frontier_peak = 1
         if self.observer is not None:
@@ -291,7 +397,7 @@ class Explorer:
             self._ckpt_writer = CheckpointWriter(
                 self.checkpoint, generator, self)
             self._ckpt_edges = []
-        return ts, deque([(initial, 0)])
+        return ts, deque([(first_key, 0)])
 
     def _start_from_checkpoint(self, generator: SuccessorGenerator
                                ) -> Optional[Tuple[TransitionSystem,
@@ -309,6 +415,13 @@ class Explorer:
         if restored is None:
             return None
         ts = restored.ts
+        if self._store is not None and getattr(ts, "store", None) \
+                is not self._store:
+            # The checkpoint was written by a plain (wire/pickle) run:
+            # the loader rebuilt an in-RAM transition system, so this
+            # resumed run continues unbudgeted rather than re-encoding
+            # everything mid-flight.
+            self._demote_store()
         self.ts = ts
         stats = self.stats
         stats.growth = list(restored.stats["growth"])
@@ -316,8 +429,15 @@ class Explorer:
         stats.edges = restored.stats["edges"]
         stats.frontier_peak = restored.stats["frontier_peak"]
         if self.observer is not None:
-            for state in restored.states:
-                self.observer(state, ts.db(state))
+            if restored.states:
+                for state in restored.states:
+                    self.observer(state, ts.db(state))
+            else:
+                # Store-format restore: stream the discovery order through
+                # the bounded hot LRU instead of holding a full list.
+                for position in range(restored.state_count):
+                    state = ts.fetch(position)
+                    self.observer(state, ts.db(state))
         if restored.complete:
             final = restored.final or {}
             stats.states = len(ts)
@@ -334,7 +454,8 @@ class Explorer:
     def _apply_successors(self, generator: SuccessorGenerator,
                           ts: TransitionSystem, frontier: deque,
                           state: State, depth: int, successors,
-                          pending: int = 0) -> bool:
+                          pending: int = 0,
+                          sid: Optional[int] = None) -> bool:
         """Apply one state's successor list; return True on budget hit.
 
         The single place interning, edge insertion, growth accounting, the
@@ -345,15 +466,30 @@ class Explorer:
         ``pending`` is the number of popped-but-unapplied work items beyond
         this one (always 0 sequentially); adding it makes
         ``frontier_peak`` reflect the sequential frontier length.
+
+        ``sid`` is the source's dense state id in store mode (``None``
+        otherwise): interning then goes through the paged store and edges/
+        frontier entries/truncation marks are id-level, in exactly the
+        order the object-level branch would produce them — the storage
+        layer's bit-identity is enforced here by construction too.
         """
         stats = self.stats
         ckpt_edges = self._ckpt_edges
+        store_mode = sid is not None
         for successor, db, label in successors:
-            is_new = successor not in ts
-            ts.add_state(successor, db)
-            ts.add_edge(state, successor, label)
+            if store_mode:
+                target, is_new = ts.intern_state(successor, db)
+                ts.add_edge_id(sid, target, label)
+                edge_record = (sid, target, label)
+                entry = (target, depth + 1)
+            else:
+                is_new = successor not in ts
+                ts.add_state(successor, db)
+                ts.add_edge(state, successor, label)
+                edge_record = (state, successor, label)
+                entry = (successor, depth + 1)
             if ckpt_edges is not None:
-                ckpt_edges.append((state, successor, label))
+                ckpt_edges.append(edge_record)
             stats.edges += 1
             if not is_new:
                 continue
@@ -364,10 +500,14 @@ class Explorer:
             if self.observer is not None:
                 stats.early_stop = self.observer(successor, db)
                 if stats.early_stop is not None:
-                    ts.mark_truncated(state)
-                    ts.mark_truncated(successor)
+                    if store_mode:
+                        ts.mark_truncated_id(sid)
+                        ts.mark_truncated_id(target)
+                    else:
+                        ts.mark_truncated(state)
+                        ts.mark_truncated(successor)
                     return False
-            frontier.append((successor, depth + 1))
+            frontier.append(entry)
             effective = len(frontier) + pending
             if effective > stats.frontier_peak:
                 stats.frontier_peak = effective
@@ -391,11 +531,14 @@ class Explorer:
                     self._ckpt_writer.close()
                     self._ckpt_writer = None
                 raise self.budget_error(self)
-            for state, _ in frontier:
-                ts.mark_truncated(state)
+            for entry in frontier:
+                self._mark_entry_truncated(ts, entry)
         elif stats.early_stop is not None:
-            for state, _ in frontier:
-                ts.mark_truncated(state)
+            for entry in frontier:
+                self._mark_entry_truncated(ts, entry)
+        if self._store is not None:
+            self._note_store_frontier(frontier)
+            stats.store = self._store.stats_dict()
         ts.exploration_stats = stats.as_dict()
         if self._ckpt_writer is not None:
             self._ckpt_writer.finalize(ts, stats, self._ckpt_edges)
@@ -408,36 +551,40 @@ class Explorer:
                 and getattr(generator, "parallel_safe", False) \
                 and not env.batch_disabled():
             return self._run_batched(generator)
-        started = time.perf_counter()
-        ts, frontier = self._start(generator)
-        if self._restored_result is not None:
-            return self._restored_result
-        stats = self.stats
-        budget_hit = False
+        try:
+            started = time.perf_counter()
+            ts, frontier = self._start(generator)
+            if self._restored_result is not None:
+                return self._restored_result
+            stats = self.stats
+            budget_hit = False
 
-        while frontier and stats.early_stop is None:
-            if self.strategy == "bfs":
-                state, depth = frontier.popleft()
-            else:
-                state, depth = frontier.pop()
-            if self.max_depth is not None and depth >= self.max_depth:
-                ts.mark_truncated(state)
-                continue
-            stats.expansions += 1
-            try:
-                budget_hit = self._apply_successors(
-                    generator, ts, frontier, state, depth,
-                    generator.successors(state))
-            except ExplorationBudgetExceeded:
-                budget_hit = True
-            if budget_hit:
-                break
-            if self._ckpt_writer is not None \
-                    and stats.early_stop is None:
-                self._ckpt_writer.maybe_write(
-                    ts, frontier, stats, self._ckpt_edges)
+            while frontier and stats.early_stop is None:
+                if self.strategy == "bfs":
+                    entry = frontier.popleft()
+                else:
+                    entry = frontier.pop()
+                state, depth, sid = self._entry_state(entry)
+                if self.max_depth is not None and depth >= self.max_depth:
+                    self._mark_entry_truncated(ts, entry)
+                    continue
+                stats.expansions += 1
+                try:
+                    budget_hit = self._apply_successors(
+                        generator, ts, frontier, state, depth,
+                        generator.successors(state), sid=sid)
+                except ExplorationBudgetExceeded:
+                    budget_hit = True
+                if budget_hit:
+                    break
+                if self._ckpt_writer is not None \
+                        and stats.early_stop is None:
+                    self._ckpt_writer.maybe_write(
+                        ts, frontier, stats, self._ckpt_edges)
 
-        return self._finish(ts, frontier, budget_hit, started)
+            return self._finish(ts, frontier, budget_hit, started)
+        finally:
+            self._detach_budget()
 
     def resume(self, generator: SuccessorGenerator) -> ExplorationResult:
         """Resume from the configured checkpoint, which must exist.
@@ -476,38 +623,49 @@ class Explorer:
         — expansion must be a function of the state alone for the
         block-ahead generation to commute with application.
         """
-        started = time.perf_counter()
-        ts, frontier = self._start(generator)
-        if self._restored_result is not None:
-            return self._restored_result
-        stats = self.stats
-        budget_hit = False
+        try:
+            started = time.perf_counter()
+            ts, frontier = self._start(generator)
+            if self._restored_result is not None:
+                return self._restored_result
+            stats = self.stats
+            budget_hit = False
 
-        while frontier and stats.early_stop is None and not budget_hit:
-            block: List[Tuple[State, int, bool]] = []
-            while frontier and len(block) < BATCH_BLOCK:
-                state, depth = frontier.popleft()
-                expand = self.max_depth is None or depth < self.max_depth
-                block.append((state, depth, expand))
-            results = deque(generator.successors_batch(
-                [state for state, _, expand in block if expand]))
-            for position, (state, depth, expand) in enumerate(block):
-                if not expand:
-                    ts.mark_truncated(state)
-                    continue
-                stats.expansions += 1
-                budget_hit = self._apply_successors(
-                    generator, ts, frontier, state, depth,
-                    results.popleft(),
-                    pending=len(block) - 1 - position)
-                if budget_hit or stats.early_stop is not None:
-                    tail = [(state, depth)
-                            for state, depth, _ in block[position + 1:]]
-                    frontier.extendleft(reversed(tail))
-                    break
-            if self._ckpt_writer is not None and not budget_hit \
-                    and stats.early_stop is None:
-                self._ckpt_writer.maybe_write(
-                    ts, frontier, stats, self._ckpt_edges)
+            while frontier and stats.early_stop is None and not budget_hit:
+                self._note_store_frontier(frontier)
+                block: List[Tuple[State, int, bool, Optional[int]]] = []
+                while frontier and len(block) < BATCH_BLOCK:
+                    entry = frontier.popleft()
+                    state, depth, sid = self._entry_state(entry)
+                    expand = self.max_depth is None \
+                        or depth < self.max_depth
+                    block.append((state, depth, expand, sid))
+                results = deque(generator.successors_batch(
+                    [state for state, _, expand, _ in block if expand]))
+                for position, (state, depth, expand, sid) in enumerate(
+                        block):
+                    if not expand:
+                        if sid is not None:
+                            ts.mark_truncated_id(sid)
+                        else:
+                            ts.mark_truncated(state)
+                        continue
+                    stats.expansions += 1
+                    budget_hit = self._apply_successors(
+                        generator, ts, frontier, state, depth,
+                        results.popleft(),
+                        pending=len(block) - 1 - position, sid=sid)
+                    if budget_hit or stats.early_stop is not None:
+                        tail = [(sid if sid is not None else state, depth)
+                                for state, depth, _, sid
+                                in block[position + 1:]]
+                        frontier.extendleft(reversed(tail))
+                        break
+                if self._ckpt_writer is not None and not budget_hit \
+                        and stats.early_stop is None:
+                    self._ckpt_writer.maybe_write(
+                        ts, frontier, stats, self._ckpt_edges)
 
-        return self._finish(ts, frontier, budget_hit, started)
+            return self._finish(ts, frontier, budget_hit, started)
+        finally:
+            self._detach_budget()

@@ -159,6 +159,25 @@ class StateInterner:
         """Number of distinct isomorphism classes seen."""
         return len(self._entries)
 
+    def attach_memory_budget(self, budget) -> None:
+        """Storage-layer hook: charge the exact-hit cache to ``budget``.
+
+        Only ``_by_instance`` becomes evictable — it is a pure cache whose
+        misses re-derive the same :class:`InternEntry` through the
+        fingerprint/canonical machinery. The class identities themselves
+        (``_entries``/``_buckets``/``_by_key``) must stay resident:
+        dropping one would fork an isomorphism class. ``budget=None``
+        detaches (contents kept as a plain dict).
+        """
+        from repro.engine.store import BudgetedDict
+        if budget is None:
+            if isinstance(self._by_instance, BudgetedDict):
+                self._by_instance = self._by_instance.unwrap()
+            return
+        if not isinstance(self._by_instance, BudgetedDict):
+            self._by_instance = BudgetedDict(
+                budget, "interner", data=self._by_instance)
+
     def entries(self) -> List[InternEntry]:
         return list(self._entries)
 

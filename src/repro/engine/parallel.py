@@ -180,8 +180,10 @@ def _worker_main(conn, generator: SuccessorGenerator,
 class _Batch:
     """One dispatched frontier block, from pop to apply.
 
-    ``entries`` is the popped ``(state, depth, expand)`` prefix of the
-    sequential frontier; ``expandable`` the subset shipped to a worker
+    ``entries`` is the popped ``(key, depth, expand)`` prefix of the
+    sequential frontier, keyed like the frontier itself (live states, or
+    dense state ids in store mode); ``expandable`` the subset shipped to a
+    worker
     (kept so a lost batch can be re-encoded on any session); ``link`` /
     ``parents`` the worker currently expanding it and that session's
     dispatch context (``None`` for all-truncated batches and, for
@@ -446,11 +448,13 @@ class ParallelExplorer(Explorer):
         retry_backoff: float = 0.05,
         faults: Optional[FaultPlan] = None,
         checkpoint=None,
+        memory_budget: Optional[int] = None,
     ):
         super().__init__(
             schema, name=name, max_states=max_states, max_depth=max_depth,
             on_budget=on_budget, budget_error=budget_error, strategy="bfs",
-            observer=observer, checkpoint=checkpoint)
+            observer=observer, checkpoint=checkpoint,
+            memory_budget=memory_budget)
         if workers is not None and workers < 1:
             raise ReproError(f"workers must be >= 1, got {workers}")
         if batch_size < 1:
@@ -522,8 +526,16 @@ class ParallelExplorer(Explorer):
             self.stats.parallel = self._initial_parallel_stats("inline")
             return super().run(generator)
         started = time.perf_counter()
-        ts, frontier = self._start(generator)
+        # The budget hooks live on process-wide kernel singletons: detach
+        # on the restored-complete return and on a resume error — the
+        # main loop below detaches in its own finally.
+        try:
+            ts, frontier = self._start(generator)
+        except BaseException:
+            self._detach_budget()
+            raise
         if self._restored_result is not None:
+            self._detach_budget()
             return self._restored_result
         stats = self.stats
         stats.parallel = self._initial_parallel_stats("pickle")
@@ -542,17 +554,25 @@ class ParallelExplorer(Explorer):
         try:
             while (frontier or in_flight) and not budget_hit \
                     and stats.early_stop is None:
+                self._note_store_frontier(frontier)
                 while frontier and len(in_flight) < self.max_inflight:
-                    entries: List[Tuple[State, int, bool]] = []
+                    # Batch entries are keyed like the frontier: live
+                    # states normally, dense state ids in store mode
+                    # (the expandable states are rehydrated here, at
+                    # dispatch time, and shipped as live objects).
+                    entries: List[Tuple[Any, int, bool]] = []
                     expandable: List[State] = []
                     while frontier and len(entries) < self.batch_size:
-                        state, depth = frontier.popleft()
+                        entry = frontier.popleft()
+                        state, depth, sid = self._entry_state(entry)
                         # The depth cut is decided here (it only needs the
                         # pop-time depth) but *marked* at apply time, so
                         # truncation marks land in sequential order.
                         expand = self.max_depth is None \
                             or depth < self.max_depth
-                        entries.append((state, depth, expand))
+                        entries.append(
+                            (sid if sid is not None else state,
+                             depth, expand))
                         if expand:
                             expandable.append(state)
                     batch = _Batch(entries, expandable)
@@ -582,20 +602,24 @@ class ParallelExplorer(Explorer):
                         codec, stats)
                 apply_started = time.perf_counter()
                 results_iter = iter(results)
-                for position, (state, depth, expand) in enumerate(
+                for position, (key, depth, expand) in enumerate(
                         batch.entries):
                     inflight_entries -= 1
                     if not expand:
-                        ts.mark_truncated(state)
+                        self._mark_entry_truncated(ts, (key, depth))
                         continue
                     successors = next(results_iter)
                     stats.expansions += 1
+                    # Plain mode: the key *is* the live state. Store mode:
+                    # rehydrate it (normally a hot-LRU hit — the state was
+                    # touched at dispatch time).
+                    state, _, sid = self._entry_state((key, depth))
                     # ``pending=inflight_entries``: every popped-but-unapplied
                     # item beyond this one still counts toward what the
                     # sequential frontier length would be at each append.
                     budget_hit = self._apply_successors(
                         generator, ts, frontier, state, depth, successors,
-                        pending=inflight_entries)
+                        pending=inflight_entries, sid=sid)
                     if budget_hit or stats.early_stop is not None:
                         # Re-queue the unapplied tail of this batch so the
                         # epilogue treats it as frontier (exactly the states
@@ -634,6 +658,7 @@ class ParallelExplorer(Explorer):
         finally:
             for link in links:
                 link.shutdown()
+            self._detach_budget()
 
         return self._finish(ts, frontier, budget_hit, started)
 

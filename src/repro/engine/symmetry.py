@@ -178,6 +178,20 @@ class SymmetryReducer(SuccessorGenerator):
         # agree without shipping any cache.
         return SymmetryReducer, (self.inner,)
 
+    def attach_memory_budget(self, budget) -> None:
+        """Storage-layer hook: the per-state representative memo joins the
+        budget's ``interner`` account. Safe to evict — canonicalization is
+        a pure function of the state, so a miss recomputes the identical
+        representative. ``budget=None`` detaches."""
+        from repro.engine.store import BudgetedDict
+        if budget is None:
+            if isinstance(self._rep_memo, BudgetedDict):
+                self._rep_memo = self._rep_memo.unwrap()
+            return
+        if not isinstance(self._rep_memo, BudgetedDict):
+            self._rep_memo = BudgetedDict(
+                budget, "interner", data=self._rep_memo)
+
     # -- the canonical representative ----------------------------------------
 
     def representative(self, state: State) -> State:

@@ -35,13 +35,12 @@ kernel fall back to the legacy pickle path in
 
 from __future__ import annotations
 
-import pickle
-import struct
-import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.engine import frames
+from repro.engine.frames import (
+    FRAME_OVERHEAD, dumps as _dumps, loads as _loads)
 from repro.engine.generators import DetState
-from repro.errors import WireIntegrityError
 from repro.relational.kernel import RelationalKernel, kernel_for
 
 #: ``(kind, state, coded_fact_list, call_map)`` for each dispatched state;
@@ -50,51 +49,13 @@ ParentInfo = Tuple[str, Any, Tuple[Tuple[int, Tuple[int, ...]], ...], tuple]
 
 _NO_LABEL = -1
 
-#: zlib level for payloads. The coded messages are streams of small ints in
-#: repetitive tuple shapes — level 3 shrinks them ~8x at ~GB/s throughput,
-#: and the byte counts recorded in ``parallel`` stats are what actually
-#: crosses the process boundary.
-_ZLIB_LEVEL = 3
-
-#: Frame layout: ``b"RW1" + <u32 body length> + <u32 CRC32(body)> + body``.
-#: The checksum turns a truncated pipe read, a corrupted payload, or a
-#: torn checkpoint record into a structured :class:`WireIntegrityError`
-#: instead of a ``zlib``/unpickle traceback deep inside the codec.
-_FRAME_MAGIC = b"RW1"
-_FRAME_HEADER = struct.Struct("<3sII")
-FRAME_OVERHEAD = _FRAME_HEADER.size
-
-
-def _dumps(message: Any) -> bytes:
-    body = zlib.compress(
-        pickle.dumps(message, pickle.HIGHEST_PROTOCOL), _ZLIB_LEVEL)
-    return _FRAME_HEADER.pack(_FRAME_MAGIC, len(body),
-                              zlib.crc32(body)) + body
-
-
-def _loads(payload: bytes, link: Optional[int] = None) -> Any:
-    if len(payload) < FRAME_OVERHEAD:
-        raise WireIntegrityError(
-            f"wire frame truncated: {len(payload)} bytes is shorter than "
-            f"the {FRAME_OVERHEAD}-byte frame header", link=link)
-    magic, length, checksum = _FRAME_HEADER.unpack_from(payload)
-    if magic != _FRAME_MAGIC:
-        raise WireIntegrityError(
-            f"wire frame misframed: bad magic {magic!r}", link=link)
-    body = payload[FRAME_OVERHEAD:]
-    if len(body) != length:
-        raise WireIntegrityError(
-            f"wire frame truncated: header promises {length} body bytes, "
-            f"got {len(body)}", link=link)
-    if zlib.crc32(body) != checksum:
-        raise WireIntegrityError(
-            "wire frame corrupted: CRC32 checksum mismatch", link=link)
-    try:
-        return pickle.loads(zlib.decompress(body))
-    except Exception as error:  # CRC passed but payload still unusable
-        raise WireIntegrityError(
-            f"wire frame undecodable despite a valid checksum: "
-            f"{type(error).__name__}: {error}", link=link) from error
+# The frame format itself (magic, header layout, zlib level, dumps/loads)
+# moved to repro.engine.frames when the checkpoint layer and the paged
+# state store became co-owners of it; the historical underscore names stay
+# importable from here for the existing consumers.
+_ZLIB_LEVEL = frames.ZLIB_LEVEL
+_FRAME_MAGIC = frames.FRAME_MAGIC
+_FRAME_HEADER = frames.FRAME_HEADER
 
 
 def make_codec(generator) -> Optional["WireCodec"]:

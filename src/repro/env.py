@@ -18,6 +18,11 @@ semantics the switches always had:
 ``REPRO_NO_SYMMETRY=1``      force ``symmetry="exact"`` everywhere
 ``REPRO_NO_WITNESS=1``       skip witness/counterexample certificate
                              extraction in ``pipeline.verify``
+``REPRO_NO_SPILL=1``         disable the paged state store: any
+                             ``memory_budget=`` is ignored and the
+                             exploration keeps everything in RAM
+``REPRO_MEMORY_BUDGET=<n>``  process default for ``memory_budget=``
+                             (bytes; ``k``/``m``/``g`` suffixes allowed)
 ``REPRO_FAULTS=<spec>``      seeded fault-injection plan for the parallel
                              engine (``kind:worker@nth[:arg]`` events,
                              comma-separated; parsed by
@@ -94,6 +99,41 @@ def witness_disabled() -> bool:
     behaviorally invisible outside the certificate fields.
     """
     return _flag("REPRO_NO_WITNESS")
+
+
+def spill_disabled() -> bool:
+    """``REPRO_NO_SPILL``: keep every state and memo in RAM.
+
+    Kill switch of the paged state store: with it set, a
+    ``memory_budget=`` passed to ``verify``/``build_det_abstraction``/
+    ``explore_concrete`` (or the ``REPRO_MEMORY_BUDGET`` default) is
+    ignored and the exploration runs exactly as before the storage layer
+    existed — same objects, same stats, no ``store`` entry in
+    ``abstraction_stats``.
+    """
+    return _flag("REPRO_NO_SPILL")
+
+
+#: Multipliers for ``REPRO_MEMORY_BUDGET`` suffixes.
+_BUDGET_UNITS = {"k": 1 << 10, "m": 1 << 20, "g": 1 << 30}
+
+
+def memory_budget_default():
+    """``REPRO_MEMORY_BUDGET``: process-wide default memory budget.
+
+    Returns the budget in bytes (``int``) or ``None`` when unset/empty.
+    The value is a decimal byte count with an optional case-insensitive
+    ``k``/``m``/``g`` binary suffix (``"64m"`` = 64 MiB). Unlike the
+    boolean switches, the value is interpreted — an unparsable one
+    raises ``ValueError`` rather than silently running unbounded.
+    """
+    raw = os.environ.get("REPRO_MEMORY_BUDGET", "").strip()
+    if not raw:
+        return None
+    unit = _BUDGET_UNITS.get(raw[-1].lower())
+    if unit is not None:
+        return int(raw[:-1]) * unit
+    return int(raw)
 
 
 def faults_spec() -> str:

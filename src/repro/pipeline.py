@@ -111,7 +111,8 @@ def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
            on_the_fly: bool = False,
            workers: Optional[int] = None,
            symmetry: Optional[str] = None,
-           checkpoint=None) -> VerificationReport:
+           checkpoint=None,
+           memory_budget: Optional[int] = None) -> VerificationReport:
     """Verify ``dcds |= formula`` through the decidable routes of Table 1.
 
     With ``on_the_fly=True``, safety/reachability-shaped formulas fuse the
@@ -147,7 +148,15 @@ def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
     starting over — the resumed state space, and therefore the verdict,
     is bit-identical to an undisturbed build. Like ``workers`` and
     ``symmetry``, the RCYCL route ignores the request (its exploration is
-    discovery-order dependent)."""
+    discovery-order dependent).
+
+    ``memory_budget=<bytes>`` runs the deterministic-abstraction
+    construction out-of-core (:mod:`repro.engine.store`): coded states
+    spill to disk pages, only a budgeted hot set stays live, and the
+    verdict is bit-identical to the unbudgeted run. The store's counters
+    appear under ``abstraction_stats["store"]``. ``None`` falls back to
+    ``REPRO_MEMORY_BUDGET``; ``REPRO_NO_SPILL=1`` is the kill switch.
+    The RCYCL route ignores it, like ``workers``."""
     fragment = classify(formula)
     symmetry = resolve_symmetry(symmetry)
 
@@ -157,7 +166,7 @@ def verify(dcds: DCDS, formula: MuFormula, max_states: int = 20000,
     if dcds.semantics is ServiceSemantics.DETERMINISTIC:
         return _verify_det(dcds, formula, fragment, max_states, force,
                            keep_ts, on_the_fly, workers, symmetry,
-                           checkpoint)
+                           checkpoint, memory_budget)
     return _verify_nondet(dcds, formula, fragment, max_states, force,
                           keep_ts, on_the_fly, symmetry)
 
@@ -242,7 +251,8 @@ def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
                 on_the_fly: bool = False,
                 workers: Optional[int] = None,
                 symmetry: str = "exact",
-                checkpoint=None) -> VerificationReport:
+                checkpoint=None,
+                memory_budget: Optional[int] = None) -> VerificationReport:
     if symmetry == "quotient":
         _check_quotient_adequacy(dcds, formula, fragment)
     if fragment is Fragment.MU_L and not force:
@@ -262,7 +272,8 @@ def _verify_det(dcds: DCDS, formula: MuFormula, fragment: Fragment,
         dcds, formula,
         lambda observer: build_det_abstraction(
             dcds, max_states=max_states, observer=observer,
-            workers=workers, symmetry=symmetry, checkpoint=checkpoint),
+            workers=workers, symmetry=symmetry, checkpoint=checkpoint,
+            memory_budget=memory_budget),
         on_the_fly)
     return VerificationReport(
         dcds.name, formula, fragment, "det-abstraction",

@@ -173,6 +173,22 @@ class CodedInstance:
         return cls({relation: tuple(tuples)
                     for relation, tuples in grouped.items()})
 
+    def nbytes(self) -> int:
+        """Approximate resident size of the coded tuple arrays.
+
+        Used by the memory-budget accounting of the paged state store:
+        per-tuple CPython overhead (tuple header + per-slot pointer +
+        small-int object) dominates, so the estimate is structural — it
+        deliberately ignores the lazily materialized indexes/columns,
+        which the budget accounts for at their own caches.
+        """
+        total = 64
+        for tuples in self.by_relation.values():
+            total += 64
+            for terms in tuples:
+                total += 56 + 32 * len(terms)
+        return total
+
     def tuples(self, relation: int) -> Tuple[Tuple[int, ...], ...]:
         return self.by_relation.get(relation, _EMPTY)
 

@@ -375,6 +375,10 @@ class RelationalKernel:
         #: kernel-owned, ids stable for the kernel's life; survives
         #: clear_caches like the plans themselves).
         self._plan_reads_memo: Dict[int, Tuple[tuple, bool]] = {}
+        #: Memory budget the evictable memo caches are charged to, or
+        #: ``None`` (plain unbounded dicts — the default). Attached by the
+        #: storage layer for budgeted explorations; see attach_memo_budget.
+        self._memo_budget = None
 
     # -- construction helpers ------------------------------------------------
 
@@ -472,6 +476,89 @@ class RelationalKernel:
                 effect_context.sigmas.clear()
         for action_context in self._action_contexts:
             action_context.by_key.clear()
+
+    # -- memo budgeting (the storage layer's ``memos`` account) -------------
+
+    def _budget_memo(self, mapping):
+        """``mapping`` as-is, or budget-wrapped when a budget is attached.
+
+        Creation hook for the lazily built memo dicts (per-sigma contexts,
+        per-configuration successor memos): with a budget attached they
+        must be born evictable, not just retrofitted by attach.
+        """
+        if self._memo_budget is None:
+            return mapping
+        from repro.engine.store import BudgetedDict
+        if isinstance(mapping, BudgetedDict):
+            return mapping
+        return BudgetedDict(self._memo_budget, "memos", data=mapping)
+
+    def attach_memo_budget(self, budget) -> None:
+        """Charge the evictable memo caches to ``budget``'s ``memos``
+        account, with LRU eviction while the account is over its share.
+
+        Only pure caches are wrapped — every wrapped entry recomputes to
+        an equal value through the same evaluators that filled it, so
+        eviction can never change what the kernel computes (the
+        bit-identity contract of the accelerator tiers). The fact/call
+        interners (``_facts``/``_fact_codes``/``_calls``) stay resident:
+        they are identity anchors, and their entries are tiny.
+        """
+        self._memo_budget = budget
+        wrap = self._budget_memo
+        self._instances = wrap(self._instances)
+        self._coded = wrap(self._coded)
+        self._coded_facts = wrap(self._coded_facts)
+        self._pending_entries = wrap(self._pending_entries)
+        self._eval_memo = wrap(self._eval_memo)
+        self._canonical_memo = wrap(self._canonical_memo)
+        self._successor_memos = {
+            key: wrap(memo)
+            for key, memo in self._successor_memos.items()}
+        for rule_context in self._rule_contexts:
+            if rule_context is not None:
+                rule_context.by_instance = wrap(rule_context.by_instance)
+        for effect_context in self._effect_contexts:
+            if effect_context is not None:
+                for sigma_context in effect_context.sigmas.values():
+                    sigma_context.by_instance = wrap(
+                        sigma_context.by_instance)
+        for action_context in self._action_contexts:
+            action_context.by_key = wrap(action_context.by_key)
+
+    def detach_memo_budget(self) -> None:
+        """Undo :meth:`attach_memo_budget`: back to plain dicts (current
+        contents kept; entries evicted while attached stay evicted and
+        recompute on demand)."""
+        if self._memo_budget is None:
+            return
+        self._memo_budget = None
+        from repro.engine.store import BudgetedDict
+
+        def unwrap(mapping):
+            if isinstance(mapping, BudgetedDict):
+                return mapping.unwrap()
+            return mapping
+
+        self._instances = unwrap(self._instances)
+        self._coded = unwrap(self._coded)
+        self._coded_facts = unwrap(self._coded_facts)
+        self._pending_entries = unwrap(self._pending_entries)
+        self._eval_memo = unwrap(self._eval_memo)
+        self._canonical_memo = unwrap(self._canonical_memo)
+        self._successor_memos = {
+            key: unwrap(memo)
+            for key, memo in self._successor_memos.items()}
+        for rule_context in self._rule_contexts:
+            if rule_context is not None:
+                rule_context.by_instance = unwrap(rule_context.by_instance)
+        for effect_context in self._effect_contexts:
+            if effect_context is not None:
+                for sigma_context in effect_context.sigmas.values():
+                    sigma_context.by_instance = unwrap(
+                        sigma_context.by_instance)
+        for action_context in self._action_contexts:
+            action_context.by_key = unwrap(action_context.by_key)
 
     def __reduce__(self):
         return _unpickle_kernel_placeholder, ()
@@ -659,6 +746,8 @@ class RelationalKernel:
         sigma_context = context.sigmas.get(sigma_items)
         if sigma_context is None:
             sigma_context = self._bind_sigma(context, sigma_items)
+            sigma_context.by_instance = self._budget_memo(
+                sigma_context.by_instance)
             context.sigmas[sigma_items] = sigma_context
         found = sigma_context.by_instance.get(instance)
         if found is not None:
@@ -973,6 +1062,8 @@ class RelationalKernel:
                 sigma_context = self._bind_sigma(context, sigma_items)
             except IllegalParameters:
                 return  # the per-state call raises where batch-off would
+            sigma_context.by_instance = self._budget_memo(
+                sigma_context.by_instance)
             context.sigmas[sigma_items] = sigma_context
 
         def convert(split):
@@ -1197,7 +1288,7 @@ class RelationalKernel:
         """
         memo = self._successor_memos.get(key)
         if memo is None:
-            memo = {}
+            memo = self._budget_memo({})
             self._successor_memos[key] = memo
         return memo
 

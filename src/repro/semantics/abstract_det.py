@@ -60,6 +60,7 @@ def build_det_abstraction(
     batch_size: int = 16,
     symmetry: Optional[str] = None,
     checkpoint=None,
+    memory_budget: Optional[int] = None,
 ) -> TransitionSystem:
     """Build the abstract transition system of Theorem 4.3 by BFS.
 
@@ -87,6 +88,12 @@ def build_det_abstraction(
     sound for µLP properties only. Default ``"exact"``; the environment
     default is ``REPRO_SYMMETRY`` and ``REPRO_NO_SYMMETRY=1`` kills the
     reduction (see :mod:`repro.engine.symmetry`).
+
+    ``memory_budget`` (bytes) switches the build to the out-of-core
+    storage layer (:mod:`repro.engine.store`): coded states spill to
+    append-only pages, only a budgeted hot set stays live, and the
+    result is bit-identical to the unbudgeted build. ``None`` falls back
+    to ``REPRO_MEMORY_BUDGET``; ``REPRO_NO_SPILL=1`` is the kill switch.
     """
     if dcds.semantics is not ServiceSemantics.DETERMINISTIC:
         raise ReproError(
@@ -97,7 +104,7 @@ def build_det_abstraction(
         name=f"abstract[{dcds.name}]", max_states=max_states,
         max_depth=max_depth, on_budget="raise",
         budget_error=_diverged_error, observer=observer,
-        checkpoint=checkpoint)
+        checkpoint=checkpoint, memory_budget=memory_budget)
     generator = reduced(DetAbstractionGenerator(dcds),
                         resolve_symmetry(symmetry))
     result = explorer.run(generator)

@@ -141,6 +141,7 @@ def explore_concrete(
     workers: Optional[int] = None,
     batch_size: int = 16,
     symmetry: Optional[str] = None,
+    memory_budget: Optional[int] = None,
 ) -> TransitionSystem:
     """The concrete transition system with call results restricted to ``pool``.
 
@@ -162,6 +163,10 @@ def explore_concrete(
     instances for states, which admit no sound quotient (merging would
     conflate value-persists with value-replaced transitions — see
     :mod:`repro.engine.symmetry`), so quotient mode is ignored there.
+
+    ``memory_budget`` (bytes) runs the exploration out-of-core through
+    the paged state store (:mod:`repro.engine.store`), bit-identical to
+    the in-RAM build; ``None`` falls back to ``REPRO_MEMORY_BUDGET``.
     """
     pool = sorted_values(set(pool))
     symmetry = resolve_symmetry(symmetry)  # validated on both branches
@@ -174,7 +179,8 @@ def explore_concrete(
     explorer = make_explorer(
         dcds.schema, workers=workers, batch_size=batch_size,
         name=name, max_states=max_states, max_depth=depth,
-        on_budget="raise", budget_error=_fuse_error)
+        on_budget="raise", budget_error=_fuse_error,
+        memory_budget=memory_budget)
     ts = explorer.run(generator).transition_system
     attach_kernel_stats(dcds, ts)
     attach_symmetry_stats(generator, ts)

@@ -2,7 +2,7 @@
 
 from repro.workloads.random_dcds import (
     chain_dcds, commitment_blowup_dcds, conveyor_dcds, lattice_dcds,
-    random_dcds)
+    random_dcds, warehouse_dcds)
 
 __all__ = ["chain_dcds", "commitment_blowup_dcds", "conveyor_dcds",
-           "lattice_dcds", "random_dcds"]
+           "lattice_dcds", "random_dcds", "warehouse_dcds"]

@@ -230,6 +230,45 @@ def conveyor_dcds(k: int) -> DCDS:
     return builder.build(ServiceSemantics.DETERMINISTIC)
 
 
+def warehouse_dcds(k: int, payload: int = 120) -> DCDS:
+    """An over-RAM workload: many states, each carrying a wide payload.
+
+    The ``conveyor`` movement core — ``k + 1`` tokens advancing
+    monotonically along a ``2*k + 3``-cell line, so the space is
+    ``cells^tokens`` position vectors (``6561`` states at ``k=3``) —
+    but every state also carries a **static** ``payload``-row catalog
+    relation copied verbatim across transitions. Grounding stays cheap
+    (no joins, no service calls, trivially weakly acyclic); the cost is
+    purely the per-state footprint, which makes the full in-RAM object
+    graph the bottleneck long before CPU is. The benchmark family for
+    the out-of-core storage layer (:mod:`repro.engine.store`): canonical
+    frames compress the shared catalog well, and only the budgeted hot
+    set stays live.
+    """
+    tokens = k + 1
+    cells = 2 * k + 3
+    builder = DCDSBuilder(name=f"warehouse[{k}]")
+    builder.schema("At/2", "Next/2", "Cat/3")
+    facts = []
+    for cell in range(cells - 1):
+        facts.append(f"Next('c{cell}', 'c{cell + 1}')")
+    for token in range(tokens):
+        facts.append(f"At('t{token}', 'c0')")
+    for item in range(payload):
+        facts.append(
+            f"Cat('sku{item}', 'bin{item % 16}', 'lot{item % 7}')")
+    builder.initial(", ".join(facts))
+    builder.action(
+        "move(t)",
+        "Cat(x, y, z) ~> Cat(x, y, z)",
+        "At(u, x) ~> At(u, x)",
+        "Next(x, y) ~> Next(x, y)",
+        "At($t, x) & Next(x, y) ~> At($t, y)",
+    )
+    builder.rule("exists x, y. At($t, x) & Next(x, y)", "move")
+    return builder.build(ServiceSemantics.DETERMINISTIC)
+
+
 def chain_dcds(length: int,
                semantics: ServiceSemantics = ServiceSemantics.DETERMINISTIC
                ) -> DCDS:

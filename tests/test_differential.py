@@ -33,8 +33,10 @@ from repro import env
 from repro.core import ServiceSemantics
 from repro.core.execution import clear_subproblem_caches
 from repro.engine import (
-    DetAbstractionGenerator, Explorer, ParallelExplorer, PoolNondetGenerator,
-    SymmetryReducer, resolve_symmetry)
+    Checkpoint, CheckpointInterrupted, DetAbstractionGenerator, Explorer,
+    ParallelExplorer, PoolNondetGenerator, SymmetryReducer,
+    resolve_symmetry)
+from repro.relational.kernel import kernel_for
 from repro.errors import UndecidableFragment, VerificationError
 from repro.mucalc.certify import replay
 from repro.mucalc.checker import ModelChecker
@@ -65,6 +67,12 @@ SLOW_SEEDS = (2, 3, 4, 5, 6)
 MAX_STATES = 3000
 MAX_DEPTH = 3
 POOL = ("c0", "c1", Fresh(90))
+
+#: Tight storage-layer budget for the out-of-core mirror: small enough
+#: that every differential case actually spills/evicts, large enough to
+#: terminate quickly. Store mode is bit-identical *by construction*; this
+#: sweep is what pins it.
+TIGHT_BUDGET = 128 * 1024
 
 
 def case_params(seeds):
@@ -185,6 +193,31 @@ def run_differential_case(seed, shape, semantics):
     assert_isomorphic_builds(batch_builds[None], batch_builds["1"])
     assert_isomorphic_builds(sequential, batch_builds["1"])
     assert_certificates_agree(dcds, sequential, batch_builds["1"])
+    # Out-of-core mirror: the same case rebuilt under a tight memory
+    # budget — sequential and at every worker count — must stay
+    # bit-identical to the in-RAM build. Under the REPRO_NO_SPILL=1 CI
+    # mirror (or without a kernel) the budget is vetoed and these are
+    # plain rebuilds, which must *still* be bit-identical.
+    store_config = dict(config, memory_budget=TIGHT_BUDGET)
+    spill_expected = not env.spill_disabled() \
+        and kernel_for(dcds) is not None
+    budgeted = Explorer(dcds.schema, **store_config).run(
+        generator_factory()).transition_system
+    if spill_expected:
+        assert budgeted.exploration_stats.get("store"), \
+            "tight budget did not engage the paged store"
+    assert_isomorphic_builds(sequential, budgeted)
+    for workers in WORKER_COUNTS:
+        budgeted_parallel = ParallelExplorer(
+            dcds.schema, workers=workers, batch_size=4, **store_config,
+        ).run(generator_factory()).transition_system
+        assert_isomorphic_builds(sequential, budgeted_parallel)
+    # The kill switch vetoes even an explicit budget: plain build.
+    with forced_env("REPRO_NO_SPILL", "1"):
+        vetoed = Explorer(dcds.schema, **store_config).run(
+            generator_factory()).transition_system
+    assert vetoed.exploration_stats.get("store") is None
+    assert_isomorphic_builds(sequential, vetoed)
     return sequential
 
 
@@ -199,6 +232,91 @@ class TestDifferentialSweep:
     @pytest.mark.parametrize("seed,shape,semantics", case_params(SLOW_SEEDS))
     def test_parallel_matches_sequential(self, seed, shape, semantics):
         run_differential_case(seed, shape, semantics)
+
+
+# ---------------------------------------------------------------------------
+# checkpoint interrupt/resume under spill
+# ---------------------------------------------------------------------------
+
+class TestCheckpointUnderSpill:
+    """Crash-safe persistence composed with the out-of-core store: a
+    budgeted run interrupted mid-build and resumed (in either mode) must
+    converge to the bit-identical transition system."""
+
+    def _case(self):
+        dcds = random_dcds(0, shape="weakly-acyclic",
+                           semantics=ServiceSemantics.DETERMINISTIC)
+        generator_factory, config = explorer_config(dcds)
+        baseline = Explorer(dcds.schema, **config).run(
+            generator_factory()).transition_system
+        return dcds, generator_factory, config, baseline
+
+    def _interrupted(self, dcds, generator_factory, config, path,
+                     **extra):
+        checkpoint = Checkpoint(path, interval=0)
+        checkpoint._interrupt_after_chunks = 2
+        with pytest.raises(CheckpointInterrupted):
+            Explorer(dcds.schema, checkpoint=checkpoint, **config,
+                     **extra).run(generator_factory())
+
+    def test_budgeted_interrupt_budgeted_resume(self, tmp_path):
+        dcds, generator_factory, config, baseline = self._case()
+        path = tmp_path / "ck-spill"
+        self._interrupted(dcds, generator_factory, config, path,
+                          memory_budget=TIGHT_BUDGET)
+        resumed = Explorer(
+            dcds.schema, checkpoint=Checkpoint(path, interval=0),
+            memory_budget=TIGHT_BUDGET, **config,
+        ).run(generator_factory()).transition_system
+        assert_isomorphic_builds(baseline, resumed)
+
+    def test_budgeted_interrupt_plain_resume(self, tmp_path):
+        """A store-format checkpoint is readable by an unbudgeted run."""
+        dcds, generator_factory, config, baseline = self._case()
+        if env.spill_disabled() or kernel_for(dcds) is None:
+            pytest.skip("store mode unavailable")
+        path = tmp_path / "ck-cross"
+        self._interrupted(dcds, generator_factory, config, path,
+                          memory_budget=TIGHT_BUDGET)
+        resumed = Explorer(
+            dcds.schema, checkpoint=Checkpoint(path, interval=0),
+            **config,
+        ).run(generator_factory()).transition_system
+        assert_isomorphic_builds(baseline, resumed)
+
+    def test_plain_interrupt_budgeted_resume(self, tmp_path):
+        """A wire/pickle checkpoint resumed by a budgeted run demotes to
+        the plain path (no mid-flight re-encoding) but still converges."""
+        dcds, generator_factory, config, baseline = self._case()
+        path = tmp_path / "ck-demote"
+        # The interrupted run must be genuinely plain even when the
+        # ambient environment sets a budget default, or the checkpoint
+        # would be store-format and no demotion happens on resume.
+        with forced_env("REPRO_MEMORY_BUDGET", None):
+            self._interrupted(dcds, generator_factory, config, path)
+        resumed = Explorer(
+            dcds.schema, checkpoint=Checkpoint(path, interval=0),
+            memory_budget=TIGHT_BUDGET, **config,
+        ).run(generator_factory()).transition_system
+        assert resumed.exploration_stats.get("store") is None
+        assert_isomorphic_builds(baseline, resumed)
+
+    def test_budgeted_parallel_interrupt_resume(self, tmp_path):
+        dcds, generator_factory, config, baseline = self._case()
+        path = tmp_path / "ck-par"
+        checkpoint = Checkpoint(path, interval=0)
+        checkpoint._interrupt_after_chunks = 2
+        with pytest.raises(CheckpointInterrupted):
+            ParallelExplorer(
+                dcds.schema, workers=2, batch_size=4,
+                checkpoint=checkpoint, memory_budget=TIGHT_BUDGET,
+                **config).run(generator_factory())
+        resumed = ParallelExplorer(
+            dcds.schema, workers=2, batch_size=4,
+            checkpoint=Checkpoint(path, interval=0),
+            memory_budget=TIGHT_BUDGET, **config,
+        ).run(generator_factory()).transition_system
+        assert_isomorphic_builds(baseline, resumed)
 
 
 # ---------------------------------------------------------------------------

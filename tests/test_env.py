@@ -20,6 +20,7 @@ FLAG_HELPERS = [
     ("REPRO_NO_BATCH", env.batch_disabled),
     ("REPRO_NO_SYMMETRY", env.symmetry_disabled),
     ("REPRO_NO_WITNESS", env.witness_disabled),
+    ("REPRO_NO_SPILL", env.spill_disabled),
 ]
 
 
@@ -68,6 +69,41 @@ class TestFaultsSpec:
         assert env.faults_spec() == ""
         monkeypatch.setenv("REPRO_FAULTS", "oom:*@1")
         assert env.faults_spec() == "oom:*@1"
+
+
+class TestMemoryBudgetDefault:
+    def test_unset_is_none(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MEMORY_BUDGET", raising=False)
+        assert env.memory_budget_default() is None
+
+    def test_empty_is_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", "")
+        assert env.memory_budget_default() is None
+
+    def test_plain_bytes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", "1048576")
+        assert env.memory_budget_default() == 1 << 20
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("64k", 64 << 10), ("64K", 64 << 10),
+        ("8m", 8 << 20), ("2G", 2 << 30),
+    ])
+    def test_binary_suffixes(self, monkeypatch, raw, expected):
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", raw)
+        assert env.memory_budget_default() == expected
+
+    def test_garbage_raises(self, monkeypatch):
+        # Unlike the boolean switches the value is interpreted; a typo
+        # must not silently run unbounded.
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", "lots")
+        with pytest.raises(ValueError):
+            env.memory_budget_default()
+
+    def test_read_per_call(self, monkeypatch):
+        monkeypatch.delenv("REPRO_MEMORY_BUDGET", raising=False)
+        assert env.memory_budget_default() is None
+        monkeypatch.setenv("REPRO_MEMORY_BUDGET", "4m")
+        assert env.memory_budget_default() == 4 << 20
 
 
 class TestSymmetryDefault:

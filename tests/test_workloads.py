@@ -7,7 +7,8 @@ from repro.analysis import is_gr_acyclic, is_weakly_acyclic
 from repro.core import ServiceSemantics
 from repro.semantics import build_det_abstraction
 from repro.semantics.commitments import count_commitments
-from repro.workloads import chain_dcds, commitment_blowup_dcds, random_dcds
+from repro.workloads import (
+    chain_dcds, commitment_blowup_dcds, random_dcds, warehouse_dcds)
 
 
 class TestRandomDCDS:
@@ -92,3 +93,16 @@ class TestFamilies:
 
         ranks = dependency_graph(chain_dcds(4)).ranks()
         assert ranks[("L4", 0)] == 4
+
+    def test_warehouse_state_space_is_cells_to_tokens(self):
+        # k+1 independent tokens over 2k+3 cells: (2k+3)^(k+1) states.
+        ts = build_det_abstraction(warehouse_dcds(1), max_states=100000)
+        assert len(ts) == 5 ** 2
+
+    def test_warehouse_payload_rides_every_state(self):
+        payload = 17
+        dcds = warehouse_dcds(1, payload=payload)
+        assert is_weakly_acyclic(dcds)
+        ts = build_det_abstraction(dcds, max_states=100000)
+        for state in ts.states:
+            assert len(ts.db(state).tuples("Cat")) == payload
